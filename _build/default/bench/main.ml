@@ -1,0 +1,431 @@
+(* Reproduction harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md section 4 for the experiment index), plus an
+   ablation sweep and bechamel microbenchmarks of the compiler machinery.
+
+   Usage: dune exec bench/main.exe [-- experiment ...]
+   Experiments: table1 table2 table3 fig34 fig5 fig6 fig7 fig8 fig9 fig10
+   fig11 ablation micro; default is all of them in paper order. *)
+
+module SP = Strideprefetch
+module W = Workloads.Workload
+module H = Workloads.Harness
+
+let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+let specjvm_names = List.map (fun (w : W.t) -> w.name) Workloads.Specjvm.all
+
+let machines = [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ]
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Result cache: each (workload, machine, mode) runs once per process. *)
+
+let cache : (string * string * SP.Options.mode, H.run_result) Hashtbl.t =
+  Hashtbl.create 64
+
+let result (w : W.t) (machine : Memsim.Config.machine) mode =
+  let key = (w.name, machine.name, mode) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      Printf.eprintf "[bench] running %s on %s (%s)...\n%!" w.name machine.name
+        (SP.Options.mode_name mode);
+      let r = H.run ~mode ~machine w in
+      Hashtbl.add cache key r;
+      r
+
+let speedup_percent w machine mode =
+  let baseline = result w machine SP.Options.Off in
+  H.percent_speedup ~baseline (result w machine mode)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: the load instructions of findInMemory. *)
+
+let kernel_and_infos () =
+  let program = Workloads.Figure1.compile () in
+  let meth =
+    Option.get (Vm.Classfile.find_method program Workloads.Figure1.kernel_name)
+  in
+  let infos =
+    Jit.Stack_model.analyze meth.code ~arity:meth.arity
+      ~callee_arity:(fun m -> (Vm.Classfile.method_of_id program m).arity)
+      ~callee_returns:(fun m ->
+        (Vm.Classfile.method_of_id program m).returns_value)
+  in
+  (program, meth, infos)
+
+let table1 () =
+  heading "Table 1: load instructions in the findInMemory() method";
+  let _, meth, infos = kernel_and_infos () in
+  Printf.printf "%-6s %-20s %s\n" "Load" "Memory address" "instruction";
+  for site = 0 to meth.n_sites - 1 do
+    let instr =
+      Array.to_list meth.code
+      |> List.find_opt (fun i -> List.mem site (Vm.Bytecode.all_sites i))
+    in
+    Printf.printf "%-6s %-20s %s\n"
+      (Printf.sprintf "L%d" site)
+      (Workloads.Figure1.describe_site infos site)
+      (match instr with Some i -> Vm.Bytecode.to_string i | None -> "?")
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  heading "Table 2: parameters related to prefetching";
+  Printf.printf "%-10s %-8s %-9s %-8s %-9s %-6s %s\n" "Processor" "L1(KB)"
+    "L1 line" "L2(KB)" "L2 line" "#DTLB" "prefetch target";
+  List.iter
+    (fun (m : Memsim.Config.machine) ->
+      Printf.printf "%-10s %-8d %-9d %-8d %-9d %-6d %s\n" m.name
+        (m.l1.size_bytes / 1024) m.l1.line_bytes (m.l2.size_bytes / 1024)
+        m.l2.line_bytes m.dtlb.entries
+        (match m.prefetch_target with
+        | Memsim.Config.To_l2 -> "L2"
+        | Memsim.Config.To_l1 -> "L1"))
+    machines
+
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  heading "Table 3: benchmarks and % of cycles in compiled code (Pentium 4)";
+  Printf.printf "%-11s %-10s %-14s %s\n" "Program" "Suite" "Compiled (%)"
+    "Description";
+  List.iter
+    (fun (w : W.t) ->
+      let r = result w Memsim.Config.pentium4 SP.Options.Off in
+      Printf.printf "%-11s %-10s %-14.1f %s\n" w.name
+        (if List.mem w.name specjvm_names then "SPECjvm98" else "JavaGrande")
+        (100.0 *. H.compiled_fraction r)
+        w.description)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: the generated prefetching code, INTER vs INTER+INTRA. *)
+
+let optimized_kernel mode machine =
+  let program = Workloads.Figure1.compile () in
+  let opts = SP.Options.with_mode mode SP.Options.default in
+  let interp = Vm.Interp.create machine program in
+  let reports = ref [] in
+  let pipeline =
+    Jit.Pipeline.create
+      (Jit.Pipeline.standard_passes ()
+      @
+      match mode with
+      | SP.Options.Off -> []
+      | _ ->
+          [
+            SP.Pass.make_pass ~opts ~interp
+              ~report_sink:(fun r -> reports := !reports @ r)
+              ();
+          ])
+  in
+  Vm.Interp.set_compile_hook interp (fun _ m args ->
+      Jit.Pipeline.compile pipeline m args);
+  ignore (Vm.Interp.run interp);
+  let meth =
+    Option.get (Vm.Classfile.find_method program Workloads.Figure1.kernel_name)
+  in
+  (meth, !reports)
+
+let fig34 () =
+  heading "Figures 3 & 4: generated prefetching code for findInMemory";
+  subheading "Figure 3 analogue: INTER only (Wu-style, in-loop loads)";
+  let meth, _ = optimized_kernel SP.Options.Inter Memsim.Config.pentium4 in
+  Format.printf "%a@." Vm.Classfile.pp_method meth;
+  subheading "Figure 4 analogue: INTER+INTRA (dereference + intra-stride)";
+  let meth, reports =
+    optimized_kernel SP.Options.Inter_intra Memsim.Config.pentium4
+  in
+  Format.printf "%a@." Vm.Classfile.pp_method meth;
+  subheading "per-loop pass reports";
+  List.iter (fun r -> Format.printf "%a@." SP.Pass.pp_report r) reports
+
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  heading "Figure 5: load dependence graph for findInMemory";
+  let _, meth, infos = kernel_and_infos () in
+  let sites = List.init meth.n_sites Fun.id in
+  let ldg = SP.Ldg.build infos ~sites in
+  Format.printf "%a@." SP.Ldg.pp ldg;
+  subheading "GraphViz rendering";
+  print_string
+    (SP.Ldg.to_dot ldg ~labels:(fun site ->
+         Printf.sprintf "L%d: %s" site
+           (Workloads.Figure1.describe_site infos site)))
+
+(* ------------------------------------------------------------------ *)
+
+let speedup_figure ~figure ~machine () =
+  heading
+    (Printf.sprintf "Figure %s: speedup ratios on the %s" figure
+       machine.Memsim.Config.name);
+  Printf.printf "%-11s %12s %12s\n" "Program" "INTER" "INTER+INTRA";
+  List.iter
+    (fun (w : W.t) ->
+      Printf.printf "%-11s %+11.1f%% %+11.1f%%\n" w.name
+        (speedup_percent w machine SP.Options.Inter)
+        (speedup_percent w machine SP.Options.Inter_intra))
+    workloads
+
+let fig6 () = speedup_figure ~figure:"6" ~machine:Memsim.Config.pentium4 ()
+let fig7 () = speedup_figure ~figure:"7" ~machine:Memsim.Config.athlon_mp ()
+
+(* ------------------------------------------------------------------ *)
+
+let mpi_figure ~figure ~label ~extract () =
+  heading
+    (Printf.sprintf "Figure %s: %s on the Pentium 4 (x1000)" figure label);
+  Printf.printf "%-11s %12s %12s\n" "Program" "BASELINE" "INTER+INTRA";
+  List.iter
+    (fun (w : W.t) ->
+      let base = result w Memsim.Config.pentium4 SP.Options.Off in
+      let opt = result w Memsim.Config.pentium4 SP.Options.Inter_intra in
+      Printf.printf "%-11s %12.3f %12.3f\n" w.name
+        (1000.0 *. extract base.H.stats)
+        (1000.0 *. extract opt.H.stats))
+    workloads
+
+let fig8 () =
+  mpi_figure ~figure:"8" ~label:"L1 cache load MPI"
+    ~extract:Memsim.Stats.l1_load_mpi ()
+
+let fig9 () =
+  mpi_figure ~figure:"9" ~label:"L2 cache load MPI"
+    ~extract:Memsim.Stats.l2_load_mpi ()
+
+let fig10 () =
+  mpi_figure ~figure:"10" ~label:"DTLB load MPI"
+    ~extract:Memsim.Stats.dtlb_load_mpi ()
+
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  heading "Figure 11: compilation time of the prefetching pass (Pentium 4)";
+  Printf.printf "%-11s %10s %15s %15s %12s\n" "Program" "methods"
+    "prefetch (ms)" "rest of JIT(ms)" "per hot method";
+  let worst_per_method = ref 0.0 in
+  List.iter
+    (fun (w : W.t) ->
+      let r = result w Memsim.Config.pentium4 SP.Options.Inter_intra in
+      let per_method =
+        if r.methods_compiled = 0 then 0.0
+        else 1000.0 *. r.prefetch_pass_seconds /. float_of_int r.methods_compiled
+      in
+      if per_method > !worst_per_method then worst_per_method := per_method;
+      Printf.printf "%-11s %10d %15.3f %15.3f %9.3f ms\n" w.name
+        r.methods_compiled
+        (1000.0 *. r.prefetch_pass_seconds)
+        (1000.0
+        *. (r.total_compile_seconds -. r.prefetch_pass_seconds))
+        per_method)
+    workloads;
+  Printf.printf
+    "\nWorst-case prefetch-pass cost: %.3f ms per hot method.\n\
+     The paper reports the pass adds < 3.0%% to total JIT compilation time\n\
+     and < 0.4%% to total execution time. A ratio against OUR baseline\n\
+     pipeline would be meaningless: this reproduction's non-prefetch JIT\n\
+     work (CFG/loops/fold/inline) is a deliberately thin stand-in, tens of\n\
+     microseconds per method, where the IBM JIT's full compilation\n\
+     (native code generation, register allocation, inlining, ...) runs\n\
+     milliseconds to tens of milliseconds per hot method. Against such a\n\
+     baseline, the measured sub-millisecond pass cost is the same order\n\
+     as the paper's < 3%% claim. EXPERIMENTS.md discusses this further.\n"
+    !worst_per_method
+
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  heading "Ablation: inspected iterations and scheduling distance (Pentium 4)";
+  let machine = Memsim.Config.pentium4 in
+  let w = List.find (fun (w : W.t) -> w.name = "db") workloads in
+  let baseline = result w machine SP.Options.Off in
+  subheading "db: INTER+INTRA speedup vs inspected iterations";
+  List.iter
+    (fun iterations ->
+      let opts =
+        { SP.Options.default with SP.Options.inspect_iterations = iterations }
+      in
+      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine w in
+      Printf.printf "  %2d iterations: %+6.1f%%\n" iterations
+        (H.percent_speedup ~baseline r))
+    [ 5; 10; 20; 40 ];
+  subheading "db: INTER+INTRA speedup vs scheduling distance c";
+  List.iter
+    (fun c ->
+      let opts =
+        { SP.Options.default with SP.Options.scheduling_distance = c }
+      in
+      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine w in
+      Printf.printf "  c = %d: %+6.1f%%\n" c (H.percent_speedup ~baseline r))
+    [ 1; 2; 4 ];
+  let euler = List.find (fun (w : W.t) -> w.name = "Euler") workloads in
+  let euler_baseline = result euler machine SP.Options.Off in
+  subheading "Euler: INTER speedup vs scheduling distance c";
+  List.iter
+    (fun c ->
+      let opts =
+        { SP.Options.default with SP.Options.scheduling_distance = c }
+      in
+      let r = H.run ~opts ~mode:SP.Options.Inter ~machine euler in
+      Printf.printf "  c = %d: %+6.1f%%\n" c
+        (H.percent_speedup ~baseline:euler_baseline r))
+    [ 1; 2; 4 ];
+  subheading "jess: majority threshold";
+  let jess = List.find (fun (w : W.t) -> w.name = "jess") workloads in
+  let jess_baseline = result jess machine SP.Options.Off in
+  List.iter
+    (fun majority ->
+      let opts = { SP.Options.default with SP.Options.majority } in
+      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine jess in
+      Printf.printf "  majority %.2f: %+6.1f%%\n" majority
+        (H.percent_speedup ~baseline:jess_baseline r))
+    [ 0.5; 0.75; 0.95 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the compiler-side machinery. *)
+
+let micro () =
+  heading "Microbenchmarks (bechamel): compiler-side costs";
+  let program, meth, infos = kernel_and_infos () in
+  let cfg_built = Jit.Cfg.build meth.code in
+  let forest = Jit.Loops.analyze cfg_built in
+  let target = List.hd (List.rev (Jit.Loops.postorder forest)) in
+  (* a populated interpreter for object inspection *)
+  let interp = Vm.Interp.create Memsim.Config.pentium4 program in
+  ignore (Vm.Interp.run interp);
+  let opts = SP.Options.default in
+  let args =
+    let heap = Vm.Interp.heap interp in
+    let node = ref Vm.Value.Null
+    and tv = ref Vm.Value.Null
+    and tok = ref Vm.Value.Null in
+    let class_id name =
+      (Option.get (Vm.Classfile.find_class program name)).Vm.Classfile.class_id
+    in
+    Vm.Heap.iter_ids_in_address_order heap (fun id ->
+        match Vm.Heap.class_id_of heap id with
+        | Some c when c = class_id "Node2" -> node := Vm.Value.Ref id
+        | Some c when c = class_id "TokenVector" -> tv := Vm.Value.Ref id
+        | Some c when c = class_id "Token" && !tok = Vm.Value.Null ->
+            tok := Vm.Value.Ref id
+        | _ -> ());
+    [| !node; !tv; !tok |]
+  in
+  let fresh_meth () =
+    Vm.Classfile.make_method ~method_id:meth.method_id
+      ~method_name:meth.method_name ~arity:meth.arity
+      ~returns_value:meth.returns_value ~max_locals:meth.max_locals
+      ~code:(Array.copy meth.original_code)
+  in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"cfg+dominators+loops"
+        (Bechamel.Staged.stage (fun () ->
+             let cfg = Jit.Cfg.build meth.code in
+             let idom = Jit.Dominators.compute cfg in
+             ignore (Jit.Loops.analyze cfg);
+             ignore idom));
+      Bechamel.Test.make ~name:"stack-model"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (Jit.Stack_model.analyze meth.code ~arity:meth.arity
+                  ~callee_arity:(fun m ->
+                    (Vm.Classfile.method_of_id program m).arity)
+                  ~callee_returns:(fun m ->
+                    (Vm.Classfile.method_of_id program m).returns_value))));
+      Bechamel.Test.make ~name:"ldg-build"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (SP.Ldg.build infos ~sites:(List.init meth.n_sites Fun.id))));
+      Bechamel.Test.make ~name:"object-inspection"
+        (Bechamel.Staged.stage (fun () ->
+             ignore
+               (SP.Inspection.inspect ~program ~heap:(Vm.Interp.heap interp)
+                  ~globals:(Vm.Interp.global interp) ~opts ~cfg:cfg_built
+                  ~forest ~target ~meth ~args)));
+      Bechamel.Test.make ~name:"whole-prefetch-pass"
+        (Bechamel.Staged.stage (fun () ->
+             let m = fresh_meth () in
+             ignore (SP.Pass.run ~opts ~interp ~meth:m ~args)));
+      Bechamel.Test.make ~name:"stride-detection-1k"
+        (Bechamel.Staged.stage
+           (let records = List.init 1000 (fun i -> (i, 4096 + (i * 60))) in
+            fun () -> ignore (SP.Stride.inter ~opts records)));
+      Bechamel.Test.make ~name:"cache-sim-4k-accesses"
+        (Bechamel.Staged.stage
+           (let hier = Memsim.Hierarchy.create Memsim.Config.pentium4 in
+            fun () ->
+              for i = 0 to 4095 do
+                ignore
+                  (Memsim.Hierarchy.demand_access hier ~addr:(i * 64 * 7)
+                     ~kind:`Load ~now:i)
+              done));
+    ]
+  in
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Printf.printf "%-26s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all benchmark_cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols_result = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+              let pretty =
+                if ns > 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+                else if ns > 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+                else Printf.sprintf "%10.0f ns" ns
+              in
+              Printf.printf "%-26s %16s\n" name pretty
+          | _ -> Printf.printf "%-26s %16s\n" name "n/a")
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig34", fig34);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment '%s' (available: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 1)
+    requested

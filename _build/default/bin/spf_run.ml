@@ -1,0 +1,214 @@
+(* Command-line driver: run workloads or MiniJava source files through the
+   mini-JVM with stride prefetching, and compare configurations. *)
+
+let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+
+let find_workload name =
+  List.find_opt
+    (fun (w : Workloads.Workload.t) ->
+      String.lowercase_ascii w.name = String.lowercase_ascii name)
+    workloads
+
+let machine_conv =
+  let parse s =
+    match Memsim.Config.machine_of_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (m : Memsim.Config.machine) -> m.name)
+                     Memsim.Config.machines))))
+  in
+  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
+  Cmdliner.Arg.conv (parse, print)
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
+    | "inter" -> Ok Strideprefetch.Options.Inter
+    | "inter+intra" | "inter_intra" | "interintra" ->
+        Ok Strideprefetch.Options.Inter_intra
+    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
+  in
+  let print ppf m =
+    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let machine_arg =
+  Cmdliner.Arg.(
+    value
+    & opt machine_conv Memsim.Config.pentium4
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Simulated machine (pentium4 or athlonmp).")
+
+let mode_arg =
+  Cmdliner.Arg.(
+    value
+    & opt mode_conv Strideprefetch.Options.Inter_intra
+    & info [ "p"; "mode" ] ~docv:"MODE"
+        ~doc:"Prefetching mode: off, inter, or inter+intra.")
+
+let verbose_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print per-loop prefetching reports.")
+
+let interproc_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "interprocedural" ]
+        ~doc:
+          "Inter-procedural object inspection: step into callees instead \
+           of skipping them (extension; see Section 3.2 of the paper).")
+
+let phased_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "phased" ]
+        ~doc:
+          "Detect Wu-style phased multiple-stride loads and prefetch them \
+           with a run-time-computed stride (extension).")
+
+let opts_of ~interproc ~phased =
+  {
+    Strideprefetch.Options.default with
+    Strideprefetch.Options.inspect_calls = interproc;
+    enable_phased = phased;
+  }
+
+let print_result ~verbose (r : Workloads.Harness.run_result) =
+  Printf.printf "workload: %s  machine: %s  mode: %s\n" r.workload r.machine
+    (Strideprefetch.Options.mode_name r.mode);
+  Printf.printf "cycles: %d  (compiled %.1f%%)  GCs: %d\n" r.cycles
+    (100.0 *. Workloads.Harness.compiled_fraction r)
+    r.gc_count;
+  Format.printf "%a@." Memsim.Stats.pp r.stats;
+  Format.printf "MPI: %a@." Memsim.Stats.pp_mpi r.stats;
+  Printf.printf "methods compiled: %d  compile time: %.3f ms (prefetch pass \
+                 %.3f ms)\n"
+    r.methods_compiled
+    (1000.0 *. r.total_compile_seconds)
+    (1000.0 *. r.prefetch_pass_seconds);
+  Printf.printf "program output:\n%s" r.output;
+  if verbose then
+    List.iter
+      (fun rep -> Format.printf "%a@." Strideprefetch.Pass.pp_report rep)
+      r.reports
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        Printf.printf "%-12s %-10s %s\n" w.name
+          (match w.suite with
+          | `Specjvm -> "SPECjvm98"
+          | `Javagrande -> "JavaGrande")
+          w.description)
+      workloads
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "list" ~doc:"List the available workloads.")
+    Cmdliner.Term.(const run $ const ())
+
+let run_cmd =
+  let workload_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
+  in
+  let run name machine mode verbose interproc phased =
+    match find_workload name with
+    | None ->
+        prerr_endline ("unknown workload: " ^ name);
+        exit 1
+    | Some w ->
+        let opts = opts_of ~interproc ~phased in
+        let result = Workloads.Harness.run ~opts ~mode ~machine w in
+        print_result ~verbose result
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
+    Cmdliner.Term.(
+      const run $ workload_arg $ machine_arg $ mode_arg $ verbose_arg
+      $ interproc_arg $ phased_arg)
+
+let compare_cmd =
+  let workload_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
+  in
+  let run name machine =
+    match find_workload name with
+    | None ->
+        prerr_endline ("unknown workload: " ^ name);
+        exit 1
+    | Some w ->
+        let baseline = Workloads.Harness.run ~mode:Strideprefetch.Options.Off ~machine w in
+        let inter = Workloads.Harness.run ~mode:Strideprefetch.Options.Inter ~machine w in
+        let both =
+          Workloads.Harness.run ~mode:Strideprefetch.Options.Inter_intra ~machine w
+        in
+        Printf.printf "%s on %s:\n" w.name machine.Memsim.Config.name;
+        Printf.printf "  BASELINE     %12d cycles\n" baseline.cycles;
+        Printf.printf "  INTER        %12d cycles  %+.1f%%\n" inter.cycles
+          (Workloads.Harness.percent_speedup ~baseline inter);
+        Printf.printf "  INTER+INTRA  %12d cycles  %+.1f%%\n" both.cycles
+          (Workloads.Harness.percent_speedup ~baseline both)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "compare"
+       ~doc:"Run BASELINE / INTER / INTER+INTRA and print speedups.")
+    Cmdliner.Term.(const run $ workload_arg $ machine_arg)
+
+let file_cmd =
+  let path_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
+  in
+  let run path machine mode verbose interproc phased =
+    let source = In_channel.with_open_text path In_channel.input_all in
+    match Minijava.Compile.program_of_source source with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path (Minijava.Compile.string_of_error e);
+        exit 1
+    | Ok _ ->
+        let w =
+          {
+            Workloads.Workload.name = Filename.basename path;
+            suite = `Specjvm;
+            description = "user program";
+            paper_note = "";
+            source;
+            heap_limit_bytes = 64 * 1024 * 1024;
+          }
+        in
+        let opts = opts_of ~interproc ~phased in
+        let result = Workloads.Harness.run ~opts ~mode ~machine w in
+        print_result ~verbose result
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
+    Cmdliner.Term.(
+      const run $ path_arg $ machine_arg $ mode_arg $ verbose_arg
+      $ interproc_arg $ phased_arg)
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "spf_run" ~version:"1.0"
+      ~doc:
+        "Stride prefetching by dynamically inspecting objects: simulation \
+         driver."
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info [ list_cmd; run_cmd; compare_cmd; file_cmd ]))

@@ -1,0 +1,1 @@
+examples/db_scenario.ml: List Memsim Printf Strideprefetch Workloads

@@ -1,0 +1,1 @@
+examples/euler_scenario.ml: Format List Memsim Printf Strideprefetch Workloads

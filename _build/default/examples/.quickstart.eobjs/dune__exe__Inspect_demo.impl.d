@@ -1,0 +1,1 @@
+examples/inspect_demo.ml: Array Format Jit List Memsim Minijava Option Printf Strideprefetch String Vm

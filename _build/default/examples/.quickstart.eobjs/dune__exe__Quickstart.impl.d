@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fun Jit List Memsim Option Printf Strideprefetch String Vm Workloads

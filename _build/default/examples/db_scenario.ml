@@ -1,0 +1,50 @@
+(* The paper's headline result, end to end: _209_db.
+
+   Sorting large records whose sub-objects are co-allocated gives the
+   sort loop intra-iteration stride patterns only. INTER finds nothing
+   (the record pointers are shuffled); INTER+INTRA prefetches through the
+   index element (dereference-based) and onward through the record's
+   sub-objects. On the Pentium 4 the intra-stride prefetches use guarded
+   loads, priming the 64-entry DTLB. Compare Figures 6-10 of the paper.
+
+   Run with: dune exec examples/db_scenario.exe *)
+
+module SP = Strideprefetch
+module H = Workloads.Harness
+
+let () =
+  let db =
+    List.find
+      (fun (w : Workloads.Workload.t) -> w.name = "db")
+      Workloads.Specjvm.all
+  in
+  Printf.printf "workload: %s\n  %s\n  paper: %s\n\n" db.name db.description
+    db.paper_note;
+  List.iter
+    (fun machine ->
+      Printf.printf "--- %s ---\n" machine.Memsim.Config.name;
+      let baseline = H.run ~mode:SP.Options.Off ~machine db in
+      let inter = H.run ~mode:SP.Options.Inter ~machine db in
+      let both = H.run ~mode:SP.Options.Inter_intra ~machine db in
+      Printf.printf "  %-12s %12s %10s %10s %10s %10s\n" "mode" "cycles"
+        "L1 MPIx1k" "L2 MPIx1k" "TLB MPIx1k" "speedup";
+      List.iter
+        (fun (r : H.run_result) ->
+          Printf.printf "  %-12s %12d %10.3f %10.3f %10.3f %+9.1f%%\n"
+            (SP.Options.mode_name r.mode)
+            r.cycles
+            (1000.0 *. Memsim.Stats.l1_load_mpi r.stats)
+            (1000.0 *. Memsim.Stats.l2_load_mpi r.stats)
+            (1000.0 *. Memsim.Stats.dtlb_load_mpi r.stats)
+            (H.percent_speedup ~baseline r))
+        [ baseline; inter; both ];
+      Printf.printf
+        "  prefetches: %d sw (%d cancelled on DTLB miss), %d guarded loads\n\n"
+        both.stats.Memsim.Stats.sw_prefetches
+        both.stats.Memsim.Stats.sw_prefetches_cancelled
+        both.stats.Memsim.Stats.guarded_loads)
+    Memsim.Config.machines;
+  print_endline
+    "Paper reference: +18.9% on the Pentium 4, +25.1% on the Athlon MP,\n\
+     with INTER ineffective on both — the gain comes entirely from\n\
+     dereference-based + intra-iteration stride prefetching."

@@ -1,0 +1,1 @@
+lib/jit/cfg.ml: Array Format List Printf Vm

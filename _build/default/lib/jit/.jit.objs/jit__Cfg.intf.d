@@ -1,0 +1,1 @@
+lib/jit/cfg.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/jit/dominators.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/jit/dominators.mli: Cfg

@@ -1,0 +1,1 @@
+lib/jit/inline.ml: Array List Optimize Option Pipeline Vm

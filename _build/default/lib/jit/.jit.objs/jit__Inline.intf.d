@@ -1,0 +1,1 @@
+lib/jit/inline.mli: Pipeline Vm

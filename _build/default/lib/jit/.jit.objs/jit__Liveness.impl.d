@@ -1,0 +1,1 @@
+lib/jit/liveness.ml: Array Cfg Int List Set Vm

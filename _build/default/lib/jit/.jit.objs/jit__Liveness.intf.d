@@ -1,0 +1,1 @@
+lib/jit/liveness.mli: Set Vm

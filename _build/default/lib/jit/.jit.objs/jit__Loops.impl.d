@@ -1,0 +1,1 @@
+lib/jit/loops.ml: Array Cfg Dominators Format Hashtbl Int List Set String

@@ -1,0 +1,1 @@
+lib/jit/loops.mli: Cfg Format Set Vm

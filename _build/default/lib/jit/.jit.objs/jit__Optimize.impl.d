@@ -1,0 +1,1 @@
+lib/jit/optimize.ml: Array Cfg List Option Vm

@@ -1,0 +1,1 @@
+lib/jit/pipeline.ml: Cfg Dominators Hashtbl List Liveness Loops Optimize Option Unix Vm

@@ -1,0 +1,1 @@
+lib/jit/pipeline.mli: Vm

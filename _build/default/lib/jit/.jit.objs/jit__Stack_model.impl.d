@@ -1,0 +1,1 @@
+lib/jit/stack_model.ml: Array Cfg Format List Printf Queue Vm

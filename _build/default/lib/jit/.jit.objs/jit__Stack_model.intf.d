@@ -1,0 +1,1 @@
+lib/jit/stack_model.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/jit/verify.ml: Array List Printf Queue Vm

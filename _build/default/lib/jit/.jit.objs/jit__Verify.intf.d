@@ -1,0 +1,1 @@
+lib/jit/verify.mli: Vm

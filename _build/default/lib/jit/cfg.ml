@@ -1,0 +1,112 @@
+module B = Vm.Bytecode
+
+type block = {
+  index : int;
+  start_pc : int;
+  end_pc : int;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  code : B.instr array;
+  blocks : block array;
+  block_of_pc : int array;
+}
+
+let build code =
+  let n = Array.length code in
+  if n = 0 then invalid_arg "cfg: empty method body";
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun pc instr ->
+      (match B.branch_target instr with
+      | Some target ->
+          if target < 0 || target >= n then
+            invalid_arg (Printf.sprintf "cfg: branch target %d out of range" target);
+          leader.(target) <- true
+      | None -> ());
+      if B.is_branch instr && pc + 1 < n then leader.(pc + 1) <- true)
+    code;
+  let starts =
+    Array.to_list (Array.mapi (fun pc is -> (pc, is)) leader)
+    |> List.filter_map (fun (pc, is) -> if is then Some pc else None)
+  in
+  let blocks =
+    List.mapi
+      (fun index start_pc ->
+        let end_pc =
+          match
+            List.find_opt (fun next -> next > start_pc) starts
+          with
+          | Some next -> next
+          | None -> n
+        in
+        { index; start_pc; end_pc; succs = []; preds = [] })
+      starts
+    |> Array.of_list
+  in
+  let block_of_pc = Array.make n 0 in
+  Array.iter
+    (fun b ->
+      for pc = b.start_pc to b.end_pc - 1 do
+        block_of_pc.(pc) <- b.index
+      done)
+    blocks;
+  let add_edge from_block to_block =
+    let f = blocks.(from_block) and t = blocks.(to_block) in
+    if not (List.mem to_block f.succs) then f.succs <- to_block :: f.succs;
+    if not (List.mem from_block t.preds) then t.preds <- from_block :: t.preds
+  in
+  Array.iter
+    (fun b ->
+      let last = code.(b.end_pc - 1) in
+      (match B.branch_target last with
+      | Some target -> add_edge b.index block_of_pc.(target)
+      | None -> ());
+      if (not (B.is_terminator last)) && b.end_pc < n then
+        add_edge b.index block_of_pc.(b.end_pc))
+    blocks;
+  (* Deterministic edge order regardless of construction order. *)
+  Array.iter
+    (fun b ->
+      b.succs <- List.sort compare b.succs;
+      b.preds <- List.sort compare b.preds)
+    blocks;
+  { code; blocks; block_of_pc }
+
+let n_blocks t = Array.length t.blocks
+let block t i = t.blocks.(i)
+
+let instrs_of_block t i =
+  let b = t.blocks.(i) in
+  let rec go pc acc =
+    if pc < b.start_pc then acc else go (pc - 1) ((pc, t.code.(pc)) :: acc)
+  in
+  go (b.end_pc - 1) []
+
+(* [h] dominates [n] iff walking the idom chain from [n] reaches [h]. *)
+let dominates ~idom h n =
+  let rec go n = if n = h then true else if n = 0 then false else go idom.(n) in
+  go n
+
+let back_edges t ~idom =
+  Array.fold_left
+    (fun acc b ->
+      List.fold_left
+        (fun acc succ ->
+          if dominates ~idom succ b.index then (b.index, succ) :: acc else acc)
+        acc b.succs)
+    [] t.blocks
+  |> List.sort compare
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "@[B%d [%d,%d) -> %a@]@," b.index b.start_pc b.end_pc
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        b.succs)
+    t.blocks

@@ -1,0 +1,32 @@
+(** Control-flow graphs over bytecode.
+
+    Blocks are maximal straight-line instruction ranges; block 0 is the
+    entry. Successor edges come from fall-through and branch targets. *)
+
+type block = {
+  index : int;
+  start_pc : int;
+  end_pc : int;  (** exclusive *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  code : Vm.Bytecode.instr array;
+  blocks : block array;
+  block_of_pc : int array;  (** block index containing each pc *)
+}
+
+val build : Vm.Bytecode.instr array -> t
+
+val n_blocks : t -> int
+val block : t -> int -> block
+
+val instrs_of_block : t -> int -> (int * Vm.Bytecode.instr) list
+(** [(pc, instr)] pairs of a block, in order. *)
+
+val back_edges : t -> idom:int array -> (int * int) list
+(** Edges [n -> h] where [h] dominates [n] (natural-loop back edges),
+    given the immediate-dominator array from {!Dominators.compute}. *)
+
+val pp : Format.formatter -> t -> unit

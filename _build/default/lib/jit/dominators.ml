@@ -1,0 +1,82 @@
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm". *)
+
+let reverse_postorder (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Cfg.block cfg b).succs;
+      order := b :: !order
+    end
+  in
+  dfs 0;
+  !order
+
+let compute (cfg : Cfg.t) =
+  let n = Cfg.n_blocks cfg in
+  let rpo = reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idom.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let processed_preds =
+            List.filter
+              (fun p -> idom.(p) >= 0 && rpo_index.(p) >= 0)
+              (Cfg.block cfg b).preds
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  (* Unreachable blocks: fall back to the entry. *)
+  Array.iteri (fun b d -> if d < 0 then idom.(b) <- 0) idom;
+  idom
+
+let dominates ~idom a b =
+  let rec go b = if b = a then true else if b = 0 then a = 0 else go idom.(b) in
+  go b
+
+let dominance_frontier (cfg : Cfg.t) ~idom =
+  let n = Cfg.n_blocks cfg in
+  let frontier = Array.make n [] in
+  for b = 0 to n - 1 do
+    let preds = (Cfg.block cfg b).preds in
+    if List.length preds >= 2 then
+      List.iter
+        (fun p ->
+          let runner = ref p in
+          while !runner <> idom.(b) do
+            if not (List.mem b frontier.(!runner)) then
+              frontier.(!runner) <- b :: frontier.(!runner);
+            runner := idom.(!runner)
+          done)
+        preds
+  done;
+  Array.map (List.sort compare) frontier

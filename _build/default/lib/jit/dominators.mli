@@ -1,0 +1,13 @@
+(** Immediate dominators by the Cooper–Harvey–Kennedy iterative algorithm. *)
+
+val compute : Cfg.t -> int array
+(** [compute cfg] returns [idom] where [idom.(b)] is the immediate
+    dominator of block [b]; [idom.(0) = 0] for the entry. Blocks
+    unreachable from the entry get idom 0. *)
+
+val dominates : idom:int array -> int -> int -> bool
+(** [dominates ~idom a b] holds when block [a] dominates block [b]. *)
+
+val dominance_frontier : Cfg.t -> idom:int array -> int list array
+(** Per-block dominance frontiers (Cytron et al.), useful for clients that
+    build SSA-style analyses on top of the CFG. *)

@@ -1,0 +1,138 @@
+module B = Vm.Bytecode
+module C = Vm.Classfile
+
+let default_max_callee_size = 24
+
+(* A callee is inlinable when it is small, a leaf (no further calls — this
+   also rules out recursion), and allocation-free (so the splice cannot
+   move a GC point into a context that did not expect one). *)
+let inlinable ~max_callee_size (callee : C.method_info) =
+  Array.length callee.code <= max_callee_size
+  && Array.for_all
+       (function
+         | B.Invoke _ | B.New _ | B.Newarray _ -> false
+         | _ -> true)
+       callee.code
+
+(* Rewrite one callee instruction for splicing at offset [base_pc] with
+   locals relocated by [base_local] and sites by [base_site]. Returns and
+   branch targets are resolved against [end_pc], the instruction after the
+   splice. *)
+let relocate ~base_pc ~base_local ~base_site ~end_pc instr =
+  match instr with
+  | B.Iload i -> B.Iload (i + base_local)
+  | B.Istore i -> B.Istore (i + base_local)
+  | B.Aload i -> B.Aload (i + base_local)
+  | B.Astore i -> B.Astore (i + base_local)
+  | B.Goto t -> B.Goto (t + base_pc)
+  | B.If_icmp (c, t) -> B.If_icmp (c, t + base_pc)
+  | B.If (c, t) -> B.If (c, t + base_pc)
+  | B.If_acmpeq t -> B.If_acmpeq (t + base_pc)
+  | B.If_acmpne t -> B.If_acmpne (t + base_pc)
+  | B.Ifnull t -> B.Ifnull (t + base_pc)
+  | B.Ifnonnull t -> B.Ifnonnull (t + base_pc)
+  | B.Return | B.Ireturn | B.Areturn ->
+      (* value-returning returns leave their result on the stack, which is
+         exactly what the caller expects after an invoke *)
+      B.Goto end_pc
+  | B.Getfield g -> B.Getfield { g with site = g.site + base_site }
+  | B.Getstatic g -> B.Getstatic { g with site = g.site + base_site }
+  | B.Aaload { len_site; elem_site } ->
+      B.Aaload
+        { len_site = len_site + base_site; elem_site = elem_site + base_site }
+  | B.Iaload { len_site; elem_site } ->
+      B.Iaload
+        { len_site = len_site + base_site; elem_site = elem_site + base_site }
+  | B.Aastore { len_site } -> B.Aastore { len_site = len_site + base_site }
+  | B.Iastore { len_site } -> B.Iastore { len_site = len_site + base_site }
+  | B.Arraylength { site } -> B.Arraylength { site = site + base_site }
+  | instr -> instr
+
+(* The splice replacing [invoke callee]: stores for the arguments (popped
+   right to left into the callee's relocated parameter locals), then the
+   relocated body. *)
+let splice_for ~base_local ~base_site ~base_pc (callee : C.method_info) =
+  let stores =
+    List.init callee.arity (fun i ->
+        (* pop order: last argument first *)
+        B.Istore (base_local + callee.arity - 1 - i))
+  in
+  let body_start = base_pc + List.length stores in
+  let end_pc = body_start + Array.length callee.code in
+  let body =
+    Array.to_list
+      (Array.map
+         (relocate ~base_pc:body_start ~base_local ~base_site ~end_pc)
+         callee.code)
+  in
+  stores @ body
+
+let expand ~program ?(max_callee_size = default_max_callee_size)
+    (caller : C.method_info) =
+  let code = caller.code in
+  let n = Array.length code in
+  (* plan: per-pc replacement list (empty = keep the instruction) *)
+  let changed = ref false in
+  let base_local = ref caller.max_locals in
+  let base_site = ref caller.n_sites in
+  (* first pass: compute new positions; we need final pcs before we can
+     relocate branch targets of the callee bodies, so lay out sizes first *)
+  let replacement_size = Array.make n 1 in
+  let plans = Array.make n None in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | B.Invoke callee_id ->
+          let callee = C.method_of_id program callee_id in
+          if callee.method_id <> caller.method_id
+             && inlinable ~max_callee_size callee
+          then begin
+            plans.(pc) <- Some callee;
+            replacement_size.(pc) <- callee.arity + Array.length callee.code
+          end
+      | _ -> ())
+    code;
+  if Array.for_all Option.is_none plans then false
+  else begin
+    let new_pc = Array.make (n + 1) 0 in
+    let total = ref 0 in
+    for pc = 0 to n - 1 do
+      new_pc.(pc) <- !total;
+      total := !total + replacement_size.(pc)
+    done;
+    new_pc.(n) <- !total;
+    let out = Array.make !total B.Return in
+    Array.iteri
+      (fun pc instr ->
+        match plans.(pc) with
+        | Some callee ->
+            let locals = !base_local in
+            let sites = !base_site in
+            base_local := locals + max callee.max_locals callee.arity;
+            base_site := sites + callee.n_sites;
+            List.iteri
+              (fun k i -> out.(new_pc.(pc) + k) <- i)
+              (splice_for ~base_local:locals ~base_site:sites
+                 ~base_pc:new_pc.(pc) callee);
+            changed := true
+        | None ->
+            (* keep, remapping the caller's own branch targets *)
+            let instr =
+              match B.branch_target instr with
+              | Some t -> Optimize.retarget instr new_pc.(t)
+              | None -> instr
+            in
+            out.(new_pc.(pc)) <- instr)
+      code;
+    caller.code <- out;
+    caller.max_locals <- !base_local;
+    caller.n_sites <- !base_site;
+    !changed
+  end
+
+let pass ~program ?max_callee_size () =
+  {
+    Pipeline.pass_name = "inline";
+    apply =
+      (fun meth _args -> ignore (expand ~program ?max_callee_size meth));
+  }

@@ -1,0 +1,28 @@
+(** Method inlining.
+
+    The JIT the paper built on inlines small hot methods before running
+    its optimization passes (their `findInMemory` "is inlined into" the
+    hottest method, Section 4.1). Inlining matters to stride prefetching:
+    loads hidden behind an invocation are invisible to a loop's load
+    dependence graph, but become first-class candidates once the callee
+    body is spliced into the loop.
+
+    The pass inlines {e leaf} callees (no further invocations) whose body
+    is at most [max_callee_size] instructions, splicing the body at the
+    call site with locals relocated above the caller's frame, load-site
+    ids renumbered into the caller's space, and returns rewritten to jumps
+    past the splice. *)
+
+val default_max_callee_size : int
+
+val expand :
+  program:Vm.Classfile.program ->
+  ?max_callee_size:int ->
+  Vm.Classfile.method_info ->
+  bool
+(** Inline every eligible call site of the method once, updating [code],
+    [max_locals] and [n_sites] in place. Returns [true] when at least one
+    site was inlined. The callee's own metadata is never modified. *)
+
+val pass : program:Vm.Classfile.program -> ?max_callee_size:int -> unit -> Pipeline.pass
+(** Package {!expand} as the pipeline pass ["inline"]. *)

@@ -1,0 +1,140 @@
+module Int_set = Set.Make (Int)
+
+type loop = {
+  loop_id : int;
+  header : int;
+  blocks : Int_set.t;
+  mutable children : loop list;
+  mutable parent : int option;
+  mutable depth : int;
+}
+
+type forest = { roots : loop list; all : loop array }
+
+(* Classic natural-loop body computation: everything that reaches the back
+   edge's source without passing through the header. *)
+let natural_loop_blocks (cfg : Cfg.t) ~header ~tail =
+  let body = ref (Int_set.add tail (Int_set.singleton header)) in
+  let stack = ref [ tail ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+        stack := rest;
+        if b <> header then
+          List.iter
+            (fun p ->
+              if not (Int_set.mem p !body) then begin
+                body := Int_set.add p !body;
+                stack := p :: !stack
+              end)
+            (Cfg.block cfg b).preds
+  done;
+  !body
+
+let analyze (cfg : Cfg.t) =
+  let idom = Dominators.compute cfg in
+  let edges = Cfg.back_edges cfg ~idom in
+  (* Merge loops that share a header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (tail, header) ->
+      let blocks = natural_loop_blocks cfg ~header ~tail in
+      match Hashtbl.find_opt by_header header with
+      | Some prior ->
+          Hashtbl.replace by_header header (Int_set.union prior blocks)
+      | None -> Hashtbl.add by_header header blocks)
+    edges;
+  let headers =
+    Hashtbl.fold (fun h _ acc -> h :: acc) by_header [] |> List.sort compare
+  in
+  let all =
+    List.mapi
+      (fun loop_id header ->
+        {
+          loop_id;
+          header;
+          blocks = Hashtbl.find by_header header;
+          children = [];
+          parent = None;
+          depth = 1;
+        })
+      headers
+    |> Array.of_list
+  in
+  (* Nest by containment: the parent of a loop is the smallest strictly
+     containing loop. *)
+  let strictly_contains outer inner =
+    outer.loop_id <> inner.loop_id
+    && Int_set.subset inner.blocks outer.blocks
+    && not (Int_set.equal inner.blocks outer.blocks)
+  in
+  Array.iter
+    (fun inner ->
+      let best = ref None in
+      Array.iter
+        (fun outer ->
+          if strictly_contains outer inner then
+            match !best with
+            | Some b
+              when Int_set.cardinal b.blocks <= Int_set.cardinal outer.blocks
+              ->
+                ()
+            | Some _ | None -> best := Some outer)
+        all;
+      match !best with
+      | Some parent ->
+          inner.parent <- Some parent.loop_id;
+          parent.children <- inner :: parent.children
+      | None -> ())
+    all;
+  let by_header_order ls =
+    List.sort (fun a b -> compare a.header b.header) ls
+  in
+  Array.iter (fun l -> l.children <- by_header_order l.children) all;
+  let roots =
+    Array.to_list all |> List.filter (fun l -> l.parent = None)
+    |> by_header_order
+  in
+  let rec assign_depth d l =
+    l.depth <- d;
+    List.iter (assign_depth (d + 1)) l.children
+  in
+  List.iter (assign_depth 1) roots;
+  { roots; all }
+
+let postorder forest =
+  let rec walk l = List.concat_map walk l.children @ [ l ] in
+  List.concat_map walk forest.roots
+
+let pcs (cfg : Cfg.t) loop =
+  Int_set.elements loop.blocks
+  |> List.concat_map (fun b -> Cfg.instrs_of_block cfg b)
+  |> List.sort compare
+
+let loop_of_pc (cfg : Cfg.t) forest pc =
+  if pc < 0 || pc >= Array.length cfg.code then None
+  else
+    let b = cfg.block_of_pc.(pc) in
+    Array.to_list forest.all
+    |> List.filter (fun l -> Int_set.mem b l.blocks)
+    |> function
+    | [] -> None
+    | l :: ls ->
+        Some
+          (List.fold_left
+             (fun best l -> if l.depth > best.depth then l else best)
+             l ls)
+
+let pp cfg ppf forest =
+  let rec pp_loop indent l =
+    Format.fprintf ppf "%sloop %d: header B%d, depth %d, pcs [%s]@,"
+      (String.make indent ' ') l.loop_id l.header l.depth
+      (pcs cfg l
+      |> List.map (fun (pc, _) -> string_of_int pc)
+      |> String.concat ",");
+    List.iter (pp_loop (indent + 2)) l.children
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_loop 0) forest.roots;
+  Format.fprintf ppf "@]"

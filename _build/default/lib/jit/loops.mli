@@ -1,0 +1,33 @@
+(** Natural loops and the loop nesting forest.
+
+    The prefetching pass "traverses the loops in each tree in a postorder
+    traversal, walking the trees in the program order" (Section 3); the
+    forest and {!postorder} provide exactly that traversal. *)
+
+module Int_set : Set.S with type elt = int
+
+type loop = {
+  loop_id : int;
+  header : int;  (** header block index *)
+  blocks : Int_set.t;  (** block indices in the loop, header included *)
+  mutable children : loop list;
+  mutable parent : int option;  (** loop_id of the enclosing loop *)
+  mutable depth : int;  (** 1 for outermost loops *)
+}
+
+type forest = { roots : loop list; all : loop array }
+
+val analyze : Cfg.t -> forest
+(** Natural loops from back edges (loops sharing a header are merged),
+    nested by block containment. *)
+
+val postorder : forest -> loop list
+(** Inner loops before their enclosing loops; trees in program order. *)
+
+val pcs : Cfg.t -> loop -> (int * Vm.Bytecode.instr) list
+(** All [(pc, instr)] pairs inside a loop, in program order. *)
+
+val loop_of_pc : Cfg.t -> forest -> int -> loop option
+(** The innermost loop containing a pc, if any. *)
+
+val pp : Cfg.t -> Format.formatter -> forest -> unit

@@ -1,0 +1,29 @@
+(** Classic bytecode clean-up passes.
+
+    These are the "rest of the JIT" against which the paper's < 3%
+    compilation-time overhead is measured: real transformations with the
+    usual branch-target remapping machinery. All passes preserve program
+    semantics and the operand-stack discipline. *)
+
+val retarget : Vm.Bytecode.instr -> int -> Vm.Bytecode.instr
+(** Rewrite a branch's target; non-branches are returned unchanged. *)
+
+val compact :
+  Vm.Bytecode.instr option array -> Vm.Bytecode.instr array
+(** Drop deleted ([None]) slots and remap every branch target to the first
+    surviving instruction at or after it. Raises [Invalid_argument] when a
+    target would fall off the end. *)
+
+val fold_constants : Vm.Bytecode.instr array -> Vm.Bytecode.instr array
+(** Fold [iconst a; iconst b; op] into one [iconst], and drop arithmetic
+    identities ([+0], [*1], [-0], double negation). Patterns whose interior
+    instructions are branch targets are left alone. *)
+
+val remove_unreachable : Vm.Bytecode.instr array -> Vm.Bytecode.instr array
+(** Delete instructions no path from the entry reaches. *)
+
+val peephole : Vm.Bytecode.instr array -> Vm.Bytecode.instr array
+(** Drop [dup; pop] pairs and gotos to the next instruction. *)
+
+val simplify : Vm.Bytecode.instr array -> Vm.Bytecode.instr array
+(** Run all passes to a (bounded) fixpoint. *)

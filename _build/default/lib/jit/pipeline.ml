@@ -1,0 +1,60 @@
+type pass = {
+  pass_name : string;
+  apply : Vm.Classfile.method_info -> Vm.Value.t array -> unit;
+}
+
+type t = {
+  passes : pass list;
+  timings : (string, float) Hashtbl.t;
+  mutable compiled : int;
+}
+
+let create passes = { passes; timings = Hashtbl.create 8; compiled = 0 }
+
+let analysis_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
+  let cfg = Cfg.build m.code in
+  let idom = Dominators.compute cfg in
+  let _forest = Loops.analyze cfg in
+  let _frontier = Dominators.dominance_frontier cfg ~idom in
+  ()
+
+let simplify_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
+  m.code <- Optimize.simplify m.code
+
+let dead_store_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
+  m.code <- Liveness.eliminate_dead_stores m.code
+
+let standard_passes () =
+  [
+    { pass_name = "analysis"; apply = analysis_pass };
+    { pass_name = "simplify"; apply = simplify_pass };
+    { pass_name = "dse"; apply = dead_store_pass };
+  ]
+
+let now_seconds () = Unix.gettimeofday ()
+
+let compile t (m : Vm.Classfile.method_info) args =
+  let start_method = now_seconds () in
+  List.iter
+    (fun pass ->
+      let start = now_seconds () in
+      pass.apply m args;
+      let elapsed = now_seconds () -. start in
+      let prior =
+        Option.value ~default:0.0 (Hashtbl.find_opt t.timings pass.pass_name)
+      in
+      Hashtbl.replace t.timings pass.pass_name (prior +. elapsed))
+    t.passes;
+  m.compile_seconds <- m.compile_seconds +. (now_seconds () -. start_method);
+  t.compiled <- t.compiled + 1
+
+let seconds_of_pass t name =
+  Option.value ~default:0.0 (Hashtbl.find_opt t.timings name)
+
+let total_seconds t = Hashtbl.fold (fun _ s acc -> acc +. s) t.timings 0.0
+let pass_names t = List.map (fun p -> p.pass_name) t.passes
+let methods_compiled t = t.compiled
+
+let reset_timings t =
+  Hashtbl.reset t.timings;
+  t.compiled <- 0

@@ -1,0 +1,34 @@
+(** The dynamic-compilation driver.
+
+    A pipeline is an ordered list of named passes. {!compile} runs them on
+    a hot method — with the actual argument values of the triggering
+    invocation, which is what object inspection consumes — marks the method
+    compiled, and accounts the host-CPU time spent per pass. Those timings
+    feed Figure 11 (additional compilation time of the prefetching pass
+    relative to total JIT compilation time). *)
+
+type pass = {
+  pass_name : string;
+  apply : Vm.Classfile.method_info -> Vm.Value.t array -> unit;
+      (** may replace [method_info.code] *)
+}
+
+type t
+
+val create : pass list -> t
+
+val standard_passes : unit -> pass list
+(** The baseline JIT: IR/analysis construction (CFG, dominators, loop
+    forest), {!Optimize.simplify}, and dead-store elimination
+    ({!Liveness.eliminate_dead_stores}). *)
+
+val compile : t -> Vm.Classfile.method_info -> Vm.Value.t array -> unit
+(** Run every pass in order; accumulates per-pass and per-method timings.
+    The caller (the interpreter's compile hook) guarantees at most one call
+    per method. *)
+
+val seconds_of_pass : t -> string -> float
+val total_seconds : t -> float
+val pass_names : t -> string list
+val methods_compiled : t -> int
+val reset_timings : t -> unit

@@ -1,0 +1,127 @@
+module B = Vm.Bytecode
+
+type error = { pc : int; message : string }
+
+let string_of_error e = Printf.sprintf "pc %d: %s" e.pc e.message
+
+exception Bad of error
+
+let err pc fmt =
+  Printf.ksprintf (fun message -> raise (Bad { pc; message })) fmt
+
+(* Net stack effect and minimum stack depth required by one instruction. *)
+let stack_effect = function
+  | B.Iconst _ | B.Aconst_null | B.Iload _ | B.Aload _ -> (1, 0)
+  | B.Istore _ | B.Astore _ | B.Pop -> (-1, 1)
+  | B.Dup -> (1, 1)
+  | B.Iadd | B.Isub | B.Imul | B.Idiv | B.Irem | B.Iand | B.Ior | B.Ixor
+  | B.Ishl | B.Ishr ->
+      (-1, 2)
+  | B.Ineg -> (0, 1)
+  | B.Goto _ -> (0, 0)
+  | B.If_icmp _ | B.If_acmpeq _ | B.If_acmpne _ -> (-2, 2)
+  | B.If _ | B.Ifnull _ | B.Ifnonnull _ -> (-1, 1)
+  | B.Getfield _ -> (0, 1)
+  | B.Putfield _ -> (-2, 2)
+  | B.Getstatic _ -> (1, 0)
+  | B.Putstatic _ -> (-1, 1)
+  | B.Aaload _ | B.Iaload _ -> (-1, 2)
+  | B.Aastore _ | B.Iastore _ -> (-3, 3)
+  | B.Arraylength _ -> (0, 1)
+  | B.New _ -> (1, 0)
+  | B.Newarray _ -> (0, 1)
+  | B.Invoke _ -> (0, 0) (* handled specially *)
+  | B.Return -> (0, 0)
+  | B.Ireturn | B.Areturn -> (-1, 1)
+  | B.Print -> (-1, 1)
+  | B.Prefetch_inter _ | B.Prefetch_indirect _ | B.Prefetch_dynamic _ ->
+      (0, 0)
+  | B.Spec_load _ -> (0, 0)
+
+let check ~(program : Vm.Classfile.program) (m : Vm.Classfile.method_info) =
+  let code = m.code in
+  let n = Array.length code in
+  try
+    if n = 0 then err 0 "empty method body";
+    (* structural checks per instruction *)
+    Array.iteri
+      (fun pc instr ->
+        (match B.branch_target instr with
+        | Some t when t < 0 || t >= n -> err pc "branch target %d out of range" t
+        | _ -> ());
+        (match instr with
+        | B.Iload i | B.Istore i | B.Aload i | B.Astore i ->
+            if i < 0 || i >= m.max_locals then
+              err pc "local %d outside max_locals %d" i m.max_locals
+        | _ -> ());
+        List.iter
+          (fun site ->
+            if site < 0 || site >= m.n_sites then
+              err pc "site L%d outside n_sites %d" site m.n_sites)
+          (B.all_sites instr);
+        match instr with
+        | B.Prefetch_inter { site; _ }
+        | B.Spec_load { site; _ }
+        | B.Prefetch_dynamic { site; _ } ->
+            if site < 0 || site >= m.n_sites then
+              err pc "prefetch anchor L%d outside n_sites %d" site m.n_sites
+        | B.Prefetch_indirect { reg; _ } ->
+            if reg < 0 || reg >= m.n_pref_regs then
+              err pc "prefetch register p%d outside n_pref_regs %d" reg
+                m.n_pref_regs
+        | _ -> ())
+      code;
+    (* falling off the end *)
+    (match code.(n - 1) with
+    | instr when B.is_terminator instr -> ()
+    | instr when B.branch_target instr <> None ->
+        (* a trailing conditional branch can fall through past the end *)
+        err (n - 1) "conditional branch can fall off the end"
+    | _ -> err (n - 1) "control can fall off the end of the body");
+    (* stack-depth dataflow: every pc gets one consistent depth *)
+    let depth = Array.make n (-1) in
+    let worklist = Queue.create () in
+    let flow pc d =
+      if pc < 0 || pc >= n then err pc "flow out of range"
+      else if depth.(pc) = -1 then begin
+        depth.(pc) <- d;
+        Queue.add pc worklist
+      end
+      else if depth.(pc) <> d then
+        err pc "inconsistent stack depth at join: %d vs %d" depth.(pc) d
+    in
+    flow 0 0;
+    while not (Queue.is_empty worklist) do
+      let pc = Queue.take worklist in
+      let d = depth.(pc) in
+      let instr = code.(pc) in
+      let net, need =
+        match instr with
+        | B.Invoke callee_id ->
+            if callee_id < 0 || callee_id >= Array.length program.methods then
+              err pc "invoke of unknown method #%d" callee_id;
+            let callee = Vm.Classfile.method_of_id program callee_id in
+            let pushed = if callee.returns_value then 1 else 0 in
+            (pushed - callee.arity, callee.arity)
+        | instr -> stack_effect instr
+      in
+      if d < need then err pc "stack underflow: depth %d, need %d" d need;
+      let d' = d + net in
+      if d' > Vm.Frame.max_stack then err pc "stack overflow";
+      (match instr with
+      | B.Return | B.Ireturn | B.Areturn -> ()
+      | _ -> (
+          (match B.branch_target instr with
+          | Some t -> flow t d'
+          | None -> ());
+          if not (B.is_terminator instr) then flow (pc + 1) d'))
+    done;
+    Ok ()
+  with Bad e -> Error e
+
+let check_exn ~program m =
+  match check ~program m with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg
+        (Printf.sprintf "verify: %s: %s" m.method_name (string_of_error e))

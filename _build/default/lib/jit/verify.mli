@@ -1,0 +1,25 @@
+(** A static bytecode verifier.
+
+    Checks the structural invariants every transformation in this
+    repository must preserve — the inliner, the optimizer, and the
+    prefetch splicer all rewrite method bodies, and a malformed body shows
+    up here long before it turns into a confusing interpreter error:
+
+    - every branch target is in range;
+    - the operand stack has a consistent depth at every join point, never
+      underflows, and is empty at returns (beyond the returned value);
+    - locals stay within [max_locals];
+    - load-site ids stay within [n_sites] and prefetch registers within
+      [n_pref_regs];
+    - execution cannot fall off the end of the body. *)
+
+type error = { pc : int; message : string }
+
+val check :
+  program:Vm.Classfile.program -> Vm.Classfile.method_info -> (unit, error) result
+(** The program is needed to resolve the stack effect of [invoke]. *)
+
+val check_exn : program:Vm.Classfile.program -> Vm.Classfile.method_info -> unit
+(** Raises [Invalid_argument] with a rendered error. *)
+
+val string_of_error : error -> string

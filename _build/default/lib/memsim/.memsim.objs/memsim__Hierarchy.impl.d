@@ -1,0 +1,1 @@
+lib/memsim/hierarchy.ml: Cache Config Hw_prefetch Stats Tlb

@@ -1,0 +1,1 @@
+lib/memsim/hw_prefetch.ml: Array

@@ -1,0 +1,98 @@
+type t = {
+  params : Config.cache_params;
+  sets : int;
+  line_shift : int;
+  tags : int array;  (** [set * assoc + way]; -1 means invalid *)
+  ready : int array;  (** cycle at which the line's fill completes *)
+  stamp : int array;  (** LRU timestamps *)
+  mutable tick : int;
+}
+
+type lookup = Hit | Hit_in_flight of int | Miss
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (params : Config.cache_params) =
+  (match Config.validate_cache "cache" params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg msg);
+  let lines = params.size_bytes / params.line_bytes in
+  let sets = lines / params.assoc in
+  {
+    params;
+    sets;
+    line_shift = log2 params.line_bytes;
+    tags = Array.make lines (-1);
+    ready = Array.make lines 0;
+    stamp = Array.make lines 0;
+    tick = 0;
+  }
+
+let params t = t.params
+let line_of t addr = addr lsr t.line_shift
+let set_of t line = line mod t.sets
+
+let find_way t line =
+  let set = set_of t line in
+  let base = set * t.params.assoc in
+  let rec go way =
+    if way >= t.params.assoc then None
+    else if t.tags.(base + way) = line then Some (base + way)
+    else go (way + 1)
+  in
+  go 0
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  t.stamp.(slot) <- t.tick
+
+let access t ~addr ~now =
+  let line = line_of t addr in
+  match find_way t line with
+  | None -> Miss
+  | Some slot ->
+      touch t slot;
+      let residual = t.ready.(slot) - now in
+      if residual > 0 then Hit_in_flight residual else Hit
+
+let probe t ~addr = find_way t (line_of t addr) <> None
+
+let victim_slot t set =
+  let base = set * t.params.assoc in
+  let best = ref base in
+  for way = 1 to t.params.assoc - 1 do
+    let slot = base + way in
+    if t.tags.(slot) = -1 && t.tags.(!best) <> -1 then best := slot
+    else if t.tags.(slot) <> -1 && t.tags.(!best) <> -1
+            && t.stamp.(slot) < t.stamp.(!best)
+    then best := slot
+  done;
+  !best
+
+let fill t ~addr ~ready_at =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some slot ->
+      if ready_at < t.ready.(slot) then t.ready.(slot) <- ready_at;
+      touch t slot
+  | None ->
+      let slot = victim_slot t (set_of t line) in
+      t.tags.(slot) <- line;
+      t.ready.(slot) <- ready_at;
+      touch t slot
+
+let invalidate t ~addr =
+  match find_way t (line_of t addr) with
+  | Some slot -> t.tags.(slot) <- -1
+  | None -> ()
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ready 0 (Array.length t.ready) 0;
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.tick <- 0
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags

@@ -1,0 +1,134 @@
+type cache_params = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  hit_extra : int;
+  miss_penalty : int;
+}
+
+type tlb_params = { entries : int; page_bytes : int; tlb_miss_penalty : int }
+
+type prefetch_target = To_l2 | To_l1
+
+type machine = {
+  name : string;
+  l1 : cache_params;
+  l2 : cache_params;
+  dtlb : tlb_params;
+  prefetch_target : prefetch_target;
+  interp_cost : int;
+  compiled_cost : int;
+  prefetch_cost : int;
+  guarded_load_cost : int;
+  hw_prefetch_streams : int;
+}
+
+(* Geometry from Table 2 of the paper; timing from DESIGN.md section 5.
+   Associativities are the documented ones for the 2 GHz Pentium 4
+   (4-way L1, 8-way L2) and the Athlon MP (2-way L1, 16-way L2).
+
+   Miss penalties are EFFECTIVE stall costs, not raw latencies: the engine
+   executes in order, so a raw 200-cycle DRAM latency would charge every
+   miss in full, which an out-of-order core would partially overlap with
+   independent work and other misses. The values below are the raw
+   latencies divided by a memory-level-parallelism factor of about three,
+   which puts the simulated baselines' stall fractions in a realistic
+   range (DESIGN.md section 5). *)
+
+let pentium4 =
+  {
+    name = "Pentium4";
+    l1 =
+      {
+        size_bytes = 8 * 1024;
+        line_bytes = 64;
+        assoc = 4;
+        hit_extra = 1;
+        miss_penalty = 10;
+      };
+    l2 =
+      {
+        size_bytes = 256 * 1024;
+        line_bytes = 128;
+        assoc = 8;
+        hit_extra = 0;
+        miss_penalty = 60;
+      };
+    dtlb = { entries = 64; page_bytes = 4096; tlb_miss_penalty = 30 };
+    prefetch_target = To_l2;
+    interp_cost = 8;
+    compiled_cost = 1;
+    prefetch_cost = 1;
+    guarded_load_cost = 3;
+    hw_prefetch_streams = 8;
+  }
+
+let athlon_mp =
+  {
+    name = "AthlonMP";
+    l1 =
+      {
+        size_bytes = 64 * 1024;
+        line_bytes = 64;
+        assoc = 2;
+        hit_extra = 1;
+        miss_penalty = 8;
+      };
+    l2 =
+      {
+        size_bytes = 256 * 1024;
+        line_bytes = 64;
+        assoc = 16;
+        hit_extra = 0;
+        miss_penalty = 45;
+      };
+    dtlb = { entries = 256; page_bytes = 4096; tlb_miss_penalty = 20 };
+    prefetch_target = To_l1;
+    interp_cost = 8;
+    compiled_cost = 1;
+    prefetch_cost = 1;
+    guarded_load_cost = 3;
+    hw_prefetch_streams = 8;
+  }
+
+let machines = [ pentium4; athlon_mp ]
+
+let machine_of_name name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun m -> String.lowercase_ascii m.name = lower) machines
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let validate_cache label (c : cache_params) =
+  if not (is_power_of_two c.line_bytes) then
+    Error (label ^ ": line size must be a power of two")
+  else if c.size_bytes <= 0 || c.size_bytes mod c.line_bytes <> 0 then
+    Error (label ^ ": size must be a positive multiple of the line size")
+  else if c.assoc <= 0 then Error (label ^ ": associativity must be positive")
+  else if c.size_bytes / c.line_bytes mod c.assoc <> 0 then
+    Error (label ^ ": associativity must divide the number of lines")
+  else if c.miss_penalty < 0 || c.hit_extra < 0 then
+    Error (label ^ ": penalties must be non-negative")
+  else Ok ()
+
+let validate m =
+  let ( let* ) = Result.bind in
+  let* () = validate_cache "l1" m.l1 in
+  let* () = validate_cache "l2" m.l2 in
+  if not (is_power_of_two m.dtlb.page_bytes) then
+    Error "dtlb: page size must be a power of two"
+  else if m.dtlb.entries <= 0 then Error "dtlb: entries must be positive"
+  else if
+    m.interp_cost <= 0 || m.compiled_cost <= 0 || m.prefetch_cost <= 0
+    || m.guarded_load_cost <= 0
+  then Error "instruction costs must be positive"
+  else Ok ()
+
+let pp_cache ppf (c : cache_params) =
+  Format.fprintf ppf "%dKB/%dB-line/%d-way" (c.size_bytes / 1024) c.line_bytes
+    c.assoc
+
+let pp_machine ppf m =
+  Format.fprintf ppf "%s: L1 %a, L2 %a, DTLB %d entries, prefetch->%s" m.name
+    pp_cache m.l1 pp_cache m.l2 m.dtlb.entries
+    (match m.prefetch_target with To_l2 -> "L2" | To_l1 -> "L1")

@@ -1,0 +1,56 @@
+(** Machine descriptions for the memory-hierarchy simulator.
+
+    The two preset machines reproduce Table 2 of the paper (cache and DTLB
+    geometry of the Intel Pentium 4 and the AMD Athlon MP) together with the
+    timing model documented in DESIGN.md. *)
+
+type cache_params = {
+  size_bytes : int;  (** total capacity in bytes *)
+  line_bytes : int;  (** line size in bytes; must be a power of two *)
+  assoc : int;  (** number of ways *)
+  hit_extra : int;  (** extra cycles charged on a hit in this level *)
+  miss_penalty : int;  (** cycles to fetch a line from the next level *)
+}
+
+type tlb_params = {
+  entries : int;  (** number of fully-associative entries *)
+  page_bytes : int;  (** page size in bytes; must be a power of two *)
+  tlb_miss_penalty : int;  (** page-walk cycles charged on a miss *)
+}
+
+(** Cache level that software prefetch instructions fill: the Pentium 4
+    prefetches into the L2 only, the Athlon MP into the L1 (and L2). *)
+type prefetch_target = To_l2 | To_l1
+
+type machine = {
+  name : string;
+  l1 : cache_params;
+  l2 : cache_params;
+  dtlb : tlb_params;
+  prefetch_target : prefetch_target;
+  interp_cost : int;  (** cycles to retire one interpreted instruction *)
+  compiled_cost : int;  (** cycles to retire one compiled instruction *)
+  prefetch_cost : int;  (** cycles to retire a hardware prefetch instruction *)
+  guarded_load_cost : int;  (** cycles to retire a guarded (checked) load *)
+  hw_prefetch_streams : int;  (** stream-detector table size; 0 disables *)
+}
+
+val pentium4 : machine
+val athlon_mp : machine
+
+val machines : machine list
+(** [machines] is [[pentium4; athlon_mp]], the evaluation platforms. *)
+
+val machine_of_name : string -> machine option
+(** Case-insensitive lookup among {!machines}. *)
+
+val validate : machine -> (unit, string) result
+(** Check structural invariants (powers of two, positive sizes,
+    associativity dividing the number of lines). *)
+
+val validate_cache : string -> cache_params -> (unit, string) result
+(** [validate_cache label params] checks one cache level; [label] prefixes
+    the error message. *)
+
+val pp_machine : Format.formatter -> machine -> unit
+(** One-line rendering of the Table 2 parameters of a machine. *)

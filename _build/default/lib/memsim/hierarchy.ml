@@ -1,0 +1,141 @@
+type t = {
+  machine : Config.machine;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  dtlb : Tlb.t;
+  hwpf : Hw_prefetch.t;
+  stats : Stats.t;
+}
+
+let create (machine : Config.machine) =
+  (match Config.validate machine with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("hierarchy: " ^ msg));
+  {
+    machine;
+    l1 = Cache.create machine.l1;
+    l2 = Cache.create machine.l2;
+    dtlb = Tlb.create machine.dtlb;
+    hwpf =
+      Hw_prefetch.create ~streams:machine.hw_prefetch_streams
+        ~line_bytes:machine.l2.line_bytes
+        ~page_bytes:machine.dtlb.page_bytes;
+    stats = Stats.create ();
+  }
+
+let machine t = t.machine
+let stats t = t.stats
+
+let line_bytes t =
+  match t.machine.prefetch_target with
+  | Config.To_l2 -> t.machine.l2.line_bytes
+  | Config.To_l1 -> t.machine.l1.line_bytes
+
+let page_bytes t = t.machine.dtlb.page_bytes
+
+(* Memory latency seen by a fill that has to go to DRAM. *)
+let memory_latency t = t.machine.l2.miss_penalty
+
+let hw_prefetch_on_l2_miss t ~addr ~now =
+  match Hw_prefetch.observe_miss t.hwpf ~addr with
+  | None -> ()
+  | Some target ->
+      if not (Cache.probe t.l2 ~addr:target) then begin
+        t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
+        Cache.fill t.l2 ~addr:target ~ready_at:(now + memory_latency t)
+      end
+
+let record_l1_miss t kind =
+  match kind with
+  | `Load -> t.stats.l1_load_misses <- t.stats.l1_load_misses + 1
+  | `Store -> t.stats.l1_store_misses <- t.stats.l1_store_misses + 1
+
+let record_l2_miss t kind =
+  match kind with
+  | `Load -> t.stats.l2_load_misses <- t.stats.l2_load_misses + 1
+  | `Store -> t.stats.l2_store_misses <- t.stats.l2_store_misses + 1
+
+let record_dtlb_miss t kind =
+  match kind with
+  | `Load -> t.stats.dtlb_load_misses <- t.stats.dtlb_load_misses + 1
+  | `Store -> t.stats.dtlb_store_misses <- t.stats.dtlb_store_misses + 1
+
+let demand_access t ~addr ~kind ~now =
+  (match kind with
+  | `Load -> t.stats.loads <- t.stats.loads + 1
+  | `Store -> t.stats.stores <- t.stats.stores + 1);
+  let stall = ref 0 in
+  if not (Tlb.access t.dtlb ~addr) then begin
+    record_dtlb_miss t kind;
+    stall := !stall + t.machine.dtlb.tlb_miss_penalty;
+    Tlb.fill t.dtlb ~addr
+  end;
+  (match Cache.access t.l1 ~addr ~now with
+  | Cache.Hit -> stall := !stall + t.machine.l1.hit_extra
+  | Cache.Hit_in_flight residual ->
+      t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+      stall := !stall + residual
+  | Cache.Miss -> begin
+      record_l1_miss t kind;
+      (match Cache.access t.l2 ~addr ~now with
+      | Cache.Hit -> stall := !stall + t.machine.l1.miss_penalty
+      | Cache.Hit_in_flight residual ->
+          t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+          stall := !stall + t.machine.l1.miss_penalty + residual
+      | Cache.Miss ->
+          record_l2_miss t kind;
+          stall := !stall + t.machine.l1.miss_penalty + memory_latency t;
+          hw_prefetch_on_l2_miss t ~addr ~now;
+          Cache.fill t.l2 ~addr ~ready_at:now);
+      Cache.fill t.l1 ~addr ~ready_at:now
+    end);
+  !stall
+
+(* Cost (as fill completion time, not a stall) of bringing [addr] into the
+   L2 for a non-blocking operation issued at [now]. *)
+let l2_fill_ready t ~addr ~now =
+  match Cache.access t.l2 ~addr ~now with
+  | Cache.Hit -> now
+  | Cache.Hit_in_flight residual -> now + residual
+  | Cache.Miss ->
+      let ready = now + memory_latency t in
+      Cache.fill t.l2 ~addr ~ready_at:ready;
+      ready
+
+let sw_prefetch t ~addr ~now =
+  t.stats.sw_prefetches <- t.stats.sw_prefetches + 1;
+  if not (Tlb.probe t.dtlb ~addr) then
+    (* The processor cancels a hardware prefetch whose translation misses
+       the DTLB (Section 3.3). *)
+    t.stats.sw_prefetches_cancelled <- t.stats.sw_prefetches_cancelled + 1
+  else
+    match t.machine.prefetch_target with
+    | Config.To_l2 ->
+        if Cache.probe t.l2 ~addr then
+          t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1
+        else ignore (l2_fill_ready t ~addr ~now)
+    | Config.To_l1 ->
+        if Cache.probe t.l1 ~addr then
+          t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1
+        else begin
+          let ready = l2_fill_ready t ~addr ~now in
+          Cache.fill t.l1 ~addr
+            ~ready_at:(max ready (now + t.machine.l1.miss_penalty))
+        end
+
+let guarded_load t ~addr ~now =
+  t.stats.guarded_loads <- t.stats.guarded_loads + 1;
+  if not (Tlb.probe t.dtlb ~addr) then Tlb.fill t.dtlb ~addr;
+  if Cache.probe t.l1 ~addr then
+    t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1
+  else begin
+    let ready = l2_fill_ready t ~addr ~now in
+    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.machine.l1.miss_penalty))
+  end
+
+let reset t =
+  Cache.reset t.l1;
+  Cache.reset t.l2;
+  Tlb.reset t.dtlb;
+  Hw_prefetch.reset t.hwpf;
+  Stats.reset t.stats

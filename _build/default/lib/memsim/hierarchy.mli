@@ -1,0 +1,37 @@
+(** The composed memory system of one machine: DTLB + L1 + L2 + the
+    hardware stream prefetcher, with the machine-specific software-prefetch
+    semantics of Section 3.3:
+
+    - the hardware [prefetch] instruction fills the machine's prefetch
+      target level (L2 on the Pentium 4, L1 and L2 on the Athlon MP) and is
+      cancelled when the page is not in the DTLB;
+    - a [guarded_load] (a load protected by a software exception check)
+      additionally primes the DTLB and always fills L1 and L2.
+
+    All prefetch-type operations are non-blocking: they initiate fills that
+    complete [latency] cycles later, and only a demand access arriving
+    before completion pays (the residual part of) the latency. *)
+
+type t
+
+val create : Config.machine -> t
+val machine : t -> Config.machine
+val stats : t -> Stats.t
+
+val demand_access : t -> addr:int -> kind:[ `Load | `Store ] -> now:int -> int
+(** Perform a demand access; returns the stall cycles to charge, and
+    records miss events in {!stats}. *)
+
+val sw_prefetch : t -> addr:int -> now:int -> unit
+(** Execute a hardware prefetch instruction for [addr] (non-blocking). *)
+
+val guarded_load : t -> addr:int -> now:int -> unit
+(** Execute a guarded prefetching load for [addr] (non-blocking,
+    TLB-priming). *)
+
+val line_bytes : t -> int
+(** Line size of the level software prefetches target — the value the
+    profitability analysis compares strides against. *)
+
+val page_bytes : t -> int
+val reset : t -> unit

@@ -1,0 +1,74 @@
+type stream = {
+  mutable last_line : int;
+  mutable direction : int;  (** +1, -1, or 0 when not yet established *)
+  mutable live : bool;
+}
+
+type t = {
+  streams : stream array;
+  line_bytes : int;
+  page_bytes : int;  (** streams do not cross page boundaries, as on the
+                         real Pentium 4 *)
+  mutable next_alloc : int;  (** round-robin victim for new streams *)
+}
+
+let create ~streams ~line_bytes ~page_bytes =
+  if streams < 0 then invalid_arg "hw_prefetch: streams must be >= 0";
+  if line_bytes <= 0 then invalid_arg "hw_prefetch: line size must be positive";
+  if page_bytes <= 0 then invalid_arg "hw_prefetch: page size must be positive";
+  {
+    streams =
+      Array.init streams (fun _ ->
+          { last_line = min_int; direction = 0; live = false });
+    line_bytes;
+    page_bytes;
+    next_alloc = 0;
+  }
+
+let find_matching t line =
+  let n = Array.length t.streams in
+  let rec go i =
+    if i >= n then None
+    else
+      let s = t.streams.(i) in
+      if s.live && (line = s.last_line + 1 || line = s.last_line - 1) then
+        Some s
+      else go (i + 1)
+  in
+  go 0
+
+let observe_miss t ~addr =
+  if Array.length t.streams = 0 then None
+  else
+    let line = addr / t.line_bytes in
+    match find_matching t line with
+    | Some s ->
+        let direction = line - s.last_line in
+        s.last_line <- line;
+        s.direction <- direction;
+        let target = (line + direction) * t.line_bytes in
+        (* Hardware prefetchers of this era stop at page boundaries. *)
+        if target / t.page_bytes <> addr / t.page_bytes then None
+        else Some target
+    | None ->
+        (* No established stream covers this miss: allocate a fresh stream
+           slot round-robin. It only starts prefetching once a neighbouring
+           miss confirms a direction. *)
+        let s = t.streams.(t.next_alloc) in
+        t.next_alloc <- (t.next_alloc + 1) mod Array.length t.streams;
+        s.last_line <- line;
+        s.direction <- 0;
+        s.live <- true;
+        None
+
+let reset t =
+  Array.iter
+    (fun s ->
+      s.last_line <- min_int;
+      s.direction <- 0;
+      s.live <- false)
+    t.streams;
+  t.next_alloc <- 0
+
+let active_streams t =
+  Array.fold_left (fun acc s -> if s.live then acc + 1 else acc) 0 t.streams

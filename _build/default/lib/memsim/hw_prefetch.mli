@@ -1,0 +1,23 @@
+(** A next-line stream prefetcher of the kind both evaluation machines ship.
+
+    The unit observes L2 demand misses. When two misses fall on adjacent
+    lines (in either direction) it establishes a stream and suggests
+    fetching the next line ahead of the second miss; an established stream
+    keeps suggesting the next line every time it advances. The paper's
+    profitability rule "an inter-iteration stride must exceed half a cache
+    line" exists precisely because this hardware already covers short
+    strides (Section 3.3, citing Jouppi). *)
+
+type t
+
+val create : streams:int -> line_bytes:int -> page_bytes:int -> t
+(** [streams = 0] disables the prefetcher. Streams never cross a page
+    boundary (the Pentium 4's hardware prefetcher stops at 4 KiB
+    boundaries; we model both machines that way). *)
+
+val observe_miss : t -> addr:int -> int option
+(** Feed one L2 demand-miss address; returns the address of a line to
+    prefetch into the L2, if a stream matched or was established. *)
+
+val reset : t -> unit
+val active_streams : t -> int

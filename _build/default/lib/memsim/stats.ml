@@ -1,0 +1,107 @@
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable l1_load_misses : int;
+  mutable l1_store_misses : int;
+  mutable l2_load_misses : int;
+  mutable l2_store_misses : int;
+  mutable dtlb_load_misses : int;
+  mutable dtlb_store_misses : int;
+  mutable in_flight_hits : int;
+  mutable sw_prefetches : int;
+  mutable sw_prefetches_cancelled : int;
+  mutable sw_prefetch_useless : int;
+  mutable guarded_loads : int;
+  mutable hw_prefetches : int;
+  mutable retired_instructions : int;
+  mutable cycles : int;
+  mutable stall_cycles : int;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    l1_load_misses = 0;
+    l1_store_misses = 0;
+    l2_load_misses = 0;
+    l2_store_misses = 0;
+    dtlb_load_misses = 0;
+    dtlb_store_misses = 0;
+    in_flight_hits = 0;
+    sw_prefetches = 0;
+    sw_prefetches_cancelled = 0;
+    sw_prefetch_useless = 0;
+    guarded_loads = 0;
+    hw_prefetches = 0;
+    retired_instructions = 0;
+    cycles = 0;
+    stall_cycles = 0;
+  }
+
+let reset t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.l1_load_misses <- 0;
+  t.l1_store_misses <- 0;
+  t.l2_load_misses <- 0;
+  t.l2_store_misses <- 0;
+  t.dtlb_load_misses <- 0;
+  t.dtlb_store_misses <- 0;
+  t.in_flight_hits <- 0;
+  t.sw_prefetches <- 0;
+  t.sw_prefetches_cancelled <- 0;
+  t.sw_prefetch_useless <- 0;
+  t.guarded_loads <- 0;
+  t.hw_prefetches <- 0;
+  t.retired_instructions <- 0;
+  t.cycles <- 0;
+  t.stall_cycles <- 0
+
+let copy t = { t with loads = t.loads }
+
+let add a b =
+  {
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    l1_load_misses = a.l1_load_misses + b.l1_load_misses;
+    l1_store_misses = a.l1_store_misses + b.l1_store_misses;
+    l2_load_misses = a.l2_load_misses + b.l2_load_misses;
+    l2_store_misses = a.l2_store_misses + b.l2_store_misses;
+    dtlb_load_misses = a.dtlb_load_misses + b.dtlb_load_misses;
+    dtlb_store_misses = a.dtlb_store_misses + b.dtlb_store_misses;
+    in_flight_hits = a.in_flight_hits + b.in_flight_hits;
+    sw_prefetches = a.sw_prefetches + b.sw_prefetches;
+    sw_prefetches_cancelled =
+      a.sw_prefetches_cancelled + b.sw_prefetches_cancelled;
+    sw_prefetch_useless = a.sw_prefetch_useless + b.sw_prefetch_useless;
+    guarded_loads = a.guarded_loads + b.guarded_loads;
+    hw_prefetches = a.hw_prefetches + b.hw_prefetches;
+    retired_instructions = a.retired_instructions + b.retired_instructions;
+    cycles = a.cycles + b.cycles;
+    stall_cycles = a.stall_cycles + b.stall_cycles;
+  }
+
+let per_instruction t misses =
+  if t.retired_instructions = 0 then 0.0
+  else float_of_int misses /. float_of_int t.retired_instructions
+
+let l1_load_mpi t = per_instruction t t.l1_load_misses
+let l2_load_mpi t = per_instruction t t.l2_load_misses
+let dtlb_load_mpi t = per_instruction t t.dtlb_load_misses
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>retired=%d cycles=%d (stall=%d)@,\
+     loads=%d stores=%d@,\
+     L1 load misses=%d  L2 load misses=%d  DTLB load misses=%d@,\
+     sw prefetch=%d (cancelled=%d, useless=%d) guarded loads=%d hw \
+     prefetch=%d@]"
+    t.retired_instructions t.cycles t.stall_cycles t.loads t.stores
+    t.l1_load_misses t.l2_load_misses t.dtlb_load_misses t.sw_prefetches
+    t.sw_prefetches_cancelled t.sw_prefetch_useless t.guarded_loads
+    t.hw_prefetches
+
+let pp_mpi ppf t =
+  Format.fprintf ppf "L1 %.5f  L2 %.5f  DTLB %.5f" (l1_load_mpi t)
+    (l2_load_mpi t) (dtlb_load_mpi t)

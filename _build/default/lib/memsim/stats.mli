@@ -1,0 +1,45 @@
+(** Event counters for a simulated run.
+
+    The paper's evaluation metric is MPI (misses per retired instruction):
+    the number of dynamic miss {e events} divided by the number of retired
+    instructions (Section 4.2). Counters here follow that definition; the
+    retired-instruction count is maintained by the interpreter and stored
+    here so that MPIs can be computed in one place. *)
+
+type t = {
+  mutable loads : int;  (** demand loads issued *)
+  mutable stores : int;  (** demand stores issued *)
+  mutable l1_load_misses : int;
+  mutable l1_store_misses : int;
+  mutable l2_load_misses : int;
+  mutable l2_store_misses : int;
+  mutable dtlb_load_misses : int;
+  mutable dtlb_store_misses : int;
+  mutable in_flight_hits : int;
+      (** demand accesses that found their line still being filled *)
+  mutable sw_prefetches : int;  (** software prefetch instructions executed *)
+  mutable sw_prefetches_cancelled : int;
+      (** hardware-form prefetches dropped because of a DTLB miss *)
+  mutable sw_prefetch_useless : int;
+      (** prefetches whose target line was already cached *)
+  mutable guarded_loads : int;
+  mutable hw_prefetches : int;  (** lines fetched by the stream prefetcher *)
+  mutable retired_instructions : int;
+  mutable cycles : int;
+  mutable stall_cycles : int;  (** memory stall part of [cycles] *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val add : t -> t -> t
+(** [add a b] is a fresh counter set with the component-wise sum. *)
+
+val l1_load_mpi : t -> float
+val l2_load_mpi : t -> float
+val dtlb_load_mpi : t -> float
+(** Miss events per retired instruction; 0.0 when nothing retired. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_mpi : Format.formatter -> t -> unit

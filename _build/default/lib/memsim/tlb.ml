@@ -1,0 +1,73 @@
+type t = {
+  params : Config.tlb_params;
+  page_shift : int;
+  pages : int array;  (** -1 means invalid *)
+  stamp : int array;
+  mutable tick : int;
+}
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create (params : Config.tlb_params) =
+  if params.entries <= 0 then invalid_arg "tlb: entries must be positive";
+  if params.page_bytes <= 0 || params.page_bytes land (params.page_bytes - 1) <> 0
+  then invalid_arg "tlb: page size must be a power of two";
+  {
+    params;
+    page_shift = log2 params.page_bytes;
+    pages = Array.make params.entries (-1);
+    stamp = Array.make params.entries 0;
+    tick = 0;
+  }
+
+let params t = t.params
+let page_of t addr = addr lsr t.page_shift
+
+let find t page =
+  let n = Array.length t.pages in
+  let rec go i =
+    if i >= n then None else if t.pages.(i) = page then Some i else go (i + 1)
+  in
+  go 0
+
+let touch t i =
+  t.tick <- t.tick + 1;
+  t.stamp.(i) <- t.tick
+
+let access t ~addr =
+  match find t (page_of t addr) with
+  | Some i ->
+      touch t i;
+      true
+  | None -> false
+
+let probe t ~addr = find t (page_of t addr) <> None
+
+let fill t ~addr =
+  let page = page_of t addr in
+  match find t page with
+  | Some i -> touch t i
+  | None ->
+      let victim = ref 0 in
+      let n = Array.length t.pages in
+      (try
+         for i = 0 to n - 1 do
+           if t.pages.(i) = -1 then begin
+             victim := i;
+             raise Exit
+           end;
+           if t.stamp.(i) < t.stamp.(!victim) then victim := i
+         done
+       with Exit -> ());
+      t.pages.(!victim) <- page;
+      touch t !victim
+
+let reset t =
+  Array.fill t.pages 0 (Array.length t.pages) (-1);
+  Array.fill t.stamp 0 (Array.length t.stamp) 0;
+  t.tick <- 0
+
+let resident_pages t =
+  Array.fold_left (fun acc p -> if p >= 0 then acc + 1 else acc) 0 t.pages

@@ -1,0 +1,1 @@
+lib/minijava/codegen.ml: Array Ast Hashtbl List Option Printf Semant Vm

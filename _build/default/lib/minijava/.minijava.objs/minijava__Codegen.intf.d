@@ -1,0 +1,1 @@
+lib/minijava/codegen.mli: Ast Semant Vm

@@ -1,0 +1,1 @@
+lib/minijava/compile.ml: Codegen Lexer Parser Printf Semant Token

@@ -1,0 +1,1 @@
+lib/minijava/compile.mli: Vm

@@ -1,0 +1,1 @@
+lib/minijava/lexer.ml: List Printf String Token

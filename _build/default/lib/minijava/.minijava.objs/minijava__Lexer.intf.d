@@ -1,0 +1,1 @@
+lib/minijava/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/minijava/semant.ml: Array Ast Filename Hashtbl List Option Printf Token Vm

@@ -1,0 +1,1 @@
+lib/minijava/semant.mli: Ast Hashtbl

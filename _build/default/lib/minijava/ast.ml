@@ -1,0 +1,130 @@
+(** Abstract syntax of MiniJava.
+
+    A Java subset sufficient for the paper's workloads: classes with
+    instance and static [int]/reference fields, arrays of ints and of
+    objects, static and instance methods, constructors, structured control
+    flow. Booleans are ints (0/1), as in the bytecode. *)
+
+type pos = Token.pos
+
+type ty =
+  | Tint
+  | Tclass of string
+  | Tint_array
+  | Tclass_array of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And  (** short-circuit *)
+  | Or  (** short-circuit *)
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int_lit of int
+  | Null_lit
+  | This
+  | Var of string  (** local, parameter, implicit field, or class name *)
+  | Field of expr * string
+  | Static_field of string * string  (** class, field *)
+  | Index of expr * expr
+  | Length of expr
+  | Call of expr * string * expr list  (** instance call *)
+  | Bare_call of string * expr list
+      (** same-class call without receiver: [this.m(...)] in instance
+          context, a static call otherwise *)
+  | Static_call of string * string * expr list  (** class, method, args *)
+  | New_object of string * expr list
+  | New_int_array of expr
+  | New_class_array of string * expr
+  | Binop of binop * expr * expr
+  | Unop_neg of expr
+  | Unop_not of expr
+
+type lvalue =
+  | Lvar of string
+  | Lfield of expr * string
+  | Lstatic of string * string
+  | Lindex of expr * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of stmt option * expr * stmt option * stmt list
+  | Return of expr option
+  | Expr_stmt of expr  (** a call evaluated for effect *)
+  | Print of expr
+  | Break
+  | Continue
+  | Block of stmt list
+
+type field_decl = {
+  field_ty : ty;
+  field_name : string;
+  field_static : bool;
+  field_pos : pos;
+}
+
+type method_decl = {
+  method_ret : ty option;  (** [None] for void *)
+  method_name : string;
+  method_static : bool;
+  method_params : (ty * string) list;
+  method_body : stmt list;
+  method_pos : pos;
+  is_constructor : bool;
+}
+
+type class_decl = {
+  class_name : string;
+  class_fields : field_decl list;
+  class_methods : method_decl list;
+  class_pos : pos;
+}
+
+type program = class_decl list
+
+let rec string_of_ty = function
+  | Tint -> "int"
+  | Tclass c -> c
+  | Tint_array -> "int[]"
+  | Tclass_array c -> string_of_ty (Tclass c) ^ "[]"
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"

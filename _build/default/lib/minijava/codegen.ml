@@ -1,0 +1,583 @@
+module B = Vm.Bytecode
+module S = Semant
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+(* --- growable code emitter ---------------------------------------------- *)
+
+type emitter = {
+  mutable code : B.instr array;
+  mutable len : int;
+  mutable next_site : int;
+  mutable max_slot : int;
+}
+
+let new_emitter () =
+  { code = Array.make 64 B.Return; len = 0; next_site = 0; max_slot = 0 }
+
+let here em = em.len
+
+let emit em instr =
+  if em.len = Array.length em.code then begin
+    let bigger = Array.make (2 * em.len) B.Return in
+    Array.blit em.code 0 bigger 0 em.len;
+    em.code <- bigger
+  end;
+  em.code.(em.len) <- instr;
+  em.len <- em.len + 1
+
+let fresh_site em =
+  let s = em.next_site in
+  em.next_site <- s + 1;
+  s
+
+(* Emit a placeholder branch; returns its position for later patching. *)
+let emit_branch em make =
+  let at = here em in
+  emit em (make (-1));
+  at
+
+let patch em positions target =
+  List.iter
+    (fun at ->
+      em.code.(at) <-
+        (match em.code.(at) with
+        | B.Goto _ -> B.Goto target
+        | B.If_icmp (c, _) -> B.If_icmp (c, target)
+        | B.If (c, _) -> B.If (c, target)
+        | B.If_acmpeq _ -> B.If_acmpeq target
+        | B.If_acmpne _ -> B.If_acmpne target
+        | B.Ifnull _ -> B.Ifnull target
+        | B.Ifnonnull _ -> B.Ifnonnull target
+        | instr -> instr))
+    positions
+
+let finish em = Array.sub em.code 0 em.len
+
+(* --- scopes -------------------------------------------------------------- *)
+
+type binding = { slot : int; sty : S.sty }
+
+type scope = {
+  mutable frames : (string * binding) list list;
+  mutable next_slot : int;
+}
+
+let push_scope sc = sc.frames <- [] :: sc.frames
+let pop_scope sc =
+  match sc.frames with _ :: rest -> sc.frames <- rest | [] -> ()
+
+let find_binding sc name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+        match List.assoc_opt name frame with
+        | Some b -> Some b
+        | None -> go rest)
+  in
+  go sc.frames
+
+let bind sc em name sty =
+  let slot = sc.next_slot in
+  sc.next_slot <- slot + 1;
+  em.max_slot <- max em.max_slot sc.next_slot;
+  (match sc.frames with
+  | frame :: rest -> sc.frames <- ((name, { slot; sty }) :: frame) :: rest
+  | [] -> assert false);
+  slot
+
+(* --- per-method generation ----------------------------------------------- *)
+
+type ctx = {
+  env : S.env;
+  cls : string option;  (** [Some] in instance methods only *)
+  enclosing : string;  (** the class the method is declared in *)
+  em : emitter;
+  sc : scope;
+  (* break/continue patch lists of the innermost loop *)
+  mutable breaks : int list;
+  mutable continues : int list;
+}
+
+let is_local ctx name = find_binding ctx.sc name <> None
+
+let load_local ctx (b : binding) =
+  emit ctx.em (if S.is_ref_sty b.sty then B.Aload b.slot else B.Iload b.slot)
+
+let store_local ctx (b : binding) =
+  emit ctx.em (if S.is_ref_sty b.sty then B.Astore b.slot else B.Istore b.slot)
+
+(* The receiver of [Field]/[Call] is a bare class name (static access)? *)
+let static_receiver ctx (base : Ast.expr) =
+  match base.desc with
+  | Ast.Var name when not (is_local ctx name) -> (
+      match
+        S.resolve_var ctx.env ~cls:ctx.cls ~is_local:(fun _ -> false) name
+          base.pos
+      with
+      | S.Rclass c -> Some c
+      | S.Rlocal | S.Rfield _ -> None
+      | exception S.Error _ -> None)
+  | _ -> None
+
+let cmp_of_binop = function
+  | Ast.Lt -> Some B.Lt
+  | Ast.Le -> Some B.Le
+  | Ast.Gt -> Some B.Gt
+  | Ast.Ge -> Some B.Ge
+  | Ast.Eq -> Some B.Eq
+  | Ast.Ne -> Some B.Ne
+  | _ -> None
+
+let negate_cmp = function
+  | B.Eq -> B.Ne
+  | B.Ne -> B.Eq
+  | B.Lt -> B.Ge
+  | B.Ge -> B.Lt
+  | B.Gt -> B.Le
+  | B.Le -> B.Gt
+
+let rec compile_expr ctx (e : Ast.expr) : S.sty =
+  match e.desc with
+  | Ast.Int_lit n ->
+      emit ctx.em (B.Iconst n);
+      S.Sint
+  | Ast.Null_lit ->
+      emit ctx.em B.Aconst_null;
+      S.Snull
+  | Ast.This -> (
+      match ctx.cls with
+      | Some c ->
+          emit ctx.em (B.Aload 0);
+          S.Sclass c
+      | None -> err e.pos "'this' in a static method")
+  | Ast.Var name -> (
+      match find_binding ctx.sc name with
+      | Some b ->
+          load_local ctx b;
+          b.sty
+      | None -> (
+          match
+            S.resolve_var ctx.env ~cls:ctx.cls ~is_local:(fun _ -> false) name
+              e.pos
+          with
+          | S.Rlocal -> assert false
+          | S.Rfield f ->
+              emit ctx.em (B.Aload 0);
+              emit ctx.em
+                (B.Getfield
+                   {
+                     site = fresh_site ctx.em;
+                     offset = f.f_offset;
+                     name = f.f_class ^ "." ^ name;
+                     is_ref = S.field_is_ref f.f_ty;
+                   });
+              S.sty_of_ty f.f_ty
+          | S.Rclass c -> err e.pos "class name '%s' used as a value" c))
+  | Ast.Field (base, name) -> compile_field_read ctx base name e.pos
+  | Ast.Static_field (cname, fname) ->
+      compile_static_read ctx cname fname e.pos
+  | Ast.Length base -> (
+      match compile_expr ctx base with
+      | S.Sint_array | S.Sclass_array _ ->
+          emit ctx.em (B.Arraylength { site = fresh_site ctx.em });
+          S.Sint
+      | ty -> err base.pos "'.length' on non-array %s" (S.string_of_sty ty))
+  | Ast.Index (base, index) -> (
+      let bty = compile_expr ctx base in
+      let ity = compile_expr ctx index in
+      if ity <> S.Sint then err index.pos "array index must be int";
+      let len_site = fresh_site ctx.em in
+      let elem_site = fresh_site ctx.em in
+      match bty with
+      | S.Sint_array ->
+          emit ctx.em (B.Iaload { len_site; elem_site });
+          S.Sint
+      | S.Sclass_array c ->
+          emit ctx.em (B.Aaload { len_site; elem_site });
+          S.Sclass c
+      | ty -> err base.pos "indexing non-array %s" (S.string_of_sty ty))
+  | Ast.Call (base, name, args) -> (
+      match static_receiver ctx base with
+      | Some cname -> compile_call ctx ~receiver:None cname name args e.pos
+      | None -> (
+          (* evaluate receiver first, then arguments *)
+          match compile_expr ctx base with
+          | S.Sclass cname ->
+              compile_call ctx ~receiver:(Some ()) cname name args e.pos
+          | ty ->
+              err base.pos "type %s has no methods" (S.string_of_sty ty)))
+  | Ast.Bare_call (name, args) -> (
+      match
+        Hashtbl.find_opt ctx.env.method_ids (ctx.enclosing ^ "." ^ name)
+      with
+      | None -> err e.pos "class %s has no method '%s'" ctx.enclosing name
+      | Some id ->
+          let m = ctx.env.methods.(id) in
+          if not m.m_static then emit ctx.em (B.Aload 0);
+          compile_args ctx m args e.pos;
+          emit ctx.em (B.Invoke m.m_id);
+          (match m.m_ret with None -> S.Svoid | Some ty -> S.sty_of_ty ty))
+  | Ast.Static_call (cname, mname, args) ->
+      compile_call ctx ~receiver:None cname mname args e.pos
+  | Ast.New_object (cname, args) -> (
+      match Hashtbl.find_opt ctx.env.classes cname with
+      | None -> err e.pos "unknown class '%s'" cname
+      | Some ci -> (
+          emit ctx.em (B.New ci.c_id);
+          match Hashtbl.find_opt ctx.env.method_ids (cname ^ ".<init>") with
+          | Some ctor_id ->
+              emit ctx.em B.Dup;
+              let ctor = ctx.env.methods.(ctor_id) in
+              compile_args ctx ctor args e.pos;
+              emit ctx.em (B.Invoke ctor_id);
+              S.Sclass cname
+          | None ->
+              if args <> [] then
+                err e.pos "class %s has no constructor" cname;
+              S.Sclass cname))
+  | Ast.New_int_array size ->
+      ignore (compile_expr ctx size);
+      emit ctx.em (B.Newarray B.Int_array);
+      S.Sint_array
+  | Ast.New_class_array (cname, size) ->
+      ignore (compile_expr ctx size);
+      emit ctx.em (B.Newarray B.Ref_array);
+      S.Sclass_array cname
+  | Ast.Binop (op, a, b) -> compile_binop ctx op a b e.pos
+  | Ast.Unop_neg a ->
+      ignore (compile_expr ctx a);
+      emit ctx.em B.Ineg;
+      S.Sint
+  | Ast.Unop_not _ -> materialize_condition ctx e
+
+and compile_field_read ctx base name pos =
+  match static_receiver ctx base with
+  | Some cname -> compile_static_read ctx cname name pos
+  | None -> (
+      let bty = compile_expr ctx base in
+      match
+        S.resolve_field ctx.env ~base:(Some bty) ~class_of_base:None name pos
+      with
+      | S.Flength ->
+          emit ctx.em (B.Arraylength { site = fresh_site ctx.em });
+          S.Sint
+      | S.Finstance f ->
+          emit ctx.em
+            (B.Getfield
+               {
+                 site = fresh_site ctx.em;
+                 offset = f.f_offset;
+                 name = f.f_class ^ "." ^ name;
+                 is_ref = S.field_is_ref f.f_ty;
+               });
+          S.sty_of_ty f.f_ty
+      | S.Fstatic _ -> assert false)
+
+and compile_static_read ctx cname fname pos =
+  match
+    S.resolve_field ctx.env ~base:None ~class_of_base:(Some cname) fname pos
+  with
+  | S.Fstatic s ->
+      emit ctx.em
+        (B.Getstatic
+           {
+             site = fresh_site ctx.em;
+             index = s.s_index;
+             name = s.s_qualified;
+             is_ref = S.field_is_ref s.s_ty;
+           });
+      S.sty_of_ty s.s_ty
+  | S.Flength | S.Finstance _ -> assert false
+
+and compile_args ctx (m : S.method_sig) args pos =
+  if List.length args <> List.length m.m_params then
+    err pos "%s expects %d argument(s), got %d" m.m_qualified
+      (List.length m.m_params) (List.length args);
+  List.iter (fun arg -> ignore (compile_expr ctx arg)) args
+
+and compile_call ctx ~receiver cname mname args pos =
+  let m =
+    match receiver with
+    | Some () -> S.resolve_call ctx.env ~receiver:(`Instance (S.Sclass cname)) mname pos
+    | None -> S.resolve_call ctx.env ~receiver:(`Static cname) mname pos
+  in
+  compile_args ctx m args pos;
+  emit ctx.em (B.Invoke m.m_id);
+  match m.m_ret with None -> S.Svoid | Some ty -> S.sty_of_ty ty
+
+and compile_binop ctx op a b pos =
+  match op with
+  | Ast.And | Ast.Or ->
+      materialize_condition ctx { Ast.desc = Ast.Binop (op, a, b); pos }
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+      materialize_condition ctx { Ast.desc = Ast.Binop (op, a, b); pos }
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem | Ast.Band | Ast.Bor
+  | Ast.Bxor | Ast.Shl | Ast.Shr ->
+      ignore (compile_expr ctx a);
+      ignore (compile_expr ctx b);
+      emit ctx.em
+        (match op with
+        | Ast.Add -> B.Iadd
+        | Ast.Sub -> B.Isub
+        | Ast.Mul -> B.Imul
+        | Ast.Div -> B.Idiv
+        | Ast.Rem -> B.Irem
+        | Ast.Band -> B.Iand
+        | Ast.Bor -> B.Ior
+        | Ast.Bxor -> B.Ixor
+        | Ast.Shl -> B.Ishl
+        | Ast.Shr -> B.Ishr
+        | _ -> assert false);
+      S.Sint
+
+(* Compile a condition as control flow: returns patch positions that jump
+   when the condition is TRUE; control falls through when it is false. *)
+and jump_if_true ctx (e : Ast.expr) : int list =
+  match e.desc with
+  | Ast.Unop_not inner -> jump_if_false ctx inner
+  | Ast.Binop (Ast.And, a, b) ->
+      let false_a = jump_if_false ctx a in
+      let true_b = jump_if_true ctx b in
+      patch ctx.em false_a (here ctx.em);
+      true_b
+  | Ast.Binop (Ast.Or, a, b) ->
+      (* bind explicitly: emission order must be left then right *)
+      let true_a = jump_if_true ctx a in
+      let true_b = jump_if_true ctx b in
+      true_a @ true_b
+  | Ast.Binop (op, a, b) when cmp_of_binop op <> None ->
+      compile_comparison ctx op a b ~negated:false
+  | _ ->
+      ignore (compile_expr ctx e);
+      [ emit_branch ctx.em (fun t -> B.If (B.Ne, t)) ]
+
+(* Patch positions that jump when the condition is FALSE. *)
+and jump_if_false ctx (e : Ast.expr) : int list =
+  match e.desc with
+  | Ast.Unop_not inner -> jump_if_true ctx inner
+  | Ast.Binop (Ast.And, a, b) ->
+      (* bind explicitly: emission order must be left then right *)
+      let false_a = jump_if_false ctx a in
+      let false_b = jump_if_false ctx b in
+      false_a @ false_b
+  | Ast.Binop (Ast.Or, a, b) ->
+      let true_a = jump_if_true ctx a in
+      let false_b = jump_if_false ctx b in
+      patch ctx.em true_a (here ctx.em);
+      false_b
+  | Ast.Binop (op, a, b) when cmp_of_binop op <> None ->
+      compile_comparison ctx op a b ~negated:true
+  | _ ->
+      ignore (compile_expr ctx e);
+      [ emit_branch ctx.em (fun t -> B.If (B.Eq, t)) ]
+
+and compile_comparison ctx op a b ~negated =
+  let ta = compile_expr ctx a in
+  let tb = compile_expr ctx b in
+  let cmp = Option.get (cmp_of_binop op) in
+  let cmp = if negated then negate_cmp cmp else cmp in
+  if S.is_ref_sty ta || S.is_ref_sty tb then
+    match cmp with
+    | B.Eq -> [ emit_branch ctx.em (fun t -> B.If_acmpeq t) ]
+    | B.Ne -> [ emit_branch ctx.em (fun t -> B.If_acmpne t) ]
+    | _ -> err a.pos "references only support == and !="
+  else [ emit_branch ctx.em (fun t -> B.If_icmp (cmp, t)) ]
+
+(* A boolean-valued expression in a value position: branch and push 0/1. *)
+and materialize_condition ctx (e : Ast.expr) : S.sty =
+  let trues = jump_if_true ctx e in
+  emit ctx.em (B.Iconst 0);
+  let done_jump = emit_branch ctx.em (fun t -> B.Goto t) in
+  patch ctx.em trues (here ctx.em);
+  emit ctx.em (B.Iconst 1);
+  patch ctx.em [ done_jump ] (here ctx.em);
+  S.Sint
+
+let rec compile_stmt ctx (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      let sty = S.sty_of_ty ty in
+      ignore (compile_expr ctx init);
+      let slot = bind ctx.sc ctx.em name sty in
+      emit ctx.em (if S.is_ref_sty sty then B.Astore slot else B.Istore slot)
+  | Ast.Assign (lv, value) -> compile_assign ctx lv value s.spos
+  | Ast.If (cond, then_b, else_b) ->
+      let falses = jump_if_false ctx cond in
+      compile_block ctx then_b;
+      if else_b = [] then patch ctx.em falses (here ctx.em)
+      else begin
+        let skip_else = emit_branch ctx.em (fun t -> B.Goto t) in
+        patch ctx.em falses (here ctx.em);
+        compile_block ctx else_b;
+        patch ctx.em [ skip_else ] (here ctx.em)
+      end
+  | Ast.While (cond, body) ->
+      let saved_breaks = ctx.breaks and saved_continues = ctx.continues in
+      ctx.breaks <- [];
+      ctx.continues <- [];
+      let start = here ctx.em in
+      let falses = jump_if_false ctx cond in
+      compile_block ctx body;
+      patch ctx.em ctx.continues start;
+      emit ctx.em (B.Goto start);
+      patch ctx.em falses (here ctx.em);
+      patch ctx.em ctx.breaks (here ctx.em);
+      ctx.breaks <- saved_breaks;
+      ctx.continues <- saved_continues
+  | Ast.For (init, cond, update, body) ->
+      push_scope ctx.sc;
+      Option.iter (compile_stmt ctx) init;
+      let saved_breaks = ctx.breaks and saved_continues = ctx.continues in
+      ctx.breaks <- [];
+      ctx.continues <- [];
+      let start = here ctx.em in
+      let falses = jump_if_false ctx cond in
+      compile_block ctx body;
+      let continue_target = here ctx.em in
+      Option.iter (compile_stmt ctx) update;
+      emit ctx.em (B.Goto start);
+      patch ctx.em ctx.continues continue_target;
+      patch ctx.em falses (here ctx.em);
+      patch ctx.em ctx.breaks (here ctx.em);
+      ctx.breaks <- saved_breaks;
+      ctx.continues <- saved_continues;
+      pop_scope ctx.sc
+  | Ast.Return None -> emit ctx.em B.Return
+  | Ast.Return (Some e) ->
+      let ty = compile_expr ctx e in
+      emit ctx.em (if S.is_ref_sty ty then B.Areturn else B.Ireturn)
+  | Ast.Expr_stmt e -> (
+      match compile_expr ctx e with
+      | S.Svoid -> ()
+      | _ -> emit ctx.em B.Pop)
+  | Ast.Print e ->
+      ignore (compile_expr ctx e);
+      emit ctx.em B.Print
+  | Ast.Break -> ctx.breaks <- emit_branch ctx.em (fun t -> B.Goto t) :: ctx.breaks
+  | Ast.Continue ->
+      ctx.continues <- emit_branch ctx.em (fun t -> B.Goto t) :: ctx.continues
+  | Ast.Block body -> compile_block ctx body
+
+and compile_assign ctx lv value pos =
+  match lv with
+  | Ast.Lvar name -> (
+      match find_binding ctx.sc name with
+      | Some b ->
+          ignore (compile_expr ctx value);
+          store_local ctx b
+      | None -> (
+          match
+            S.resolve_var ctx.env ~cls:ctx.cls ~is_local:(fun _ -> false) name
+              pos
+          with
+          | S.Rlocal -> assert false
+          | S.Rfield f ->
+              emit ctx.em (B.Aload 0);
+              ignore (compile_expr ctx value);
+              emit ctx.em
+                (B.Putfield
+                   { offset = f.f_offset; name = f.f_class ^ "." ^ name })
+          | S.Rclass c -> err pos "cannot assign to class name '%s'" c))
+  | Ast.Lfield (base, name) -> (
+      match static_receiver ctx base with
+      | Some cname -> compile_static_store ctx cname name value pos
+      | None -> (
+          let bty = compile_expr ctx base in
+          match
+            S.resolve_field ctx.env ~base:(Some bty) ~class_of_base:None name
+              pos
+          with
+          | S.Flength -> err pos "cannot assign to '.length'"
+          | S.Finstance f ->
+              ignore (compile_expr ctx value);
+              emit ctx.em
+                (B.Putfield
+                   { offset = f.f_offset; name = f.f_class ^ "." ^ name })
+          | S.Fstatic _ -> assert false))
+  | Ast.Lstatic (cname, fname) -> compile_static_store ctx cname fname value pos
+  | Ast.Lindex (base, index) -> (
+      let bty = compile_expr ctx base in
+      ignore (compile_expr ctx index);
+      ignore (compile_expr ctx value);
+      let len_site = fresh_site ctx.em in
+      match bty with
+      | S.Sint_array -> emit ctx.em (B.Iastore { len_site })
+      | S.Sclass_array _ -> emit ctx.em (B.Aastore { len_site })
+      | ty -> err pos "indexing non-array %s" (S.string_of_sty ty))
+
+and compile_static_store ctx cname fname value pos =
+  match
+    S.resolve_field ctx.env ~base:None ~class_of_base:(Some cname) fname pos
+  with
+  | S.Fstatic s ->
+      ignore (compile_expr ctx value);
+      emit ctx.em (B.Putstatic { index = s.s_index; name = s.s_qualified })
+  | S.Flength | S.Finstance _ -> assert false
+
+and compile_block ctx body =
+  push_scope ctx.sc;
+  List.iter (compile_stmt ctx) body;
+  pop_scope ctx.sc
+
+let compile_method env (m : S.method_sig) =
+  let em = new_emitter () in
+  let sc = { frames = [ [] ]; next_slot = 0 } in
+  let ctx =
+    {
+      env;
+      cls = (if m.m_static then None else Some m.m_class);
+      enclosing = m.m_class;
+      em;
+      sc;
+      breaks = [];
+      continues = [];
+    }
+  in
+  (* slot 0 = this for instance methods, then the parameters *)
+  if not m.m_static then
+    ignore (bind sc em "this" (S.Sclass m.m_class));
+  List.iter
+    (fun (ty, name) -> ignore (bind sc em name (S.sty_of_ty ty)))
+    m.m_params;
+  compile_block ctx m.m_body;
+  (* Fallback exit if control reaches the end of the body. *)
+  (match m.m_ret with
+  | None -> emit em B.Return
+  | Some ty ->
+      if S.is_ref_sty (S.sty_of_ty ty) then begin
+        emit em B.Aconst_null;
+        emit em B.Areturn
+      end
+      else begin
+        emit em (B.Iconst 0);
+        emit em B.Ireturn
+      end);
+  let arity = List.length m.m_params + if m.m_static then 0 else 1 in
+  Vm.Classfile.make_method ~method_id:m.m_id ~method_name:m.m_qualified ~arity
+    ~returns_value:(m.m_ret <> None) ~max_locals:(max em.max_slot arity)
+    ~code:(finish em)
+
+let generate (env : S.env) =
+  let classes =
+    Hashtbl.fold (fun _ ci acc -> ci :: acc) env.classes []
+    |> List.sort (fun (a : S.class_info) b -> compare a.c_id b.c_id)
+    |> List.map (fun (ci : S.class_info) ->
+           Vm.Classfile.make_class ~class_id:ci.c_id ~class_name:ci.c_name
+             ~field_specs:
+               (List.map
+                  (fun (name, (f : S.field_info)) ->
+                    (name, S.field_is_ref f.f_ty))
+                  ci.c_fields))
+    |> Array.of_list
+  in
+  let methods = Array.map (compile_method env) env.methods in
+  let statics = Array.make env.n_statics { Vm.Classfile.static_name = ""; static_index = 0 } in
+  Hashtbl.iter
+    (fun _ (s : S.static_info) ->
+      statics.(s.s_index) <-
+        { Vm.Classfile.static_name = s.s_qualified; static_index = s.s_index })
+    env.statics;
+  { Vm.Classfile.classes; methods; statics; entry = env.entry }

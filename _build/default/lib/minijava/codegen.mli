@@ -1,0 +1,13 @@
+(** Bytecode generation from a type-checked MiniJava program.
+
+    Conditions compile to branch trees (short-circuit [&&]/[||]); array
+    accesses compile to the fused instructions that carry both the
+    bounds-check length-load site and the element site; every load through
+    a reference receives a fresh site id, densely numbered per method. *)
+
+exception Error of string * Ast.pos
+
+val generate : Semant.env -> Vm.Classfile.program
+(** Assumes {!Semant.analyze} succeeded on the same program; may still
+    raise {!Error} on constructs the checker admits but the generator
+    cannot place (none are known). *)

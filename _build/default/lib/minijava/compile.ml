@@ -1,0 +1,24 @@
+type error = { message : string; line : int; col : int }
+
+let string_of_error e = Printf.sprintf "%d:%d: %s" e.line e.col e.message
+
+let of_pos (pos : Token.pos) message =
+  { message; line = pos.line; col = pos.col }
+
+let program_of_source source =
+  match
+    let ast = Parser.parse_string source in
+    let env = Semant.analyze ast in
+    Codegen.generate env
+  with
+  | program -> Ok program
+  | exception Parser.Error (msg, pos) -> Error (of_pos pos ("parse error: " ^ msg))
+  | exception Lexer.Error (msg, pos) -> Error (of_pos pos ("lex error: " ^ msg))
+  | exception Semant.Error (msg, pos) -> Error (of_pos pos ("type error: " ^ msg))
+  | exception Codegen.Error (msg, pos) ->
+      Error (of_pos pos ("codegen error: " ^ msg))
+
+let program_of_source_exn source =
+  match program_of_source source with
+  | Ok program -> program
+  | Error e -> failwith (string_of_error e)

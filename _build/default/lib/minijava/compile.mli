@@ -1,0 +1,11 @@
+(** Front-end driver: source text to a loadable {!Vm.Classfile.program}. *)
+
+type error = { message : string; line : int; col : int }
+
+val string_of_error : error -> string
+
+val program_of_source : string -> (Vm.Classfile.program, error) result
+(** Lex, parse, type-check and compile. *)
+
+val program_of_source_exn : string -> Vm.Classfile.program
+(** Like {!program_of_source}; raises [Failure] with a rendered error. *)

@@ -1,0 +1,156 @@
+exception Error of string * Token.pos
+
+type state = {
+  source : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let keyword_of = function
+  | "class" -> Some Token.Kw_class
+  | "static" -> Some Token.Kw_static
+  | "void" -> Some Token.Kw_void
+  | "int" -> Some Token.Kw_int
+  | "if" -> Some Token.Kw_if
+  | "else" -> Some Token.Kw_else
+  | "while" -> Some Token.Kw_while
+  | "for" -> Some Token.Kw_for
+  | "return" -> Some Token.Kw_return
+  | "new" -> Some Token.Kw_new
+  | "null" -> Some Token.Kw_null
+  | "this" -> Some Token.Kw_this
+  | "print" -> Some Token.Kw_print
+  | "break" -> Some Token.Kw_break
+  | "continue" -> Some Token.Kw_continue
+  | _ -> None
+
+let peek st =
+  if st.offset < String.length st.source then Some st.source.[st.offset]
+  else None
+
+let peek2 st =
+  if st.offset + 1 < String.length st.source then Some st.source.[st.offset + 1]
+  else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.offset <- st.offset + 1
+
+let pos st = { Token.line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_trivia st
+  | Some '/', Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/', Some '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec find_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            find_close ()
+        | None, _ -> raise (Error ("unterminated block comment", start))
+      in
+      find_close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.offset in
+  while match peek st with Some c -> is_digit c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.source start (st.offset - start) in
+  match int_of_string_opt text with
+  | Some n -> Token.Int_literal n
+  | None -> raise (Error ("integer literal out of range: " ^ text, pos st))
+
+let lex_word st =
+  let start = st.offset in
+  while match peek st with Some c -> is_ident_char c | None -> false do
+    advance st
+  done;
+  let text = String.sub st.source start (st.offset - start) in
+  match keyword_of text with Some kw -> kw | None -> Token.Ident text
+
+let lex_operator st =
+  let two tok =
+    advance st;
+    advance st;
+    tok
+  in
+  let one tok =
+    advance st;
+    tok
+  in
+  match (peek st, peek2 st) with
+  | Some '<', Some '=' -> two Token.Le
+  | Some '<', Some '<' -> two Token.Shl
+  | Some '>', Some '=' -> two Token.Ge
+  | Some '>', Some '>' -> two Token.Shr
+  | Some '=', Some '=' -> two Token.Eq
+  | Some '!', Some '=' -> two Token.Ne
+  | Some '&', Some '&' -> two Token.And_and
+  | Some '|', Some '|' -> two Token.Or_or
+  | Some '<', _ -> one Token.Lt
+  | Some '>', _ -> one Token.Gt
+  | Some '=', _ -> one Token.Assign
+  | Some '!', _ -> one Token.Not
+  | Some '&', _ -> one Token.Amp
+  | Some '|', _ -> one Token.Bar
+  | Some '^', _ -> one Token.Caret
+  | Some '+', _ -> one Token.Plus
+  | Some '-', _ -> one Token.Minus
+  | Some '*', _ -> one Token.Star
+  | Some '/', _ -> one Token.Slash
+  | Some '%', _ -> one Token.Percent
+  | Some '(', _ -> one Token.Lparen
+  | Some ')', _ -> one Token.Rparen
+  | Some '{', _ -> one Token.Lbrace
+  | Some '}', _ -> one Token.Rbrace
+  | Some '[', _ -> one Token.Lbracket
+  | Some ']', _ -> one Token.Rbracket
+  | Some ';', _ -> one Token.Semi
+  | Some ',', _ -> one Token.Comma
+  | Some '.', _ -> one Token.Dot
+  | Some c, _ ->
+      raise (Error (Printf.sprintf "illegal character %C" c, pos st))
+  | None, _ -> Token.Eof
+
+let tokenize source =
+  let st = { source; offset = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_trivia st;
+    let p = pos st in
+    match peek st with
+    | None -> List.rev ({ Token.token = Token.Eof; pos = p } :: acc)
+    | Some c ->
+        let token =
+          if is_digit c then lex_number st
+          else if is_ident_start c then lex_word st
+          else lex_operator st
+        in
+        go ({ Token.token; pos = p } :: acc)
+  in
+  go []

@@ -1,0 +1,8 @@
+(** Hand-written lexer for MiniJava. Supports [//] line comments and
+    [/* ... */] block comments. *)
+
+exception Error of string * Token.pos
+
+val tokenize : string -> Token.spanned list
+(** The token stream of a source text, ending with {!Token.Eof}. Raises
+    {!Error} on an illegal character or an unterminated comment. *)

@@ -1,0 +1,572 @@
+exception Error of string * Token.pos
+
+type state = { tokens : Token.spanned array; mutable cursor : int }
+
+let current st = st.tokens.(st.cursor)
+let peek_token st = (current st).token
+let peek_pos st = (current st).pos
+
+let peek_ahead st n =
+  let i = st.cursor + n in
+  if i < Array.length st.tokens then st.tokens.(i).token else Token.Eof
+
+let advance st =
+  if st.cursor + 1 < Array.length st.tokens then st.cursor <- st.cursor + 1
+
+let fail st msg = raise (Error (msg, peek_pos st))
+
+let expect st token =
+  if peek_token st = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'" (Token.to_string token)
+         (Token.to_string (peek_token st)))
+
+let expect_ident st =
+  match peek_token st with
+  | Token.Ident name ->
+      advance st;
+      name
+  | t -> fail st (Printf.sprintf "expected identifier, found '%s'" (Token.to_string t))
+
+(* --- types ------------------------------------------------------------ *)
+
+(* [int], [int[]], [C], [C[]]. Assumes the caller verified the leading
+   token starts a type. *)
+let parse_ty st =
+  let base =
+    match peek_token st with
+    | Token.Kw_int ->
+        advance st;
+        Ast.Tint
+    | Token.Ident name ->
+        advance st;
+        Ast.Tclass name
+    | t -> fail st (Printf.sprintf "expected type, found '%s'" (Token.to_string t))
+  in
+  if peek_token st = Token.Lbracket && peek_ahead st 1 = Token.Rbracket then begin
+    advance st;
+    advance st;
+    match base with
+    | Ast.Tint -> Ast.Tint_array
+    | Ast.Tclass c -> Ast.Tclass_array c
+    | Ast.Tint_array | Ast.Tclass_array _ ->
+        fail st "multi-dimensional array types are not supported"
+  end
+  else base
+
+(* --- expressions ------------------------------------------------------ *)
+
+let mk pos desc = { Ast.desc; pos }
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec go left =
+    if peek_token st = Token.Or_or then begin
+      let pos = peek_pos st in
+      advance st;
+      let right = parse_and st in
+      go (mk pos (Ast.Binop (Ast.Or, left, right)))
+    end
+    else left
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go left =
+    if peek_token st = Token.And_and then begin
+      let pos = peek_pos st in
+      advance st;
+      let right = parse_bitor st in
+      go (mk pos (Ast.Binop (Ast.And, left, right)))
+    end
+    else left
+  in
+  go (parse_bitor st)
+
+and parse_bitor st =
+  let rec go left =
+    match peek_token st with
+    | Token.Bar ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (Ast.Bor, left, parse_bitxor st)))
+    | _ -> left
+  in
+  go (parse_bitxor st)
+
+and parse_bitxor st =
+  let rec go left =
+    match peek_token st with
+    | Token.Caret ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (Ast.Bxor, left, parse_bitand st)))
+    | _ -> left
+  in
+  go (parse_bitand st)
+
+and parse_bitand st =
+  let rec go left =
+    match peek_token st with
+    | Token.Amp ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (Ast.Band, left, parse_equality st)))
+    | _ -> left
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go left =
+    match peek_token st with
+    | Token.Eq ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (Ast.Eq, left, parse_relational st)))
+    | Token.Ne ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (Ast.Ne, left, parse_relational st)))
+    | _ -> left
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go left =
+    let op =
+      match peek_token st with
+      | Token.Lt -> Some Ast.Lt
+      | Token.Le -> Some Ast.Le
+      | Token.Gt -> Some Ast.Gt
+      | Token.Ge -> Some Ast.Ge
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (op, left, parse_shift st)))
+    | None -> left
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go left =
+    let op =
+      match peek_token st with
+      | Token.Shl -> Some Ast.Shl
+      | Token.Shr -> Some Ast.Shr
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (op, left, parse_additive st)))
+    | None -> left
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go left =
+    let op =
+      match peek_token st with
+      | Token.Plus -> Some Ast.Add
+      | Token.Minus -> Some Ast.Sub
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (op, left, parse_multiplicative st)))
+    | None -> left
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go left =
+    let op =
+      match peek_token st with
+      | Token.Star -> Some Ast.Mul
+      | Token.Slash -> Some Ast.Div
+      | Token.Percent -> Some Ast.Rem
+      | _ -> None
+    in
+    match op with
+    | Some op ->
+        let pos = peek_pos st in
+        advance st;
+        go (mk pos (Ast.Binop (op, left, parse_unary st)))
+    | None -> left
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Token.Minus ->
+      advance st;
+      mk pos (Ast.Unop_neg (parse_unary st))
+  | Token.Not ->
+      advance st;
+      mk pos (Ast.Unop_not (parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match peek_token st with
+    | Token.Dot -> (
+        advance st;
+        let name = expect_ident st in
+        let pos = peek_pos st in
+        if peek_token st = Token.Lparen then begin
+          let args = parse_args st in
+          go (mk pos (Ast.Call (e, name, args)))
+        end
+        else go (mk pos (Ast.Field (e, name))))
+    | Token.Lbracket ->
+        let pos = peek_pos st in
+        advance st;
+        let index = parse_expr st in
+        expect st Token.Rbracket;
+        go (mk pos (Ast.Index (e, index)))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  expect st Token.Lparen;
+  if peek_token st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if peek_token st = Token.Comma then begin
+        advance st;
+        go (e :: acc)
+      end
+      else begin
+        expect st Token.Rparen;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek_token st with
+  | Token.Int_literal n ->
+      advance st;
+      mk pos (Ast.Int_lit n)
+  | Token.Kw_null ->
+      advance st;
+      mk pos Ast.Null_lit
+  | Token.Kw_this ->
+      advance st;
+      mk pos Ast.This
+  | Token.Lparen ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+  | Token.Kw_new -> (
+      advance st;
+      match peek_token st with
+      | Token.Kw_int ->
+          advance st;
+          expect st Token.Lbracket;
+          let size = parse_expr st in
+          expect st Token.Rbracket;
+          mk pos (Ast.New_int_array size)
+      | Token.Ident cls ->
+          advance st;
+          if peek_token st = Token.Lbracket then begin
+            advance st;
+            let size = parse_expr st in
+            expect st Token.Rbracket;
+            mk pos (Ast.New_class_array (cls, size))
+          end
+          else
+            let args = parse_args st in
+            mk pos (Ast.New_object (cls, args))
+      | t ->
+          fail st
+            (Printf.sprintf "expected class name or 'int' after 'new', found '%s'"
+               (Token.to_string t)))
+  | Token.Ident name ->
+      advance st;
+      if peek_token st = Token.Lparen then
+        let args = parse_args st in
+        mk pos (Ast.Bare_call (name, args))
+      else mk pos (Ast.Var name)
+  | t -> fail st (Printf.sprintf "expected expression, found '%s'" (Token.to_string t))
+
+(* --- statements ------------------------------------------------------- *)
+
+let lvalue_of_expr st (e : Ast.expr) =
+  match e.desc with
+  | Ast.Var name -> Ast.Lvar name
+  | Ast.Field (base, name) -> Ast.Lfield (base, name)
+  | Ast.Index (base, index) -> Ast.Lindex (base, index)
+  | _ -> fail st "left-hand side of assignment is not assignable"
+
+let starts_declaration st =
+  match (peek_token st, peek_ahead st 1, peek_ahead st 2) with
+  | Token.Kw_int, _, _ -> true
+  | Token.Ident _, Token.Ident _, _ -> true
+  | Token.Ident _, Token.Lbracket, Token.Rbracket -> true
+  | _ -> false
+
+let rec parse_stmt st =
+  let spos = peek_pos st in
+  match peek_token st with
+  | Token.Lbrace ->
+      let body = parse_block st in
+      { Ast.sdesc = Ast.Block body; spos }
+  | Token.Kw_if ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let then_branch = parse_body st in
+      let else_branch =
+        if peek_token st = Token.Kw_else then begin
+          advance st;
+          parse_body st
+        end
+        else []
+      in
+      { Ast.sdesc = Ast.If (cond, then_branch, else_branch); spos }
+  | Token.Kw_while ->
+      advance st;
+      expect st Token.Lparen;
+      let cond = parse_expr st in
+      expect st Token.Rparen;
+      let body = parse_body st in
+      { Ast.sdesc = Ast.While (cond, body); spos }
+  | Token.Kw_for ->
+      advance st;
+      expect st Token.Lparen;
+      let init =
+        if peek_token st = Token.Semi then None
+        else Some (parse_simple_stmt st)
+      in
+      expect st Token.Semi;
+      let cond =
+        if peek_token st = Token.Semi then
+          mk spos (Ast.Int_lit 1)
+        else parse_expr st
+      in
+      expect st Token.Semi;
+      let update =
+        if peek_token st = Token.Rparen then None
+        else Some (parse_simple_stmt st)
+      in
+      expect st Token.Rparen;
+      let body = parse_body st in
+      { Ast.sdesc = Ast.For (init, cond, update, body); spos }
+  | Token.Kw_return ->
+      advance st;
+      let value =
+        if peek_token st = Token.Semi then None else Some (parse_expr st)
+      in
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Return value; spos }
+  | Token.Kw_print ->
+      advance st;
+      expect st Token.Lparen;
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Print e; spos }
+  | Token.Kw_break ->
+      advance st;
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Break; spos }
+  | Token.Kw_continue ->
+      advance st;
+      expect st Token.Semi;
+      { Ast.sdesc = Ast.Continue; spos }
+  | _ ->
+      let stmt = parse_simple_stmt st in
+      expect st Token.Semi;
+      stmt
+
+(* declaration / assignment / call, without the trailing ';' (shared with
+   'for' headers). *)
+and parse_simple_stmt st =
+  let spos = peek_pos st in
+  if starts_declaration st then begin
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    expect st Token.Assign;
+    let init = parse_expr st in
+    { Ast.sdesc = Ast.Decl (ty, name, init); spos }
+  end
+  else begin
+    let e = parse_expr st in
+    if peek_token st = Token.Assign then begin
+      advance st;
+      let value = parse_expr st in
+      { Ast.sdesc = Ast.Assign (lvalue_of_expr st e, value); spos }
+    end
+    else { Ast.sdesc = Ast.Expr_stmt e; spos }
+  end
+
+and parse_body st =
+  if peek_token st = Token.Lbrace then parse_block st else [ parse_stmt st ]
+
+and parse_block st =
+  expect st Token.Lbrace;
+  let rec go acc =
+    if peek_token st = Token.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- declarations ----------------------------------------------------- *)
+
+let parse_params st =
+  expect st Token.Lparen;
+  if peek_token st = Token.Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      if peek_token st = Token.Comma then begin
+        advance st;
+        go ((ty, name) :: acc)
+      end
+      else begin
+        expect st Token.Rparen;
+        List.rev ((ty, name) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_class_member st ~class_name =
+  let member_pos = peek_pos st in
+  let is_static =
+    if peek_token st = Token.Kw_static then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  match peek_token st with
+  | Token.Kw_void ->
+      advance st;
+      let name = expect_ident st in
+      let params = parse_params st in
+      let body = parse_block st in
+      `Method
+        {
+          Ast.method_ret = None;
+          method_name = name;
+          method_static = is_static;
+          method_params = params;
+          method_body = body;
+          method_pos = member_pos;
+          is_constructor = false;
+        }
+  | Token.Ident name when name = class_name && peek_ahead st 1 = Token.Lparen
+    ->
+      (* constructor: ClassName(params) { ... } *)
+      advance st;
+      let params = parse_params st in
+      let body = parse_block st in
+      `Method
+        {
+          Ast.method_ret = None;
+          method_name = "<init>";
+          method_static = false;
+          method_params = params;
+          method_body = body;
+          method_pos = member_pos;
+          is_constructor = true;
+        }
+  | _ -> (
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      match peek_token st with
+      | Token.Lparen ->
+          let params = parse_params st in
+          let body = parse_block st in
+          `Method
+            {
+              Ast.method_ret = Some ty;
+              method_name = name;
+              method_static = is_static;
+              method_params = params;
+              method_body = body;
+              method_pos = member_pos;
+              is_constructor = false;
+            }
+      | Token.Semi ->
+          advance st;
+          `Field
+            {
+              Ast.field_ty = ty;
+              field_name = name;
+              field_static = is_static;
+              field_pos = member_pos;
+            }
+      | t ->
+          fail st
+            (Printf.sprintf "expected '(' or ';' after member name, found '%s'"
+               (Token.to_string t)))
+
+let parse_class st =
+  let class_pos = peek_pos st in
+  expect st Token.Kw_class;
+  let class_name = expect_ident st in
+  expect st Token.Lbrace;
+  let rec go fields methods =
+    if peek_token st = Token.Rbrace then begin
+      advance st;
+      {
+        Ast.class_name;
+        class_fields = List.rev fields;
+        class_methods = List.rev methods;
+        class_pos;
+      }
+    end
+    else
+      match parse_class_member st ~class_name with
+      | `Field f -> go (f :: fields) methods
+      | `Method m -> go fields (m :: methods)
+  in
+  go [] []
+
+let parse tokens =
+  let st = { tokens = Array.of_list tokens; cursor = 0 } in
+  if Array.length st.tokens = 0 then []
+  else begin
+    let rec go acc =
+      match peek_token st with
+      | Token.Eof -> List.rev acc
+      | Token.Kw_class -> go (parse_class st :: acc)
+      | t ->
+          fail st
+            (Printf.sprintf "expected 'class', found '%s'" (Token.to_string t))
+    in
+    go []
+  end
+
+let parse_string source =
+  match Lexer.tokenize source with
+  | tokens -> parse tokens
+  | exception Lexer.Error (msg, pos) -> raise (Error (msg, pos))

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniJava. *)
+
+exception Error of string * Token.pos
+
+val parse : Token.spanned list -> Ast.program
+(** Raises {!Error} with a source position on malformed input. *)
+
+val parse_string : string -> Ast.program
+(** [tokenize] + [parse]; lexer errors are re-raised as {!Error}. *)

@@ -1,0 +1,509 @@
+exception Error of string * Ast.pos
+
+type sty =
+  | Sint
+  | Sclass of string
+  | Sint_array
+  | Sclass_array of string
+  | Snull
+  | Svoid  (** result of a void call; never assignable *)
+
+type field_info = {
+  f_slot : int;
+  f_offset : int;
+  f_ty : Ast.ty;
+  f_class : string;
+}
+
+type method_sig = {
+  m_id : int;
+  m_qualified : string;
+  m_class : string;
+  m_static : bool;
+  m_params : (Ast.ty * string) list;
+  m_ret : Ast.ty option;
+  m_body : Ast.stmt list;
+  m_is_constructor : bool;
+}
+
+type static_info = { s_index : int; s_ty : Ast.ty; s_qualified : string }
+
+type class_info = {
+  c_id : int;
+  c_name : string;
+  c_fields : (string * field_info) list;
+}
+
+type env = {
+  classes : (string, class_info) Hashtbl.t;
+  methods : method_sig array;
+  method_ids : (string, int) Hashtbl.t;
+  statics : (string, static_info) Hashtbl.t;
+  n_statics : int;
+  entry : int;
+}
+
+let err pos fmt = Printf.ksprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+let sty_of_ty = function
+  | Ast.Tint -> Sint
+  | Ast.Tclass c -> Sclass c
+  | Ast.Tint_array -> Sint_array
+  | Ast.Tclass_array c -> Sclass_array c
+
+let string_of_sty = function
+  | Sint -> "int"
+  | Sclass c -> c
+  | Sint_array -> "int[]"
+  | Sclass_array c -> c ^ "[]"
+  | Snull -> "null"
+  | Svoid -> "void"
+
+let is_ref_sty = function
+  | Sclass _ | Sint_array | Sclass_array _ | Snull -> true
+  | Sint | Svoid -> false
+
+let field_is_ref = function
+  | Ast.Tint -> false
+  | Ast.Tclass _ | Ast.Tint_array | Ast.Tclass_array _ -> true
+
+let assignable ~target value =
+  match (target, value) with
+  | Sint, Sint -> true
+  | (Sclass _ | Sint_array | Sclass_array _), Snull -> true
+  | Sclass a, Sclass b -> a = b
+  | Sint_array, Sint_array -> true
+  | Sclass_array a, Sclass_array b -> a = b
+  | _ -> false
+
+type var_resolution = Rlocal | Rfield of field_info | Rclass of string
+
+let resolve_var env ~cls ~is_local name pos =
+  if is_local name then Rlocal
+  else
+    let field =
+      match cls with
+      | None -> None
+      | Some cname -> (
+          match Hashtbl.find_opt env.classes cname with
+          | Some ci -> List.assoc_opt name ci.c_fields
+          | None -> None)
+    in
+    match field with
+    | Some f -> Rfield f
+    | None ->
+        if Hashtbl.mem env.classes name then Rclass name
+        else err pos "unbound name '%s'" name
+
+type field_access = Flength | Finstance of field_info | Fstatic of static_info
+
+let resolve_field env ~base ~class_of_base name pos =
+  match (base, class_of_base) with
+  | Some (Sint_array | Sclass_array _), _ when name = "length" -> Flength
+  | Some (Sclass cname), _ -> (
+      match Hashtbl.find_opt env.classes cname with
+      | None -> err pos "unknown class '%s'" cname
+      | Some ci -> (
+          match List.assoc_opt name ci.c_fields with
+          | Some f -> Finstance f
+          | None -> err pos "class %s has no field '%s'" cname name))
+  | None, Some cname -> (
+      match Hashtbl.find_opt env.statics (cname ^ "." ^ name) with
+      | Some s -> Fstatic s
+      | None -> err pos "class %s has no static field '%s'" cname name)
+  | Some ty, _ ->
+      err pos "type %s has no field '%s'" (string_of_sty ty) name
+  | None, None -> err pos "cannot resolve field '%s'" name
+
+let resolve_call env ~receiver name pos =
+  let lookup cname ~static =
+    match Hashtbl.find_opt env.method_ids (cname ^ "." ^ name) with
+    | None -> err pos "class %s has no method '%s'" cname name
+    | Some id ->
+        let m = env.methods.(id) in
+        if static && not m.m_static then
+          err pos "method %s.%s is not static" cname name
+        else if (not static) && m.m_static then
+          err pos "static method %s.%s called on an instance" cname name
+        else m
+  in
+  match receiver with
+  | `Instance (Sclass cname) -> lookup cname ~static:false
+  | `Instance ty ->
+      err pos "type %s has no method '%s'" (string_of_sty ty) name
+  | `Static cname ->
+      if Hashtbl.mem env.classes cname then lookup cname ~static:true
+      else err pos "unknown class '%s'" cname
+
+(* --- table construction ------------------------------------------------ *)
+
+let build_tables (program : Ast.program) =
+  let classes = Hashtbl.create 16 in
+  let statics = Hashtbl.create 16 in
+  let method_ids = Hashtbl.create 32 in
+  let methods = ref [] in
+  let next_method = ref 0 in
+  let next_static = ref 0 in
+  List.iteri
+    (fun c_id (cd : Ast.class_decl) ->
+      if Hashtbl.mem classes cd.class_name then
+        err cd.class_pos "duplicate class '%s'" cd.class_name;
+      let instance_fields = ref [] in
+      let slot = ref 0 in
+      List.iter
+        (fun (f : Ast.field_decl) ->
+          let qualified = cd.class_name ^ "." ^ f.field_name in
+          if f.field_static then begin
+            if Hashtbl.mem statics qualified then
+              err f.field_pos "duplicate static field '%s'" qualified;
+            Hashtbl.add statics qualified
+              { s_index = !next_static; s_ty = f.field_ty;
+                s_qualified = qualified };
+            incr next_static
+          end
+          else begin
+            if List.mem_assoc f.field_name !instance_fields then
+              err f.field_pos "duplicate field '%s'" qualified;
+            instance_fields :=
+              ( f.field_name,
+                {
+                  f_slot = !slot;
+                  f_offset =
+                    Vm.Classfile.header_bytes
+                    + (!slot * Vm.Classfile.slot_bytes);
+                  f_ty = f.field_ty;
+                  f_class = cd.class_name;
+                } )
+              :: !instance_fields;
+            incr slot
+          end)
+        cd.class_fields;
+      Hashtbl.add classes cd.class_name
+        { c_id; c_name = cd.class_name; c_fields = List.rev !instance_fields };
+      List.iter
+        (fun (m : Ast.method_decl) ->
+          let qualified = cd.class_name ^ "." ^ m.method_name in
+          if Hashtbl.mem method_ids qualified then
+            err m.method_pos "duplicate method '%s'" qualified;
+          Hashtbl.add method_ids qualified !next_method;
+          methods :=
+            {
+              m_id = !next_method;
+              m_qualified = qualified;
+              m_class = cd.class_name;
+              m_static = m.method_static;
+              m_params = m.method_params;
+              m_ret = m.method_ret;
+              m_body = m.method_body;
+              m_is_constructor = m.is_constructor;
+            }
+            :: !methods;
+          incr next_method)
+        cd.class_methods)
+    program;
+  (classes, statics, method_ids, Array.of_list (List.rev !methods), !next_static)
+
+(* --- type checking ------------------------------------------------------ *)
+
+type scope = { mutable vars : (string * sty) list list }
+
+let push_scope scope = scope.vars <- [] :: scope.vars
+let pop_scope scope =
+  match scope.vars with _ :: rest -> scope.vars <- rest | [] -> ()
+
+let find_var scope name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+        match List.assoc_opt name frame with
+        | Some ty -> Some ty
+        | None -> go rest)
+  in
+  go scope.vars
+
+let declare_var scope name ty pos =
+  match scope.vars with
+  | frame :: rest ->
+      if List.mem_assoc name frame then
+        err pos "variable '%s' already declared in this scope" name;
+      scope.vars <- ((name, ty) :: frame) :: rest
+  | [] -> assert false
+
+let check_class_exists env pos = function
+  | Ast.Tclass c | Ast.Tclass_array c ->
+      if not (Hashtbl.mem env.classes c) then err pos "unknown class '%s'" c
+  | Ast.Tint | Ast.Tint_array -> ()
+
+let rec expr_type env ~cls ~enclosing ~scope (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int_lit _ -> Sint
+  | Ast.Null_lit -> Snull
+  | Ast.This -> (
+      match cls with
+      | Some c -> Sclass c
+      | None -> err e.pos "'this' in a static method")
+  | Ast.Var name -> (
+      match find_var scope name with
+      | Some ty -> ty
+      | None -> (
+          match resolve_var env ~cls ~is_local:(fun _ -> false) name e.pos with
+          | Rlocal -> assert false
+          | Rfield f -> sty_of_ty f.f_ty
+          | Rclass c -> err e.pos "class name '%s' used as a value" c))
+  | Ast.Field (base, name) -> (
+      match field_access_type env ~cls ~enclosing ~scope base name e.pos with
+      | Flength, _ -> Sint
+      | Finstance f, _ -> sty_of_ty f.f_ty
+      | Fstatic s, _ -> sty_of_ty s.s_ty)
+  | Ast.Static_field (cname, fname) -> (
+      match resolve_field env ~base:None ~class_of_base:(Some cname) fname e.pos with
+      | Fstatic s -> sty_of_ty s.s_ty
+      | Flength | Finstance _ -> assert false)
+  | Ast.Index (base, index) -> (
+      let ity = expr_type env ~cls ~enclosing ~scope index in
+      if ity <> Sint then
+        err index.pos "array index must be int, found %s" (string_of_sty ity);
+      match expr_type env ~cls ~enclosing ~scope base with
+      | Sint_array -> Sint
+      | Sclass_array c -> Sclass c
+      | ty -> err base.pos "indexing a non-array of type %s" (string_of_sty ty))
+  | Ast.Length base -> (
+      match expr_type env ~cls ~enclosing ~scope base with
+      | Sint_array | Sclass_array _ -> Sint
+      | ty -> err base.pos "'.length' on non-array type %s" (string_of_sty ty))
+  | Ast.Call (base, name, args) ->
+      call_type env ~cls ~enclosing ~scope base name args e.pos
+  | Ast.Bare_call (name, args) -> (
+      match Hashtbl.find_opt env.method_ids (enclosing ^ "." ^ name) with
+      | None -> err e.pos "class %s has no method '%s'" enclosing name
+      | Some id ->
+          let m = env.methods.(id) in
+          if (not m.m_static) && cls = None then
+            err e.pos "instance method '%s' called from a static context" name;
+          check_args env ~cls ~enclosing ~scope m args e.pos;
+          ret_type m)
+  | Ast.Static_call (cname, mname, args) ->
+      let m = resolve_call env ~receiver:(`Static cname) mname e.pos in
+      check_args env ~cls ~enclosing ~scope m args e.pos;
+      ret_type m
+  | Ast.New_object (cname, args) -> (
+      if not (Hashtbl.mem env.classes cname) then
+        err e.pos "unknown class '%s'" cname;
+      match Hashtbl.find_opt env.method_ids (cname ^ ".<init>") with
+      | Some id ->
+          let m = env.methods.(id) in
+          check_args env ~cls ~enclosing ~scope m args e.pos;
+          Sclass cname
+      | None ->
+          if args <> [] then
+            err e.pos "class %s has no constructor but arguments were given"
+              cname;
+          Sclass cname)
+  | Ast.New_int_array size ->
+      let ty = expr_type env ~cls ~enclosing ~scope size in
+      if ty <> Sint then
+        err size.pos "array size must be int, found %s" (string_of_sty ty);
+      Sint_array
+  | Ast.New_class_array (cname, size) ->
+      if not (Hashtbl.mem env.classes cname) then
+        err e.pos "unknown class '%s'" cname;
+      let ty = expr_type env ~cls ~enclosing ~scope size in
+      if ty <> Sint then
+        err size.pos "array size must be int, found %s" (string_of_sty ty);
+      Sclass_array cname
+  | Ast.Binop ((Ast.Eq | Ast.Ne), a, b) ->
+      let ta = expr_type env ~cls ~enclosing ~scope a in
+      let tb = expr_type env ~cls ~enclosing ~scope b in
+      let compatible =
+        assignable ~target:ta tb || assignable ~target:tb ta
+        || (is_ref_sty ta && is_ref_sty tb && (ta = Snull || tb = Snull))
+      in
+      if not compatible then
+        err e.pos "cannot compare %s with %s" (string_of_sty ta)
+          (string_of_sty tb);
+      Sint
+  | Ast.Binop (_, a, b) ->
+      let ta = expr_type env ~cls ~enclosing ~scope a in
+      let tb = expr_type env ~cls ~enclosing ~scope b in
+      if ta <> Sint then
+        err a.pos "operand must be int, found %s" (string_of_sty ta);
+      if tb <> Sint then
+        err b.pos "operand must be int, found %s" (string_of_sty tb);
+      Sint
+  | Ast.Unop_neg a | Ast.Unop_not a ->
+      let ta = expr_type env ~cls ~enclosing ~scope a in
+      if ta <> Sint then
+        err a.pos "operand must be int, found %s" (string_of_sty ta);
+      Sint
+
+and field_access_type env ~cls ~enclosing ~scope base name pos =
+  (* A Field whose base is a bare class name is a static access. *)
+  match base.Ast.desc with
+  | Ast.Var vname
+    when find_var scope vname = None
+         && resolve_var env ~cls ~is_local:(fun n -> find_var scope n <> None)
+              vname pos
+            = Rclass vname ->
+      (resolve_field env ~base:None ~class_of_base:(Some vname) name pos, None)
+  | _ ->
+      let bty = expr_type env ~cls ~enclosing ~scope base in
+      (resolve_field env ~base:(Some bty) ~class_of_base:None name pos, Some bty)
+
+and ret_type m = match m.m_ret with None -> Svoid | Some ty -> sty_of_ty ty
+
+and check_args env ~cls ~enclosing ~scope m args pos =
+  let expected = List.length m.m_params in
+  let given = List.length args in
+  if expected <> given then
+    err pos "%s expects %d argument(s), got %d" m.m_qualified expected given;
+  List.iter2
+    (fun (pty, pname) arg ->
+      let target = sty_of_ty pty in
+      let actual = expr_type env ~cls ~enclosing ~scope arg in
+      if not (assignable ~target actual) then
+        err arg.Ast.pos "argument '%s' of %s expects %s, got %s" pname
+          m.m_qualified (string_of_sty target) (string_of_sty actual))
+    m.m_params args
+
+and call_type env ~cls ~enclosing ~scope base name args pos =
+  match base.Ast.desc with
+  | Ast.Var vname when find_var scope vname = None
+                       && Hashtbl.mem env.classes vname
+                       && (match cls with
+                           | Some c -> (
+                               match Hashtbl.find_opt env.classes c with
+                               | Some ci -> not (List.mem_assoc vname ci.c_fields)
+                               | None -> true)
+                           | None -> true) ->
+      let m = resolve_call env ~receiver:(`Static vname) name pos in
+      check_args env ~cls ~enclosing ~scope m args pos;
+      ret_type m
+  | _ ->
+      let bty = expr_type env ~cls ~enclosing ~scope base in
+      let m = resolve_call env ~receiver:(`Instance bty) name pos in
+      check_args env ~cls ~enclosing ~scope m args pos;
+      ret_type m
+
+let rec check_stmt env ~cls ~enclosing ~scope ~ret (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Decl (ty, name, init) ->
+      check_class_exists env s.spos ty;
+      let target = sty_of_ty ty in
+      let actual = expr_type env ~cls ~enclosing ~scope init in
+      if not (assignable ~target actual) then
+        err s.spos "cannot initialize %s '%s' with %s" (Ast.string_of_ty ty)
+          name (string_of_sty actual);
+      declare_var scope name target s.spos
+  | Ast.Assign (lv, value) ->
+      let target = lvalue_type env ~cls ~enclosing ~scope lv s.spos in
+      let actual = expr_type env ~cls ~enclosing ~scope value in
+      if not (assignable ~target actual) then
+        err s.spos "cannot assign %s to %s" (string_of_sty actual)
+          (string_of_sty target)
+  | Ast.If (cond, then_b, else_b) ->
+      let ty = expr_type env ~cls ~enclosing ~scope cond in
+      if ty <> Sint then err cond.pos "condition must be int (boolean)";
+      check_block env ~cls ~enclosing ~scope ~ret then_b;
+      check_block env ~cls ~enclosing ~scope ~ret else_b
+  | Ast.While (cond, body) ->
+      let ty = expr_type env ~cls ~enclosing ~scope cond in
+      if ty <> Sint then err cond.pos "condition must be int (boolean)";
+      check_block env ~cls ~enclosing ~scope ~ret body
+  | Ast.For (init, cond, update, body) ->
+      push_scope scope;
+      Option.iter (check_stmt env ~cls ~enclosing ~scope ~ret) init;
+      let ty = expr_type env ~cls ~enclosing ~scope cond in
+      if ty <> Sint then err cond.pos "condition must be int (boolean)";
+      Option.iter (check_stmt env ~cls ~enclosing ~scope ~ret) update;
+      check_block env ~cls ~enclosing ~scope ~ret body;
+      pop_scope scope
+  | Ast.Return None ->
+      if ret <> None then err s.spos "missing return value"
+  | Ast.Return (Some e) -> (
+      match ret with
+      | None -> err s.spos "void method returns a value"
+      | Some target ->
+          let actual = expr_type env ~cls ~enclosing ~scope e in
+          if not (assignable ~target actual) then
+            err s.spos "return type mismatch: expected %s, got %s"
+              (string_of_sty target) (string_of_sty actual))
+  | Ast.Expr_stmt e -> (
+      match e.desc with
+      | Ast.Call _ | Ast.Static_call _ | Ast.New_object _ | Ast.Bare_call _ ->
+          ignore (expr_type env ~cls ~enclosing ~scope e)
+      | _ -> err s.spos "only calls can be used as statements")
+  | Ast.Print e ->
+      let ty = expr_type env ~cls ~enclosing ~scope e in
+      if ty <> Sint then err e.pos "print expects an int"
+  | Ast.Break | Ast.Continue -> ()
+  | Ast.Block body -> check_block env ~cls ~enclosing ~scope ~ret body
+
+and lvalue_type env ~cls ~enclosing ~scope lv pos =
+  match lv with
+  | Ast.Lvar name -> (
+      match find_var scope name with
+      | Some ty -> ty
+      | None -> (
+          match resolve_var env ~cls ~is_local:(fun _ -> false) name pos with
+          | Rlocal -> assert false
+          | Rfield f -> sty_of_ty f.f_ty
+          | Rclass c -> err pos "cannot assign to class name '%s'" c))
+  | Ast.Lfield (base, name) -> (
+      match field_access_type env ~cls ~enclosing ~scope base name pos with
+      | Flength, _ -> err pos "cannot assign to '.length'"
+      | Finstance f, _ -> sty_of_ty f.f_ty
+      | Fstatic s, _ -> sty_of_ty s.s_ty)
+  | Ast.Lstatic (cname, fname) -> (
+      match resolve_field env ~base:None ~class_of_base:(Some cname) fname pos with
+      | Fstatic s -> sty_of_ty s.s_ty
+      | Flength | Finstance _ -> assert false)
+  | Ast.Lindex (base, index) -> (
+      let ity = expr_type env ~cls ~enclosing ~scope index in
+      if ity <> Sint then err pos "array index must be int";
+      match expr_type env ~cls ~enclosing ~scope base with
+      | Sint_array -> Sint
+      | Sclass_array c -> Sclass c
+      | ty -> err pos "indexing a non-array of type %s" (string_of_sty ty))
+
+and check_block env ~cls ~enclosing ~scope ~ret body =
+  push_scope scope;
+  List.iter (check_stmt env ~cls ~enclosing ~scope ~ret) body;
+  pop_scope scope
+
+let check_method env (m : method_sig) =
+  let cls = if m.m_static then None else Some m.m_class in
+  let enclosing = m.m_class in
+  let scope = { vars = [ [] ] } in
+  List.iter
+    (fun (ty, name) ->
+      check_class_exists env
+        { Token.line = 0; col = 0 }
+        ty;
+      declare_var scope name (sty_of_ty ty) { Token.line = 0; col = 0 })
+    m.m_params;
+  let ret = Option.map sty_of_ty m.m_ret in
+  check_block env ~cls ~enclosing ~scope ~ret m.m_body
+
+let analyze program =
+  let classes, statics, method_ids, methods, n_statics =
+    build_tables program
+  in
+  let entry =
+    match Hashtbl.fold
+            (fun q id acc ->
+              let m = methods.(id) in
+              if m.m_static && m.m_ret = None && m.m_params = []
+                 && Filename.extension q = ".main"
+              then id :: acc
+              else acc)
+            method_ids []
+    with
+    | [ id ] -> id
+    | [] ->
+        err { Token.line = 0; col = 0 } "no 'static void main()' method found"
+    | _ :: _ :: _ ->
+        err { Token.line = 0; col = 0 } "multiple 'static void main()' methods"
+  in
+  let env = { classes; methods; method_ids; statics; n_statics; entry } in
+  Array.iter (check_method env) methods;
+  env

@@ -1,0 +1,106 @@
+(** Lexical tokens of the MiniJava frontend. *)
+
+type t =
+  | Int_literal of int
+  | Ident of string
+  (* keywords *)
+  | Kw_class
+  | Kw_static
+  | Kw_void
+  | Kw_int
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Kw_for
+  | Kw_return
+  | Kw_new
+  | Kw_null
+  | Kw_this
+  | Kw_print
+  | Kw_break
+  | Kw_continue
+  (* punctuation *)
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Semi
+  | Comma
+  | Dot
+  | Assign
+  (* operators *)
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Not
+  | And_and
+  | Or_or
+  | Amp
+  | Bar
+  | Caret
+  | Shl
+  | Shr
+  | Eof
+
+type pos = { line : int; col : int }
+
+type spanned = { token : t; pos : pos }
+
+let to_string = function
+  | Int_literal n -> string_of_int n
+  | Ident s -> s
+  | Kw_class -> "class"
+  | Kw_static -> "static"
+  | Kw_void -> "void"
+  | Kw_int -> "int"
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Kw_for -> "for"
+  | Kw_return -> "return"
+  | Kw_new -> "new"
+  | Kw_null -> "null"
+  | Kw_this -> "this"
+  | Kw_print -> "print"
+  | Kw_break -> "break"
+  | Kw_continue -> "continue"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Assign -> "="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Not -> "!"
+  | And_and -> "&&"
+  | Or_or -> "||"
+  | Amp -> "&"
+  | Bar -> "|"
+  | Caret -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/strideprefetch/codegen.ml: Array Hashtbl Jit Ldg List Memsim Option Options Profitability Stride Vm

@@ -1,0 +1,1 @@
+lib/strideprefetch/codegen.mli: Ldg Memsim Options Stride Vm

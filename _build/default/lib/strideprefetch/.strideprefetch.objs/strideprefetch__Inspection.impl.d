@@ -1,0 +1,1 @@
+lib/strideprefetch/inspection.ml: Array Hashtbl Jit List Option Options Vm

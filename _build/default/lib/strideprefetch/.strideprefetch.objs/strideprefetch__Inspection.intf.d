@@ -1,0 +1,1 @@
+lib/strideprefetch/inspection.mli: Jit Options Vm

@@ -1,0 +1,1 @@
+lib/strideprefetch/ldg.ml: Array Buffer Format Hashtbl Jit List Printf String

@@ -1,0 +1,1 @@
+lib/strideprefetch/ldg.mli: Format Jit

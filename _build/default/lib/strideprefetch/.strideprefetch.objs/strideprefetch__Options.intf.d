@@ -1,0 +1,1 @@
+lib/strideprefetch/options.mli: Memsim

@@ -1,0 +1,1 @@
+lib/strideprefetch/pass.ml: Array Codegen Format Hashtbl Inspection Jit Ldg List Option Options Printf Stride String Vm

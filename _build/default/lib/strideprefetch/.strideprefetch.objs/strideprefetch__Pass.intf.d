@@ -1,0 +1,1 @@
+lib/strideprefetch/pass.mli: Codegen Format Jit Options Stride Vm

@@ -1,0 +1,1 @@
+lib/strideprefetch/profitability.ml: Array List Vm

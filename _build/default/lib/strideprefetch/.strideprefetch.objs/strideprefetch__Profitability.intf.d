@@ -1,0 +1,1 @@
+lib/strideprefetch/profitability.mli: Vm

@@ -1,0 +1,1 @@
+lib/strideprefetch/stride.ml: Format Hashtbl List Option Options

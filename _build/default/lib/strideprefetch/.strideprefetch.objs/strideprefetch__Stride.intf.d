@@ -1,0 +1,1 @@
+lib/strideprefetch/stride.mli: Format Options

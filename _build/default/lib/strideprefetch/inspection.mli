@@ -1,0 +1,53 @@
+(** Object inspection (Section 3.2): ultra-lightweight dynamic profiling by
+    side-effect-free partial interpretation at compile time.
+
+    The method is interpreted from its entry with the {e actual argument
+    values} of the triggering invocation. The target loop's body is
+    interpreted up to [opts.inspect_iterations] times, recording the
+    effective address of every load site per iteration. The interpretation
+    is free of visible side effects:
+
+    - stores into objects and statics go to a private write log that
+      subsequent loads consult first;
+    - allocations go to a private bump-allocated shadow heap placed above
+      the real heap's limit (so co-allocation produces the same strides a
+      real bump allocator would);
+    - operands that cannot be determined become [unknown] and poison
+      whatever consumes them; an unknown branch condition falls through;
+    - method invocations are skipped, their results unknown — unless
+      [opts.inspect_calls] enables the inter-procedural extension the
+      paper discusses, in which case callees are interpreted in frames
+      that share the sandbox (write log, shadow heap, step budget), with
+      their own loops bounded and nesting limited to
+      [opts.max_call_depth];
+    - a loop encountered before the target is interpreted once; a
+      non-promotable loop nested inside the target is force-exited after
+      [opts.small_trip_count] iterations per entry;
+    - a hard step budget bounds the whole interpretation.
+
+    The result also reports whether the target loop exited naturally
+    before the iteration budget — how the algorithm "detects that a loop
+    has a small trip count when it is performing object inspection". *)
+
+type result = {
+  per_site : (int * int) list array;
+      (** per load site: [(iteration, address)] records, execution order *)
+  iterations : int;  (** target-loop iterations begun *)
+  natural_exit : bool;  (** target loop exited before the budget *)
+  steps : int;  (** instructions partially interpreted *)
+}
+
+val inspect :
+  program:Vm.Classfile.program ->
+  heap:Vm.Heap.t ->
+  globals:(int -> Vm.Value.t) ->
+  opts:Options.t ->
+  cfg:Jit.Cfg.t ->
+  forest:Jit.Loops.forest ->
+  target:Jit.Loops.loop ->
+  meth:Vm.Classfile.method_info ->
+  args:Vm.Value.t array ->
+  result
+(** [cfg] and [forest] must describe [meth.code]. [args] are the actual
+    argument values of the hot invocation. The real [heap] and [globals]
+    are read, never written. *)

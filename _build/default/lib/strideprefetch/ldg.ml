@@ -1,0 +1,101 @@
+type node = {
+  site : int;
+  info : Jit.Stack_model.load_info;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = { nodes : (int, node) Hashtbl.t }
+
+let build (infos : Jit.Stack_model.load_info array) ~sites =
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun site ->
+      if site >= 0 && site < Array.length infos then
+        Hashtbl.replace nodes site
+          { site; info = infos.(site); succs = []; preds = [] })
+    sites;
+  Hashtbl.iter
+    (fun site node ->
+      match node.info.base with
+      | Jit.Stack_model.Load producer when Hashtbl.mem nodes producer ->
+          let p = Hashtbl.find nodes producer in
+          if not (List.mem site p.succs) then p.succs <- site :: p.succs;
+          if not (List.mem producer node.preds) then
+            node.preds <- producer :: node.preds
+      | _ -> ())
+    nodes;
+  Hashtbl.iter
+    (fun _ node ->
+      node.succs <- List.sort compare node.succs;
+      node.preds <- List.sort compare node.preds)
+    nodes;
+  { nodes }
+
+let node t site = Hashtbl.find_opt t.nodes site
+
+let sites t =
+  Hashtbl.fold (fun site _ acc -> site :: acc) t.nodes [] |> List.sort compare
+
+let succs t site =
+  match node t site with Some n -> n.succs | None -> []
+
+let preds t site =
+  match node t site with Some n -> n.preds | None -> []
+
+let mem t site = Hashtbl.mem t.nodes site
+
+let n_edges t =
+  Hashtbl.fold (fun _ n acc -> acc + List.length n.succs) t.nodes 0
+
+let reachable_by_intra t ~from has_intra =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec walk site =
+    List.iter
+      (fun next ->
+        if (not (Hashtbl.mem seen next)) && has_intra next then begin
+          Hashtbl.replace seen next ();
+          acc := next :: !acc;
+          walk next
+        end)
+      (succs t site)
+  in
+  walk from;
+  List.rev !acc
+
+let describe info =
+  let open Jit.Stack_model in
+  match info.kind with
+  | Field { name; offset } -> Printf.sprintf "%s(+%d)" name offset
+  | Static { name; _ } -> Printf.sprintf "static %s" name
+  | Array_length -> "length"
+  | Array_elem -> "elem"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun site ->
+      let n = Hashtbl.find t.nodes site in
+      Format.fprintf ppf "L%d (%s) -> [%s]@," site (describe n.info)
+        (String.concat "; " (List.map (Printf.sprintf "L%d") n.succs)))
+    (sites t);
+  Format.fprintf ppf "@]"
+
+let to_dot t ~labels =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph ldg {\n  rankdir=TB;\n";
+  List.iter
+    (fun site ->
+      Buffer.add_string buf
+        (Printf.sprintf "  L%d [label=\"%s\"];\n" site (labels site)))
+    (sites t);
+  List.iter
+    (fun site ->
+      List.iter
+        (fun succ ->
+          Buffer.add_string buf (Printf.sprintf "  L%d -> L%d;\n" site succ))
+        (succs t site))
+    (sites t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Load dependence graphs (Section 3.1).
+
+    Nodes are the load instructions of one loop (plus the loads of
+    promoted small-trip-count nested loops) that take a reference operand;
+    a directed edge [L1 -> L2] exists iff [L2] is directly data dependent
+    on [L1] — [L2] loads through the value [L1] loaded, possibly via local
+    variables. Adjacent node pairs are the only candidates checked for
+    intra-iteration stride patterns, which is the point of the graph: it
+    bounds the quadratic pair search. *)
+
+type node = {
+  site : int;
+  info : Jit.Stack_model.load_info;
+  mutable succs : int list;  (** sites directly data dependent on this one *)
+  mutable preds : int list;
+}
+
+type t
+
+val build : Jit.Stack_model.load_info array -> sites:int list -> t
+(** [build infos ~sites] restricts the graph to [sites] (the loads of the
+    loop under consideration); edges are derived from each load's
+    base-reference producer. *)
+
+val node : t -> int -> node option
+val sites : t -> int list
+(** All member sites, ascending. *)
+
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val mem : t -> int -> bool
+val n_edges : t -> int
+
+val reachable_by_intra : t -> from:int -> (int -> bool) -> int list
+(** [reachable_by_intra t ~from has_intra] walks successor chains from
+    [from] over edges for which [has_intra] holds, returning the sites
+    reached transitively (excluding [from]); used to emit intra-iteration
+    prefetches for nodes "directly or transitively" strided with a
+    dereferenced node (Section 3.3). *)
+
+val pp : Format.formatter -> t -> unit
+val to_dot : t -> labels:(int -> string) -> string
+(** GraphViz rendering, used to reproduce Figure 5. *)

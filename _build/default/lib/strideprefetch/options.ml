@@ -1,0 +1,93 @@
+(** Tuning knobs of the prefetching algorithm.
+
+    Paper defaults (Section 4): 20 inspected iterations, a 75% majority
+    threshold for recognizing a dominant stride, and a scheduling distance
+    of one iteration for both inter- and intra-iteration prefetching. *)
+
+(** The three evaluated configurations: [Off] is the paper's BASELINE,
+    [Inter] its INTER (the emulation of Wu's stride prefetching restricted
+    to in-loop loads), [Inter_intra] its INTER+INTRA. *)
+type mode = Off | Inter | Inter_intra
+
+(** How intra-iteration/dereference-based prefetches are realized.
+    [Auto] picks guarded loads on machines with few DTLB entries (the
+    paper uses guarded loads on the Pentium 4 for TLB priming, hardware
+    prefetch instructions otherwise). *)
+type prefetch_style = Auto | Always_guarded | Always_hardware
+
+type t = {
+  mode : mode;
+  inspect_iterations : int;  (** iterations of the target loop to observe *)
+  majority : float;  (** dominant-stride threshold, 0 < m <= 1 *)
+  scheduling_distance : int;  (** c, in iterations *)
+  small_trip_count : int;
+      (** nested loops observed to iterate fewer times than this are
+          promoted into their parent *)
+  min_samples : int;  (** strides needed before a pattern is trusted *)
+  max_inspect_steps : int;  (** hard budget for one object inspection *)
+  style : prefetch_style;
+  small_dtlb_entries : int;
+      (** [Auto] style uses guarded loads when the DTLB has at most this
+          many entries *)
+  inspect_calls : bool;
+      (** inter-procedural object inspection: step into (statically
+          dispatched) callees instead of skipping them. The paper discusses
+          this as a possible extension ("making object inspection
+          inter-procedural might improve the accuracy of our analysis, but
+          it would increase the compilation time", Section 3.2); off by
+          default, like the paper's configuration. *)
+  max_call_depth : int;
+      (** callee nesting bound when [inspect_calls] is on *)
+  enable_phased : bool;
+      (** detect Wu-style "phased multiple-stride" loads (no single
+          dominant stride, but a few strides jointly dominant) and
+          prefetch them with a run-time-computed stride. Off by default:
+          the paper restricts itself to single-stride patterns. *)
+  phased_min_fraction : float;
+      (** minimum share of samples for each phase of a phased pattern *)
+}
+
+let default =
+  {
+    mode = Inter_intra;
+    inspect_iterations = 20;
+    majority = 0.75;
+    scheduling_distance = 1;
+    small_trip_count = 16;
+    min_samples = 4;
+    max_inspect_steps = 100_000;
+    style = Auto;
+    small_dtlb_entries = 64;
+    inspect_calls = false;
+    max_call_depth = 3;
+    enable_phased = false;
+    phased_min_fraction = 0.2;
+  }
+
+let with_mode mode t = { t with mode }
+
+let mode_name = function
+  | Off -> "BASELINE"
+  | Inter -> "INTER"
+  | Inter_intra -> "INTER+INTRA"
+
+let use_guarded t (machine : Memsim.Config.machine) =
+  match t.style with
+  | Always_guarded -> true
+  | Always_hardware -> false
+  | Auto -> machine.dtlb.entries <= t.small_dtlb_entries
+
+let validate t =
+  if t.inspect_iterations < 2 then Error "inspect_iterations must be >= 2"
+  else if not (t.majority > 0.0 && t.majority <= 1.0) then
+    Error "majority must be in (0, 1]"
+  else if t.scheduling_distance < 1 then
+    Error "scheduling_distance must be >= 1"
+  else if t.min_samples < 2 then Error "min_samples must be >= 2"
+  else if t.small_trip_count < 1 then Error "small_trip_count must be >= 1"
+  else if t.max_inspect_steps < 100 then
+    Error "max_inspect_steps must be >= 100"
+  else if t.max_call_depth < 0 then Error "max_call_depth must be >= 0"
+  else if not (t.phased_min_fraction > 0.0 && t.phased_min_fraction <= 1.0)
+  then Error "phased_min_fraction must be in (0, 1]"
+  else Ok ()

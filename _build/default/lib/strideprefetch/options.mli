@@ -1,0 +1,56 @@
+(** Tuning knobs of the prefetching algorithm.
+
+    Paper defaults (Section 4): 20 inspected iterations, a 75% majority
+    threshold for recognizing a dominant stride, and a scheduling distance
+    of one iteration for both inter- and intra-iteration prefetching. *)
+
+(** The three evaluated configurations: [Off] is the paper's BASELINE,
+    [Inter] its INTER (the emulation of Wu's stride prefetching restricted
+    to in-loop loads), [Inter_intra] its INTER+INTRA. *)
+type mode = Off | Inter | Inter_intra
+
+(** How intra-iteration/dereference-based prefetches are realized. [Auto]
+    picks guarded loads on machines with few DTLB entries (the paper uses
+    guarded loads on the Pentium 4 for TLB priming, hardware prefetch
+    instructions otherwise). *)
+type prefetch_style = Auto | Always_guarded | Always_hardware
+
+type t = {
+  mode : mode;
+  inspect_iterations : int;  (** iterations of the target loop to observe *)
+  majority : float;  (** dominant-stride threshold, 0 < m <= 1 *)
+  scheduling_distance : int;  (** c, in iterations *)
+  small_trip_count : int;
+      (** nested loops observed to iterate fewer times than this are
+          promoted into their parent *)
+  min_samples : int;  (** strides needed before a pattern is trusted *)
+  max_inspect_steps : int;  (** hard budget for one object inspection *)
+  style : prefetch_style;
+  small_dtlb_entries : int;
+      (** [Auto] style uses guarded loads when the DTLB has at most this
+          many entries *)
+  inspect_calls : bool;
+      (** inter-procedural object inspection: step into (statically
+          dispatched) callees instead of skipping them — the extension the
+          paper weighs in Section 3.2. Off by default, like the paper. *)
+  max_call_depth : int;
+      (** callee nesting bound when [inspect_calls] is on *)
+  enable_phased : bool;
+      (** detect Wu-style "phased multiple-stride" loads and prefetch them
+          with a run-time-computed stride; off by default (the paper
+          restricts itself to single-stride patterns) *)
+  phased_min_fraction : float;
+      (** minimum share of samples for each phase of a phased pattern *)
+}
+
+val default : t
+(** The paper's configuration, with mode [Inter_intra]. *)
+
+val with_mode : mode -> t -> t
+val mode_name : mode -> string
+
+val use_guarded : t -> Memsim.Config.machine -> bool
+(** Whether intra-iteration prefetches on [machine] use the guarded-load
+    form (TLB priming). *)
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,240 @@
+module C = Vm.Classfile
+
+type loop_report = {
+  method_name : string;
+  loop_id : int;
+  header_block : int;
+  candidate_sites : int list;
+  inter_patterns : (int * Stride.pattern) list;
+  intra_patterns : ((int * int) * Stride.pattern) list;
+  plan : Codegen.plan;
+  promoted : bool;
+  skipped_low_trip : bool;
+  iterations_observed : int;
+  inspection_steps : int;
+}
+
+module Int_set = Jit.Loops.Int_set
+
+(* All sites syntactically inside a loop's blocks (nested loops included). *)
+let loop_sites cfg loop =
+  Jit.Loops.pcs cfg loop
+  |> List.concat_map (fun (_pc, instr) -> Vm.Bytecode.all_sites instr)
+  |> List.sort_uniq compare
+
+let empty_plan = { Codegen.actions = []; rejected = []; regs_used = 0 }
+
+let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
+  let program = Vm.Interp.program interp in
+  let code = meth.code in
+  if Array.length code = 0 then []
+  else begin
+    let cfg = Jit.Cfg.build code in
+    let forest = Jit.Loops.analyze cfg in
+    if forest.roots = [] then []
+    else begin
+      let machine = (Vm.Interp.options interp).machine in
+      let infos =
+        Jit.Stack_model.analyze code ~arity:meth.arity
+          ~callee_arity:(fun m -> (C.method_of_id program m).arity)
+          ~callee_returns:(fun m -> (C.method_of_id program m).returns_value)
+      in
+      let heap = Vm.Interp.heap interp in
+      let globals = Vm.Interp.global interp in
+      (* candidate sites promoted upward from small-trip-count loops *)
+      let promoted_sites : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+      let reports = ref [] in
+      let plans = ref [] in
+      let next_reg = ref meth.n_pref_regs in
+      List.iter
+        (fun (loop : Jit.Loops.loop) ->
+          let own = loop_sites cfg loop in
+          (* Exclude sites of non-promoted children (they were optimized in
+             their own right); include sites promoted out of children. *)
+          let child_excluded, child_promoted =
+            List.fold_left
+              (fun (excl, promo) (child : Jit.Loops.loop) ->
+                match Hashtbl.find_opt promoted_sites child.loop_id with
+                | Some sites -> (excl, promo @ sites)
+                | None -> (excl @ loop_sites cfg child, promo))
+              ([], []) loop.children
+          in
+          let candidates =
+            List.filter (fun s -> not (List.mem s child_excluded)) own
+            @ child_promoted
+            |> List.sort_uniq compare
+          in
+          let inspection =
+            Inspection.inspect ~program ~heap ~globals ~opts ~cfg ~forest
+              ~target:loop ~meth ~args
+          in
+          let small_trip =
+            inspection.natural_exit
+            && inspection.iterations < opts.small_trip_count
+          in
+          if small_trip && loop.parent <> None then begin
+            Hashtbl.replace promoted_sites loop.loop_id candidates;
+            reports :=
+              {
+                method_name = meth.method_name;
+                loop_id = loop.loop_id;
+                header_block = loop.header;
+                candidate_sites = candidates;
+                inter_patterns = [];
+                intra_patterns = [];
+                plan = empty_plan;
+                promoted = true;
+                skipped_low_trip = false;
+                iterations_observed = inspection.iterations;
+                inspection_steps = inspection.steps;
+              }
+              :: !reports
+          end
+          else if small_trip then
+            reports :=
+              {
+                method_name = meth.method_name;
+                loop_id = loop.loop_id;
+                header_block = loop.header;
+                candidate_sites = candidates;
+                inter_patterns = [];
+                intra_patterns = [];
+                plan = empty_plan;
+                promoted = false;
+                skipped_low_trip = true;
+                iterations_observed = inspection.iterations;
+                inspection_steps = inspection.steps;
+              }
+              :: !reports
+          else begin
+            let ldg = Ldg.build infos ~sites:candidates in
+            let trace site =
+              if site < Array.length inspection.per_site then
+                inspection.per_site.(site)
+              else []
+            in
+            let inter_cache = Hashtbl.create 16 in
+            let inter site =
+              match Hashtbl.find_opt inter_cache site with
+              | Some p -> p
+              | None ->
+                  let p = Stride.inter ~opts (trace site) in
+                  Hashtbl.add inter_cache site p;
+                  p
+            in
+            let intra anchor succ =
+              Stride.intra ~opts ~anchor:(trace anchor) ~other:(trace succ)
+            in
+            let phased site = Stride.phased ~opts (trace site) in
+            let plan =
+              Codegen.plan ~opts ~machine ~code ~ldg ~inter ~intra ~phased
+                ~first_reg:!next_reg
+            in
+            next_reg := !next_reg + plan.regs_used;
+            plans := plan :: !plans;
+            let inter_patterns =
+              List.filter_map
+                (fun s -> Option.map (fun p -> (s, p)) (inter s))
+                (Ldg.sites ldg)
+            in
+            let intra_patterns =
+              List.concat_map
+                (fun s ->
+                  List.filter_map
+                    (fun succ ->
+                      Option.map (fun p -> ((s, succ), p)) (intra s succ))
+                    (Ldg.succs ldg s))
+                (Ldg.sites ldg)
+            in
+            reports :=
+              {
+                method_name = meth.method_name;
+                loop_id = loop.loop_id;
+                header_block = loop.header;
+                candidate_sites = candidates;
+                inter_patterns;
+                intra_patterns;
+                plan;
+                promoted = false;
+                skipped_low_trip = false;
+                iterations_observed = inspection.iterations;
+                inspection_steps = inspection.steps;
+              }
+              :: !reports
+          end)
+        (Jit.Loops.postorder forest);
+      if rewrite && List.exists (fun p -> p.Codegen.actions <> []) !plans
+      then begin
+        let guarded = Options.use_guarded opts machine in
+        meth.code <- Codegen.apply ~guarded code !plans;
+        meth.n_pref_regs <- !next_reg
+      end;
+      List.rev !reports
+    end
+  end
+
+let run ~opts ~interp ~meth ~args =
+  match opts.Options.mode with
+  | Options.Off -> []
+  | Options.Inter | Options.Inter_intra ->
+      process ~opts ~interp ~meth ~args ~rewrite:true
+
+let analyze_only ~opts ~interp ~meth ~args =
+  match opts.Options.mode with
+  | Options.Off -> []
+  | Options.Inter | Options.Inter_intra ->
+      process ~opts ~interp ~meth ~args ~rewrite:false
+
+let make_pass ~opts ~interp ?report_sink () =
+  {
+    Jit.Pipeline.pass_name = "stride-prefetch";
+    apply =
+      (fun meth args ->
+        let reports = run ~opts ~interp ~meth ~args in
+        match report_sink with Some sink -> sink reports | None -> ());
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v 2>%s loop %d (header B%d)%s%s:@," r.method_name
+    r.loop_id r.header_block
+    (if r.promoted then " [promoted: small trip count]" else "")
+    (if r.skipped_low_trip then " [skipped: low trip count]" else "");
+  Format.fprintf ppf "iterations observed: %d, inspection steps: %d@,"
+    r.iterations_observed r.inspection_steps;
+  Format.fprintf ppf "candidates: %s@,"
+    (String.concat ", "
+       (List.map (Printf.sprintf "L%d") r.candidate_sites));
+  List.iter
+    (fun (s, p) -> Format.fprintf ppf "inter L%d: %a@," s Stride.pp p)
+    r.inter_patterns;
+  List.iter
+    (fun ((a, b), p) ->
+      Format.fprintf ppf "intra (L%d,L%d): %a@," a b Stride.pp p)
+    r.intra_patterns;
+  List.iter
+    (fun (a : Codegen.action) ->
+      match a.kind with
+      | Codegen.Prefetch_direct { distance } ->
+          Format.fprintf ppf "emit: prefetch (A(L%d) %+d)@," a.anchor_site
+            distance
+      | Codegen.Prefetch_phased { times; phases } ->
+          Format.fprintf ppf "emit: prefetch (A(L%d) + delta*%d)  ; phases %s@,"
+            a.anchor_site times
+            (String.concat "/"
+               (List.map
+                  (fun (p : Stride.pattern) -> string_of_int p.stride)
+                  phases))
+      | Codegen.Prefetch_deref { distance; reg; targets } ->
+          Format.fprintf ppf "emit: p%d := spec_load (A(L%d) %+d)@," reg
+            a.anchor_site distance;
+          List.iter
+            (fun (t : Codegen.deref_target) ->
+              Format.fprintf ppf "emit: prefetch (p%d %+d)  ; for L%d%s@," reg
+                t.offset t.target_site
+                (if t.via_intra then " via intra stride" else ""))
+            targets)
+    r.plan.actions;
+  List.iter
+    (fun (s, reason) -> Format.fprintf ppf "skip L%d: %s@," s reason)
+    r.plan.rejected;
+  Format.fprintf ppf "@]"

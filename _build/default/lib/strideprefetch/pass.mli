@@ -1,0 +1,52 @@
+(** The complete stride-prefetching compiler pass (Section 3).
+
+    For each loop of a method, in loop-forest postorder: build the load
+    dependence graph of the loop's loads, run object inspection with the
+    actual arguments of the hot invocation, detect inter-/intra-iteration
+    stride patterns, and generate prefetching code. Nested loops observed
+    to have a small trip count are not optimized themselves; their loads
+    are promoted into the enclosing loop's candidate set, "considered
+    again as if they were in the parent loop". *)
+
+type loop_report = {
+  method_name : string;
+  loop_id : int;
+  header_block : int;
+  candidate_sites : int list;
+  inter_patterns : (int * Stride.pattern) list;
+  intra_patterns : ((int * int) * Stride.pattern) list;
+  plan : Codegen.plan;
+  promoted : bool;  (** small trip count: loads handed to the parent *)
+  skipped_low_trip : bool;  (** outermost loop with a small trip count *)
+  iterations_observed : int;
+  inspection_steps : int;
+}
+
+val run :
+  opts:Options.t ->
+  interp:Vm.Interp.t ->
+  meth:Vm.Classfile.method_info ->
+  args:Vm.Value.t array ->
+  loop_report list
+(** Analyze and (unless [opts.mode = Off] or nothing qualified) rewrite
+    [meth.code] in place, splicing prefetch sequences and setting
+    [meth.n_pref_regs]. Returns one report per loop processed. *)
+
+val make_pass :
+  opts:Options.t ->
+  interp:Vm.Interp.t ->
+  ?report_sink:(loop_report list -> unit) ->
+  unit ->
+  Jit.Pipeline.pass
+(** Package {!run} as a pipeline pass named ["stride-prefetch"]. *)
+
+val analyze_only :
+  opts:Options.t ->
+  interp:Vm.Interp.t ->
+  meth:Vm.Classfile.method_info ->
+  args:Vm.Value.t array ->
+  loop_report list
+(** Like {!run} but never rewrites the method (used by examples to show
+    what would be generated). *)
+
+val pp_report : Format.formatter -> loop_report -> unit

@@ -1,0 +1,18 @@
+let inter_stride_ok ~line_bytes stride = abs stride > line_bytes / 2
+
+let has_dependents code ~pc =
+  pc + 1 >= Array.length code
+  ||
+  match code.(pc + 1) with Vm.Bytecode.Pop -> false | _ -> true
+
+let dedup_offsets ~line_bytes offsets =
+  (* Offsets within half a line of each other "apparently share" a line:
+     with unknown object alignment, closer targets usually land on the
+     line already being prefetched, farther ones usually do not. *)
+  let shares_line kept offset = abs (offset - kept) < line_bytes / 2 in
+  List.fold_left
+    (fun kept offset ->
+      if List.exists (fun k -> shares_line k offset) kept then kept
+      else offset :: kept)
+    [] offsets
+  |> List.rev

@@ -1,0 +1,24 @@
+(** The profitability analysis of Section 3.3.
+
+    Prefetching code is generated for a load only when (1) one or more
+    instructions are data dependent on it, (2) its data does not apparently
+    share a cache line with data already being prefetched, and (3) an
+    inter-iteration stride exceeds half a cache line (hardware prefetchers
+    already cover shorter strides). *)
+
+val inter_stride_ok : line_bytes:int -> int -> bool
+(** Condition (3): |stride| strictly greater than half the line size of
+    the level software prefetches fill. Loop-invariant loads (stride 0)
+    are rejected here too. *)
+
+val has_dependents : Vm.Bytecode.instr array -> pc:int -> bool
+(** Condition (1), approximated syntactically: the load's result is
+    consumed by something other than an immediate [Pop]. *)
+
+val dedup_offsets : line_bytes:int -> int list -> int list
+(** Condition (2) for a family of prefetch targets sharing one base
+    register: keep a subset such that no two kept offsets apparently land
+    on the same line (offsets closer than half [line_bytes] are considered
+    to share one, since object alignment is unknown). Input order is
+    preserved for kept entries; earlier entries win ties, so callers
+    should order targets by estimated benefit. *)

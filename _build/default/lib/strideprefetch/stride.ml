@@ -1,0 +1,112 @@
+type pattern = { stride : int; matched : int; samples : int }
+
+let confidence p =
+  if p.samples = 0 then 0.0 else float_of_int p.matched /. float_of_int p.samples
+
+let dominant ~(opts : Options.t) strides =
+  let samples = List.length strides in
+  if samples < opts.min_samples then None
+  else begin
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace counts s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+      strides;
+    let best =
+      Hashtbl.fold
+        (fun stride count best ->
+          match best with
+          | Some (_, c) when c >= count -> best
+          | _ -> Some (stride, count))
+        counts None
+    in
+    match best with
+    | Some (stride, matched)
+      when float_of_int matched >= opts.majority *. float_of_int samples ->
+        Some { stride; matched; samples }
+    | Some _ | None -> None
+  end
+
+let inter ~opts records =
+  let rec strides acc = function
+    | (_, a) :: ((_, b) :: _ as rest) -> strides ((b - a) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  dominant ~opts (strides [] records)
+
+(* First recorded address of each iteration. Records arrive in execution
+   order, so the first occurrence of an iteration index wins. *)
+let first_per_iteration records =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (iteration, addr) ->
+      if not (Hashtbl.mem seen iteration) then Hashtbl.add seen iteration addr)
+    records;
+  seen
+
+let intra ~opts ~anchor ~other =
+  let anchor_first = first_per_iteration anchor in
+  let other_first = first_per_iteration other in
+  let strides =
+    Hashtbl.fold
+      (fun iteration anchor_addr acc ->
+        match Hashtbl.find_opt other_first iteration with
+        | Some other_addr -> (iteration, other_addr - anchor_addr) :: acc
+        | None -> acc)
+      anchor_first []
+    |> List.sort compare |> List.map snd
+  in
+  dominant ~opts strides
+
+let is_invariant p = p.stride = 0
+
+(* Wu-style phased multiple-stride detection: no single stride reaches the
+   majority threshold, but the top few strides jointly do, each carrying a
+   non-trivial share. Returns the phases sorted by sample count, or [] when
+   the load is a single-stride load (use {!inter} for those) or plain
+   irregular. *)
+let phased ~(opts : Options.t) records =
+  let rec strides acc = function
+    | (_, a) :: ((_, b) :: _ as rest) -> strides ((b - a) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  let samples = strides [] records in
+  let total = List.length samples in
+  if total < opts.min_samples then []
+  else begin
+    let counts = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        Hashtbl.replace counts s
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+      samples;
+    let by_count =
+      Hashtbl.fold (fun stride matched acc -> { stride; matched; samples = total } :: acc)
+        counts []
+      |> List.sort (fun a b -> compare b.matched a.matched)
+    in
+    match by_count with
+    | top :: _ when float_of_int top.matched >= opts.majority *. float_of_int total
+      ->
+        (* single-stride: not a phased load *)
+        []
+    | _ ->
+        let phases =
+          List.filter
+            (fun p ->
+              float_of_int p.matched
+              >= opts.phased_min_fraction *. float_of_int total)
+            by_count
+        in
+        let covered = List.fold_left (fun acc p -> acc + p.matched) 0 phases in
+        if
+          List.length phases >= 2
+          && float_of_int covered >= opts.majority *. float_of_int total
+        then phases
+        else []
+  end
+
+let pp ppf p =
+  Format.fprintf ppf "stride %d (%d/%d = %.0f%%)" p.stride p.matched p.samples
+    (100.0 *. confidence p)

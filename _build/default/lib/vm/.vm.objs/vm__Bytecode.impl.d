@@ -1,0 +1,1 @@
+lib/vm/bytecode.ml: Array Format Printf

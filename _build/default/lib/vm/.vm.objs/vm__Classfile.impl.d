@@ -1,0 +1,1 @@
+lib/vm/classfile.ml: Array Bytecode Format List

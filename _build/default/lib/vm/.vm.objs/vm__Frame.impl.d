@@ -1,0 +1,1 @@
+lib/vm/frame.ml: Array Classfile Printf Value

@@ -1,0 +1,1 @@
+lib/vm/gc_compact.ml: Hashtbl Heap List Value

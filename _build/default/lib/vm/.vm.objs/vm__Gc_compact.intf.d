@@ -1,0 +1,1 @@
+lib/vm/gc_compact.mli: Heap Value

@@ -1,0 +1,1 @@
+lib/vm/heap.ml: Array Classfile Hashtbl Printf Value

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Bytecode Classfile Frame Fun Gc_compact Heap List Memsim Printf Value

@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Classfile Heap Memsim Value

@@ -1,0 +1,78 @@
+(** An activation record: locals, operand stack, and the per-site address
+    registers that anchor prefetch code.
+
+    [site_addr.(s)] holds the last effective address computed by load site
+    [s] in this activation (-1 before its first execution); the spliced
+    [Prefetch_inter]/[Spec_load] instructions read it as [A(L)], "the
+    memory address of data loaded by L in the current iteration"
+    (Section 3.3). [pref_regs] are the destinations of [Spec_load]. *)
+
+type t = {
+  method_info : Classfile.method_info;
+  locals : Value.t array;
+  stack : Value.t array;
+  mutable sp : int;
+  site_addr : int array;
+  site_prev : int array;
+      (** the address before [site_addr], for dynamic-stride prefetching *)
+  pref_regs : Value.t array;
+  mutable pc : int;
+}
+
+exception Stack_error of string
+
+let max_stack = 256
+
+let create (m : Classfile.method_info) ~args =
+  if Array.length args <> m.arity then
+    invalid_arg
+      (Printf.sprintf "frame: %s expects %d arguments, got %d" m.method_name
+         m.arity (Array.length args));
+  let locals = Array.make (max m.max_locals m.arity) Value.Null in
+  Array.blit args 0 locals 0 (Array.length args);
+  {
+    method_info = m;
+    locals;
+    stack = Array.make max_stack Value.Null;
+    sp = 0;
+    site_addr = Array.make (max m.n_sites 1) (-1);
+    site_prev = Array.make (max m.n_sites 1) (-1);
+    pref_regs = Array.make (max m.n_pref_regs 1) Value.Null;
+    pc = 0;
+  }
+
+let push t v =
+  if t.sp >= max_stack then
+    raise (Stack_error ("operand stack overflow in " ^ t.method_info.method_name));
+  t.stack.(t.sp) <- v;
+  t.sp <- t.sp + 1
+
+let pop t =
+  if t.sp <= 0 then
+    raise (Stack_error ("operand stack underflow in " ^ t.method_info.method_name));
+  t.sp <- t.sp - 1;
+  t.stack.(t.sp)
+
+let pop_int t =
+  match pop t with
+  | Value.Int n -> n
+  | v ->
+      raise
+        (Stack_error
+           (Printf.sprintf "expected int on stack in %s, got %s"
+              t.method_info.method_name (Value.to_string v)))
+
+let peek t =
+  if t.sp <= 0 then
+    raise (Stack_error ("operand stack underflow in " ^ t.method_info.method_name));
+  t.stack.(t.sp - 1)
+
+(* Live values for the collector's root set. *)
+let roots t =
+  let acc = ref [] in
+  Array.iter (fun v -> acc := v :: !acc) t.locals;
+  for i = 0 to t.sp - 1 do
+    acc := t.stack.(i) :: !acc
+  done;
+  Array.iter (fun v -> acc := v :: !acc) t.pref_regs;
+  !acc

@@ -1,0 +1,220 @@
+type contents =
+  | Object of { class_id : int; fields : Value.t array }
+  | Int_array of int array
+  | Ref_array of Value.t array
+
+type obj = { id : int; mutable base : int; size : int; contents : contents }
+
+type t = {
+  limit : int;
+  mutable next_addr : int;
+  table : (int, obj) Hashtbl.t;
+  (* Objects in ascending address order. Bump allocation appends in order;
+     compaction rebuilds the array, so it is always sorted by [base]. *)
+  mutable by_addr : obj array;
+  mutable n_objects : int;
+  mutable next_id : int;
+}
+
+exception Out_of_memory
+
+let default_limit = 64 * 1024 * 1024
+
+let create ?(limit_bytes = default_limit) () =
+  {
+    limit = limit_bytes;
+    next_addr = Classfile.heap_base;
+    table = Hashtbl.create 4096;
+    by_addr = Array.make 1024 { id = -1; base = 0; size = 0; contents = Int_array [||] };
+    n_objects = 0;
+    next_id = 0;
+  }
+
+let limit_bytes t = t.limit
+let used_bytes t = t.next_addr - Classfile.heap_base
+let live_objects t = t.n_objects
+
+let append_by_addr t obj =
+  if t.n_objects = Array.length t.by_addr then begin
+    let bigger = Array.make (2 * Array.length t.by_addr) obj in
+    Array.blit t.by_addr 0 bigger 0 t.n_objects;
+    t.by_addr <- bigger
+  end;
+  t.by_addr.(t.n_objects) <- obj;
+  t.n_objects <- t.n_objects + 1
+
+let align n = (n + Classfile.slot_bytes - 1) land lnot (Classfile.slot_bytes - 1)
+
+let alloc t ~size contents =
+  let size = align size in
+  if t.next_addr + size > Classfile.heap_base + t.limit then raise Out_of_memory;
+  let obj = { id = t.next_id; base = t.next_addr; size; contents } in
+  t.next_id <- t.next_id + 1;
+  t.next_addr <- t.next_addr + size;
+  Hashtbl.replace t.table obj.id obj;
+  append_by_addr t obj;
+  obj.id
+
+let alloc_object t (ci : Classfile.class_info) =
+  alloc t ~size:ci.instance_bytes
+    (Object
+       {
+         class_id = ci.class_id;
+         fields = Array.make (Array.length ci.fields) Value.Null;
+       })
+
+let array_size len = Classfile.array_elems_offset + (len * Classfile.slot_bytes)
+
+let alloc_int_array t len =
+  if len < 0 then invalid_arg "alloc_int_array: negative length";
+  alloc t ~size:(array_size len) (Int_array (Array.make len 0))
+
+let alloc_ref_array t len =
+  if len < 0 then invalid_arg "alloc_ref_array: negative length";
+  alloc t ~size:(array_size len) (Ref_array (Array.make len Value.Null))
+
+let get t id =
+  match Hashtbl.find_opt t.table id with
+  | Some obj -> obj
+  | None -> invalid_arg (Printf.sprintf "heap: dangling object id %d" id)
+
+let exists t id = Hashtbl.mem t.table id
+let base_of t id = (get t id).base
+let size_of t id = (get t id).size
+
+let class_id_of t id =
+  match (get t id).contents with
+  | Object { class_id; _ } -> Some class_id
+  | Int_array _ | Ref_array _ -> None
+
+let is_ref_array t id =
+  match (get t id).contents with Ref_array _ -> true | _ -> false
+
+let fields_of obj =
+  match obj.contents with
+  | Object { fields; _ } -> fields
+  | Int_array _ | Ref_array _ -> invalid_arg "heap: array used as object"
+
+let get_field t id slot = (fields_of (get t id)).(slot)
+let set_field t id slot v = (fields_of (get t id)).(slot) <- v
+
+let field_addr t id slot =
+  (get t id).base + Classfile.header_bytes + (slot * Classfile.slot_bytes)
+
+let array_length t id =
+  match (get t id).contents with
+  | Int_array a -> Array.length a
+  | Ref_array a -> Array.length a
+  | Object _ -> invalid_arg "heap: object used as array"
+
+let length_addr t id = (get t id).base + Classfile.array_length_offset
+
+let get_elem t id i =
+  match (get t id).contents with
+  | Int_array a -> Value.Int a.(i)
+  | Ref_array a -> a.(i)
+  | Object _ -> invalid_arg "heap: object used as array"
+
+let set_elem t id i v =
+  match ((get t id).contents, v) with
+  | Int_array a, Value.Int n -> a.(i) <- n
+  | Int_array _, (Value.Ref _ | Value.Null) ->
+      invalid_arg "heap: reference stored into int array"
+  | Ref_array a, (Value.Ref _ | Value.Null) -> a.(i) <- v
+  | Ref_array _, Value.Int _ -> invalid_arg "heap: int stored into ref array"
+  | Object _, _ -> invalid_arg "heap: object used as array"
+
+let elem_addr t id i =
+  (get t id).base + Classfile.array_elems_offset + (i * Classfile.slot_bytes)
+
+(* Greatest object whose base is <= addr, by binary search over the
+   address-ordered table. *)
+let object_containing t addr =
+  let lo = ref 0 and hi = ref (t.n_objects - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let obj = t.by_addr.(mid) in
+    if obj.base <= addr then begin
+      found := Some obj;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  match !found with
+  | Some obj when addr < obj.base + obj.size -> Some obj
+  | Some _ | None -> None
+
+let object_at t addr =
+  match object_containing t addr with Some o -> Some o.id | None -> None
+
+let value_at t addr =
+  match object_containing t addr with
+  | None -> None
+  | Some obj -> (
+      let rel = addr - obj.base in
+      let slot_of off = (rel - off) / Classfile.slot_bytes in
+      let aligned off = (rel - off) mod Classfile.slot_bytes = 0 in
+      match obj.contents with
+      | Object { fields; _ } ->
+          let off = Classfile.header_bytes in
+          if rel >= off && aligned off && slot_of off < Array.length fields
+          then Some fields.(slot_of off)
+          else None
+      | Int_array a ->
+          if rel = Classfile.array_length_offset then
+            Some (Value.Int (Array.length a))
+          else
+            let off = Classfile.array_elems_offset in
+            if rel >= off && aligned off && slot_of off < Array.length a then
+              Some (Value.Int a.(slot_of off))
+            else None
+      | Ref_array a ->
+          if rel = Classfile.array_length_offset then
+            Some (Value.Int (Array.length a))
+          else
+            let off = Classfile.array_elems_offset in
+            if rel >= off && aligned off && slot_of off < Array.length a then
+              Some a.(slot_of off)
+            else None)
+
+let referenced_ids t id =
+  let refs_of_values values =
+    Array.fold_left
+      (fun acc v -> match v with Value.Ref r -> r :: acc | _ -> acc)
+      [] values
+  in
+  match (get t id).contents with
+  | Object { fields; _ } -> refs_of_values fields
+  | Ref_array a -> refs_of_values a
+  | Int_array _ -> []
+
+let iter_ids_in_address_order t f =
+  for i = 0 to t.n_objects - 1 do
+    f t.by_addr.(i).id
+  done
+
+let compact t ~live =
+  let kept = ref 0 and removed = ref 0 in
+  let cursor = ref Classfile.heap_base in
+  for i = 0 to t.n_objects - 1 do
+    let obj = t.by_addr.(i) in
+    if live obj.id then begin
+      obj.base <- !cursor;
+      cursor := !cursor + obj.size;
+      t.by_addr.(!kept) <- obj;
+      incr kept
+    end
+    else begin
+      Hashtbl.remove t.table obj.id;
+      incr removed
+    end
+  done;
+  t.n_objects <- !kept;
+  t.next_addr <- !cursor;
+  !removed
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.n_objects <- 0;
+  t.next_addr <- Classfile.heap_base;
+  t.next_id <- 0

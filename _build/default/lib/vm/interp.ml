@@ -1,0 +1,420 @@
+type options = {
+  machine : Memsim.Config.machine;
+  heap_limit_bytes : int;
+  hot_threshold : int;
+  alloc_cycles : int;
+  gc_cycles_per_live : int;
+  gc_cycles_per_dead : int;
+  max_steps : int;
+}
+
+let default_options machine =
+  {
+    machine;
+    heap_limit_bytes = 64 * 1024 * 1024;
+    hot_threshold = 2;
+    alloc_cycles = 4;
+    gc_cycles_per_live = 10;
+    gc_cycles_per_dead = 2;
+    max_steps = 2_000_000_000;
+  }
+
+type t = {
+  program : Classfile.program;
+  heap : Heap.t;
+  mem : Memsim.Hierarchy.t;
+  opts : options;
+  globals : Value.t array;
+  out : Buffer.t;
+  mutable frames : Frame.t list;
+  mutable compile_hook :
+    (t -> Classfile.method_info -> Value.t array -> unit) option;
+  mutable load_observer :
+    (method_id:int -> site:int -> addr:int -> unit) option;
+  mutable gc_count : int;
+  mutable gc_cycles : int;
+  mutable interpreted_cycles : int;
+  mutable compiled_cycles : int;
+  mutable steps : int;
+}
+
+exception Vm_error of string
+
+let create ?options machine program =
+  let opts =
+    match options with Some o -> o | None -> default_options machine
+  in
+  {
+    program;
+    heap = Heap.create ~limit_bytes:opts.heap_limit_bytes ();
+    mem = Memsim.Hierarchy.create machine;
+    opts;
+    globals = Array.make (max 1 (Array.length program.statics)) Value.Null;
+    out = Buffer.create 256;
+    frames = [];
+    compile_hook = None;
+    load_observer = None;
+    gc_count = 0;
+    gc_cycles = 0;
+    interpreted_cycles = 0;
+    compiled_cycles = 0;
+    steps = 0;
+  }
+
+let program t = t.program
+let heap t = t.heap
+let memory t = t.mem
+let stats t = Memsim.Hierarchy.stats t.mem
+let options t = t.opts
+let output t = Buffer.contents t.out
+let global t index = t.globals.(index)
+let set_compile_hook t hook = t.compile_hook <- Some hook
+let set_load_observer t f = t.load_observer <- Some f
+let gc_count t = t.gc_count
+let gc_cycles t = t.gc_cycles
+let interpreted_cycles t = t.interpreted_cycles
+let compiled_cycles t = t.compiled_cycles
+
+let vm_error fmt = Printf.ksprintf (fun msg -> raise (Vm_error msg)) fmt
+
+let charge t (frame : Frame.t) cycles =
+  let stats = Memsim.Hierarchy.stats t.mem in
+  stats.cycles <- stats.cycles + cycles;
+  if frame.method_info.compiled then
+    t.compiled_cycles <- t.compiled_cycles + cycles
+  else t.interpreted_cycles <- t.interpreted_cycles + cycles
+
+let charge_stall t (frame : Frame.t) cycles =
+  let stats = Memsim.Hierarchy.stats t.mem in
+  stats.stall_cycles <- stats.stall_cycles + cycles;
+  charge t frame cycles
+
+let retire t n =
+  let stats = Memsim.Hierarchy.stats t.mem in
+  stats.retired_instructions <- stats.retired_instructions + n
+
+let now t = (Memsim.Hierarchy.stats t.mem).cycles
+
+let observe_load t (frame : Frame.t) ~site ~addr =
+  frame.site_prev.(site) <- frame.site_addr.(site);
+  frame.site_addr.(site) <- addr;
+  match t.load_observer with
+  | Some f -> f ~method_id:frame.method_info.method_id ~site ~addr
+  | None -> ()
+
+let demand t frame ~addr ~kind =
+  let stall = Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t) in
+  if stall > 0 then charge_stall t frame stall
+
+let collect_garbage t =
+  let roots =
+    List.concat_map Frame.roots t.frames
+    @ Array.to_list t.globals
+  in
+  let result = Gc_compact.collect t.heap ~roots in
+  t.gc_count <- t.gc_count + 1;
+  let cycles =
+    (result.live * t.opts.gc_cycles_per_live)
+    + (result.collected * t.opts.gc_cycles_per_dead)
+  in
+  t.gc_cycles <- t.gc_cycles + cycles;
+  let stats = Memsim.Hierarchy.stats t.mem in
+  stats.cycles <- stats.cycles + cycles;
+  (* Compaction rewrites the simulated address space: flush the hierarchy
+     but keep the accumulated counters. *)
+  let saved = Memsim.Stats.copy stats in
+  Memsim.Hierarchy.reset t.mem;
+  let fresh = Memsim.Hierarchy.stats t.mem in
+  fresh.loads <- saved.loads;
+  fresh.stores <- saved.stores;
+  fresh.l1_load_misses <- saved.l1_load_misses;
+  fresh.l1_store_misses <- saved.l1_store_misses;
+  fresh.l2_load_misses <- saved.l2_load_misses;
+  fresh.l2_store_misses <- saved.l2_store_misses;
+  fresh.dtlb_load_misses <- saved.dtlb_load_misses;
+  fresh.dtlb_store_misses <- saved.dtlb_store_misses;
+  fresh.in_flight_hits <- saved.in_flight_hits;
+  fresh.sw_prefetches <- saved.sw_prefetches;
+  fresh.sw_prefetches_cancelled <- saved.sw_prefetches_cancelled;
+  fresh.sw_prefetch_useless <- saved.sw_prefetch_useless;
+  fresh.guarded_loads <- saved.guarded_loads;
+  fresh.hw_prefetches <- saved.hw_prefetches;
+  fresh.retired_instructions <- saved.retired_instructions;
+  fresh.cycles <- saved.cycles;
+  fresh.stall_cycles <- saved.stall_cycles
+
+let allocate t frame alloc =
+  let id =
+    try alloc ()
+    with Heap.Out_of_memory -> (
+      collect_garbage t;
+      try alloc ()
+      with Heap.Out_of_memory -> vm_error "heap exhausted after collection")
+  in
+  charge t frame t.opts.alloc_cycles;
+  (* The header write warms the first line of the new object. *)
+  demand t frame ~addr:(Heap.base_of t.heap id) ~kind:`Store;
+  id
+
+let as_ref frame v =
+  match v with
+  | Value.Ref id -> id
+  | Value.Null ->
+      vm_error "null pointer dereference in %s"
+        frame.Frame.method_info.method_name
+  | Value.Int _ ->
+      vm_error "integer used as reference in %s"
+        frame.Frame.method_info.method_name
+
+let compare_int (c : Bytecode.cmp) a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Ge -> a >= b
+  | Gt -> a > b
+  | Le -> a <= b
+
+(* Load the array length (bounds-check load), verify the index, and return
+   the element address. Charges the length-load access. *)
+let array_access t frame ~len_site ~id ~index =
+  let len_addr = Heap.length_addr t.heap id in
+  demand t frame ~addr:len_addr ~kind:`Load;
+  observe_load t frame ~site:len_site ~addr:len_addr;
+  let len = Heap.array_length t.heap id in
+  if index < 0 || index >= len then
+    vm_error "array index %d out of bounds [0,%d) in %s" index len
+      frame.Frame.method_info.method_name;
+  Heap.elem_addr t.heap id index
+
+let maybe_compile t (m : Classfile.method_info) args =
+  if (not m.compiled) && m.invocations >= t.opts.hot_threshold then
+    match t.compile_hook with
+    | Some hook ->
+        (* Mark first: the hook may recursively execute nothing, but a
+           failed compilation should not retrigger on every call. *)
+        m.compiled <- true;
+        hook t m args
+    | None -> ()
+
+let rec call t (m : Classfile.method_info) args =
+  m.invocations <- m.invocations + 1;
+  maybe_compile t m args;
+  let frame = Frame.create m ~args in
+  t.frames <- frame :: t.frames;
+  Fun.protect
+    ~finally:(fun () ->
+      match t.frames with
+      | _ :: rest -> t.frames <- rest
+      | [] -> ())
+    (fun () -> exec t frame)
+
+and exec t (frame : Frame.t) =
+  let m = frame.method_info in
+  let code = m.code in
+  let n = Array.length code in
+  let base_cost =
+    if m.compiled then t.opts.machine.compiled_cost
+    else t.opts.machine.interp_cost
+  in
+  let result = ref None in
+  let running = ref true in
+  while !running do
+    if frame.pc < 0 || frame.pc >= n then
+      vm_error "pc %d out of bounds in %s" frame.pc m.method_name;
+    t.steps <- t.steps + 1;
+    if t.steps > t.opts.max_steps then vm_error "step budget exceeded";
+    let pc = frame.pc in
+    let instr = code.(pc) in
+    frame.pc <- pc + 1;
+    retire t 1;
+    charge t frame base_cost;
+    (match instr with
+    | Iconst k -> Frame.push frame (Value.Int k)
+    | Aconst_null -> Frame.push frame Value.Null
+    | Iload i | Aload i -> Frame.push frame frame.locals.(i)
+    | Istore i | Astore i -> frame.locals.(i) <- Frame.pop frame
+    | Dup -> Frame.push frame (Frame.peek frame)
+    | Pop -> ignore (Frame.pop frame)
+    | Iadd ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a + b))
+    | Isub ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a - b))
+    | Imul ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a * b))
+    | Idiv ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        if b = 0 then vm_error "division by zero in %s" m.method_name;
+        Frame.push frame (Value.Int (a / b))
+    | Irem ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        if b = 0 then vm_error "division by zero in %s" m.method_name;
+        Frame.push frame (Value.Int (a mod b))
+    | Ineg -> Frame.push frame (Value.Int (-Frame.pop_int frame))
+    | Iand ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a land b))
+    | Ior ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a lor b))
+    | Ixor ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a lxor b))
+    | Ishl ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a lsl (b land 63)))
+    | Ishr ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        Frame.push frame (Value.Int (a asr (b land 63)))
+    | Goto target ->
+        if target <= pc then m.backedges <- m.backedges + 1;
+        frame.pc <- target
+    | If_icmp (c, target) ->
+        let b = Frame.pop_int frame and a = Frame.pop_int frame in
+        if compare_int c a b then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
+    | If (c, target) ->
+        let a = Frame.pop_int frame in
+        if compare_int c a 0 then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
+    | If_acmpeq target ->
+        let b = Frame.pop frame and a = Frame.pop frame in
+        if Value.equal a b then frame.pc <- target
+    | If_acmpne target ->
+        let b = Frame.pop frame and a = Frame.pop frame in
+        if not (Value.equal a b) then frame.pc <- target
+    | Ifnull target ->
+        if Frame.pop frame = Value.Null then frame.pc <- target
+    | Ifnonnull target ->
+        if Frame.pop frame <> Value.Null then frame.pc <- target
+    | Getfield { site; offset; name = _; is_ref = _ } ->
+        let id = as_ref frame (Frame.pop frame) in
+        let addr = Heap.base_of t.heap id + offset in
+        demand t frame ~addr ~kind:`Load;
+        observe_load t frame ~site ~addr;
+        let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
+        Frame.push frame (Heap.get_field t.heap id slot)
+    | Putfield { offset; name = _ } ->
+        let v = Frame.pop frame in
+        let id = as_ref frame (Frame.pop frame) in
+        let addr = Heap.base_of t.heap id + offset in
+        demand t frame ~addr ~kind:`Store;
+        let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
+        Heap.set_field t.heap id slot v
+    | Getstatic { site; index; name = _; is_ref = _ } ->
+        let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
+        demand t frame ~addr ~kind:`Load;
+        observe_load t frame ~site ~addr;
+        Frame.push frame t.globals.(index)
+    | Putstatic { index; name = _ } ->
+        let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
+        demand t frame ~addr ~kind:`Store;
+        t.globals.(index) <- Frame.pop frame
+    | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
+        retire t 1;
+        charge t frame base_cost;
+        let index = Frame.pop_int frame in
+        let id = as_ref frame (Frame.pop frame) in
+        let addr = array_access t frame ~len_site ~id ~index in
+        demand t frame ~addr ~kind:`Load;
+        observe_load t frame ~site:elem_site ~addr;
+        Frame.push frame (Heap.get_elem t.heap id index)
+    | Aastore { len_site } | Iastore { len_site } ->
+        retire t 1;
+        charge t frame base_cost;
+        let v = Frame.pop frame in
+        let index = Frame.pop_int frame in
+        let id = as_ref frame (Frame.pop frame) in
+        let addr = array_access t frame ~len_site ~id ~index in
+        demand t frame ~addr ~kind:`Store;
+        Heap.set_elem t.heap id index v
+    | Arraylength { site } ->
+        let id = as_ref frame (Frame.pop frame) in
+        let addr = Heap.length_addr t.heap id in
+        demand t frame ~addr ~kind:`Load;
+        observe_load t frame ~site ~addr;
+        Frame.push frame (Value.Int (Heap.array_length t.heap id))
+    | New class_id ->
+        let ci = Classfile.class_of_id t.program class_id in
+        let id = allocate t frame (fun () -> Heap.alloc_object t.heap ci) in
+        Frame.push frame (Value.Ref id)
+    | Newarray kind ->
+        let len = Frame.pop_int frame in
+        if len < 0 then vm_error "negative array size in %s" m.method_name;
+        let alloc () =
+          match kind with
+          | Bytecode.Int_array -> Heap.alloc_int_array t.heap len
+          | Bytecode.Ref_array -> Heap.alloc_ref_array t.heap len
+        in
+        Frame.push frame (Value.Ref (allocate t frame alloc))
+    | Invoke callee_id ->
+        let callee = Classfile.method_of_id t.program callee_id in
+        let args = Array.make callee.arity Value.Null in
+        for i = callee.arity - 1 downto 0 do
+          args.(i) <- Frame.pop frame
+        done;
+        (match call t callee args with
+        | Some v -> Frame.push frame v
+        | None -> ())
+    | Return -> running := false
+    | Ireturn | Areturn ->
+        result := Some (Frame.pop frame);
+        running := false
+    | Print ->
+        let v = Frame.pop_int frame in
+        Buffer.add_string t.out (string_of_int v);
+        Buffer.add_char t.out '\n'
+    | Prefetch_inter { site; distance } ->
+        charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
+        let anchor = frame.site_addr.(site) in
+        if anchor >= 0 then
+          Memsim.Hierarchy.sw_prefetch t.mem ~addr:(anchor + distance)
+            ~now:(now t)
+    | Spec_load { site; distance; reg } ->
+        charge t frame (max 0 (t.opts.machine.guarded_load_cost - base_cost));
+        let anchor = frame.site_addr.(site) in
+        if anchor >= 0 then begin
+          let addr = anchor + distance in
+          Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t);
+          let v =
+            match Heap.value_at t.heap addr with
+            | Some v -> v
+            | None -> Value.Null
+          in
+          frame.pref_regs.(reg) <- v
+        end
+        else frame.pref_regs.(reg) <- Value.Null
+    | Prefetch_dynamic { site; times } ->
+        charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
+        let addr = frame.site_addr.(site) and prev = frame.site_prev.(site) in
+        if addr >= 0 && prev >= 0 && addr <> prev then
+          Memsim.Hierarchy.sw_prefetch t.mem
+            ~addr:(addr + ((addr - prev) * times))
+            ~now:(now t)
+    | Prefetch_indirect { reg; offset; guarded } ->
+        let cost =
+          if guarded then t.opts.machine.guarded_load_cost
+          else t.opts.machine.prefetch_cost
+        in
+        charge t frame (max 0 (cost - base_cost));
+        (match frame.pref_regs.(reg) with
+        | Value.Ref id when Heap.exists t.heap id ->
+            let addr = Heap.base_of t.heap id + offset in
+            if guarded then
+              Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t)
+            else Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+        | Value.Ref _ | Value.Int _ | Value.Null -> ()));
+    ()
+  done;
+  !result
+
+let run t =
+  let entry = Classfile.method_of_id t.program t.program.entry in
+  call t entry (Array.make entry.arity Value.Null)

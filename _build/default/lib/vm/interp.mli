@@ -1,0 +1,66 @@
+(** The mixed-mode execution engine.
+
+    Executes mini-JVM bytecode, driving the {!Memsim.Hierarchy} on every
+    heap access and charging a simple timing model (DESIGN.md section 5).
+    Methods start interpreted; once a method's invocation count reaches the
+    hot threshold the [compile_hook] is invoked {e with the actual argument
+    values} — exactly the situation the paper's JIT exploits ("the JIT
+    compiler is invoked for a method when the method is about to be
+    executed... actual values for the parameters are available at compile
+    time", Section 3). The hook typically runs {!Jit.Pipeline}, which may
+    swap in an optimized body containing prefetch pseudo-instructions; this
+    engine executes those too.
+
+    Heap exhaustion triggers a mark-and-sweep + sliding-compaction
+    collection ({!Gc_compact}); caches and DTLB are flushed afterwards,
+    since compaction rewrites the simulated address space. *)
+
+type options = {
+  machine : Memsim.Config.machine;
+  heap_limit_bytes : int;
+  hot_threshold : int;  (** invocations before the compile hook fires *)
+  alloc_cycles : int;  (** fixed allocation cost *)
+  gc_cycles_per_live : int;
+  gc_cycles_per_dead : int;
+  max_steps : int;  (** safety budget; {!Vm_error} when exceeded *)
+}
+
+val default_options : Memsim.Config.machine -> options
+
+type t
+
+exception Vm_error of string
+
+val create : ?options:options -> Memsim.Config.machine -> Classfile.program -> t
+
+val program : t -> Classfile.program
+val heap : t -> Heap.t
+val memory : t -> Memsim.Hierarchy.t
+val stats : t -> Memsim.Stats.t
+val options : t -> options
+val output : t -> string
+(** Everything the program printed, one value per line. *)
+
+val global : t -> int -> Value.t
+(** Current value of a static slot (read-only view for object inspection). *)
+
+val set_compile_hook : t -> (t -> Classfile.method_info -> Value.t array -> unit) -> unit
+(** Install the JIT. The hook runs at most once per method, right before
+    the hot invocation executes; it may replace [method_info.code]. *)
+
+val set_load_observer : t -> (method_id:int -> site:int -> addr:int -> unit) -> unit
+(** Observe every executed load site with its effective address (used by
+    tests to validate object inspection against real execution). *)
+
+val gc_count : t -> int
+val gc_cycles : t -> int
+val interpreted_cycles : t -> int
+val compiled_cycles : t -> int
+(** Cycle attribution for Table 3's "% of time in compiled code". *)
+
+val call : t -> Classfile.method_info -> Value.t array -> Value.t option
+(** Execute one method to completion (recursively executing its callees)
+    and return its result. *)
+
+val run : t -> Value.t option
+(** Execute the program entry point with no arguments. *)

@@ -1,0 +1,26 @@
+(** Runtime values of the mini-JVM.
+
+    References carry a stable object id; the heap maps ids to simulated byte
+    addresses, so values survive the sliding compaction of the collector
+    unchanged. *)
+
+type t =
+  | Int of int
+  | Ref of int  (** object id, stable across GC *)
+  | Null
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Ref x, Ref y -> x = y
+  | Null, Null -> true
+  | (Int _ | Ref _ | Null), _ -> false
+
+let is_reference = function Ref _ | Null -> true | Int _ -> false
+
+let to_string = function
+  | Int n -> string_of_int n
+  | Ref id -> Printf.sprintf "ref#%d" id
+  | Null -> "null"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,15 @@
+(** Runtime values of the mini-JVM.
+
+    References carry a stable object id; the heap maps ids to simulated
+    byte addresses, so values survive the sliding compaction of the
+    collector unchanged. *)
+
+type t =
+  | Int of int
+  | Ref of int  (** object id, stable across GC *)
+  | Null
+
+val equal : t -> t -> bool
+val is_reference : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

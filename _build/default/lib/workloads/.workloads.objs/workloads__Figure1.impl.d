@@ -1,0 +1,1 @@
+lib/workloads/figure1.ml: Array Jit Minijava Printf String Workload

@@ -1,0 +1,1 @@
+lib/workloads/harness.ml: Jit Memsim Option Printf Strideprefetch Vm Workload

@@ -1,0 +1,1 @@
+lib/workloads/javagrande.ml: Workload

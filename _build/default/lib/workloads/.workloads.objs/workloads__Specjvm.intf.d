@@ -1,0 +1,1 @@
+lib/workloads/specjvm.mli: Workload

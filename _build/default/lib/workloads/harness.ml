@@ -1,0 +1,87 @@
+type run_result = {
+  workload : string;
+  machine : string;
+  mode : Strideprefetch.Options.mode;
+  cycles : int;
+  stats : Memsim.Stats.t;
+  interpreted_cycles : int;
+  compiled_cycles : int;
+  gc_count : int;
+  methods_compiled : int;
+  total_compile_seconds : float;
+  prefetch_pass_seconds : float;
+  output : string;
+  reports : Strideprefetch.Pass.loop_report list;
+}
+
+let run ?opts ~mode ~machine (workload : Workload.t) =
+  let opts =
+    let base =
+      Option.value ~default:Strideprefetch.Options.default opts
+    in
+    Strideprefetch.Options.with_mode mode base
+  in
+  let program = Workload.compile workload in
+  let interp_options =
+    {
+      (Vm.Interp.default_options machine) with
+      Vm.Interp.heap_limit_bytes = workload.heap_limit_bytes;
+    }
+  in
+  let interp = Vm.Interp.create ~options:interp_options machine program in
+  let reports = ref [] in
+  let passes =
+    Jit.Pipeline.standard_passes ()
+    @
+    match mode with
+    | Strideprefetch.Options.Off -> []
+    | Strideprefetch.Options.Inter | Strideprefetch.Options.Inter_intra ->
+        [
+          Strideprefetch.Pass.make_pass ~opts ~interp
+            ~report_sink:(fun r -> reports := !reports @ r)
+            ();
+        ]
+  in
+  let pipeline = Jit.Pipeline.create passes in
+  Vm.Interp.set_compile_hook interp (fun _ m args ->
+      Jit.Pipeline.compile pipeline m args);
+  ignore (Vm.Interp.run interp);
+  let stats = Memsim.Stats.copy (Vm.Interp.stats interp) in
+  {
+    workload = workload.name;
+    machine = machine.Memsim.Config.name;
+    mode;
+    cycles = stats.Memsim.Stats.cycles;
+    stats;
+    interpreted_cycles = Vm.Interp.interpreted_cycles interp;
+    compiled_cycles = Vm.Interp.compiled_cycles interp;
+    gc_count = Vm.Interp.gc_count interp;
+    methods_compiled = Jit.Pipeline.methods_compiled pipeline;
+    total_compile_seconds = Jit.Pipeline.total_seconds pipeline;
+    prefetch_pass_seconds =
+      Jit.Pipeline.seconds_of_pass pipeline "stride-prefetch";
+    output = Vm.Interp.output interp;
+    reports = !reports;
+  }
+
+let speedup ~baseline result =
+  if baseline.output <> result.output then
+    invalid_arg
+      (Printf.sprintf
+         "speedup: %s/%s: program output differs between %s and %s runs \
+          (optimization changed semantics!)"
+         result.workload result.machine
+         (Strideprefetch.Options.mode_name baseline.mode)
+         (Strideprefetch.Options.mode_name result.mode));
+  if result.cycles = 0 then invalid_arg "speedup: zero cycle count";
+  float_of_int baseline.cycles /. float_of_int result.cycles
+
+let percent_speedup ~baseline result = (speedup ~baseline result -. 1.0) *. 100.0
+
+let compiled_fraction r =
+  let total = r.interpreted_cycles + r.compiled_cycles in
+  if total = 0 then 0.0 else float_of_int r.compiled_cycles /. float_of_int total
+
+let prefetch_overhead_fraction r =
+  if r.total_compile_seconds = 0.0 then 0.0
+  else r.prefetch_pass_seconds /. r.total_compile_seconds

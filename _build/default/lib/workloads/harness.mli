@@ -1,0 +1,45 @@
+(** Experiment harness: run a workload on a machine under a prefetching
+    configuration, with the full mixed-mode pipeline wired up, and collect
+    everything the paper's figures need. *)
+
+type run_result = {
+  workload : string;
+  machine : string;
+  mode : Strideprefetch.Options.mode;
+  cycles : int;
+  stats : Memsim.Stats.t;  (** snapshot at end of run *)
+  interpreted_cycles : int;
+  compiled_cycles : int;
+  gc_count : int;
+  methods_compiled : int;
+  total_compile_seconds : float;
+  prefetch_pass_seconds : float;
+  output : string;  (** program output; must agree across modes *)
+  reports : Strideprefetch.Pass.loop_report list;
+}
+
+val run :
+  ?opts:Strideprefetch.Options.t ->
+  mode:Strideprefetch.Options.mode ->
+  machine:Memsim.Config.machine ->
+  Workload.t ->
+  run_result
+(** Compile the workload from source (fresh program), install the JIT
+    pipeline (standard passes + stride prefetching at [mode]), execute,
+    and collect results. [opts] overrides the algorithm's knobs; its
+    [mode] field is replaced by [mode]. *)
+
+val speedup : baseline:run_result -> run_result -> float
+(** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two
+    runs must have identical program output, which is checked
+    (side-effect-freedom of the whole pass stack). Raises
+    [Invalid_argument] otherwise. *)
+
+val percent_speedup : baseline:run_result -> run_result -> float
+(** [(speedup - 1) * 100]. *)
+
+val compiled_fraction : run_result -> float
+(** Share of cycles spent in compiled code (Table 3's last column). *)
+
+val prefetch_overhead_fraction : run_result -> float
+(** Prefetch-pass compile seconds / total compile seconds (Figure 11). *)

@@ -1,0 +1,376 @@
+(** JavaGrande v2.0 Section 3 benchmark analogues. *)
+
+let rng = Workload.lcg_snippet
+
+(* Euler: computational fluid dynamics over two-dimensional arrays of
+   state-vector objects. Cells are allocated row-major and back-to-back,
+   so their field loads have inter-iteration constant strides — the case
+   where INTER alone already wins (the paper: 15.4% / 14.0%). *)
+let euler =
+  {
+    Workload.name = "Euler";
+    suite = `Javagrande;
+    description = "CFD sweep over 2-D arrays of state-vector objects";
+    paper_note =
+      "inter-iteration constant strides in large 2-D arrays of vectors; \
+       INTER and INTER+INTRA achieve similar speedups";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Statevector {
+  int a; int b; int c; int d;
+  int e; int f; int g; int h;
+  int i0; int i1; int i2; int i3;
+  int i4; int i5; int i6; int i7;
+  int i8; int i9;
+  Statevector(int seed) {
+    a = seed; b = seed + 1; c = seed + 2; d = seed + 3;
+    e = 0; f = 0; g = 0; h = 0;
+    i0 = 0; i1 = 0; i2 = 0; i3 = 0;
+    i4 = 0; i5 = 0; i6 = 0; i7 = 0;
+    i8 = 0; i9 = 0;
+  }
+}
+
+class Row {
+  Statevector[] cells;
+  Row(int h, int base) {
+    cells = new Statevector[h];
+    for (int j = 0; j < h; j = j + 1) {
+      cells[j] = new Statevector(base + j);
+    }
+  }
+}
+
+class Grid {
+  Row[] rows;
+  int nx;
+  int ny;
+  Grid(int w, int h) {
+    nx = w;
+    ny = h;
+    rows = new Row[w];
+    for (int i = 0; i < w; i = i + 1) {
+      rows[i] = new Row(h, i * h);
+    }
+  }
+
+  int sweep() {
+    int acc = 0;
+    for (int i = 0; i < nx; i = i + 1) {
+      Statevector[] row = rows[i].cells;
+      for (int j = 0; j + 1 < ny; j = j + 1) {
+        Statevector cur = row[j];
+        Statevector nxt = row[j + 1];
+        int flux = cur.a * 3 + cur.b - nxt.a + nxt.b * 2 + cur.c - nxt.d;
+        cur.e = flux;
+        cur.f = cur.f + (flux >> 2);
+        acc = (acc + flux) % 1048576;
+      }
+    }
+    return acc;
+  }
+
+  static void main() {
+    Grid g = new Grid(96, 96);
+    int acc = 0;
+    for (int it = 0; it < 14; it = it + 1) {
+      acc = (acc + g.sweep()) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* MolDyn: molecular dynamics over a one-dimensional array of molecule
+   objects that fits in the L2 cache but not the L1. Prefetching into the
+   L2 (Pentium 4) cannot help; prefetching into the L1 (Athlon MP) can. *)
+let moldyn =
+  {
+    Workload.name = "MolDyn";
+    suite = `Javagrande;
+    description = "Molecular dynamics, molecule array resident in L2";
+    paper_note =
+      "main data structure fits in the L2 given this problem size: no P4 \
+       gain (prefetch target is L2), small Athlon gain (target is L1)";
+    heap_limit_bytes = 32 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Molecule {
+  int x; int y; int z;
+  int vx; int vy; int vz;
+  int fx; int fy; int fz;
+  int m0; int m1; int m2; int m3;
+  int m4; int m5; int m6; int m7;
+  Molecule(int seed) {
+    x = seed * 13 % 4096; y = seed * 17 % 4096; z = seed * 19 % 4096;
+    vx = 0; vy = 0; vz = 0;
+    fx = 0; fy = 0; fz = 0;
+    m0 = 0; m1 = 0; m2 = 0; m3 = 0;
+    m4 = 0; m5 = 0; m6 = 0; m7 = 0;
+  }
+}
+
+class Simulation {
+  Molecule[] particles;
+  int n;
+  Simulation(int count) {
+    particles = new Molecule[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      particles[i] = new Molecule(i);
+    }
+  }
+
+  /* One neighbour sweep: walks the molecule array sequentially,
+     stride = one molecule. */
+  int forces() {
+    int acc = 0;
+    for (int j = 1; j + 1 < n; j = j + 1) {
+      Molecule b = particles[j];
+      Molecule l = particles[j - 1];
+      Molecule r = particles[j + 1];
+      int dxl = b.x - l.x;
+      int dyl = b.y - l.y;
+      int dzl = b.z - l.z;
+      int dxr = b.x - r.x;
+      int dyr = b.y - r.y;
+      int dzr = b.z - r.z;
+      int r2l = dxl * dxl + dyl * dyl + dzl * dzl + 1;
+      int r2r = dxr * dxr + dyr * dyr + dzr * dzr + 1;
+      int f = 16384 / r2l - 16384 / r2r;
+      b.fx = b.fx + f * (dxl + dxr);
+      b.fy = b.fy + f * (dyl + dyr);
+      b.fz = b.fz + f * (dzl + dzr);
+      acc = (acc + f) % 1048576;
+    }
+    return acc;
+  }
+
+  static void main() {
+    /* 1800 molecules x 76 bytes = 137 KB: larger than both L1 caches,
+       comfortably inside the 256 KB L2s. */
+    Simulation sim = new Simulation(1800);
+    int acc = 0;
+    for (int step = 0; step < 100; step = step + 1) {
+      acc = (acc + sim.forces()) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* MonteCarlo: about half the time in compiled code; irregular
+   random-number-driven accesses over per-path time series. *)
+let montecarlo =
+  {
+    Workload.name = "MonteCarlo";
+    suite = `Javagrande;
+    description = "Monte Carlo price paths over co-allocated series";
+    paper_note = "~48% compiled code; little exploitable regularity";
+    heap_limit_bytes = 32 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class PricePath {
+  int[] series;
+  int seed;
+  PricePath(int s, int len) {
+    seed = s;
+    series = new int[len];
+  }
+}
+
+class MonteCarlo {
+  PricePath[] paths;
+  int n;
+  MonteCarlo(int count, int len) {
+    paths = new PricePath[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      paths[i] = new PricePath(i * 2654435761, len);
+    }
+  }
+
+  int simulate(PricePath p) {
+    int s = p.seed;
+    int price = 1000;
+    for (int t = 0; t < p.series.length; t = t + 1) {
+      s = (s * 1103515245 + 12345) % 2147483648;
+      if (s < 0) { s = 0 - s; }
+      price = price + (s % 21) - 10;
+      p.series[t] = price;
+    }
+    return price;
+  }
+
+  static void main() {
+    MonteCarlo mc = new MonteCarlo(1200, 160);
+    int acc = 0;
+    /* Simulation driven from main: interpreted driver, compiled kernel. */
+    for (int i = 0; i < mc.n; i = i + 1) {
+      acc = (acc + mc.simulate(mc.paths[i])) % 1048576;
+    }
+    /* Aggregation pass in main stays interpreted. */
+    int mean = 0;
+    for (int i = 0; i < mc.n; i = i + 1) {
+      int[] s = mc.paths[i].series;
+      int sum = 0;
+      for (int t = 0; t < s.length; t = t + 1) { sum = sum + s[t]; }
+      mean = (mean + sum / s.length) % 1048576;
+    }
+    print(acc);
+    print(mean);
+  }
+}
+|};
+  }
+
+(* RayTracer: the target loop contains a recursive method invocation
+   (reflection bounces). Object inspection skips the call; the sweep over
+   the co-allocated sphere scene still exposes strides. The paper reports
+   an anomaly here: a gain on the Pentium 4, a loss on the Athlon MP,
+   caused by cross-method cache effects. *)
+let raytracer =
+  {
+    Workload.name = "RayTracer";
+    suite = `Javagrande;
+    description = "3-D ray tracer with recursive shading in the hot loop";
+    paper_note =
+      "loop contains a recursive invocation; prefetching also reduced \
+       misses in other methods on the P4, degraded on the Athlon";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class RtSphere {
+  int x; int y; int z; int r;
+  int cr; int cg; int cb;
+  int refl;
+  int q0; int q1; int q2; int q3;
+  int q4; int q5; int q6; int q7;
+  RtSphere(int a, int b, int c, int rad, int re) {
+    x = a; y = b; z = c; r = rad; refl = re;
+    cr = a % 256; cg = b % 256; cb = c % 256;
+    q0 = 0; q1 = 0; q2 = 0; q3 = 0;
+    q4 = 0; q5 = 0; q6 = 0; q7 = 0;
+  }
+}
+
+class Tracer {
+  RtSphere[] scene;
+  int n;
+  Tracer(int count, Rng rng) {
+    scene = new RtSphere[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      scene[i] = new RtSphere(rng.next(4096), rng.next(4096), rng.next(4096),
+                              4 + rng.next(32), rng.next(2));
+    }
+  }
+
+  int shade(int ox, int oy, int dx, int dy, int depth) {
+    int best = 2147483647;
+    int hit = -1;
+    for (int i = 0; i < n; i = i + 1) {
+      RtSphere s = scene[i];
+      int ex = s.x - ox;
+      int ey = s.y - oy;
+      int b = ex * dx + ey * dy;
+      int c = ex * ex + ey * ey - s.r * s.r;
+      if (b > 0 && c < best) {
+        best = c;
+        hit = i;
+        /* recursive bounce inside the target loop */
+        if (depth > 0 && s.refl == 1) {
+          best = best - shade(s.x, s.y, 0 - dx, dy, depth - 1) % 64;
+        }
+      }
+    }
+    if (hit < 0) { return 0; }
+    RtSphere s = scene[hit];
+    return (s.cr + s.cg + s.cb) % 256;
+  }
+
+  static void main() {
+    Rng rng = new Rng(31);
+    Tracer tr = new Tracer(3200, rng);
+    int acc = 0;
+    for (int ray = 0; ray < 70; ray = ray + 1) {
+      acc = (acc + tr.shade(ray * 23, ray * 7, 3, 4, 1)) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* Search: alpha-beta game-tree search over a small board. Everything is
+   L1-resident and access is recursion-driven: no stride prefetching
+   applies (as the paper finds). *)
+let search =
+  {
+    Workload.name = "Search";
+    suite = `Javagrande;
+    description = "Alpha-beta pruned game-tree search over a small board";
+    paper_note = "no applicable inter- or intra-iteration patterns";
+    heap_limit_bytes = 16 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Board {
+  int[] cells;
+  int[] history;
+  int hn;
+  Board() {
+    cells = new int[49];
+    history = new int[64];
+    hn = 0;
+    for (int i = 0; i < 49; i = i + 1) { cells[i] = 0; }
+  }
+
+  int evaluate() {
+    int score = 0;
+    for (int i = 0; i < 49; i = i + 1) {
+      score = score + cells[i] * ((i % 7) - 3);
+    }
+    return score;
+  }
+
+  int alphabeta(int depth, int alpha, int beta, int player) {
+    if (depth == 0) { return evaluate() * player; }
+    int best = -1000000;
+    for (int move = 0; move < 7; move = move + 1) {
+      int cell = (move * 11 + depth * 5) % 49;
+      if (cells[cell] == 0) {
+        cells[cell] = player;
+        int v = 0 - alphabeta(depth - 1, 0 - beta, 0 - alpha, 0 - player);
+        cells[cell] = 0;
+        if (v > best) { best = v; }
+        if (best > alpha) { alpha = best; }
+        if (alpha >= beta) { break; }
+      }
+    }
+    if (best == -1000000) { return evaluate() * player; }
+    return best;
+  }
+
+  static void main() {
+    Board b = new Board();
+    int acc = 0;
+    for (int game = 0; game < 12; game = game + 1) {
+      b.cells[game % 49] = 1;
+      acc = (acc + b.alphabeta(6, -1000000, 1000000, 1)) % 1048576;
+      b.cells[game % 49] = 0;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+let all = [ euler; moldyn; montecarlo; raytracer; search ]

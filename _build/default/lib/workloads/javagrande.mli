@@ -1,0 +1,23 @@
+(** JavaGrande v2.0 Section 3 benchmark analogues (Table 3, last five
+    rows). See DESIGN.md section 2 for the substitution rationale. *)
+
+val euler : Workload.t
+(** CFD sweep over 2-D arrays of state-vector objects: plain
+    inter-iteration strides, the INTER-only success case. *)
+
+val moldyn : Workload.t
+(** Molecule array resident in the L2 but not the L1s: the prefetch-target
+    asymmetry case (no P4 gain, small Athlon gain). *)
+
+val montecarlo : Workload.t
+(** Random-walk price paths; about half the cycles in compiled code. *)
+
+val raytracer : Workload.t
+(** A recursive invocation inside the target loop — the benchmark the
+    paper flags as anomalous across machines. *)
+
+val search : Workload.t
+(** Alpha-beta game-tree search, L1-resident: nothing to prefetch. *)
+
+val all : Workload.t list
+(** In Table 3 order: Euler, MolDyn, MonteCarlo, RayTracer, Search. *)

@@ -1,0 +1,552 @@
+(** SPECjvm98 benchmark analogues (see DESIGN.md section 2 for the
+    substitution rationale; each source reproduces the access patterns the
+    paper's Section 4.1 attributes to the original benchmark). *)
+
+let rng = Workload.lcg_snippet
+
+(* _202_jess: the paper's motivating example. A TokenVector of Token
+   objects, each with a co-allocated facts array (intra-iteration strides);
+   add/removeElement churn destroys the inter-iteration stride of the
+   Token pointers, exactly as described in Section 2. The hot method is
+   inlined into a larger rule-evaluation phase so it is "hot, but not
+   dominant" (about a quarter of compiled-code time, per the paper). *)
+let jess =
+  {
+    Workload.name = "jess";
+    suite = `Specjvm;
+    description = "Java expert shell system (working-memory token matching)";
+    paper_note =
+      "findInMemory: intra-iteration strides between Token and its facts \
+       array; removeElement churn kills inter-iteration patterns; gains \
+       small because the method is hot but not dominant and the line size \
+       covers Token+facts";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class TokenVector {
+  Token[] v;
+  int ptr;
+  TokenVector(int cap) { v = new Token[cap]; ptr = 0; }
+  void addElement(Token val) { v[ptr] = val; ptr = ptr + 1; }
+  void removeAt(int idx) { ptr = ptr - 1; v[idx] = v[ptr]; }
+}
+
+class Token {
+  ValueVector[] facts;
+  int size;
+  int tag;
+  Token(int t, ValueVector f0, ValueVector f1) {
+    facts = new ValueVector[4];
+    facts[0] = f0;
+    facts[1] = f1;
+    size = 2;
+    tag = t;
+  }
+}
+
+class ValueVector {
+  int v0;
+  int v1;
+  ValueVector(int a, int b) { v0 = a; v1 = b; }
+}
+
+class Node2 {
+  int probes;
+  Node2() { probes = 0; }
+
+  /* The paper's findInMemory, comparisons inlined so the loads live in
+     the loop the pass optimizes. */
+  Token findInMemory(TokenVector tv, Token t) {
+    for (int i = 0; i < tv.ptr; i = i + 1) {
+      Token tmp = tv.v[i];
+      int matched = 1;
+      for (int j = 0; j < t.size; j = j + 1) {
+        ValueVector a = t.facts[j];
+        ValueVector b = tmp.facts[j];
+        if (a.v0 != b.v0 || a.v1 != b.v1) { matched = 0; break; }
+      }
+      probes = probes + 1;
+      if (matched == 1) { return tmp; }
+    }
+    return null;
+  }
+
+  /* Rule-evaluation filler so compiled time is spread over methods. */
+  int evalRules(int[] alpha, int rounds) {
+    int acc = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+      for (int i = 0; i < alpha.length; i = i + 1) {
+        acc = acc + (alpha[i] ^ r);
+        if (acc > 1048576) { acc = acc - 1048576; }
+      }
+    }
+    return acc;
+  }
+
+  static void main() {
+    Rng rng = new Rng(42);
+    TokenVector tv = new TokenVector(6000);
+    for (int i = 0; i < 3000; i = i + 1) {
+      tv.addElement(new Token(i, new ValueVector(i, i + 1), new ValueVector(i, i + 2)));
+    }
+    /* Working-memory churn: retract a random token, assert a new one. */
+    for (int k = 0; k < 9000; k = k + 1) {
+      tv.removeAt(rng.next(tv.ptr));
+      tv.addElement(new Token(3000 + k, new ValueVector(k, k + 1), new ValueVector(k, k + 2)));
+    }
+    Node2 node = new Node2();
+    int[] alpha = new int[4096];
+    for (int i = 0; i < 4096; i = i + 1) { alpha[i] = i * 7; }
+    int hits = 0;
+    int acc = 0;
+    for (int round = 0; round < 30; round = round + 1) {
+      Token probe = new Token(-1, new ValueVector(-1, round), new ValueVector(-1, round));
+      Token r = node.findInMemory(tv, probe);
+      if (r != null) { hits = hits + 1; }
+      acc = acc + node.evalRules(alpha, 40);
+    }
+    print(hits);
+    print(acc);
+    print(node.probes);
+  }
+}
+|};
+  }
+
+(* _209_db: a memory-resident database sorted by a gap sort (a comb sort —
+   the shell sort of the original makes the same sequential index scans
+   while reordering large records). Each record carries a co-allocated
+   Vector and String-like objects, so "they only have intra-iteration
+   constant strides between the containing records in the sorting loop".
+   The record set spans far more pages than the Pentium 4's 64 DTLB
+   entries, making TLB priming by guarded prefetch loads decisive. *)
+let db =
+  {
+    Workload.name = "db";
+    suite = `Specjvm;
+    description = "Memory resident database (sort of large records)";
+    paper_note =
+      ">85% of time in a sort loop over large records; records' sub-objects \
+       have intra-iteration constant strides only; frequent cache and DTLB \
+       misses (Shuf et al.)";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class DbString {
+  int[] chars;
+  DbString(int seedChar) {
+    chars = new int[12];
+    for (int i = 0; i < 12; i = i + 1) { chars[i] = (seedChar + i * 31) % 127; }
+  }
+}
+
+class DbVector {
+  DbString[] elems;
+  int n;
+  DbVector(int seed) {
+    elems = new DbString[3];
+    elems[0] = new DbString(seed);
+    elems[1] = new DbString(seed + 11);
+    elems[2] = new DbString(seed + 23);
+    n = 3;
+  }
+}
+
+class Entry {
+  DbVector items;
+  int key;
+  Entry(int k) {
+    key = k;
+    items = new DbVector(k);
+  }
+}
+
+class Database {
+  Entry[] index;
+  int n;
+  Database(int count, Rng rng) {
+    index = new Entry[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      index[i] = new Entry(rng.next(1000000));
+    }
+    /* Fisher-Yates shuffle: record pointers carry no allocation-order
+       stride when the sort starts. */
+    for (int i = count - 1; i > 0; i = i - 1) {
+      int j = rng.next(i + 1);
+      Entry tmp = index[i];
+      index[i] = index[j];
+      index[j] = tmp;
+    }
+  }
+
+  /* One comb-sort pass with the given gap: sequential scan of the index
+     (inter-iteration stride), dereferencing two records per step. The
+     record comparison is inlined: key first, then the first characters
+     of the first item string. */
+  int pass(int gap) {
+    int swaps = 0;
+    for (int i = 0; i + gap < n; i = i + 1) {
+      Entry a = index[i];
+      Entry b = index[i + gap];
+      DbString sa = a.items.elems[0];
+      DbString sb = b.items.elems[0];
+      /* collation over a character prefix (no early exit, like a locale
+         compare) */
+      int cmp = 0;
+      for (int c = 0; c < 8; c = c + 1) {
+        cmp = cmp * 2 + (sa.chars[c] - sb.chars[c]);
+      }
+      if (cmp == 0) { cmp = a.key - b.key; }
+      if (cmp > 0) {
+        index[i] = b;
+        index[i + gap] = a;
+        swaps = swaps + 1;
+      }
+    }
+    return swaps;
+  }
+
+  int checksum() {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + index[i].key) % 1048576;
+    }
+    return acc;
+  }
+
+  static void main() {
+    Rng rng = new Rng(7);
+    Database db = new Database(3200, rng);
+    int gap = 3200;
+    int swaps = 0;
+    while (gap > 1) {
+      gap = (gap * 10) / 13;
+      if (gap < 1) { gap = 1; }
+      swaps = swaps + db.pass(gap);
+    }
+    /* a few finishing gap-1 passes (not to full order; bounded work) */
+    for (int r = 0; r < 4; r = r + 1) {
+      swaps = swaps + db.pass(1);
+    }
+    print(swaps);
+    print(db.checksum());
+  }
+}
+|};
+  }
+
+(* _201_compress: LZW-style compression over int arrays. Hash-table
+   probing defeats stride discovery; array scans stride by 4 bytes, which
+   profitability rejects. The paper finds no applicable code. *)
+let compress =
+  {
+    Workload.name = "compress";
+    suite = `Specjvm;
+    description = "Modified Lempel-Ziv compression over int buffers";
+    paper_note = "no code fragments where stride prefetching applies";
+    heap_limit_bytes = 32 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Compressor {
+  int[] hashTab;
+  int[] codeTab;
+  Compressor(int size) {
+    hashTab = new int[size];
+    codeTab = new int[size];
+    for (int i = 0; i < size; i = i + 1) { hashTab[i] = -1; codeTab[i] = 0; }
+  }
+
+  int compress(int[] input) {
+    int hsize = hashTab.length;
+    int freeCode = 257;
+    int ent = input[0];
+    int outBits = 0;
+    for (int i = 1; i < input.length; i = i + 1) {
+      int c = input[i];
+      int fcode = (c << 12) + ent;
+      int h = ((c << 7) ^ ent) % hsize;
+      if (h < 0) { h = 0 - h; }
+      int probes = 0;
+      int done = 0;
+      while (done == 0) {
+        if (hashTab[h] == fcode) {
+          ent = codeTab[h];
+          done = 1;
+        } else {
+          if (hashTab[h] < 0) {
+            hashTab[h] = fcode;
+            codeTab[h] = freeCode;
+            freeCode = freeCode + 1;
+            outBits = outBits + 12;
+            ent = c;
+            done = 1;
+          } else {
+            h = (h + 1) % hsize;
+            probes = probes + 1;
+            if (probes > 64) { ent = c; done = 1; }
+          }
+        }
+      }
+    }
+    return outBits;
+  }
+
+  static void main() {
+    Rng rng = new Rng(99);
+    int[] input = new int[120000];
+    for (int i = 0; i < input.length; i = i + 1) {
+      /* skewed source alphabet so the dictionary is useful */
+      input[i] = rng.next(64) & rng.next(64);
+    }
+    Compressor c = new Compressor(32768);
+    int total = 0;
+    for (int round = 0; round < 3; round = round + 1) {
+      total = (total + c.compress(input)) % 1048576;
+    }
+    print(total);
+  }
+}
+|};
+  }
+
+(* _222_mpegaudio: subband-filter arithmetic over small arrays that fit in
+   the L1 cache. Cache and DTLB miss ratios are tiny; inserting prefetch
+   instructions can only slow it down slightly. *)
+let mpegaudio =
+  {
+    Workload.name = "mpegaudio";
+    suite = `Specjvm;
+    description = "MPEG Layer-3 style subband filtering (L1-resident)";
+    paper_note =
+      "quite small cache and DTLB miss ratios; slight degradation from \
+       prefetch overhead";
+    heap_limit_bytes = 16 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Filter {
+  int[] window;
+  int[] bank;
+  Filter() {
+    window = new int[512];
+    bank = new int[32];
+    for (int i = 0; i < 512; i = i + 1) { window[i] = (i * 37) % 256 - 128; }
+    for (int i = 0; i < 32; i = i + 1) { bank[i] = 0; }
+  }
+
+  int frame(int[] samples, int base) {
+    int acc = 0;
+    for (int sb = 0; sb < 32; sb = sb + 1) {
+      int sum = 0;
+      for (int k = 0; k < 16; k = k + 1) {
+        sum = sum + samples[(base + sb * 16 + k) % samples.length] * window[(sb * 16 + k) % 512];
+      }
+      bank[sb] = sum >> 4;
+      acc = acc + bank[sb];
+    }
+    return acc;
+  }
+
+  static void main() {
+    Rng rng = new Rng(5);
+    int[] samples = new int[1152];
+    for (int i = 0; i < samples.length; i = i + 1) { samples[i] = rng.next(512) - 256; }
+    Filter f = new Filter();
+    int acc = 0;
+    for (int fr = 0; fr < 6000; fr = fr + 1) {
+      acc = (acc + f.frame(samples, fr * 31)) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* _227_mtrt: ray tracing over a scene of sphere objects allocated
+   back-to-back (inter-iteration strides on their field loads). The
+   original is two-threaded; the VM is single-threaded, so two render
+   passes stand in for the two threads. L2 miss reductions, modest
+   speedup. *)
+let mtrt =
+  {
+    Workload.name = "mtrt";
+    suite = `Specjvm;
+    description = "Ray tracer over a large sphere scene (two passes)";
+    paper_note = "moderate L2 MPI reduction, small speedup";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Sphere {
+  int x; int y; int z; int r;
+  int cr; int cg; int cb;
+  int kd; int ks; int kt;
+  int p0; int p1; int p2; int p3; int p4; int p5;
+  Sphere(int a, int b, int c, int rad) {
+    x = a; y = b; z = c; r = rad;
+    cr = a % 256; cg = b % 256; cb = c % 256;
+    kd = 3; ks = 2; kt = 1;
+    p0 = 0; p1 = 0; p2 = 0; p3 = 0; p4 = 0; p5 = 0;
+  }
+}
+
+class Scene {
+  Sphere[] objects;
+  int n;
+  Scene(int count, Rng rng) {
+    objects = new Sphere[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      objects[i] = new Sphere(rng.next(4096), rng.next(4096), rng.next(4096), 8 + rng.next(64));
+    }
+  }
+
+  /* Nearest intersection along a ray: a strided sweep over the scene. */
+  int trace(int ox, int oy, int dx, int dy) {
+    int best = 2147483647;
+    int hit = -1;
+    for (int i = 0; i < n; i = i + 1) {
+      Sphere s = objects[i];
+      int ex = s.x - ox;
+      int ey = s.y - oy;
+      int ez = s.z - (ox + oy) / 2;
+      int b = ex * dx + ey * dy + ez;
+      int c = ex * ex + ey * ey + ez * ez - s.r * s.r;
+      int disc = b * b - c;
+      int shade = (s.kd * ex + s.ks * ey + s.kt * ez) >> 3;
+      int atten = (shade * shade + b) >> 4;
+      int gloss = (atten * s.ks - shade * s.kd) >> 2;
+      int spec = gloss;
+      for (int it = 0; it < 4; it = it + 1) {
+        spec = (spec * spec + atten) % 65536;
+        spec = spec + ((shade * it) >> 2) - (gloss >> 3);
+      }
+      disc = disc + (gloss - atten) / 7 + spec % 3;
+      if (disc > 0 && b > 0 && c < best) {
+        best = c;
+        hit = i;
+      }
+    }
+    if (hit < 0) { return 0; }
+    Sphere s = objects[hit];
+    return (s.cr + s.cg + s.cb) % 256;
+  }
+
+  static void main() {
+    Rng rng = new Rng(11);
+    Scene scene = new Scene(3700, rng);
+    int acc = 0;
+    /* two "threads" = two render passes */
+    for (int pass = 0; pass < 2; pass = pass + 1) {
+      for (int ray = 0; ray < 120; ray = ray + 1) {
+        acc = (acc + scene.trace(ray * 17, pass * 31, 3, 4)) % 1048576;
+      }
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* _228_jack: parser generator. Token scanning runs in [main] (never hot,
+   so interpreted), with only small helpers compiled: compiled code is a
+   small share of the run, as in Table 3 (36.2%), leaving prefetching
+   little to gain. *)
+let jack =
+  {
+    Workload.name = "jack";
+    suite = `Specjvm;
+    description = "Parser-generator style token scanning (mostly interpreted)";
+    paper_note = "compiled code only 36% of execution; no exploitable strides";
+    heap_limit_bytes = 16 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Scanner {
+  int[] kinds;
+  Scanner(int n, Rng rng) {
+    kinds = new int[n];
+    for (int i = 0; i < n; i = i + 1) { kinds[i] = rng.next(40); }
+  }
+  int classify(int k) {
+    if (k < 10) { return 1; }
+    if (k < 20) { return 2; }
+    if (k < 30) { return 3; }
+    return 4;
+  }
+
+  static void main() {
+    Rng rng = new Rng(17);
+    Scanner sc = new Scanner(60000, rng);
+    int acc = 0;
+    /* Parsing loop lives in main: interpreted (main runs once). */
+    for (int round = 0; round < 16; round = round + 1) {
+      int state = 0;
+      for (int i = 0; i < sc.kinds.length; i = i + 1) {
+        int cls = sc.classify(sc.kinds[i]);
+        state = (state * 5 + cls) % 7919;
+      }
+      acc = (acc + state) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* _213_javac: compiler front end. Irregular pointer chasing over AST
+   nodes built in interleaved order (no strides), with about half of the
+   time in compiled code. *)
+let javac =
+  {
+    Workload.name = "javac";
+    suite = `Specjvm;
+    description = "Compiler-style AST construction and traversal";
+    paper_note = "no applicable stride patterns; ~52% compiled code";
+    heap_limit_bytes = 48 * 1024 * 1024;
+    source =
+      rng
+      ^ {|
+class Node {
+  Node left;
+  Node right;
+  int op;
+  Node(int o) { op = o; left = null; right = null; }
+}
+
+class TreeBuilder {
+  Node build(int depth, Rng rng) {
+    Node root = new Node(rng.next(16));
+    if (depth > 0) {
+      root.left = build(depth - 1, rng);
+      root.right = build(depth - 1, rng);
+    }
+    return root;
+  }
+
+  int fold(Node n) {
+    if (n == null) { return 0; }
+    return (n.op + 3 * fold(n.left) + 5 * fold(n.right)) % 1048576;
+  }
+
+  static void main() {
+    Rng rng = new Rng(23);
+    TreeBuilder tb = new TreeBuilder();
+    int acc = 0;
+    for (int unit = 0; unit < 12; unit = unit + 1) {
+      Node tree = tb.build(13, rng);
+      for (int passNo = 0; passNo < 3; passNo = passNo + 1) {
+        acc = (acc + tb.fold(tree)) % 1048576;
+      }
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+let all = [ mtrt; jess; compress; db; mpegaudio; jack; javac ]

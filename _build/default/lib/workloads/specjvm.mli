@@ -1,0 +1,33 @@
+(** SPECjvm98 benchmark analogues (Table 3, first seven rows).
+
+    Each reproduces the access pattern the paper's Section 4.1 analysis
+    attributes to the original benchmark; DESIGN.md section 2 records the
+    substitution rationale. *)
+
+val mtrt : Workload.t
+(** Ray tracing over a sphere scene slightly larger than the L2; two
+    sequential passes stand in for the two threads. *)
+
+val jess : Workload.t
+(** The motivating example: Token matching with add/removeElement churn;
+    the hot method is deliberately not dominant. *)
+
+val compress : Workload.t
+(** LZW-style compression: hash probing, no stride patterns. *)
+
+val db : Workload.t
+(** The headline benchmark: a gap sort over large records whose
+    co-allocated sub-objects carry intra-iteration strides only. *)
+
+val mpegaudio : Workload.t
+(** Subband filtering over L1-resident arrays; nothing to prefetch. *)
+
+val jack : Workload.t
+(** Parser-generator-style scanning, mostly interpreted (Table 3: 36.2%
+    compiled). *)
+
+val javac : Workload.t
+(** Compiler-style AST building and folding: irregular pointer chasing. *)
+
+val all : Workload.t list
+(** In Table 3 order: mtrt, jess, compress, db, mpegaudio, jack, javac. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Jit Memsim Minijava QCheck_alcotest Strideprefetch Vm

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Gen Helpers Jit List Memsim Option Printf QCheck Strideprefetch Test_strideprefetch Vm Workloads

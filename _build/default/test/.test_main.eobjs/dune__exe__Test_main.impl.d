@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_jit Test_memsim Test_minijava Test_strideprefetch Test_vm Test_workloads

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Array Gen Helpers List Memsim QCheck Result

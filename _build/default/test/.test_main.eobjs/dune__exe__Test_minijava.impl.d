@@ -1,0 +1,1 @@
+test/test_minijava.ml: Alcotest Helpers List Memsim Minijava Printf QCheck Strideprefetch String

@@ -1,0 +1,1 @@
+test/test_strideprefetch.ml: Alcotest Array Fun Gen Hashtbl Helpers Jit List Memsim Option Printf QCheck Result Strideprefetch String Vm

@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "strideprefetch"
+    [
+      ("memsim", Test_memsim.suite);
+      ("vm", Test_vm.suite);
+      ("jit", Test_jit.suite);
+      ("minijava", Test_minijava.suite);
+      ("strideprefetch", Test_strideprefetch.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,534 @@
+(* Frontend tests: lexer, parser, type checker, and compiled-program
+   behaviour (golden outputs through the interpreter). *)
+
+module T = Minijava.Token
+
+(* --- lexer --------------------------------------------------------------- *)
+
+let tokens_of s =
+  List.map (fun (sp : T.spanned) -> sp.token) (Minijava.Lexer.tokenize s)
+
+let test_lexer_basic () =
+  Alcotest.(check bool) "kinds" true
+    (tokens_of "class A { int x = 42; }"
+    = [
+        T.Kw_class; T.Ident "A"; T.Lbrace; T.Kw_int; T.Ident "x"; T.Assign;
+        T.Int_literal 42; T.Semi; T.Rbrace; T.Eof;
+      ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "two-char ops" true
+    (tokens_of "<= >= == != && || << >>"
+    = [ T.Le; T.Ge; T.Eq; T.Ne; T.And_and; T.Or_or; T.Shl; T.Shr; T.Eof ]);
+  Alcotest.(check bool) "one-char ops" true
+    (tokens_of "< > = ! & | ^ + - * / %"
+    = [
+        T.Lt; T.Gt; T.Assign; T.Not; T.Amp; T.Bar; T.Caret; T.Plus; T.Minus;
+        T.Star; T.Slash; T.Percent; T.Eof;
+      ])
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "comments skipped" true
+    (tokens_of "1 // line\n/* block\n * more */ 2"
+    = [ T.Int_literal 1; T.Int_literal 2; T.Eof ])
+
+let test_lexer_positions () =
+  match Minijava.Lexer.tokenize "x\n  y" with
+  | [ x; y; _eof ] ->
+      Alcotest.(check int) "x line" 1 x.pos.line;
+      Alcotest.(check int) "y line" 2 y.pos.line;
+      Alcotest.(check int) "y col" 3 y.pos.col
+  | _ -> Alcotest.fail "expected two tokens"
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "illegal char" true
+    (try
+       ignore (tokens_of "a @ b");
+       false
+     with Minijava.Lexer.Error _ -> true);
+  Alcotest.(check bool) "unterminated comment" true
+    (try
+       ignore (tokens_of "/* never closed");
+       false
+     with Minijava.Lexer.Error _ -> true)
+
+(* --- parser -------------------------------------------------------------- *)
+
+let parse s = Minijava.Parser.parse_string s
+
+let test_parser_precedence () =
+  let prog = parse "class A { int f() { return 1 + 2 * 3 < 4 && 5 == 6; } }" in
+  match prog with
+  | [ { class_methods = [ { method_body = [ { sdesc = Return (Some e); _ } ]; _ } ]; _ } ]
+    -> (
+      (* top must be && *)
+      match e.desc with
+      | Minijava.Ast.Binop (Minijava.Ast.And, l, r) -> (
+          (match l.desc with
+          | Minijava.Ast.Binop (Minijava.Ast.Lt, add, _) -> (
+              match add.desc with
+              | Minijava.Ast.Binop (Minijava.Ast.Add, _, mul) -> (
+                  match mul.desc with
+                  | Minijava.Ast.Binop (Minijava.Ast.Mul, _, _) -> ()
+                  | _ -> Alcotest.fail "expected * under +")
+              | _ -> Alcotest.fail "expected + under <")
+          | _ -> Alcotest.fail "expected < under &&");
+          match r.desc with
+          | Minijava.Ast.Binop (Minijava.Ast.Eq, _, _) -> ()
+          | _ -> Alcotest.fail "expected == as right arm")
+      | _ -> Alcotest.fail "expected && at top")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_postfix_chain () =
+  let prog = parse "class A { int f(A a) { return a.b.c[0].d; } }" in
+  match prog with
+  | [ { class_methods = [ { method_body = [ { sdesc = Return (Some e); _ } ]; _ } ]; _ } ]
+    -> (
+      match e.desc with
+      | Minijava.Ast.Field ({ desc = Minijava.Ast.Index ({ desc = Minijava.Ast.Field ({ desc = Minijava.Ast.Field _; _ }, "c"); _ }, _); _ }, "d")
+        -> ()
+      | _ -> Alcotest.fail "postfix chain shape")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_statements () =
+  let src =
+    {|
+class A {
+  void f() {
+    int x = 0;
+    while (x < 10) { x = x + 1; }
+    for (int i = 0; i < 3; i = i + 1) { print(i); }
+    if (x == 10) { print(1); } else print(0);
+    break;
+    continue;
+    return;
+  }
+}
+|}
+  in
+  match parse src with
+  | [ { class_methods = [ { method_body; _ } ]; _ } ] ->
+      Alcotest.(check int) "statement count" 7 (List.length method_body)
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_constructor_vs_method () =
+  let src = "class A { A() { } A clone(A a) { return a; } }" in
+  match parse src with
+  | [ { class_methods = [ ctor; m ]; _ } ] ->
+      Alcotest.(check bool) "ctor" true ctor.is_constructor;
+      Alcotest.(check string) "ctor name" "<init>" ctor.method_name;
+      Alcotest.(check bool) "method" false m.is_constructor;
+      Alcotest.(check string) "method name" "clone" m.method_name
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let expect_parse_error src =
+  try
+    ignore (parse src);
+    Alcotest.failf "expected parse error for %s" src
+  with Minijava.Parser.Error _ -> ()
+
+let test_parser_errors () =
+  expect_parse_error "class A { int f() { return 1 + ; } }";
+  expect_parse_error "class A { int f() { 1 = 2; } }";
+  expect_parse_error "class A { int[][] x; }";
+  expect_parse_error "class { }"
+
+(* --- semantic analysis --------------------------------------------------- *)
+
+let expect_type_error src =
+  match Minijava.Compile.program_of_source src with
+  | Error e ->
+      Alcotest.(check bool) "is a type error" true
+        (String.length e.message >= 4)
+  | Ok _ -> Alcotest.failf "expected type error"
+
+let test_semant_errors () =
+  (* int/ref confusion *)
+  expect_type_error
+    "class A { static void main() { int x = null; print(x); } }";
+  (* unknown field *)
+  expect_type_error
+    "class A { int x; static void main() { A a = new A(); print(a.y); } }";
+  (* arity mismatch *)
+  expect_type_error
+    {|class A { int f(int x) { return x; }
+       static void main() { A a = new A(); print(a.f(1, 2)); } }|};
+  (* void used as value *)
+  expect_type_error
+    {|class A { void g() { }
+       static void main() { A a = new A(); print(a.g()); } }|};
+  (* undeclared variable *)
+  expect_type_error "class A { static void main() { print(nope); } }";
+  (* duplicate local in same scope *)
+  expect_type_error
+    "class A { static void main() { int x = 1; int x = 2; print(x); } }";
+  (* instance method from static context *)
+  expect_type_error
+    {|class A { int f() { return 1; }
+       static void main() { print(f()); } }|};
+  (* missing main *)
+  expect_type_error "class A { int f() { return 1; } }";
+  (* condition must be int *)
+  expect_type_error
+    {|class A { static void main() { A a = new A(); if (a) { print(1); } } }|}
+
+let test_semant_null_comparisons () =
+  (* null comparisons are legal; null assignment to refs is legal *)
+  let src =
+    {|
+class A {
+  A next;
+  static void main() {
+    A a = new A();
+    a.next = null;
+    if (a.next == null) { print(1); }
+    if (a == a) { print(2); }
+  }
+}
+|}
+  in
+  Alcotest.(check string) "runs" "1\n2\n" (Helpers.output_of src)
+
+(* --- behaviour (codegen + interpreter) ----------------------------------- *)
+
+let check_output name src expected =
+  Alcotest.(check string) name expected (Helpers.output_of src)
+
+let test_behaviour_arith () =
+  check_output "arith"
+    {|class A { static void main() {
+        print(2 + 3 * 4);
+        print((2 + 3) * 4);
+        print(10 / 3);
+        print(10 % 3);
+        print(-7);
+        print(7 - -3);
+        print(1 << 5);
+        print(256 >> 4);
+        print(12 & 10);
+        print(12 | 10);
+        print(12 ^ 10);
+      } }|}
+    "14\n20\n3\n1\n-7\n10\n32\n16\n8\n14\n6\n"
+
+let test_behaviour_comparisons_as_values () =
+  check_output "comparison values"
+    {|class A { static void main() {
+        int t = 3 < 5;
+        int f = 5 < 3;
+        print(t); print(f);
+        print(!t); print(!0);
+        print((1 < 2) + (3 < 4));
+      } }|}
+    "1\n0\n0\n1\n2\n"
+
+let test_behaviour_short_circuit () =
+  (* the right arm must not evaluate when the left decides *)
+  check_output "short circuit"
+    {|class A {
+      static int called;
+      static int effect(int v) { A.called = A.called + 1; return v; }
+      static void main() {
+        A.called = 0;
+        if (0 == 1 && A.effect(1) == 1) { print(99); }
+        print(A.called);
+        if (1 == 1 || A.effect(1) == 1) { print(42); }
+        print(A.called);
+      } }|}
+    "0\n42\n0\n"
+
+let test_behaviour_loops () =
+  check_output "loops"
+    {|class A { static void main() {
+        int sum = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+          if (i == 3) { continue; }
+          if (i == 8) { break; }
+          sum = sum + i;
+        }
+        print(sum);
+        int n = 5;
+        int fact = 1;
+        while (n > 0) { fact = fact * n; n = n - 1; }
+        print(fact);
+      } }|}
+    "25\n120\n"
+
+let test_behaviour_objects () =
+  check_output "objects and constructors"
+    {|class Pair {
+        int a; int b;
+        Pair(int x, int y) { a = x; b = y; }
+        int sum() { return a + b; }
+        void swap() { int t = a; a = b; b = t; }
+      }
+      class Main { static void main() {
+        Pair p = new Pair(3, 9);
+        print(p.sum());
+        p.swap();
+        print(p.a); print(p.b);
+      } }|}
+    "12\n9\n3\n"
+
+let test_behaviour_arrays () =
+  check_output "arrays"
+    {|class A { static void main() {
+        int[] xs = new int[4];
+        for (int i = 0; i < xs.length; i = i + 1) { xs[i] = i * i; }
+        print(xs[3]);
+        print(xs.length);
+        A[] objs = new A[2];
+        if (objs[0] == null) { print(1); }
+      } }|}
+    "9\n4\n1\n"
+
+let test_behaviour_recursion_and_bare_calls () =
+  check_output "recursion"
+    {|class A {
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        static int gcd(int a, int b) {
+          if (b == 0) { return a; }
+          return gcd(b, a % b);
+        }
+        static void main() {
+          A a = new A();
+          print(a.fib(10));
+          print(gcd(48, 18));
+        } }|}
+    "55\n6\n"
+
+let test_behaviour_implicit_this_fields () =
+  check_output "implicit this"
+    {|class Counter {
+        int n;
+        Counter() { n = 0; }
+        void bump() { n = n + 1; }
+        int get() { return n; }
+      }
+      class Main { static void main() {
+        Counter c = new Counter();
+        c.bump(); c.bump(); c.bump();
+        print(c.get());
+      } }|}
+    "3\n"
+
+let test_behaviour_scoping () =
+  check_output "shadowing across scopes"
+    {|class A { static void main() {
+        int x = 1;
+        for (int i = 0; i < 2; i = i + 1) {
+          int y = x * 10 + i;
+          print(y);
+        }
+        { int z = 99; print(z); }
+        print(x);
+      } }|}
+    "10\n11\n99\n1\n"
+
+let test_behaviour_evaluation_order () =
+  (* receiver and arguments evaluate left-to-right; new allocates before
+     its arguments (JVM semantics) *)
+  check_output "evaluation order"
+    {|class A {
+        static int trace;
+        static int mark(int v) { A.trace = A.trace * 10 + v; return v; }
+        static int f(int a, int b) { return a - b; }
+        static void main() {
+          A.trace = 0;
+          print(A.f(A.mark(1), A.mark(2)));
+          print(A.trace);
+        } }|}
+    "-1\n12\n"
+
+let test_output_deterministic_across_machines () =
+  let src =
+    {|class A { static void main() {
+        int acc = 0;
+        for (int i = 0; i < 100; i = i + 1) { acc = acc + i * i; }
+        print(acc);
+      } }|}
+  in
+  let p4 = Helpers.output_of ~machine:Memsim.Config.pentium4 src in
+  let athlon = Helpers.output_of ~machine:Memsim.Config.athlon_mp src in
+  Alcotest.(check string) "machine-independent semantics" p4 athlon
+
+(* Random arithmetic expressions: the compiled program must agree with a
+   direct OCaml evaluation. Division/modulo only by non-zero constants. *)
+let prop_random_expressions =
+  let module A = Minijava.Ast in
+  let pos = { T.line = 1; col = 1 } in
+  let mk desc = { A.desc; pos } in
+  let rec gen_expr depth st =
+    if depth = 0 then mk (A.Int_lit (QCheck.Gen.int_range (-50) 50 st))
+    else
+      match QCheck.Gen.int_bound 7 st with
+      | 0 -> mk (A.Int_lit (QCheck.Gen.int_range (-50) 50 st))
+      | 1 -> mk (A.Unop_neg (gen_expr (depth - 1) st))
+      | 2 ->
+          mk
+            (A.Binop (A.Div, gen_expr (depth - 1) st,
+                      mk (A.Int_lit (1 + QCheck.Gen.int_bound 9 st))))
+      | 3 ->
+          mk
+            (A.Binop (A.Rem, gen_expr (depth - 1) st,
+                      mk (A.Int_lit (1 + QCheck.Gen.int_bound 9 st))))
+      | n ->
+          let op =
+            match n with
+            | 4 -> A.Add
+            | 5 -> A.Sub
+            | 6 -> A.Mul
+            | _ -> A.Band
+          in
+          mk (A.Binop (op, gen_expr (depth - 1) st, gen_expr (depth - 1) st))
+  in
+  let rec eval (e : A.expr) =
+    match e.desc with
+    | A.Int_lit n -> n
+    | A.Unop_neg a -> -eval a
+    | A.Binop (op, a, b) -> (
+        let x = eval a and y = eval b in
+        match op with
+        | A.Add -> x + y
+        | A.Sub -> x - y
+        | A.Mul -> x * y
+        | A.Div -> x / y
+        | A.Rem -> x mod y
+        | A.Band -> x land y
+        | _ -> assert false)
+    | _ -> assert false
+  in
+  let rec render (e : A.expr) =
+    match e.desc with
+    | A.Int_lit n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+    | A.Unop_neg a -> Printf.sprintf "(-%s)" (render a)
+    | A.Binop (op, a, b) ->
+        Printf.sprintf "(%s %s %s)" (render a) (A.string_of_binop op) (render b)
+    | _ -> assert false
+  in
+  QCheck.Test.make ~name:"random expressions evaluate like OCaml" ~count:60
+    (QCheck.make (gen_expr 4))
+    (fun e ->
+      let source =
+        Printf.sprintf "class A { static void main() { print(%s); } }"
+          (render e)
+      in
+      Helpers.output_of source = string_of_int (eval e) ^ "\n")
+
+let suite =
+  [
+    ("lexer: basic tokens", `Quick, test_lexer_basic);
+    ("lexer: operators", `Quick, test_lexer_operators);
+    ("lexer: comments", `Quick, test_lexer_comments);
+    ("lexer: positions", `Quick, test_lexer_positions);
+    ("lexer: errors", `Quick, test_lexer_errors);
+    ("parser: operator precedence", `Quick, test_parser_precedence);
+    ("parser: postfix chains", `Quick, test_parser_postfix_chain);
+    ("parser: statements", `Quick, test_parser_statements);
+    ("parser: constructor vs method", `Quick, test_parser_constructor_vs_method);
+    ("parser: error positions", `Quick, test_parser_errors);
+    ("semant: type errors rejected", `Quick, test_semant_errors);
+    ("semant: null comparisons", `Quick, test_semant_null_comparisons);
+    ("behaviour: arithmetic", `Quick, test_behaviour_arith);
+    ("behaviour: comparisons as values", `Quick,
+     test_behaviour_comparisons_as_values);
+    ("behaviour: short-circuit evaluation", `Quick, test_behaviour_short_circuit);
+    ("behaviour: loops with break/continue", `Quick, test_behaviour_loops);
+    ("behaviour: objects and constructors", `Quick, test_behaviour_objects);
+    ("behaviour: arrays", `Quick, test_behaviour_arrays);
+    ("behaviour: recursion and bare calls", `Quick,
+     test_behaviour_recursion_and_bare_calls);
+    ("behaviour: implicit this fields", `Quick,
+     test_behaviour_implicit_this_fields);
+    ("behaviour: scoping", `Quick, test_behaviour_scoping);
+    ("behaviour: evaluation order", `Quick, test_behaviour_evaluation_order);
+    ("behaviour: machine-independent", `Quick,
+     test_output_deterministic_across_machines);
+    Helpers.qtest prop_random_expressions;
+  ]
+
+(* --- differential testing of the whole stack ----------------------------- *)
+
+(* Generate random method bodies over (n, i, acc) and check that the
+   interpreted-only execution and the fully JIT-compiled execution
+   (inlining, folding, DSE, stride prefetching) print the same results. *)
+let prop_random_programs_jit_equivalence =
+  let gen_leaf st =
+    match QCheck.Gen.int_bound 3 st with
+    | 0 -> "n"
+    | 1 -> "i"
+    | 2 -> "acc"
+    | _ -> string_of_int (QCheck.Gen.int_range (-20) 20 st)
+  in
+  let rec gen_expr depth st =
+    if depth = 0 then gen_leaf st
+    else
+      match QCheck.Gen.int_bound 6 st with
+      | 0 | 1 -> gen_leaf st
+      | 2 ->
+          Printf.sprintf "(%s / %d)" (gen_expr (depth - 1) st)
+            (1 + QCheck.Gen.int_bound 7 st)
+      | 3 ->
+          Printf.sprintf "(%s %% %d)" (gen_expr (depth - 1) st)
+            (1 + QCheck.Gen.int_bound 7 st)
+      | n ->
+          let op = match n with 4 -> "+" | 5 -> "-" | _ -> "*" in
+          Printf.sprintf "(%s %s %s)" (gen_expr (depth - 1) st) op
+            (gen_expr (depth - 1) st)
+  in
+  let gen_stmt st =
+    match QCheck.Gen.int_bound 2 st with
+    | 0 -> Printf.sprintf "acc = %s;" (gen_expr 2 st)
+    | 1 ->
+        Printf.sprintf "if (%s < %s) { acc = acc + %s; }" (gen_expr 1 st)
+          (gen_expr 1 st) (gen_expr 1 st)
+    | _ ->
+        Printf.sprintf "acc = acc + helper(%s, i);" (gen_expr 1 st)
+  in
+  let gen_program st =
+    let body =
+      String.concat "\n      " (List.init 4 (fun _ -> gen_stmt st))
+    in
+    Printf.sprintf
+      {|
+class R {
+  static int helper(int a, int b) { return a * 2 - b; }
+  static int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      %s
+      if (acc > 1000000) { acc = acc - 1000000; }
+      if (acc < -1000000) { acc = acc + 1000000; }
+    }
+    return acc;
+  }
+  static void main() {
+    print(R.f(5));
+    print(R.f(13));
+    print(R.f(0));
+    print(R.f(30));
+  }
+}
+|}
+      body
+  in
+  QCheck.Test.make ~name:"random programs: interpreter == full JIT stack"
+    ~count:40
+    (QCheck.make gen_program)
+    (fun source ->
+      match Minijava.Compile.program_of_source source with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ ->
+          let interpreted =
+            Helpers.output_of ~hot_threshold:1_000_000 source
+          in
+          let jitted =
+            Helpers.output_of ~hot_threshold:2
+              ~mode:Strideprefetch.Options.Inter_intra source
+          in
+          interpreted = jitted)
+
+let suite = suite @ [ Helpers.qtest prop_random_programs_jit_equivalence ]

@@ -1,0 +1,550 @@
+(* Unit and property tests for the mini-JVM: heap, GC, frames, bytecode,
+   interpreter. *)
+
+module B = Vm.Bytecode
+module C = Vm.Classfile
+module V = Vm.Value
+module H = Vm.Heap
+
+let point_class =
+  C.make_class ~class_id:0 ~class_name:"Point"
+    ~field_specs:[ ("x", false); ("y", false); ("next", true) ]
+
+(* --- heap ---------------------------------------------------------------- *)
+
+let test_heap_layout () =
+  let h = H.create () in
+  let id = H.alloc_object h point_class in
+  Alcotest.(check int) "base at heap start" C.heap_base (H.base_of h id);
+  Alcotest.(check int) "object size" (8 + (3 * 4)) (H.size_of h id);
+  Alcotest.(check int) "field 0 addr" (C.heap_base + 8) (H.field_addr h id 0);
+  Alcotest.(check int) "field 2 addr" (C.heap_base + 16) (H.field_addr h id 2);
+  let arr = H.alloc_int_array h 5 in
+  Alcotest.(check int) "array after object" (C.heap_base + 20) (H.base_of h arr);
+  Alcotest.(check int) "length addr"
+    (H.base_of h arr + 8)
+    (H.length_addr h arr);
+  Alcotest.(check int) "elem 0 addr"
+    (H.base_of h arr + 12)
+    (H.elem_addr h arr 0);
+  Alcotest.(check int) "length" 5 (H.array_length h arr)
+
+let test_heap_field_rw () =
+  let h = H.create () in
+  let id = H.alloc_object h point_class in
+  Alcotest.(check bool) "zero-init" true (H.get_field h id 0 = V.Null);
+  H.set_field h id 0 (V.Int 42);
+  H.set_field h id 2 (V.Ref id);
+  Alcotest.(check bool) "int field" true (H.get_field h id 0 = V.Int 42);
+  Alcotest.(check bool) "ref field" true (H.get_field h id 2 = V.Ref id)
+
+let test_heap_array_rw () =
+  let h = H.create () in
+  let a = H.alloc_int_array h 3 in
+  H.set_elem h a 1 (V.Int 7);
+  Alcotest.(check bool) "int elem" true (H.get_elem h a 1 = V.Int 7);
+  let r = H.alloc_ref_array h 2 in
+  H.set_elem h r 0 (V.Ref a);
+  Alcotest.(check bool) "ref elem" true (H.get_elem h r 0 = V.Ref a);
+  Alcotest.(check bool) "type confusion rejected" true
+    (try
+       H.set_elem h a 0 (V.Ref r);
+       false
+     with Invalid_argument _ -> true)
+
+let test_heap_value_at () =
+  let h = H.create () in
+  let id = H.alloc_object h point_class in
+  H.set_field h id 1 (V.Int 99);
+  Alcotest.(check bool) "field readback" true
+    (H.value_at h (H.field_addr h id 1) = Some (V.Int 99));
+  Alcotest.(check bool) "header is opaque" true
+    (H.value_at h (H.base_of h id) = None);
+  Alcotest.(check bool) "unmapped address" true
+    (H.value_at h (C.heap_base + 1_000_000) = None);
+  let a = H.alloc_int_array h 4 in
+  H.set_elem h a 2 (V.Int 5);
+  Alcotest.(check bool) "array length via address" true
+    (H.value_at h (H.length_addr h a) = Some (V.Int 4));
+  Alcotest.(check bool) "array elem via address" true
+    (H.value_at h (H.elem_addr h a 2) = Some (V.Int 5));
+  Alcotest.(check bool) "misaligned is opaque" true
+    (H.value_at h (H.elem_addr h a 2 + 1) = None)
+
+let test_heap_out_of_memory () =
+  let h = H.create ~limit_bytes:40 () in
+  ignore (H.alloc_object h point_class);
+  ignore (H.alloc_object h point_class);
+  Alcotest.check_raises "third allocation fails" H.Out_of_memory (fun () ->
+      ignore (H.alloc_object h point_class))
+
+let test_heap_compact_slides_in_order () =
+  let h = H.create () in
+  let a = H.alloc_object h point_class in
+  let b = H.alloc_object h point_class in
+  let c = H.alloc_object h point_class in
+  let size = H.size_of h a in
+  (* drop b; a and c survive and slide together *)
+  let removed = H.compact h ~live:(fun id -> id <> b) in
+  Alcotest.(check int) "one removed" 1 removed;
+  Alcotest.(check bool) "b gone" false (H.exists h b);
+  Alcotest.(check int) "a stays at base" C.heap_base (H.base_of h a);
+  Alcotest.(check int) "c slides next to a" (C.heap_base + size)
+    (H.base_of h c);
+  Alcotest.(check int) "two live" 2 (H.live_objects h)
+
+let prop_heap_addresses_ascending =
+  QCheck.Test.make ~name:"heap: allocation order = address order" ~count:50
+    QCheck.(list_of_size Gen.(1 -- 30) (QCheck.int_range 0 20))
+    (fun sizes ->
+      let h = H.create () in
+      let ids = List.map (fun n -> H.alloc_int_array h n) sizes in
+      let bases = List.map (H.base_of h) ids in
+      List.sort compare bases = bases
+      && List.length (List.sort_uniq compare bases) = List.length bases)
+
+let prop_value_at_roundtrip =
+  QCheck.Test.make ~name:"heap: value_at agrees with get_elem" ~count:100
+    QCheck.(pair (QCheck.int_range 1 20) QCheck.small_int)
+    (fun (len, v) ->
+      let h = H.create () in
+      let a = H.alloc_int_array h len in
+      let i = abs v mod len in
+      H.set_elem h a i (V.Int v);
+      H.value_at h (H.elem_addr h a i) = Some (V.Int v))
+
+(* --- gc ------------------------------------------------------------------ *)
+
+let test_gc_reclaims_garbage () =
+  let h = H.create () in
+  let keep = H.alloc_object h point_class in
+  let dead = H.alloc_object h point_class in
+  let child = H.alloc_int_array h 4 in
+  H.set_field h keep 2 (V.Ref child);
+  let result = Vm.Gc_compact.collect h ~roots:[ V.Ref keep ] in
+  Alcotest.(check int) "collected" 1 result.collected;
+  Alcotest.(check int) "live" 2 result.live;
+  Alcotest.(check bool) "keep survives" true (H.exists h keep);
+  Alcotest.(check bool) "child survives (transitively)" true
+    (H.exists h child);
+  Alcotest.(check bool) "dead reclaimed" false (H.exists h dead)
+
+let test_gc_handles_cycles () =
+  let h = H.create () in
+  let a = H.alloc_object h point_class in
+  let b = H.alloc_object h point_class in
+  H.set_field h a 2 (V.Ref b);
+  H.set_field h b 2 (V.Ref a);
+  (* the cycle is garbage *)
+  let result = Vm.Gc_compact.collect h ~roots:[] in
+  Alcotest.(check int) "cycle collected" 2 result.collected
+
+let test_gc_preserves_strides () =
+  (* The paper's GC property: sliding compaction preserves the relative
+     order, so constant strides among surviving neighbours persist. *)
+  let h = H.create () in
+  let objs = Array.init 10 (fun _ -> H.alloc_object h point_class) in
+  (* keep every second object *)
+  let roots =
+    Array.to_list objs
+    |> List.filteri (fun i _ -> i mod 2 = 0)
+    |> List.map (fun id -> V.Ref id)
+  in
+  ignore (Vm.Gc_compact.collect h ~roots);
+  let survivors =
+    Array.to_list objs |> List.filter (H.exists h) |> List.map (H.base_of h)
+  in
+  let rec strides = function
+    | a :: (b :: _ as rest) -> (b - a) :: strides rest
+    | [ _ ] | [] -> []
+  in
+  let ss = strides survivors in
+  Alcotest.(check bool) "constant stride among survivors" true
+    (ss <> [] && List.for_all (fun s -> s = List.hd ss) ss)
+
+(* --- frame --------------------------------------------------------------- *)
+
+let dummy_method code =
+  C.make_method ~method_id:0 ~method_name:"T.m" ~arity:2 ~returns_value:false
+    ~max_locals:4 ~code
+
+let test_frame_push_pop () =
+  let f =
+    Vm.Frame.create (dummy_method [| B.Return |]) ~args:[| V.Int 1; V.Null |]
+  in
+  Vm.Frame.push f (V.Int 5);
+  Vm.Frame.push f (V.Ref 0);
+  Alcotest.(check bool) "peek" true (Vm.Frame.peek f = V.Ref 0);
+  Alcotest.(check bool) "pop" true (Vm.Frame.pop f = V.Ref 0);
+  Alcotest.(check int) "pop_int" 5 (Vm.Frame.pop_int f);
+  Alcotest.check_raises "underflow"
+    (Vm.Frame.Stack_error "operand stack underflow in T.m") (fun () ->
+      ignore (Vm.Frame.pop f))
+
+let test_frame_args_in_locals () =
+  let f =
+    Vm.Frame.create (dummy_method [| B.Return |]) ~args:[| V.Int 7; V.Ref 3 |]
+  in
+  Alcotest.(check bool) "arg 0" true (f.Vm.Frame.locals.(0) = V.Int 7);
+  Alcotest.(check bool) "arg 1" true (f.Vm.Frame.locals.(1) = V.Ref 3);
+  Alcotest.(check bool) "roots include args" true
+    (List.mem (V.Ref 3) (Vm.Frame.roots f))
+
+(* --- bytecode ------------------------------------------------------------ *)
+
+let test_bytecode_sites () =
+  let gf = B.Getfield { site = 3; offset = 8; name = "f"; is_ref = true } in
+  Alcotest.(check bool) "getfield site" true (B.site_of gf = Some 3);
+  let aa = B.Aaload { len_site = 1; elem_site = 2 } in
+  Alcotest.(check bool) "aaload sites" true (B.all_sites aa = [ 1; 2 ]);
+  Alcotest.(check bool) "iadd no site" true (B.site_of B.Iadd = None)
+
+let test_bytecode_branch_helpers () =
+  Alcotest.(check bool) "goto target" true (B.branch_target (B.Goto 7) = Some 7);
+  Alcotest.(check bool) "terminator" true (B.is_terminator (B.Goto 7));
+  Alcotest.(check bool) "conditional not terminator" false
+    (B.is_terminator (B.If (B.Eq, 3)));
+  Alcotest.(check bool) "return" true (B.is_return B.Ireturn)
+
+let test_bytecode_printer_total () =
+  let instrs =
+    [
+      B.Iconst 1; B.Aconst_null; B.Iload 0; B.Istore 0; B.Aload 0; B.Astore 0;
+      B.Dup; B.Pop; B.Iadd; B.Isub; B.Imul; B.Idiv; B.Irem; B.Ineg; B.Iand;
+      B.Ior; B.Ixor; B.Ishl; B.Ishr; B.Goto 0; B.If_icmp (B.Lt, 0);
+      B.If (B.Eq, 0); B.If_acmpeq 0; B.If_acmpne 0; B.Ifnull 0; B.Ifnonnull 0;
+      B.Getfield { site = 0; offset = 8; name = "f"; is_ref = false };
+      B.Putfield { offset = 8; name = "f" };
+      B.Getstatic { site = 0; index = 0; name = "s"; is_ref = false };
+      B.Putstatic { index = 0; name = "s" };
+      B.Aaload { len_site = 0; elem_site = 1 };
+      B.Iaload { len_site = 0; elem_site = 1 };
+      B.Aastore { len_site = 0 }; B.Iastore { len_site = 0 };
+      B.Arraylength { site = 0 }; B.New 0; B.Newarray B.Int_array;
+      B.Newarray B.Ref_array; B.Invoke 0; B.Return; B.Ireturn; B.Areturn;
+      B.Print; B.Prefetch_inter { site = 0; distance = 64 };
+      B.Spec_load { site = 0; distance = 64; reg = 0 };
+      B.Prefetch_indirect { reg = 0; offset = 8; guarded = true };
+    ]
+  in
+  List.iter
+    (fun i -> Alcotest.(check bool) "nonempty" true (B.to_string i <> ""))
+    instrs
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let run_code ?(max_locals = 8) code =
+  Helpers.run_program (Helpers.program_of_code ~max_locals code)
+
+let test_interp_arith () =
+  let interp =
+    run_code [| B.Iconst 6; B.Iconst 7; B.Imul; B.Print; B.Return |]
+  in
+  Alcotest.(check string) "6*7" "42\n" (Vm.Interp.output interp)
+
+let test_interp_division_by_zero () =
+  Alcotest.check_raises "div by zero"
+    (Vm.Interp.Vm_error "division by zero in T.main") (fun () ->
+      ignore (run_code [| B.Iconst 1; B.Iconst 0; B.Idiv; B.Return |]))
+
+let test_interp_branches () =
+  (* if (3 < 5) print 1 else print 0 *)
+  let code =
+    [|
+      B.Iconst 3; B.Iconst 5; B.If_icmp (B.Lt, 5); B.Iconst 0; B.Goto 6;
+      B.Iconst 1; B.Print; B.Return;
+    |]
+  in
+  Alcotest.(check string) "taken" "1\n" (Vm.Interp.output (run_code code))
+
+let test_interp_arrays_and_bounds () =
+  let code =
+    [|
+      B.Iconst 3; B.Newarray B.Int_array; B.Astore 0;
+      B.Aload 0; B.Iconst 1; B.Iconst 9; B.Iastore { len_site = 0 };
+      B.Aload 0; B.Iconst 1; B.Iaload { len_site = 1; elem_site = 2 };
+      B.Print; B.Return;
+    |]
+  in
+  Alcotest.(check string) "store/load" "9\n" (Vm.Interp.output (run_code code));
+  let oob =
+    [|
+      B.Iconst 2; B.Newarray B.Int_array; B.Iconst 5;
+      B.Iaload { len_site = 0; elem_site = 1 }; B.Return;
+    |]
+  in
+  Alcotest.check_raises "bounds"
+    (Vm.Interp.Vm_error "array index 5 out of bounds [0,2) in T.main")
+    (fun () -> ignore (run_code oob))
+
+let test_interp_null_deref () =
+  let code =
+    [|
+      B.Aconst_null;
+      B.Getfield { site = 0; offset = 8; name = "f"; is_ref = false };
+      B.Return;
+    |]
+  in
+  Alcotest.check_raises "null"
+    (Vm.Interp.Vm_error "null pointer dereference in T.main") (fun () ->
+      ignore (run_code code))
+
+let test_interp_gc_triggered () =
+  let source =
+    {|
+class A {
+  int x;
+  A(int v) { x = v; }
+  static void main() {
+    int acc = 0;
+    for (int i = 0; i < 5000; i = i + 1) {
+      A a = new A(i);
+      acc = (acc + a.x) % 1000;
+    }
+    print(acc);
+  }
+}
+|}
+  in
+  let program = Helpers.compile source in
+  let machine = Memsim.Config.pentium4 in
+  let options =
+    {
+      (Vm.Interp.default_options machine) with
+      Vm.Interp.heap_limit_bytes = 8192;
+    }
+  in
+  let interp = Vm.Interp.create ~options machine program in
+  ignore (Vm.Interp.run interp);
+  Alcotest.(check bool) "collected at least once" true
+    (Vm.Interp.gc_count interp > 0);
+  (* sum of 0..4999 mod 1000, folded stepwise *)
+  Alcotest.(check bool) "produced a result" true
+    (Vm.Interp.output interp <> "")
+
+let test_interp_site_addresses_recorded () =
+  let seen = ref [] in
+  let source =
+    {|
+class P {
+  int v;
+  P(int x) { v = x; }
+  static void main() {
+    P p = new P(3);
+    print(p.v);
+  }
+}
+|}
+  in
+  let program = Helpers.compile source in
+  let interp = Vm.Interp.create Memsim.Config.pentium4 program in
+  Vm.Interp.set_load_observer interp (fun ~method_id ~site ~addr ->
+      seen := (method_id, site, addr) :: !seen);
+  ignore (Vm.Interp.run interp);
+  Alcotest.(check bool) "observed at least one load" true (!seen <> [])
+
+let test_interp_prefetch_instructions () =
+  let code =
+    [|
+      B.Iconst 4; B.Newarray B.Int_array; B.Astore 0;
+      B.Aload 0; B.Iconst 0; B.Iaload { len_site = 0; elem_site = 1 }; B.Pop;
+      B.Prefetch_inter { site = 1; distance = 64 };
+      B.Spec_load { site = 1; distance = 0; reg = 0 };
+      B.Prefetch_indirect { reg = 0; offset = 8; guarded = true };
+      B.Return;
+    |]
+  in
+  let program = Helpers.program_of_code code in
+  program.methods.(0).C.n_pref_regs <- 1;
+  let interp = Vm.Interp.create Memsim.Config.pentium4 program in
+  ignore (Vm.Interp.run interp);
+  let stats = Vm.Interp.stats interp in
+  Alcotest.(check int) "one sw prefetch" 1 stats.Memsim.Stats.sw_prefetches;
+  (* spec_load counts as a guarded load; its result is an Int (a[0] = 0),
+     so the indirect prefetch through it is skipped *)
+  Alcotest.(check int) "one guarded load" 1 stats.Memsim.Stats.guarded_loads
+
+let test_interp_spec_load_reads_pointer () =
+  let code =
+    [|
+      B.New 0; B.Astore 0;
+      B.Iconst 1; B.Newarray B.Ref_array; B.Astore 1;
+      B.Aload 1; B.Iconst 0; B.Aload 0; B.Aastore { len_site = 0 };
+      B.Aload 1; B.Iconst 0; B.Aaload { len_site = 1; elem_site = 2 }; B.Pop;
+      B.Spec_load { site = 2; distance = 0; reg = 0 };
+      B.Prefetch_indirect { reg = 0; offset = 8; guarded = true };
+      B.Return;
+    |]
+  in
+  let m =
+    C.make_method ~method_id:0 ~method_name:"T.main" ~arity:0
+      ~returns_value:false ~max_locals:4 ~code
+  in
+  m.C.n_pref_regs <- 1;
+  let program =
+    {
+      C.classes = [| point_class |];
+      methods = [| m |];
+      statics = [||];
+      entry = 0;
+    }
+  in
+  let interp = Vm.Interp.create Memsim.Config.pentium4 program in
+  ignore (Vm.Interp.run interp);
+  let stats = Vm.Interp.stats interp in
+  (* the spec_load returned Ref point, so the indirect guarded prefetch
+     also executed: two guarded loads in total *)
+  Alcotest.(check int) "spec_load + indirect guarded" 2
+    stats.Memsim.Stats.guarded_loads
+
+let test_interp_statics () =
+  let source =
+    {|
+class G {
+  static int counter;
+  static void main() {
+    G.counter = 5;
+    G.counter = G.counter + 2;
+    print(G.counter);
+  }
+}
+|}
+  in
+  Alcotest.(check string) "statics" "7\n" (Helpers.output_of source)
+
+let test_interp_compile_hook_receives_args () =
+  let captured = ref None in
+  let source =
+    {|
+class K {
+  static int twice(int x) { return x + x; }
+  static void main() {
+    int acc = 0;
+    for (int i = 0; i < 5; i = i + 1) { acc = acc + K.twice(21); }
+    print(acc);
+  }
+}
+|}
+  in
+  let program = Helpers.compile source in
+  let interp = Vm.Interp.create Memsim.Config.pentium4 program in
+  Vm.Interp.set_compile_hook interp (fun _ m args ->
+      if m.C.method_name = "K.twice" then captured := Some (Array.copy args));
+  ignore (Vm.Interp.run interp);
+  match !captured with
+  | Some [| V.Int 21 |] -> ()
+  | Some args ->
+      Alcotest.failf "unexpected args: %s"
+        (String.concat "," (Array.to_list args |> List.map V.to_string))
+  | None -> Alcotest.fail "hook never fired for K.twice"
+
+let test_classfile_reset () =
+  let program =
+    Helpers.compile "class A { static void main() { print(1); } }"
+  in
+  let m = program.C.methods.(program.C.entry) in
+  m.C.compiled <- true;
+  m.C.invocations <- 10;
+  let original_len = Array.length m.C.code in
+  m.C.code <- [| B.Return |];
+  C.reset_program program;
+  Alcotest.(check bool) "not compiled" false m.C.compiled;
+  Alcotest.(check int) "invocations zeroed" 0 m.C.invocations;
+  Alcotest.(check int) "code restored" original_len (Array.length m.C.code)
+
+let suite =
+  [
+    ("heap: 2003-style layout", `Quick, test_heap_layout);
+    ("heap: field read/write", `Quick, test_heap_field_rw);
+    ("heap: array read/write", `Quick, test_heap_array_rw);
+    ("heap: value_at address map", `Quick, test_heap_value_at);
+    ("heap: out of memory", `Quick, test_heap_out_of_memory);
+    ("heap: compaction slides in order", `Quick,
+     test_heap_compact_slides_in_order);
+    Helpers.qtest prop_heap_addresses_ascending;
+    Helpers.qtest prop_value_at_roundtrip;
+    ("gc: reclaims garbage, keeps reachable", `Quick, test_gc_reclaims_garbage);
+    ("gc: collects cycles", `Quick, test_gc_handles_cycles);
+    ("gc: compaction preserves strides", `Quick, test_gc_preserves_strides);
+    ("frame: push/pop/underflow", `Quick, test_frame_push_pop);
+    ("frame: arguments land in locals", `Quick, test_frame_args_in_locals);
+    ("bytecode: load sites", `Quick, test_bytecode_sites);
+    ("bytecode: branch helpers", `Quick, test_bytecode_branch_helpers);
+    ("bytecode: printer is total", `Quick, test_bytecode_printer_total);
+    ("interp: arithmetic", `Quick, test_interp_arith);
+    ("interp: division by zero", `Quick, test_interp_division_by_zero);
+    ("interp: branches", `Quick, test_interp_branches);
+    ("interp: arrays and bounds checks", `Quick, test_interp_arrays_and_bounds);
+    ("interp: null dereference", `Quick, test_interp_null_deref);
+    ("interp: GC triggered under pressure", `Quick, test_interp_gc_triggered);
+    ("interp: load sites observed", `Quick, test_interp_site_addresses_recorded);
+    ("interp: prefetch pseudo-instructions", `Quick,
+     test_interp_prefetch_instructions);
+    ("interp: spec_load reads the future pointer", `Quick,
+     test_interp_spec_load_reads_pointer);
+    ("interp: statics", `Quick, test_interp_statics);
+    ("interp: compile hook gets actual arguments", `Quick,
+     test_interp_compile_hook_receives_args);
+    ("classfile: reset_program", `Quick, test_classfile_reset);
+  ]
+
+(* --- model-based property test: GC reachability --------------------------- *)
+
+(* Build a random object graph, pick random roots, collect, and check the
+   survivor set is exactly the reachable set with all values intact. *)
+let prop_gc_exact_reachability =
+  QCheck.Test.make ~name:"gc keeps exactly the reachable objects" ~count:60
+    QCheck.(
+      pair
+        (int_range 1 40) (* object count *)
+        (pair (list_of_size Gen.(0 -- 80) (pair small_nat small_nat))
+           (list_of_size Gen.(0 -- 5) small_nat)))
+    (fun (n, (edges, root_picks)) ->
+      let h = H.create () in
+      let objs = Array.init n (fun i ->
+          let id = H.alloc_object h point_class in
+          H.set_field h id 0 (V.Int i);
+          id)
+      in
+      (* wire edges via the 'next' field (last write wins) and remember the
+         final graph *)
+      let next = Array.make n None in
+      List.iter
+        (fun (a, b) ->
+          let a = a mod n and b = b mod n in
+          next.(a) <- Some b;
+          H.set_field h objs.(a) 2 (V.Ref objs.(b)))
+        edges;
+      let roots = List.map (fun r -> r mod n) root_picks in
+      (* reference reachability *)
+      let reachable = Array.make n false in
+      let rec mark i =
+        if not reachable.(i) then begin
+          reachable.(i) <- true;
+          match next.(i) with Some j -> mark j | None -> ()
+        end
+      in
+      List.iter mark roots;
+      ignore
+        (Vm.Gc_compact.collect h
+           ~roots:(List.map (fun r -> V.Ref objs.(r)) roots));
+      (* exactness + value integrity + order preservation *)
+      let ok_membership =
+        Array.for_all Fun.id
+          (Array.mapi (fun i id -> H.exists h id = reachable.(i)) objs)
+      in
+      let ok_values =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i id ->
+               (not reachable.(i)) || H.get_field h id 0 = V.Int i)
+             objs)
+      in
+      let survivors =
+        Array.to_list objs |> List.filter (H.exists h)
+        |> List.map (H.base_of h)
+      in
+      let ok_order = List.sort compare survivors = survivors in
+      ok_membership && ok_values && ok_order)
+
+let suite = suite @ [ Helpers.qtest prop_gc_exact_reachability ]
