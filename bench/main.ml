@@ -1,19 +1,34 @@
 (* Reproduction harness: regenerates every table and figure of the paper's
    evaluation (see DESIGN.md section 4 for the experiment index), plus an
-   ablation sweep and bechamel microbenchmarks of the compiler machinery.
+   ablation sweep, per-cell wall-clock timings and bechamel microbenchmarks
+   of the compiler machinery.
 
-   Usage: dune exec bench/main.exe [-- experiment ...]
+   Usage: dune exec bench/main.exe [-- flags] [experiment ...]
    Experiments: table1 table2 table3 fig34 fig5 fig6 fig7 fig8 fig9 fig10
-   fig11 ablation micro; default is all of them in paper order. *)
+   fig11 ablation timings micro; default is all of them in paper order.
+
+   Flags:
+     --jobs N     size of the Domain pool for the simulation matrix
+                  (default: Domain.recommended_domain_count ())
+     --json PATH  where [timings] writes its report
+                  (default: BENCH_hotpath.json)
+     --smoke      reduced bechamel quota for [micro] (used by dune runtest)
+
+   All simulation cells needed by the requested experiments are collected
+   up front, deduplicated, and run once on the Domain pool (Bench_runner);
+   the experiments then only read the pre-computed matrix. Simulated cycle
+   counts are independent of --jobs. *)
 
 module SP = Strideprefetch
 module W = Workloads.Workload
 module H = Workloads.Harness
+module Runner = Bench_runner.Runner
 
 let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
 let specjvm_names = List.map (fun (w : W.t) -> w.name) Workloads.Specjvm.all
 
 let machines = [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ]
+let all_modes = [ SP.Options.Off; SP.Options.Inter; SP.Options.Inter_intra ]
 
 let heading title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -21,21 +36,68 @@ let heading title =
 let subheading title = Printf.printf "\n-- %s --\n" title
 
 (* ------------------------------------------------------------------ *)
-(* Result cache: each (workload, machine, mode) runs once per process. *)
+(* Result matrix: each (workload, machine, mode, opts) cell runs once per
+   process. The cells for the requested experiments are prefilled in
+   parallel by [prefill]; [result_of_cell] falls back to a serial run only
+   for cells no experiment declared (which would be a bug in [needs]). *)
 
-let cache : (string * string * SP.Options.mode, H.run_result) Hashtbl.t =
-  Hashtbl.create 64
+type key = string * string * SP.Options.mode * SP.Options.t option
 
-let result (w : W.t) (machine : Memsim.Config.machine) mode =
-  let key = (w.name, machine.name, mode) in
-  match Hashtbl.find_opt cache key with
-  | Some r -> r
+let key_of (c : Runner.cell) : key =
+  (c.workload.W.name, c.machine.Memsim.Config.name, c.mode, c.opts)
+
+let cache : (key, Runner.timed) Hashtbl.t = Hashtbl.create 64
+
+(* Wall-clock of the parallel prefill, for the timings report. *)
+let matrix_wall_seconds = ref 0.0
+
+let prefill ~jobs cells =
+  let todo =
+    List.filter (fun c -> not (Hashtbl.mem cache (key_of c))) cells
+  in
+  (* Dedup while preserving order. *)
+  let seen = Hashtbl.create 64 in
+  let todo =
+    List.filter
+      (fun c ->
+        let k = key_of c in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      todo
+  in
+  if todo <> [] then begin
+    Printf.eprintf "[bench] running %d simulation cells on %d domain(s)...\n%!"
+      (List.length todo) jobs;
+    let t0 = Unix.gettimeofday () in
+    let timed =
+      Runner.run_matrix ~jobs
+        ~progress:(fun c ->
+          Printf.eprintf "[bench]   %s\n%!" (Runner.cell_label c))
+        todo
+    in
+    matrix_wall_seconds := !matrix_wall_seconds +. Unix.gettimeofday () -. t0;
+    List.iter (fun (t : Runner.timed) -> Hashtbl.replace cache (key_of t.cell) t)
+      timed
+  end
+
+let timed_of_cell (c : Runner.cell) =
+  let k = key_of c in
+  match Hashtbl.find_opt cache k with
+  | Some t -> t
   | None ->
-      Printf.eprintf "[bench] running %s on %s (%s)...\n%!" w.name machine.name
-        (SP.Options.mode_name mode);
-      let r = H.run ~mode ~machine w in
-      Hashtbl.add cache key r;
-      r
+      Printf.eprintf "[bench] running %s (not prefilled)...\n%!"
+        (Runner.cell_label c);
+      let t = Runner.run_cell c in
+      Hashtbl.replace cache k t;
+      t
+
+let result_opts ?opts (w : W.t) machine mode =
+  (timed_of_cell (Runner.cell ?opts w machine mode)).Runner.result
+
+let result w machine mode = result_opts w machine mode
 
 let speedup_percent w machine mode =
   let baseline = result w machine SP.Options.Off in
@@ -239,58 +301,145 @@ let fig11 () =
     !worst_per_method
 
 (* ------------------------------------------------------------------ *)
+(* Ablation: knob sweeps, expressed as custom-opts cells so they run on
+   the same Domain pool as everything else. *)
+
+let find_workload name = List.find (fun (w : W.t) -> w.name = name) workloads
+
+let ablation_points =
+  let iterations =
+    List.map
+      (fun n ->
+        (n, { SP.Options.default with SP.Options.inspect_iterations = n }))
+      [ 5; 10; 20; 40 ]
+  and distances =
+    List.map
+      (fun c ->
+        (c, { SP.Options.default with SP.Options.scheduling_distance = c }))
+      [ 1; 2; 4 ]
+  and majorities =
+    List.map
+      (fun m -> (m, { SP.Options.default with SP.Options.majority = m }))
+      [ 0.5; 0.75; 0.95 ]
+  in
+  (iterations, distances, majorities)
 
 let ablation () =
   heading "Ablation: inspected iterations and scheduling distance (Pentium 4)";
   let machine = Memsim.Config.pentium4 in
-  let w = List.find (fun (w : W.t) -> w.name = "db") workloads in
+  let iterations, distances, majorities = ablation_points in
+  let w = find_workload "db" in
   let baseline = result w machine SP.Options.Off in
   subheading "db: INTER+INTRA speedup vs inspected iterations";
   List.iter
-    (fun iterations ->
-      let opts =
-        { SP.Options.default with SP.Options.inspect_iterations = iterations }
-      in
-      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine w in
-      Printf.printf "  %2d iterations: %+6.1f%%\n" iterations
+    (fun (n, opts) ->
+      let r = result_opts ~opts w machine SP.Options.Inter_intra in
+      Printf.printf "  %2d iterations: %+6.1f%%\n" n
         (H.percent_speedup ~baseline r))
-    [ 5; 10; 20; 40 ];
+    iterations;
   subheading "db: INTER+INTRA speedup vs scheduling distance c";
   List.iter
-    (fun c ->
-      let opts =
-        { SP.Options.default with SP.Options.scheduling_distance = c }
-      in
-      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine w in
+    (fun (c, opts) ->
+      let r = result_opts ~opts w machine SP.Options.Inter_intra in
       Printf.printf "  c = %d: %+6.1f%%\n" c (H.percent_speedup ~baseline r))
-    [ 1; 2; 4 ];
-  let euler = List.find (fun (w : W.t) -> w.name = "Euler") workloads in
+    distances;
+  let euler = find_workload "Euler" in
   let euler_baseline = result euler machine SP.Options.Off in
   subheading "Euler: INTER speedup vs scheduling distance c";
   List.iter
-    (fun c ->
-      let opts =
-        { SP.Options.default with SP.Options.scheduling_distance = c }
-      in
-      let r = H.run ~opts ~mode:SP.Options.Inter ~machine euler in
+    (fun (c, opts) ->
+      let r = result_opts ~opts euler machine SP.Options.Inter in
       Printf.printf "  c = %d: %+6.1f%%\n" c
         (H.percent_speedup ~baseline:euler_baseline r))
-    [ 1; 2; 4 ];
+    distances;
   subheading "jess: majority threshold";
-  let jess = List.find (fun (w : W.t) -> w.name = "jess") workloads in
+  let jess = find_workload "jess" in
   let jess_baseline = result jess machine SP.Options.Off in
   List.iter
-    (fun majority ->
-      let opts = { SP.Options.default with SP.Options.majority } in
-      let r = H.run ~opts ~mode:SP.Options.Inter_intra ~machine jess in
-      Printf.printf "  majority %.2f: %+6.1f%%\n" majority
+    (fun (m, opts) ->
+      let r = result_opts ~opts jess machine SP.Options.Inter_intra in
+      Printf.printf "  majority %.2f: %+6.1f%%\n" m
         (H.percent_speedup ~baseline:jess_baseline r))
-    [ 0.5; 0.75; 0.95 ]
+    majorities
+
+(* ------------------------------------------------------------------ *)
+(* Timings: per-cell host wall-clock of the full default matrix, written
+   as BENCH_hotpath.json for tracking the simulator's own performance. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let default_matrix () =
+  List.concat_map
+    (fun (w : W.t) ->
+      List.concat_map
+        (fun machine ->
+          List.map (fun mode -> Runner.cell w machine mode) all_modes)
+        machines)
+    workloads
+
+let timings ~jobs ~json_path () =
+  heading "Timings: per-cell host wall-clock (hot-path benchmark)";
+  let cells = default_matrix () in
+  let timed = List.map timed_of_cell cells in
+  let total_cell_seconds =
+    List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
+  in
+  Printf.printf "%-32s %10s %14s\n" "cell" "seconds" "cycles";
+  List.iter
+    (fun (t : Runner.timed) ->
+      Printf.printf "%-32s %10.3f %14d\n"
+        (Runner.cell_label t.cell)
+        t.seconds t.result.H.cycles)
+    timed;
+  Printf.printf "\nTotal cell seconds: %.3f (matrix wall-clock %.3f on %d \
+                 job(s), %d host cpu(s))\n"
+    total_cell_seconds !matrix_wall_seconds jobs
+    (Runner.default_jobs ());
+  let oc = open_out json_path in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"bench_hotpath/v1\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": %d,\n  \"host_cpus\": %d,\n" jobs
+       (Runner.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"matrix_wall_seconds\": %.6f,\n" !matrix_wall_seconds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_cell_seconds\": %.6f,\n" total_cell_seconds);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (t : Runner.timed) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
+            \"%s\", \"seconds\": %.6f, \"cycles\": %d}%s\n"
+           (json_escape t.cell.Runner.workload.W.name)
+           (json_escape t.cell.Runner.machine.Memsim.Config.name)
+           (json_escape (SP.Options.mode_name t.cell.Runner.mode))
+           t.seconds t.result.H.cycles
+           (if i = List.length timed - 1 then "" else ",")))
+    timed;
+  Buffer.add_string buf "  ]\n}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "Wrote %s\n" json_path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler-side machinery. *)
 
-let micro () =
+let micro ~smoke () =
   heading "Microbenchmarks (bechamel): compiler-side costs";
   let program, meth, infos = kernel_and_infos () in
   let cfg_built = Jit.Cfg.build meth.code in
@@ -374,7 +523,11 @@ let micro () =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let benchmark_cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    (* The smoke config (dune runtest) only checks the harness runs end to
+       end; the quota is slashed so the whole alias stays well under 30s. *)
+    if smoke then
+      Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   Printf.printf "%-26s %16s\n" "benchmark" "time/run";
   List.iter
@@ -386,7 +539,8 @@ let micro () =
           match Analyze.OLS.estimates ols_result with
           | Some [ ns ] ->
               let pretty =
-                if ns > 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+                if smoke then "ok"
+                else if ns > 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
                 else if ns > 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
                 else Printf.sprintf "%10.0f ns" ns
               in
@@ -396,36 +550,122 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Experiment index and the cells each one needs from the matrix. *)
 
-let experiments =
+let matrix_cells ~machines ~modes =
+  List.concat_map
+    (fun (w : W.t) ->
+      List.concat_map
+        (fun machine -> List.map (fun mode -> Runner.cell w machine mode) modes)
+        machines)
+    workloads
+
+let ablation_cells () =
+  let p4 = Memsim.Config.pentium4 in
+  let iterations, distances, majorities = ablation_points in
+  let db = find_workload "db"
+  and euler = find_workload "Euler"
+  and jess = find_workload "jess" in
+  Runner.cell db p4 SP.Options.Off
+  :: Runner.cell euler p4 SP.Options.Off
+  :: Runner.cell jess p4 SP.Options.Off
+  :: (List.map
+        (fun (_, opts) -> Runner.cell ~opts db p4 SP.Options.Inter_intra)
+        iterations
+     @ List.map
+         (fun (_, opts) -> Runner.cell ~opts db p4 SP.Options.Inter_intra)
+         distances
+     @ List.map
+         (fun (_, opts) -> Runner.cell ~opts euler p4 SP.Options.Inter)
+         distances
+     @ List.map
+         (fun (_, opts) -> Runner.cell ~opts jess p4 SP.Options.Inter_intra)
+         majorities)
+
+let needs = function
+  | "table3" ->
+      matrix_cells ~machines:[ Memsim.Config.pentium4 ]
+        ~modes:[ SP.Options.Off ]
+  | "fig6" ->
+      matrix_cells ~machines:[ Memsim.Config.pentium4 ] ~modes:all_modes
+  | "fig7" ->
+      matrix_cells ~machines:[ Memsim.Config.athlon_mp ] ~modes:all_modes
+  | "fig8" | "fig9" | "fig10" ->
+      matrix_cells ~machines:[ Memsim.Config.pentium4 ]
+        ~modes:[ SP.Options.Off; SP.Options.Inter_intra ]
+  | "fig11" ->
+      matrix_cells ~machines:[ Memsim.Config.pentium4 ]
+        ~modes:[ SP.Options.Inter_intra ]
+  | "ablation" -> ablation_cells ()
+  | "timings" -> default_matrix ()
+  | _ -> []
+
+let experiment_names =
   [
-    ("table1", table1);
-    ("table2", table2);
-    ("table3", table3);
-    ("fig34", fig34);
-    ("fig5", fig5);
-    ("fig6", fig6);
-    ("fig7", fig7);
-    ("fig8", fig8);
-    ("fig9", fig9);
-    ("fig10", fig10);
-    ("fig11", fig11);
-    ("ablation", ablation);
-    ("micro", micro);
+    "table1"; "table2"; "table3"; "fig34"; "fig5"; "fig6"; "fig7"; "fig8";
+    "fig9"; "fig10"; "fig11"; "ablation"; "timings"; "micro";
   ]
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] [--json PATH] [--smoke] [experiment ...]\n\
+     experiments: %s\n"
+    (String.concat ", " experiment_names)
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let jobs = ref (Runner.default_jobs ()) in
+  let json_path = ref "BENCH_hotpath.json" in
+  let smoke = ref false in
+  let names = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got '%s'\n" n;
+            exit 2);
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := path;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | name :: rest ->
+        if List.mem name experiment_names then names := !names @ [ name ]
+        else begin
+          Printf.eprintf "unknown experiment '%s'\n" name;
+          usage ();
+          exit 1
+        end;
+        parse rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run -> run ()
-      | None ->
-          Printf.eprintf "unknown experiment '%s' (available: %s)\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 1)
-    requested
+  parse (List.tl (Array.to_list Sys.argv));
+  let requested = if !names = [] then experiment_names else !names in
+  (* One parallel pass over every simulation cell any requested experiment
+     will read; the experiments themselves are then pure printing. *)
+  prefill ~jobs:!jobs (List.concat_map needs requested);
+  let run = function
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "table3" -> table3 ()
+    | "fig34" -> fig34 ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig7" -> fig7 ()
+    | "fig8" -> fig8 ()
+    | "fig9" -> fig9 ()
+    | "fig10" -> fig10 ()
+    | "fig11" -> fig11 ()
+    | "ablation" -> ablation ()
+    | "timings" -> timings ~jobs:!jobs ~json_path:!json_path ()
+    | "micro" -> micro ~smoke:!smoke ()
+    | name ->
+        Printf.eprintf "unknown experiment '%s'\n" name;
+        exit 1
+  in
+  List.iter run requested

@@ -1,0 +1,96 @@
+(* Parallel bench-matrix runner.
+
+   The (workload x machine x mode) cells of the paper's evaluation are
+   mutually independent: each run builds a fresh program, a fresh
+   [Vm.Interp.t] and a fresh [Memsim.Hierarchy.t], and no library under
+   [lib/] keeps top-level mutable state. That makes the matrix
+   embarrassingly parallel, so we farm the cells out to a pool of OCaml 5
+   Domains. Simulated cycle counts are a pure function of the cell, so the
+   parallel runner is byte-identical to the serial one (asserted by
+   test/test_bench_runner.ml); only host wall-clock changes. *)
+
+module SP = Strideprefetch
+module W = Workloads.Workload
+module H = Workloads.Harness
+
+type cell = {
+  workload : W.t;
+  machine : Memsim.Config.machine;
+  mode : SP.Options.mode;
+  opts : SP.Options.t option;  (** algorithm-knob override; [None] = defaults *)
+}
+
+type timed = {
+  cell : cell;
+  result : H.run_result;
+  seconds : float;  (** host wall-clock for this cell *)
+}
+
+let cell ?opts workload machine mode = { workload; machine; mode; opts }
+
+let cell_label c =
+  Printf.sprintf "%s/%s/%s%s" c.workload.W.name c.machine.Memsim.Config.name
+    (SP.Options.mode_name c.mode)
+    (match c.opts with None -> "" | Some _ -> "/custom-opts")
+
+let run_cell c =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match c.opts with
+    | None -> H.run ~mode:c.mode ~machine:c.machine c.workload
+    | Some opts -> H.run ~opts ~mode:c.mode ~machine:c.machine c.workload
+  in
+  { cell = c; result; seconds = Unix.gettimeofday () -. t0 }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_matrix ?progress ~jobs cells =
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  let results = Array.make n None in
+  let jobs = max 1 (min jobs n) in
+  let report =
+    match progress with
+    | None -> fun _ -> ()
+    | Some f ->
+        let m = Mutex.create () in
+        fun c ->
+          Mutex.lock m;
+          (try f c with e -> Mutex.unlock m; raise e);
+          Mutex.unlock m
+  in
+  if jobs = 1 then
+    (* Serial fallback: no domains at all, to keep single-core runs and
+       debugging sessions free of any runtime-parallelism overhead. *)
+    Array.iteri
+      (fun i c ->
+        report c;
+        results.(i) <- Some (run_cell c))
+      cells
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          let c = cells.(i) in
+          report c;
+          (* Distinct domains write distinct indices of a boxed-option
+             array: no data race, and [Domain.join] publishes the
+             writes. *)
+          results.(i) <- Some (run_cell c)
+        end
+      done
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> invalid_arg "run_matrix: unfilled cell (worker died?)")
+       results)

@@ -1,0 +1,47 @@
+(** Parallel bench-matrix runner.
+
+    The (workload x machine x mode) cells of the paper's evaluation are
+    mutually independent — each run builds a fresh program, interpreter and
+    memory hierarchy, and no library keeps top-level mutable state — so the
+    matrix is farmed out to a pool of OCaml 5 Domains. Simulated cycle
+    counts are a pure function of the cell: the parallel runner is
+    byte-identical to the serial one (asserted by test/test_bench_runner.ml);
+    only host wall-clock changes. *)
+
+type cell = {
+  workload : Workloads.Workload.t;
+  machine : Memsim.Config.machine;
+  mode : Strideprefetch.Options.mode;
+  opts : Strideprefetch.Options.t option;
+      (** algorithm-knob override; [None] = defaults *)
+}
+
+type timed = {
+  cell : cell;
+  result : Workloads.Harness.run_result;
+  seconds : float;  (** host wall-clock for this cell *)
+}
+
+val cell :
+  ?opts:Strideprefetch.Options.t ->
+  Workloads.Workload.t ->
+  Memsim.Config.machine ->
+  Strideprefetch.Options.mode ->
+  cell
+
+val cell_label : cell -> string
+(** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
+    overrides the algorithm knobs. *)
+
+val run_cell : cell -> timed
+(** Run one cell serially in the calling domain. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run_matrix :
+  ?progress:(cell -> unit) -> jobs:int -> cell list -> timed list
+(** Run every cell on a pool of [jobs] domains (clamped to [1 .. n_cells]);
+    results are returned in input order. [jobs = 1] runs serially in the
+    calling domain with no Domain machinery at all. [progress] is invoked
+    under a mutex as each cell is picked up by a worker. *)

@@ -1,6 +1,7 @@
 type t = {
   params : Config.cache_params;
   sets : int;
+  assoc : int;
   line_shift : int;
   tags : int array;  (** [set * assoc + way]; -1 means invalid *)
   ready : int array;  (** cycle at which the line's fill completes *)
@@ -23,6 +24,7 @@ let create (params : Config.cache_params) =
   {
     params;
     sets;
+    assoc = params.assoc;
     line_shift = log2 params.line_bytes;
     tags = Array.make lines (-1);
     ready = Array.make lines 0;
@@ -34,35 +36,72 @@ let params t = t.params
 let line_of t addr = addr lsr t.line_shift
 let set_of t line = line mod t.sets
 
-let find_way t line =
-  let set = set_of t line in
-  let base = set * t.params.assoc in
-  let rec go way =
-    if way >= t.params.assoc then None
-    else if t.tags.(base + way) = line then Some (base + way)
-    else go (way + 1)
-  in
-  go 0
+(* Way lookup over the flattened tag array, returning the slot index or -1.
+   A line occupies at most one way of its set ([fill] only installs a line
+   it did not find), so scanning order does not change the answer; the
+   common associativities (2/4/8) are unrolled into straight-line compares
+   with no recursion and no [option] allocation. *)
+let scan_ways tags line base last =
+  let i = ref base in
+  while !i <= last && Array.unsafe_get tags !i <> line do
+    incr i
+  done;
+  if !i <= last then !i else -1
+
+let[@inline] find_slot t line =
+  let base = set_of t line * t.assoc in
+  let tags = t.tags in
+  match t.assoc with
+  | 1 -> if Array.unsafe_get tags base = line then base else -1
+  | 2 ->
+      if Array.unsafe_get tags base = line then base
+      else if Array.unsafe_get tags (base + 1) = line then base + 1
+      else -1
+  | 4 ->
+      if Array.unsafe_get tags base = line then base
+      else if Array.unsafe_get tags (base + 1) = line then base + 1
+      else if Array.unsafe_get tags (base + 2) = line then base + 2
+      else if Array.unsafe_get tags (base + 3) = line then base + 3
+      else -1
+  | 8 ->
+      if Array.unsafe_get tags base = line then base
+      else if Array.unsafe_get tags (base + 1) = line then base + 1
+      else if Array.unsafe_get tags (base + 2) = line then base + 2
+      else if Array.unsafe_get tags (base + 3) = line then base + 3
+      else if Array.unsafe_get tags (base + 4) = line then base + 4
+      else if Array.unsafe_get tags (base + 5) = line then base + 5
+      else if Array.unsafe_get tags (base + 6) = line then base + 6
+      else if Array.unsafe_get tags (base + 7) = line then base + 7
+      else -1
+  | a -> scan_ways tags line base (base + a - 1)
 
 let touch t slot =
   t.tick <- t.tick + 1;
   t.stamp.(slot) <- t.tick
 
-let access t ~addr ~now =
-  let line = line_of t addr in
-  match find_way t line with
-  | None -> Miss
-  | Some slot ->
-      touch t slot;
-      let residual = t.ready.(slot) - now in
-      if residual > 0 then Hit_in_flight residual else Hit
+(* Allocation-free demand lookup: [miss] (< -1) on a miss, otherwise the
+   residual fill time clamped to >= 0 (0 = hit-and-ready). *)
+let miss = min_int
 
-let probe t ~addr = find_way t (line_of t addr) <> None
+let[@inline] access_residual t ~addr ~now =
+  let slot = find_slot t (addr lsr t.line_shift) in
+  if slot < 0 then miss
+  else begin
+    touch t slot;
+    let residual = Array.unsafe_get t.ready slot - now in
+    if residual > 0 then residual else 0
+  end
+
+let access t ~addr ~now =
+  let r = access_residual t ~addr ~now in
+  if r = miss then Miss else if r > 0 then Hit_in_flight r else Hit
+
+let probe t ~addr = find_slot t (line_of t addr) >= 0
 
 let victim_slot t set =
-  let base = set * t.params.assoc in
+  let base = set * t.assoc in
   let best = ref base in
-  for way = 1 to t.params.assoc - 1 do
+  for way = 1 to t.assoc - 1 do
     let slot = base + way in
     if t.tags.(slot) = -1 && t.tags.(!best) <> -1 then best := slot
     else if t.tags.(slot) <> -1 && t.tags.(!best) <> -1
@@ -73,20 +112,20 @@ let victim_slot t set =
 
 let fill t ~addr ~ready_at =
   let line = line_of t addr in
-  match find_way t line with
-  | Some slot ->
-      if ready_at < t.ready.(slot) then t.ready.(slot) <- ready_at;
-      touch t slot
-  | None ->
+  match find_slot t line with
+  | -1 ->
       let slot = victim_slot t (set_of t line) in
       t.tags.(slot) <- line;
       t.ready.(slot) <- ready_at;
       touch t slot
+  | slot ->
+      if ready_at < t.ready.(slot) then t.ready.(slot) <- ready_at;
+      touch t slot
 
 let invalidate t ~addr =
-  match find_way t (line_of t addr) with
-  | Some slot -> t.tags.(slot) <- -1
-  | None -> ()
+  match find_slot t (line_of t addr) with
+  | -1 -> ()
+  | slot -> t.tags.(slot) <- -1
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

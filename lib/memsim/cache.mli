@@ -19,6 +19,14 @@ val line_of : t -> int -> int
 val access : t -> addr:int -> now:int -> lookup
 (** Demand lookup; promotes the line to most-recently-used on a hit. *)
 
+val miss : int
+(** Sentinel returned by {!access_residual} on a miss ([min_int]). *)
+
+val access_residual : t -> addr:int -> now:int -> int
+(** Allocation-free {!access}: {!miss} on a miss, otherwise the residual
+    fill cycles clamped to [>= 0] (0 meaning hit-and-ready). Identical
+    state effects to {!access}; this is the interpreter's hot path. *)
+
 val probe : t -> addr:int -> bool
 (** Presence test with no LRU side effect (used by prefetch issue logic). *)
 

@@ -5,6 +5,12 @@ type t = {
   dtlb : Tlb.t;
   hwpf : Hw_prefetch.t;
   stats : Stats.t;
+  (* Per-level penalties, hoisted out of the per-access hot path at
+     [create] time so [demand_access] does no nested record loads. *)
+  l1_hit_extra : int;
+  l1_miss_penalty : int;
+  tlb_miss_penalty : int;
+  mem_latency : int;  (** DRAM fill latency = L2 miss penalty *)
 }
 
 let create (machine : Config.machine) =
@@ -21,6 +27,10 @@ let create (machine : Config.machine) =
         ~line_bytes:machine.l2.line_bytes
         ~page_bytes:machine.dtlb.page_bytes;
     stats = Stats.create ();
+    l1_hit_extra = machine.l1.hit_extra;
+    l1_miss_penalty = machine.l1.miss_penalty;
+    tlb_miss_penalty = machine.dtlb.tlb_miss_penalty;
+    mem_latency = machine.l2.miss_penalty;
   }
 
 let machine t = t.machine
@@ -33,16 +43,13 @@ let line_bytes t =
 
 let page_bytes t = t.machine.dtlb.page_bytes
 
-(* Memory latency seen by a fill that has to go to DRAM. *)
-let memory_latency t = t.machine.l2.miss_penalty
-
 let hw_prefetch_on_l2_miss t ~addr ~now =
   match Hw_prefetch.observe_miss t.hwpf ~addr with
   | None -> ()
   | Some target ->
       if not (Cache.probe t.l2 ~addr:target) then begin
         t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
-        Cache.fill t.l2 ~addr:target ~ready_at:(now + memory_latency t)
+        Cache.fill t.l2 ~addr:target ~ready_at:(now + t.mem_latency)
       end
 
 let record_l1_miss t kind =
@@ -60,47 +67,64 @@ let record_dtlb_miss t kind =
   | `Load -> t.stats.dtlb_load_misses <- t.stats.dtlb_load_misses + 1
   | `Store -> t.stats.dtlb_store_misses <- t.stats.dtlb_store_misses + 1
 
+(* L1-missed demand access: walk the L2 and memory, fill upwards. Returns
+   the stall beyond any TLB penalty. Out of line so the fast path below
+   stays small. *)
+let[@inline never] demand_l1_miss t ~addr ~kind ~now =
+  record_l1_miss t kind;
+  let stall =
+    let r2 = Cache.access_residual t.l2 ~addr ~now in
+    if r2 = 0 then t.l1_miss_penalty
+    else if r2 > 0 then begin
+      t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+      t.l1_miss_penalty + r2
+    end
+    else begin
+      record_l2_miss t kind;
+      let s = t.l1_miss_penalty + t.mem_latency in
+      hw_prefetch_on_l2_miss t ~addr ~now;
+      Cache.fill t.l2 ~addr ~ready_at:now;
+      s
+    end
+  in
+  Cache.fill t.l1 ~addr ~ready_at:now;
+  stall
+
 let demand_access t ~addr ~kind ~now =
   (match kind with
   | `Load -> t.stats.loads <- t.stats.loads + 1
   | `Store -> t.stats.stores <- t.stats.stores + 1);
-  let stall = ref 0 in
-  if not (Tlb.access t.dtlb ~addr) then begin
-    record_dtlb_miss t kind;
-    stall := !stall + t.machine.dtlb.tlb_miss_penalty;
-    Tlb.fill t.dtlb ~addr
-  end;
-  (match Cache.access t.l1 ~addr ~now with
-  | Cache.Hit -> stall := !stall + t.machine.l1.hit_extra
-  | Cache.Hit_in_flight residual ->
-      t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
-      stall := !stall + residual
-  | Cache.Miss -> begin
-      record_l1_miss t kind;
-      (match Cache.access t.l2 ~addr ~now with
-      | Cache.Hit -> stall := !stall + t.machine.l1.miss_penalty
-      | Cache.Hit_in_flight residual ->
-          t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
-          stall := !stall + t.machine.l1.miss_penalty + residual
-      | Cache.Miss ->
-          record_l2_miss t kind;
-          stall := !stall + t.machine.l1.miss_penalty + memory_latency t;
-          hw_prefetch_on_l2_miss t ~addr ~now;
-          Cache.fill t.l2 ~addr ~ready_at:now);
-      Cache.fill t.l1 ~addr ~ready_at:now
-    end);
-  !stall
+  (* Fast path: DTLB hit and L1 hit-and-ready resolve in two probes and
+     return [hit_extra] directly — no [ref] cells, no closure, no
+     allocation. The state transitions (TLB touch, then L1 touch/fill)
+     are performed in exactly the order of the general path, so simulated
+     cycle counts are bit-identical either way. *)
+  let tlb_stall =
+    if Tlb.access t.dtlb ~addr then 0
+    else begin
+      record_dtlb_miss t kind;
+      Tlb.fill t.dtlb ~addr;
+      t.tlb_miss_penalty
+    end
+  in
+  let r1 = Cache.access_residual t.l1 ~addr ~now in
+  if r1 = 0 then tlb_stall + t.l1_hit_extra
+  else if r1 > 0 then begin
+    t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+    tlb_stall + r1
+  end
+  else tlb_stall + demand_l1_miss t ~addr ~kind ~now
 
 (* Cost (as fill completion time, not a stall) of bringing [addr] into the
    L2 for a non-blocking operation issued at [now]. *)
 let l2_fill_ready t ~addr ~now =
-  match Cache.access t.l2 ~addr ~now with
-  | Cache.Hit -> now
-  | Cache.Hit_in_flight residual -> now + residual
-  | Cache.Miss ->
-      let ready = now + memory_latency t in
-      Cache.fill t.l2 ~addr ~ready_at:ready;
-      ready
+  let r = Cache.access_residual t.l2 ~addr ~now in
+  if r >= 0 then now + r
+  else begin
+    let ready = now + t.mem_latency in
+    Cache.fill t.l2 ~addr ~ready_at:ready;
+    ready
+  end
 
 let sw_prefetch t ~addr ~now =
   t.stats.sw_prefetches <- t.stats.sw_prefetches + 1;
@@ -120,7 +144,7 @@ let sw_prefetch t ~addr ~now =
         else begin
           let ready = l2_fill_ready t ~addr ~now in
           Cache.fill t.l1 ~addr
-            ~ready_at:(max ready (now + t.machine.l1.miss_penalty))
+            ~ready_at:(max ready (now + t.l1_miss_penalty))
         end
 
 let guarded_load t ~addr ~now =
@@ -130,7 +154,7 @@ let guarded_load t ~addr ~now =
     t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1
   else begin
     let ready = l2_fill_ready t ~addr ~now in
-    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.machine.l1.miss_penalty))
+    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.l1_miss_penalty))
   end
 
 let reset t =

@@ -60,6 +60,25 @@ let reset t =
 
 let copy t = { t with loads = t.loads }
 
+let copy_into t ~into =
+  into.loads <- t.loads;
+  into.stores <- t.stores;
+  into.l1_load_misses <- t.l1_load_misses;
+  into.l1_store_misses <- t.l1_store_misses;
+  into.l2_load_misses <- t.l2_load_misses;
+  into.l2_store_misses <- t.l2_store_misses;
+  into.dtlb_load_misses <- t.dtlb_load_misses;
+  into.dtlb_store_misses <- t.dtlb_store_misses;
+  into.in_flight_hits <- t.in_flight_hits;
+  into.sw_prefetches <- t.sw_prefetches;
+  into.sw_prefetches_cancelled <- t.sw_prefetches_cancelled;
+  into.sw_prefetch_useless <- t.sw_prefetch_useless;
+  into.guarded_loads <- t.guarded_loads;
+  into.hw_prefetches <- t.hw_prefetches;
+  into.retired_instructions <- t.retired_instructions;
+  into.cycles <- t.cycles;
+  into.stall_cycles <- t.stall_cycles
+
 let add a b =
   {
     loads = a.loads + b.loads;

@@ -33,6 +33,12 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
+val copy_into : t -> into:t -> unit
+(** Overwrite every counter of [into] with the values of [t]. The single
+    canonical field list — callers that save/restore counters (e.g. across
+    a GC-time hierarchy flush) use this so that adding a counter cannot
+    silently desynchronize them. *)
+
 val add : t -> t -> t
 (** [add a b] is a fresh counter set with the component-wise sum. *)
 

@@ -4,6 +4,12 @@ type t = {
   pages : int array;  (** -1 means invalid *)
   stamp : int array;
   mutable tick : int;
+  mutable last : int;
+      (** index of the last hit — page locality makes consecutive accesses
+          overwhelmingly land on the same page, so this memo short-circuits
+          the linear scan. Entries are unique ([fill] only installs a page
+          it did not find), and the memo always re-reads the live [pages]
+          array, so it can never return a stale answer. *)
 }
 
 let log2 n =
@@ -20,36 +26,50 @@ let create (params : Config.tlb_params) =
     pages = Array.make params.entries (-1);
     stamp = Array.make params.entries 0;
     tick = 0;
+    last = 0;
   }
 
 let params t = t.params
 let page_of t addr = addr lsr t.page_shift
 
-let find t page =
-  let n = Array.length t.pages in
-  let rec go i =
-    if i >= n then None else if t.pages.(i) = page then Some i else go (i + 1)
-  in
-  go 0
+(* Index of [page], or -1. Checks the last-hit memo first; the fallback is
+   a tight counted loop (measurably faster here than the seed's recursive
+   option-returning scan, and it allocates nothing). *)
+let[@inline] find_idx t page =
+  let pages = t.pages in
+  if Array.unsafe_get pages t.last = page then t.last
+  else begin
+    let n = Array.length pages in
+    let i = ref 0 in
+    while !i < n && Array.unsafe_get pages !i <> page do
+      incr i
+    done;
+    if !i < n then begin
+      t.last <- !i;
+      !i
+    end
+    else -1
+  end
 
 let touch t i =
   t.tick <- t.tick + 1;
   t.stamp.(i) <- t.tick
 
 let access t ~addr =
-  match find t (page_of t addr) with
-  | Some i ->
-      touch t i;
-      true
-  | None -> false
+  let i = find_idx t (page_of t addr) in
+  if i >= 0 then begin
+    touch t i;
+    true
+  end
+  else false
 
-let probe t ~addr = find t (page_of t addr) <> None
+let probe t ~addr = find_idx t (page_of t addr) >= 0
 
 let fill t ~addr =
   let page = page_of t addr in
-  match find t page with
-  | Some i -> touch t i
-  | None ->
+  match find_idx t page with
+  | i when i >= 0 -> touch t i
+  | _ ->
       let victim = ref 0 in
       let n = Array.length t.pages in
       (try
@@ -62,12 +82,14 @@ let fill t ~addr =
          done
        with Exit -> ());
       t.pages.(!victim) <- page;
+      t.last <- !victim;
       touch t !victim
 
 let reset t =
   Array.fill t.pages 0 (Array.length t.pages) (-1);
   Array.fill t.stamp 0 (Array.length t.stamp) 0;
-  t.tick <- 0
+  t.tick <- 0;
+  t.last <- 0
 
 let resident_pages t =
   Array.fold_left (fun acc p -> if p >= 0 then acc + 1 else acc) 0 t.pages

@@ -41,6 +41,30 @@ let create (m : Classfile.method_info) ~args =
     pc = 0;
   }
 
+(* A pooled frame can be reused for a new activation of its method when
+   its arrays are still the right shape — the JIT may swap a method's body
+   (growing [max_locals] or the site count), in which case the caller must
+   discard the pooled frame and build a fresh one. *)
+let reusable t (m : Classfile.method_info) =
+  t.method_info == m
+  && Array.length t.locals = max m.max_locals m.arity
+  && Array.length t.site_addr = max m.n_sites 1
+  && Array.length t.pref_regs = max m.n_pref_regs 1
+
+let reset t ~args =
+  let m = t.method_info in
+  if Array.length args <> m.arity then
+    invalid_arg
+      (Printf.sprintf "frame: %s expects %d arguments, got %d" m.method_name
+         m.arity (Array.length args));
+  Array.fill t.locals 0 (Array.length t.locals) Value.Null;
+  Array.blit args 0 t.locals 0 (Array.length args);
+  t.sp <- 0;
+  Array.fill t.site_addr 0 (Array.length t.site_addr) (-1);
+  Array.fill t.site_prev 0 (Array.length t.site_prev) (-1);
+  Array.fill t.pref_regs 0 (Array.length t.pref_regs) Value.Null;
+  t.pc <- 0
+
 let push t v =
   if t.sp >= max_stack then
     raise (Stack_error ("operand stack overflow in " ^ t.method_info.method_name));

@@ -28,6 +28,17 @@ val create : Classfile.method_info -> args:Value.t array -> t
 (** Raises [Invalid_argument] when the argument count does not match the
     method's arity. *)
 
+val reusable : t -> Classfile.method_info -> bool
+(** Whether a pooled frame still matches the method's current shape — the
+    JIT may swap a method's body and grow its locals/site counts, after
+    which old frames must not be recycled. *)
+
+val reset : t -> args:Value.t array -> unit
+(** Reinitialize a (reusable) frame to the state {!create} would produce:
+    locals zeroed then seeded with [args], empty stack, all site address
+    registers -1, prefetch registers null, pc 0. Raises [Invalid_argument]
+    on an argument-count mismatch, like {!create}. *)
+
 val push : t -> Value.t -> unit
 val pop : t -> Value.t
 val pop_int : t -> int

@@ -5,15 +5,31 @@ type contents =
 
 type obj = { id : int; mutable base : int; size : int; contents : contents }
 
+(* Tombstone / "no object" sentinel. Its [id] is -1 (never a real id) and
+   its [size] is 0, so neither the id-validity check in [get] nor the
+   address-range check in [object_containing] can ever match it. *)
+let tombstone = { id = -1; base = -1; size = 0; contents = Int_array [||] }
+
 type t = {
   limit : int;
   mutable next_addr : int;
-  table : (int, obj) Hashtbl.t;
+  (* Dense id -> object table. Ids are handed out sequentially by the bump
+     allocator, so [by_id.(id)] is an O(1) bounds-checked array read with
+     no hashing and no [option] allocation on the interpreter's hottest
+     path. Swept objects leave [tombstone] behind (their slot is never
+     reused: ids are monotonically increasing). *)
+  mutable by_id : obj array;
   (* Objects in ascending address order. Bump allocation appends in order;
      compaction rebuilds the array, so it is always sorted by [base]. *)
   mutable by_addr : obj array;
   mutable n_objects : int;
   mutable next_id : int;
+  (* One-entry memo of the last [object_containing] hit. Speculative loads
+     ([Spec_load]) exhibit strong locality: consecutive probes usually land
+     in the same object, so checking the memo first skips the binary
+     search. Invalidated (reset to [tombstone]) by compaction and [clear],
+     the only operations that can move or kill objects. *)
+  mutable last_hit : obj;
 }
 
 exception Out_of_memory
@@ -24,10 +40,11 @@ let create ?(limit_bytes = default_limit) () =
   {
     limit = limit_bytes;
     next_addr = Classfile.heap_base;
-    table = Hashtbl.create 4096;
-    by_addr = Array.make 1024 { id = -1; base = 0; size = 0; contents = Int_array [||] };
+    by_id = Array.make 1024 tombstone;
+    by_addr = Array.make 1024 tombstone;
     n_objects = 0;
     next_id = 0;
+    last_hit = tombstone;
   }
 
 let limit_bytes t = t.limit
@@ -43,6 +60,15 @@ let append_by_addr t obj =
   t.by_addr.(t.n_objects) <- obj;
   t.n_objects <- t.n_objects + 1
 
+let append_by_id t obj =
+  (* [obj.id = t.next_id - 1] by construction. Grow by doubling. *)
+  if obj.id >= Array.length t.by_id then begin
+    let bigger = Array.make (2 * Array.length t.by_id) tombstone in
+    Array.blit t.by_id 0 bigger 0 (Array.length t.by_id);
+    t.by_id <- bigger
+  end;
+  t.by_id.(obj.id) <- obj
+
 let align n = (n + Classfile.slot_bytes - 1) land lnot (Classfile.slot_bytes - 1)
 
 let alloc t ~size contents =
@@ -51,7 +77,7 @@ let alloc t ~size contents =
   let obj = { id = t.next_id; base = t.next_addr; size; contents } in
   t.next_id <- t.next_id + 1;
   t.next_addr <- t.next_addr + size;
-  Hashtbl.replace t.table obj.id obj;
+  append_by_id t obj;
   append_by_addr t obj;
   obj.id
 
@@ -73,12 +99,19 @@ let alloc_ref_array t len =
   if len < 0 then invalid_arg "alloc_ref_array: negative length";
   alloc t ~size:(array_size len) (Ref_array (Array.make len Value.Null))
 
-let get t id =
-  match Hashtbl.find_opt t.table id with
-  | Some obj -> obj
-  | None -> invalid_arg (Printf.sprintf "heap: dangling object id %d" id)
+let[@inline never] dangling id =
+  invalid_arg (Printf.sprintf "heap: dangling object id %d" id)
 
-let exists t id = Hashtbl.mem t.table id
+let[@inline] get t id =
+  if id >= 0 && id < t.next_id then begin
+    let obj = Array.unsafe_get t.by_id id in
+    (* A swept slot holds [tombstone], whose id (-1) never equals a real
+       id; live slots hold the object whose id equals the index. *)
+    if obj.id = id then obj else dangling id
+  end
+  else dangling id
+
+let exists t id = id >= 0 && id < t.next_id && (Array.unsafe_get t.by_id id).id = id
 let base_of t id = (get t id).base
 let size_of t id = (get t id).size
 
@@ -128,21 +161,30 @@ let elem_addr t id i =
   (get t id).base + Classfile.array_elems_offset + (i * Classfile.slot_bytes)
 
 (* Greatest object whose base is <= addr, by binary search over the
-   address-ordered table. *)
+   address-ordered table; the last hit is memoized, which turns the
+   spec-load probe sequences of Section 3.3 (many addresses within one
+   inspected object) into a single range check. *)
 let object_containing t addr =
-  let lo = ref 0 and hi = ref (t.n_objects - 1) and found = ref None in
-  while !lo <= !hi do
-    let mid = (!lo + !hi) / 2 in
-    let obj = t.by_addr.(mid) in
-    if obj.base <= addr then begin
-      found := Some obj;
-      lo := mid + 1
+  let memo = t.last_hit in
+  if addr >= memo.base && addr - memo.base < memo.size then Some memo
+  else begin
+    let lo = ref 0 and hi = ref (t.n_objects - 1) and found = ref tombstone in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let obj = t.by_addr.(mid) in
+      if obj.base <= addr then begin
+        found := obj;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    let obj = !found in
+    if obj.id >= 0 && addr - obj.base < obj.size then begin
+      t.last_hit <- obj;
+      Some obj
     end
-    else hi := mid - 1
-  done;
-  match !found with
-  | Some obj when addr < obj.base + obj.size -> Some obj
-  | Some _ | None -> None
+    else None
+  end
 
 let object_at t addr =
   match object_containing t addr with Some o -> Some o.id | None -> None
@@ -205,16 +247,19 @@ let compact t ~live =
       incr kept
     end
     else begin
-      Hashtbl.remove t.table obj.id;
+      t.by_id.(obj.id) <- tombstone;
       incr removed
     end
   done;
   t.n_objects <- !kept;
   t.next_addr <- !cursor;
+  (* Bases moved and objects died: the memo can no longer be trusted. *)
+  t.last_hit <- tombstone;
   !removed
 
 let clear t =
-  Hashtbl.reset t.table;
+  Array.fill t.by_id 0 (Array.length t.by_id) tombstone;
   t.n_objects <- 0;
   t.next_addr <- Classfile.heap_base;
-  t.next_id <- 0
+  t.next_id <- 0;
+  t.last_hit <- tombstone

@@ -23,9 +23,17 @@ type t = {
   program : Classfile.program;
   heap : Heap.t;
   mem : Memsim.Hierarchy.t;
+  stats : Memsim.Stats.t;
+      (** [Hierarchy.stats mem], hoisted: the record's identity is stable
+          across [Hierarchy.reset] (the counters are reset in place), so
+          [charge]/[retire] can update it without re-fetching it from the
+          hierarchy on every instruction. *)
   opts : options;
   globals : Value.t array;
   out : Buffer.t;
+  frame_pool : Frame.t list array;
+      (** per-method free list of frames; [call] recycles activation
+          records instead of allocating locals/stack/site arrays anew *)
   mutable frames : Frame.t list;
   mutable compile_hook :
     (t -> Classfile.method_info -> Value.t array -> unit) option;
@@ -44,13 +52,16 @@ let create ?options machine program =
   let opts =
     match options with Some o -> o | None -> default_options machine
   in
+  let mem = Memsim.Hierarchy.create machine in
   {
     program;
     heap = Heap.create ~limit_bytes:opts.heap_limit_bytes ();
-    mem = Memsim.Hierarchy.create machine;
+    mem;
+    stats = Memsim.Hierarchy.stats mem;
     opts;
     globals = Array.make (max 1 (Array.length program.statics)) Value.Null;
     out = Buffer.create 256;
+    frame_pool = Array.make (max 1 (Array.length program.methods)) [];
     frames = [];
     compile_hook = None;
     load_observer = None;
@@ -64,7 +75,7 @@ let create ?options machine program =
 let program t = t.program
 let heap t = t.heap
 let memory t = t.mem
-let stats t = Memsim.Hierarchy.stats t.mem
+let stats t = t.stats
 let options t = t.opts
 let output t = Buffer.contents t.out
 let global t index = t.globals.(index)
@@ -78,22 +89,20 @@ let compiled_cycles t = t.compiled_cycles
 let vm_error fmt = Printf.ksprintf (fun msg -> raise (Vm_error msg)) fmt
 
 let charge t (frame : Frame.t) cycles =
-  let stats = Memsim.Hierarchy.stats t.mem in
+  let stats = t.stats in
   stats.cycles <- stats.cycles + cycles;
   if frame.method_info.compiled then
     t.compiled_cycles <- t.compiled_cycles + cycles
   else t.interpreted_cycles <- t.interpreted_cycles + cycles
 
 let charge_stall t (frame : Frame.t) cycles =
-  let stats = Memsim.Hierarchy.stats t.mem in
-  stats.stall_cycles <- stats.stall_cycles + cycles;
+  t.stats.stall_cycles <- t.stats.stall_cycles + cycles;
   charge t frame cycles
 
 let retire t n =
-  let stats = Memsim.Hierarchy.stats t.mem in
-  stats.retired_instructions <- stats.retired_instructions + n
+  t.stats.retired_instructions <- t.stats.retired_instructions + n
 
-let now t = (Memsim.Hierarchy.stats t.mem).cycles
+let now t = t.stats.cycles
 
 let observe_load t (frame : Frame.t) ~site ~addr =
   frame.site_prev.(site) <- frame.site_addr.(site);
@@ -118,30 +127,13 @@ let collect_garbage t =
     + (result.collected * t.opts.gc_cycles_per_dead)
   in
   t.gc_cycles <- t.gc_cycles + cycles;
-  let stats = Memsim.Hierarchy.stats t.mem in
-  stats.cycles <- stats.cycles + cycles;
+  t.stats.cycles <- t.stats.cycles + cycles;
   (* Compaction rewrites the simulated address space: flush the hierarchy
-     but keep the accumulated counters. *)
-  let saved = Memsim.Stats.copy stats in
+     but keep the accumulated counters. [Stats.copy_into] owns the field
+     list, so a newly added counter cannot silently desync here. *)
+  let saved = Memsim.Stats.copy t.stats in
   Memsim.Hierarchy.reset t.mem;
-  let fresh = Memsim.Hierarchy.stats t.mem in
-  fresh.loads <- saved.loads;
-  fresh.stores <- saved.stores;
-  fresh.l1_load_misses <- saved.l1_load_misses;
-  fresh.l1_store_misses <- saved.l1_store_misses;
-  fresh.l2_load_misses <- saved.l2_load_misses;
-  fresh.l2_store_misses <- saved.l2_store_misses;
-  fresh.dtlb_load_misses <- saved.dtlb_load_misses;
-  fresh.dtlb_store_misses <- saved.dtlb_store_misses;
-  fresh.in_flight_hits <- saved.in_flight_hits;
-  fresh.sw_prefetches <- saved.sw_prefetches;
-  fresh.sw_prefetches_cancelled <- saved.sw_prefetches_cancelled;
-  fresh.sw_prefetch_useless <- saved.sw_prefetch_useless;
-  fresh.guarded_loads <- saved.guarded_loads;
-  fresh.hw_prefetches <- saved.hw_prefetches;
-  fresh.retired_instructions <- saved.retired_instructions;
-  fresh.cycles <- saved.cycles;
-  fresh.stall_cycles <- saved.stall_cycles
+  Memsim.Stats.copy_into saved ~into:t.stats
 
 let allocate t frame alloc =
   let id =
@@ -197,17 +189,46 @@ let maybe_compile t (m : Classfile.method_info) args =
         hook t m args
     | None -> ()
 
+(* Acquire an activation record, recycling one from the per-method pool
+   when its shape still matches (the JIT may have swapped the method body,
+   invalidating pooled frames — [Frame.reusable] checks). *)
+let acquire_frame t (m : Classfile.method_info) ~args =
+  match t.frame_pool.(m.method_id) with
+  | frame :: rest when Frame.reusable frame m ->
+      t.frame_pool.(m.method_id) <- rest;
+      Frame.reset frame ~args;
+      frame
+  | _ :: _ ->
+      (* Stale shape: drop the whole pool for this method. *)
+      t.frame_pool.(m.method_id) <- [];
+      Frame.create m ~args
+  | [] -> Frame.create m ~args
+
+let release_frame t (frame : Frame.t) =
+  let id = frame.method_info.method_id in
+  t.frame_pool.(id) <- frame :: t.frame_pool.(id)
+
+let pop_frames t =
+  match t.frames with _ :: rest -> t.frames <- rest | [] -> ()
+
 let rec call t (m : Classfile.method_info) args =
   m.invocations <- m.invocations + 1;
   maybe_compile t m args;
-  let frame = Frame.create m ~args in
+  let frame = acquire_frame t m ~args in
   t.frames <- frame :: t.frames;
-  Fun.protect
-    ~finally:(fun () ->
-      match t.frames with
-      | _ :: rest -> t.frames <- rest
-      | [] -> ())
-    (fun () -> exec t frame)
+  (* Explicit push/pop instead of [Fun.protect]: the happy path allocates
+     no closure; the exception path reraises with its backtrace intact.
+     On an exception the frame is deliberately NOT returned to the pool —
+     the VM is unwinding and the pool's contents no longer matter. *)
+  match exec t frame with
+  | result ->
+      pop_frames t;
+      release_frame t frame;
+      result
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      pop_frames t;
+      Printexc.raise_with_backtrace e bt
 
 and exec t (frame : Frame.t) =
   let m = frame.method_info in
@@ -286,14 +307,26 @@ and exec t (frame : Frame.t) =
         end
     | If_acmpeq target ->
         let b = Frame.pop frame and a = Frame.pop frame in
-        if Value.equal a b then frame.pc <- target
+        if Value.equal a b then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
     | If_acmpne target ->
         let b = Frame.pop frame and a = Frame.pop frame in
-        if not (Value.equal a b) then frame.pc <- target
+        if not (Value.equal a b) then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
     | Ifnull target ->
-        if Frame.pop frame = Value.Null then frame.pc <- target
+        if Frame.pop frame = Value.Null then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
     | Ifnonnull target ->
-        if Frame.pop frame <> Value.Null then frame.pc <- target
+        if Frame.pop frame <> Value.Null then begin
+          if target <= pc then m.backedges <- m.backedges + 1;
+          frame.pc <- target
+        end
     | Getfield { site; offset; name = _; is_ref = _ } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in

@@ -7,4 +7,6 @@ let () =
       ("minijava", Test_minijava.suite);
       ("strideprefetch", Test_strideprefetch.suite);
       ("workloads", Test_workloads.suite);
+      ("heap-dense", Test_heap_dense.suite);
+      ("bench-runner", Test_bench_runner.suite);
     ]
