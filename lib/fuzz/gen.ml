@@ -1,0 +1,612 @@
+module A = Minijava.Ast
+
+type t = {
+  seed : int;
+  program : Minijava.Ast.program;
+  heap_limit_bytes : int;
+}
+
+(* --- AST construction helpers ------------------------------------------- *)
+
+let pos = { Minijava.Token.line = 0; col = 0 }
+let e desc = { A.desc; pos }
+let s sdesc = { A.sdesc; spos = pos }
+let ilit n = e (A.Int_lit n)
+let var x = e (A.Var x)
+let field base name = e (A.Field (base, name))
+let sfield cls name = e (A.Static_field (cls, name))
+let _ = sfield
+let index base i = e (A.Index (base, i))
+let len_of base = e (A.Length base)
+let binop op a b = e (A.Binop (op, a, b))
+let ( +: ) a b = binop A.Add a b
+let ( -: ) a b = binop A.Sub a b
+let ( *: ) a b = binop A.Mul a b
+let ( <: ) a b = binop A.Lt a b
+let ( >: ) a b = binop A.Gt a b
+let ( <>: ) a b = binop A.Ne a b
+let decl ty name init = s (A.Decl (ty, name, init))
+let assign lv v = s (A.Assign (lv, v))
+let set_var x v = assign (A.Lvar x) v
+let set_field base f v = assign (A.Lfield (base, f)) v
+let set_elem base i v = assign (A.Lindex (base, i)) v
+let for_to v lo hi_excl step body =
+  s
+    (A.For
+       ( Some (decl A.Tint v (ilit lo)),
+         var v <: hi_excl,
+         Some (set_var v (var v +: ilit step)),
+         body ))
+let print_stmt x = s (A.Print x)
+let if_ c t f = s (A.If (c, t, f))
+
+(* --- program shape specs ------------------------------------------------- *)
+
+type class_spec = {
+  cidx : int;
+  has_w : bool;  (** second int field: intra-iteration pattern fodder *)
+  other : int option;  (** reference field to another class *)
+  data_len : int option;  (** int[] field allocated by the constructor *)
+  has_get : bool;
+  pad : int;
+      (** extra int fields p0..p{pad-1}: object size controls the
+          allocation-order stride, and the pass skips strides within half
+          a cache line, so small and large classes exercise the skip and
+          emit paths respectively *)
+}
+
+type structure =
+  | S_list of { sidx : int; cls : int; len : int; noise : bool }
+  | S_objarray of { sidx : int; cls : int; len : int; link : bool }
+  | S_intarray of { sidx : int; len : int; mult : int }
+
+type kernel =
+  | K_chase of {
+      kidx : int;
+      src : structure;  (** an [S_list] *)
+      read_w : bool;
+      read_other : bool;
+      call_get : bool;
+      bump_g : bool;
+      squash : bool;  (** keep acc bounded with a modulo *)
+    }
+  | K_objwalk of {
+      kidx : int;
+      src : structure;  (** an [S_objarray] *)
+      step : int;
+      follow_next : bool;
+      bump_g : bool;
+      mid_print : bool;
+    }
+  | K_intwalk of {
+      kidx : int;
+      src : structure;  (** an [S_intarray] *)
+      step : int;
+      inner_trip : int option;  (** low-trip nested loop for promotion *)
+    }
+  | K_churn of {
+      kidx : int;
+      src : structure;  (** an [S_list]; new nodes point at its head *)
+      trips : int;
+      junk_len : int;
+    }
+
+let cname i = "N" ^ string_of_int i
+let head_var sidx = Printf.sprintf "h%d" sidx
+let tail_var sidx = Printf.sprintf "t%d" sidx
+let arr_var sidx = Printf.sprintf "a%d" sidx
+let ints_var sidx = Printf.sprintf "d%d" sidx
+let kname kidx = "k" ^ string_of_int kidx
+
+(* --- class rendering ------------------------------------------------------ *)
+
+let render_class (c : class_spec) : A.class_decl =
+  let name = cname c.cidx in
+  let fields =
+    [ { A.field_ty = A.Tint; field_name = "v"; field_static = false; field_pos = pos } ]
+    @ (if c.has_w then
+         [ { A.field_ty = A.Tint; field_name = "w"; field_static = false; field_pos = pos } ]
+       else [])
+    @ [
+        {
+          A.field_ty = A.Tclass name;
+          field_name = "next";
+          field_static = false;
+          field_pos = pos;
+        };
+      ]
+    @ (match c.other with
+      | Some j ->
+          [
+            {
+              A.field_ty = A.Tclass (cname j);
+              field_name = "other";
+              field_static = false;
+              field_pos = pos;
+            };
+          ]
+      | None -> [])
+    @ (match c.data_len with
+      | Some _ ->
+          [
+            {
+              A.field_ty = A.Tint_array;
+              field_name = "data";
+              field_static = false;
+              field_pos = pos;
+            };
+          ]
+      | None -> [])
+    @ List.init c.pad (fun i ->
+          {
+            A.field_ty = A.Tint;
+            field_name = Printf.sprintf "p%d" i;
+            field_static = false;
+            field_pos = pos;
+          })
+  in
+  let ctor_body =
+    [ set_field (e A.This) "v" (var "s0") ]
+    @ (if c.has_w then
+         [ set_field (e A.This) "w" (var "s0" *: ilit 3 +: ilit 1) ]
+       else [])
+    @ [ set_field (e A.This) "next" (e A.Null_lit) ]
+    @ (match c.other with
+      | Some _ -> [ set_field (e A.This) "other" (e A.Null_lit) ]
+      | None -> [])
+    @ (match c.data_len with
+      | Some n ->
+          [
+            set_field (e A.This) "data" (e (A.New_int_array (ilit n)));
+            for_to "q" 0 (ilit n) 1
+              [
+                set_elem
+                  (field (e A.This) "data")
+                  (var "q")
+                  (var "s0" +: (var "q" *: ilit 5));
+              ];
+          ]
+      | None -> [])
+    @ List.init c.pad (fun i ->
+          set_field (e A.This) (Printf.sprintf "p%d" i) (var "s0" +: ilit i))
+  in
+  let ctor =
+    {
+      A.method_ret = None;
+      method_name = "<init>";
+      method_static = false;
+      method_params = [ (A.Tint, "s0") ];
+      method_body = ctor_body;
+      method_pos = pos;
+      is_constructor = true;
+    }
+  in
+  let methods =
+    if c.has_get then
+      [
+        ctor;
+        {
+          A.method_ret = Some A.Tint;
+          method_name = "get";
+          method_static = false;
+          method_params = [ (A.Tint, "m") ];
+          method_body =
+            [
+              s
+                (A.Return
+                   (Some
+                      ((field (e A.This) "v" *: var "m")
+                      +: if c.has_w then field (e A.This) "w" else ilit 7)));
+            ];
+          method_pos = pos;
+          is_constructor = false;
+        };
+      ]
+    else [ ctor ]
+  in
+  { A.class_name = name; class_fields = fields; class_methods = methods; class_pos = pos }
+
+(* --- structure build code (statements for main) --------------------------- *)
+
+let build_structure rng classes st =
+  match st with
+  | S_list { sidx; cls; len; noise } ->
+      let h = head_var sidx and t = tail_var sidx and n = cname cls in
+      let body =
+        [
+          set_field (var t) "next" (e (A.New_object (n, [ var "b" *: ilit 2 ])));
+          set_var t (field (var t) "next");
+        ]
+        @
+        if noise then
+          (* dead allocation between list nodes: non-unit inter-iteration
+             strides plus early garbage for the compactor *)
+          let j = Printf.sprintf "z%d" sidx in
+          [
+            decl A.Tint_array j (e (A.New_int_array (ilit (Rng.range rng 2 9))));
+            set_elem (var j) (ilit 0) (var "b");
+          ]
+        else []
+      in
+      let cross_links =
+        (* Scramble-order [other] targets: the [p.other] load site strides
+           with the list walk, but the objects it points at sit at
+           pseudo-random addresses — the shape that makes a dependent load
+           with {e no} stride of its own, i.e. the spec_load +
+           guarded-indirect-prefetch path (the paper's intra-iteration
+           dereference prefetching). *)
+        match (List.nth classes cls).other with
+        | Some j when Rng.chance rng 85 ->
+            let ot = Printf.sprintf "o%d" sidx
+            and cur = Printf.sprintf "c%d" sidx
+            and iv = Printf.sprintf "i%d" sidx
+            and m = cname j in
+            [
+              decl (A.Tclass_array m) ot (e (A.New_class_array (m, ilit len)));
+              for_to "b" 0 (ilit len) 1
+                [ set_elem (var ot) (var "b") (e (A.New_object (m, [ var "b" *: ilit 5 ]))) ];
+              decl (A.Tclass n) cur (var h);
+              decl A.Tint iv (ilit 0);
+              s
+                (A.While
+                   ( var cur <>: e A.Null_lit,
+                     [
+                       (* multiplier ~ len/2: successive picks alternate
+                          between the two halves of [ot], so no stride
+                          reaches the 75% majority and the dependent load
+                          stays irregular *)
+                       set_field (var cur) "other"
+                         (index (var ot)
+                            (binop A.Rem
+                               ((var iv *: ilit ((len / 2) + 1)) +: ilit 3)
+                               (ilit len)));
+                       set_var iv (var iv +: ilit 1);
+                       set_var cur (field (var cur) "next");
+                     ] ));
+            ]
+        | _ -> []
+      in
+      [
+        decl (A.Tclass n) h (e (A.New_object (n, [ ilit 1 ])));
+        decl (A.Tclass n) t (var h);
+        for_to "b" 1 (ilit len) 1 body;
+      ]
+      @ cross_links
+  | S_objarray { sidx; cls; len; link } ->
+      let a = arr_var sidx and n = cname cls in
+      let body =
+        [ set_elem (var a) (var "b") (e (A.New_object (n, [ var "b" *: ilit 3 ]))) ]
+        @
+        if link then
+          [
+            if_
+              (var "b" >: ilit 0)
+              [
+                set_field
+                  (index (var a) (var "b" -: ilit 1))
+                  "next"
+                  (index (var a) (var "b"));
+              ]
+              [];
+          ]
+        else []
+      in
+      [
+        decl (A.Tclass_array n) a (e (A.New_class_array (n, ilit len)));
+        for_to "b" 0 (ilit len) 1 body;
+      ]
+  | S_intarray { sidx; len; mult } ->
+      let d = ints_var sidx in
+      [
+        decl A.Tint_array d (e (A.New_int_array (ilit len)));
+        for_to "b" 0 (ilit len) 1
+          [ set_elem (var d) (var "b") (var "b" *: ilit mult +: ilit 11) ];
+      ]
+
+(* --- kernel methods ------------------------------------------------------- *)
+
+let class_of_structure = function
+  | S_list { cls; _ } | S_objarray { cls; _ } -> cls
+  | S_intarray _ -> -1
+
+let kernel_method classes k : A.method_decl =
+  let ret body name params =
+    {
+      A.method_ret = Some A.Tint;
+      method_name = name;
+      method_static = true;
+      method_params = params;
+      method_body = body;
+      method_pos = pos;
+      is_constructor = false;
+    }
+  in
+  match k with
+  | K_chase { kidx; src; read_w; read_other; call_get; bump_g; squash } ->
+      let cls = class_of_structure src in
+      let spec = List.nth classes cls in
+      let n = cname cls in
+      let loop_body =
+        [ set_var "acc" (var "acc" +: field (var "p") "v") ]
+        @ (if read_w && spec.has_w then
+             [ set_var "acc" (var "acc" +: field (var "p") "w") ]
+           else [])
+        @ (if read_other && spec.other <> None then
+             [
+               if_
+                 (field (var "p") "other" <>: e A.Null_lit)
+                 [
+                   set_var "acc"
+                     (var "acc" +: field (field (var "p") "other") "v");
+                 ]
+                 [];
+             ]
+           else [])
+        @ (if call_get && spec.has_get then
+             [ set_var "acc" (var "acc" +: e (A.Call (var "p", "get", [ ilit 2 ]))) ]
+           else [])
+        @ (if bump_g then
+             [ assign (A.Lfield (var "Main", "g")) (field (var "Main") "g" +: ilit 1) ]
+           else [])
+        @ (if squash then
+             [ set_var "acc" (binop A.Rem (var "acc") (ilit 1048576)) ]
+           else [])
+        @ [ set_var "p" (field (var "p") "next") ]
+      in
+      ret
+        [
+          decl A.Tint "acc" (ilit 0);
+          decl (A.Tclass n) "p" (var "h");
+          s (A.While (var "p" <>: e A.Null_lit, loop_body));
+          s (A.Return (Some (var "acc")));
+        ]
+        (kname kidx)
+        [ (A.Tclass n, "h") ]
+  | K_objwalk { kidx; src; step; follow_next; bump_g; mid_print } ->
+      let cls = class_of_structure src in
+      let n = cname cls in
+      let elem = index (var "a") (var "x") in
+      let loop_body =
+        [
+          if_
+            (elem <>: e A.Null_lit)
+            ([ set_var "acc" (var "acc" +: field elem "v") ]
+            @
+            if follow_next then
+              [
+                decl (A.Tclass n) "q" elem;
+                if_
+                  (field (var "q") "next" <>: e A.Null_lit)
+                  [ set_var "acc" (var "acc" +: field (field (var "q") "next") "v") ]
+                  [];
+              ]
+            else [])
+            [];
+        ]
+        @ (if bump_g then
+             [ assign (A.Lfield (var "Main", "g")) (field (var "Main") "g" +: ilit 1) ]
+           else [])
+        @
+        if mid_print then
+          [ if_ (binop A.Eq (var "x") (ilit 3)) [ print_stmt (var "acc") ] [] ]
+        else []
+      in
+      ret
+        [
+          decl A.Tint "acc" (ilit 0);
+          for_to "x" 0 (len_of (var "a")) step loop_body;
+          s (A.Return (Some (var "acc")));
+        ]
+        (kname kidx)
+        [ (A.Tclass_array n, "a") ]
+  | K_intwalk { kidx; src = _; step; inner_trip } ->
+      let loop_body =
+        match inner_trip with
+        | None ->
+            [ set_var "acc" (var "acc" +: index (var "d") (var "x")) ]
+        | Some trip ->
+            (* low-trip-count nested loop: its element loads should be
+               promoted into this loop's candidate set *)
+            [
+              for_to "y" 0 (ilit trip) 1
+                [
+                  set_var "acc"
+                    (var "acc"
+                    +: (index (var "d") (var "x") *: (var "y" +: ilit 1)));
+                ];
+            ]
+      in
+      ret
+        [
+          decl A.Tint "acc" (ilit 0);
+          for_to "x" 0 (len_of (var "d")) step loop_body;
+          s (A.Return (Some (var "acc")));
+        ]
+        (kname kidx)
+        [ (A.Tint_array, "d") ]
+  | K_churn { kidx; src; trips; junk_len } ->
+      let cls = class_of_structure src in
+      let n = cname cls in
+      ret
+        [
+          decl A.Tint "acc" (ilit 0);
+          for_to "x" 0 (ilit trips) 1
+            [
+              decl (A.Tclass n) "tmp" (e (A.New_object (n, [ var "x" ])));
+              set_field (var "tmp") "next" (var "h");
+              set_var "acc" (var "acc" +: field (var "tmp") "v");
+              decl A.Tint_array "junk" (e (A.New_int_array (ilit junk_len)));
+              set_elem (var "junk") (ilit 0) (var "x");
+              set_var "acc" (var "acc" +: index (var "junk") (ilit 0));
+            ];
+          s (A.Return (Some (var "acc")));
+        ]
+        (kname kidx)
+        [ (A.Tclass n, "h") ]
+
+let kernel_arg = function
+  | K_chase { src = S_list { sidx; _ }; _ } -> var (head_var sidx)
+  | K_churn { src = S_list { sidx; _ }; _ } -> var (head_var sidx)
+  | K_objwalk { src = S_objarray { sidx; _ }; _ } -> var (arr_var sidx)
+  | K_intwalk { src = S_intarray { sidx; _ }; _ } -> var (ints_var sidx)
+  | _ -> invalid_arg "kernel_arg: kernel/structure mismatch"
+
+let kernel_index = function
+  | K_chase { kidx; _ } | K_objwalk { kidx; _ } | K_intwalk { kidx; _ }
+  | K_churn { kidx; _ } ->
+      kidx
+
+(* --- top-level generation ------------------------------------------------- *)
+
+let gen_class rng ~cidx ~n_classes =
+  {
+    cidx;
+    has_w = Rng.chance rng 60;
+    other = (if Rng.chance rng 60 then Some (Rng.int rng n_classes) else None);
+    data_len = (if Rng.chance rng 35 then Some (Rng.range rng 3 10) else None);
+    has_get = Rng.chance rng 40;
+    pad = (if Rng.chance rng 60 then Rng.range rng 4 14 else Rng.int rng 3);
+  }
+
+let gen_structure rng ~sidx ~n_classes ~max_size =
+  let len = Rng.range rng 4 (min 64 (8 + (5 * max_size))) in
+  if sidx = 0 then
+    (* always at least one linked list: the paper's canonical shape *)
+    S_list { sidx; cls = Rng.int rng n_classes; len; noise = Rng.chance rng 35 }
+  else
+    match Rng.int rng 3 with
+    | 0 -> S_list { sidx; cls = Rng.int rng n_classes; len; noise = Rng.chance rng 35 }
+    | 1 -> S_objarray { sidx; cls = Rng.int rng n_classes; len; link = Rng.chance rng 60 }
+    | _ -> S_intarray { sidx; len; mult = Rng.range rng 1 9 }
+
+let gen_kernel rng ~kidx ~structures =
+  let lists =
+    List.filter (function S_list _ -> true | _ -> false) structures
+  in
+  let objarrays =
+    List.filter (function S_objarray _ -> true | _ -> false) structures
+  in
+  let intarrays =
+    List.filter (function S_intarray _ -> true | _ -> false) structures
+  in
+  let pick xs = List.nth xs (Rng.int rng (List.length xs)) in
+  let candidates =
+    (if lists <> [] then [ `Chase; `Churn ] else [])
+    @ (if objarrays <> [] then [ `Objwalk ] else [])
+    @ if intarrays <> [] then [ `Intwalk ] else []
+  in
+  match Rng.choose rng (Array.of_list candidates) with
+  | `Chase ->
+      K_chase
+        {
+          kidx;
+          src = pick lists;
+          read_w = Rng.chance rng 60;
+          read_other = Rng.chance rng 75;
+          call_get = Rng.chance rng 30;
+          bump_g = Rng.chance rng 40;
+          squash = Rng.chance rng 30;
+        }
+  | `Churn ->
+      K_churn
+        {
+          kidx;
+          src = pick lists;
+          trips = Rng.range rng 20 120;
+          junk_len = Rng.range rng 4 24;
+        }
+  | `Objwalk ->
+      K_objwalk
+        {
+          kidx;
+          src = pick objarrays;
+          step = Rng.choose rng [| 1; 1; 1; 2; 3 |];
+          follow_next = Rng.chance rng 50;
+          bump_g = Rng.chance rng 30;
+          mid_print = Rng.chance rng 25;
+        }
+  | `Intwalk ->
+      K_intwalk
+        {
+          kidx;
+          src = pick intarrays;
+          step = Rng.choose rng [| 1; 1; 2 |];
+          inner_trip = (if Rng.chance rng 40 then Some (Rng.range rng 2 4) else None);
+        }
+
+let generate ~seed ~max_size =
+  let rng = Rng.create ~seed:(Rng.mix seed) in
+  let max_size = max 1 max_size in
+  let n_classes = 1 + Rng.int rng (min 4 (1 + (max_size / 3))) in
+  let classes = List.init n_classes (fun cidx -> gen_class rng ~cidx ~n_classes) in
+  let n_structures = 1 + Rng.int rng (min 3 (1 + (max_size / 3))) in
+  let structures =
+    List.init n_structures (fun sidx -> gen_structure rng ~sidx ~n_classes ~max_size)
+  in
+  let n_kernels = 1 + Rng.int rng (min 3 (1 + (max_size / 3))) in
+  let kernels =
+    List.init n_kernels (fun kidx -> gen_kernel rng ~kidx ~structures)
+  in
+  let root_cls =
+    match List.hd structures with
+    | S_list { cls; _ } -> cls
+    | _ -> assert false
+  in
+  let main_statics =
+    [
+      { A.field_ty = A.Tint; field_name = "g"; field_static = true; field_pos = pos };
+      {
+        A.field_ty = A.Tclass (cname root_cls);
+        field_name = "root";
+        field_static = true;
+        field_pos = pos;
+      };
+    ]
+  in
+  let repeat_kernel k =
+    let kidx = kernel_index k in
+    let r = Printf.sprintf "r%d" kidx in
+    let reps = Rng.range rng 3 6 in
+    let call =
+      if Rng.bool rng then e (A.Static_call ("Main", kname kidx, [ kernel_arg k ]))
+      else e (A.Bare_call (kname kidx, [ kernel_arg k ]))
+    in
+    [
+      for_to r 0 (ilit reps) 1 [ set_var "acc" (var "acc" +: call) ];
+      print_stmt (var "acc");
+    ]
+  in
+  let main_body =
+    [ decl A.Tint "acc" (ilit 0); assign (A.Lfield (var "Main", "g")) (ilit 0) ]
+    @ List.concat_map (build_structure rng classes) structures
+    @ [
+        assign (A.Lfield (var "Main", "root")) (var (head_var 0));
+      ]
+    @ List.concat_map repeat_kernel kernels
+    @ [ print_stmt (field (var "Main") "g"); print_stmt (var "acc") ]
+  in
+  let main_cls =
+    {
+      A.class_name = "Main";
+      class_fields = main_statics;
+      class_methods =
+        List.map (kernel_method classes) kernels
+        @ [
+            {
+              A.method_ret = None;
+              method_name = "main";
+              method_static = true;
+              method_params = [];
+              method_body = main_body;
+              method_pos = pos;
+              is_constructor = false;
+            };
+          ];
+      class_pos = pos;
+    }
+  in
+  let program = List.map render_class classes @ [ main_cls ] in
+  let heap_limit_bytes = Rng.choose rng [| 49152; 131072; 262144; 1048576 |] in
+  { seed; program; heap_limit_bytes }
+
+let source t = Minijava.Pretty.program t.program

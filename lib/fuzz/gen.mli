@@ -1,0 +1,31 @@
+(** Seeded random MiniJava program generator.
+
+    Emits programs shaped like the paper's workloads — classes with
+    int/reference/array fields, linked lists and object arrays built in
+    allocation order, and hot kernel methods that chase pointers, walk
+    arrays (with unit and non-unit steps), run low-trip-count nested
+    loops, and churn allocations for GC pressure — i.e. exactly the
+    shapes that exercise LDG edges, inter-/intra-iteration stride
+    detection, small-trip-count promotion, and sliding compaction.
+
+    Programs are well-typed by construction (the test suite additionally
+    compiles every generated program through the full front end), free of
+    division-by-zero / negative-size / null-dereference hazards, and
+    deterministic: the same seed yields the same program forever. Kernels
+    are separate static methods invoked repeatedly from [main] so they
+    cross the JIT's hot threshold and actually get rewritten. *)
+
+type t = {
+  seed : int;
+  program : Minijava.Ast.program;
+  heap_limit_bytes : int;
+      (** chosen small enough that allocation-churn kernels trigger the
+          sliding compactor mid-run on some programs *)
+}
+
+val generate : seed:int -> max_size:int -> t
+(** [max_size] scales class count, structure sizes, kernel count and
+    loop trip counts; 6–10 is a good fuzzing range. *)
+
+val source : t -> string
+(** The program rendered by {!Minijava.Pretty}. *)

@@ -1,0 +1,226 @@
+(* Differential oracle: one generated program, a matrix of configurations,
+   and the claim that the prefetching pass is invisible except for speed.
+
+   The baseline cell (mode Off, standard passes on, pentium4) fixes the
+   expected observable behaviour; every other cell must reproduce its
+   stdout and its statics-reachable heap graph exactly. On top of the
+   differential check, each cell is audited on its own: no faulting
+   prefetch addresses, object inspection leaves the real heap bit-
+   identical, and the memory-system counters satisfy the structural
+   invariants that hold for any run. *)
+
+module O = Strideprefetch.Options
+
+type cell = {
+  mode : O.mode;
+  standard_passes : bool;
+  machine : Memsim.Config.machine;
+}
+
+let cell_name c =
+  Printf.sprintf "%s/%s/%s" (O.mode_name c.mode)
+    (if c.standard_passes then "pipeline" else "bare")
+    c.machine.Memsim.Config.name
+
+let default_cells =
+  (* Baseline first: [check] treats the head of the list as the reference
+     cell. 3 modes x {pipeline, bare} x 2 machines = 12 cells. *)
+  let modes = [ O.Off; O.Inter; O.Inter_intra ] in
+  let pipelines = [ true; false ] in
+  let machines = [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ] in
+  List.concat_map
+    (fun machine ->
+      List.concat_map
+        (fun standard_passes ->
+          List.map (fun mode -> { mode; standard_passes; machine }) modes)
+        pipelines)
+    machines
+  |> List.sort (fun a b ->
+         (* stable sort key: baseline cell to the front *)
+         let key c =
+           ( (if c.mode = O.Off && c.standard_passes
+              && c.machine.Memsim.Config.name
+                 = Memsim.Config.pentium4.Memsim.Config.name
+             then 0
+             else 1),
+             0 )
+         in
+         compare (key a) (key b))
+
+type failure =
+  | Compile_error of string
+  | Crash of { cell : cell; message : string }
+  | Output_divergence of {
+      cell : cell;
+      baseline_output : string;
+      output : string;
+    }
+  | Heap_divergence of { cell : cell; diff : string }
+  | Inspection_side_effect of { cell : cell; meth : string; diff : string }
+  | Stats_violation of { cell : cell; message : string }
+  | Faulting_prefetch of { cell : cell; count : int }
+
+type verdict = Pass of { cells_run : int } | Fail of failure
+
+let describe = function
+  | Compile_error msg -> Printf.sprintf "front end rejected program: %s" msg
+  | Crash { cell; message } ->
+      Printf.sprintf "[%s] runtime crash: %s" (cell_name cell) message
+  | Output_divergence { cell; baseline_output; output } ->
+      Printf.sprintf
+        "[%s] output differs from baseline\n--- baseline\n%s--- got\n%s"
+        (cell_name cell) baseline_output output
+  | Heap_divergence { cell; diff } ->
+      Printf.sprintf "[%s] reachable heap differs from baseline: %s"
+        (cell_name cell) diff
+  | Inspection_side_effect { cell; meth; diff } ->
+      Printf.sprintf
+        "[%s] heap/statics changed across JIT compilation of %s: %s"
+        (cell_name cell) meth diff
+  | Stats_violation { cell; message } ->
+      Printf.sprintf "[%s] stats invariant violated: %s" (cell_name cell)
+        message
+  | Faulting_prefetch { cell; count } ->
+      Printf.sprintf "[%s] %d prefetch op(s) computed a negative address"
+        (cell_name cell) count
+
+(* Structural invariants any run must satisfy, whatever the program. *)
+let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
+  let s = r.stats in
+  let fail fmt =
+    Printf.ksprintf (fun message -> Some (Stats_violation { cell; message })) fmt
+  in
+  let open Memsim.Stats in
+  if s.l1_load_misses > s.loads then
+    fail "l1_load_misses (%d) > loads (%d)" s.l1_load_misses s.loads
+  else if s.l1_store_misses > s.stores then
+    fail "l1_store_misses (%d) > stores (%d)" s.l1_store_misses s.stores
+  else if s.l2_load_misses > s.l1_load_misses then
+    fail "l2_load_misses (%d) > l1_load_misses (%d)" s.l2_load_misses
+      s.l1_load_misses
+  else if s.l2_store_misses > s.l1_store_misses then
+    fail "l2_store_misses (%d) > l1_store_misses (%d)" s.l2_store_misses
+      s.l1_store_misses
+  else if s.dtlb_load_misses > s.loads + s.guarded_loads + s.sw_prefetches
+  then
+    fail "dtlb_load_misses (%d) > loads+guarded+prefetches (%d)"
+      s.dtlb_load_misses
+      (s.loads + s.guarded_loads + s.sw_prefetches)
+  else if s.retired_instructions <= 0 then
+    fail "no instructions retired (%d)" s.retired_instructions
+  else if s.stall_cycles > s.cycles then
+    fail "stall_cycles (%d) > cycles (%d)" s.stall_cycles s.cycles
+  else if s.sw_prefetches_cancelled > s.sw_prefetches then
+    fail "cancelled prefetches (%d) > issued prefetches (%d)"
+      s.sw_prefetches_cancelled s.sw_prefetches
+  else if s.sw_prefetch_useless > s.sw_prefetches + s.guarded_loads then
+    (* the hierarchy counts an already-cached line as useless for both
+       hardware-form prefetches and guarded loads *)
+    fail "useless prefetches (%d) > issued prefetches+guarded loads (%d)"
+      s.sw_prefetch_useless
+      (s.sw_prefetches + s.guarded_loads)
+  else if
+    cell.mode = O.Off
+    && (s.sw_prefetches <> 0 || s.guarded_loads <> 0
+       || s.sw_prefetches_cancelled <> 0)
+  then
+    fail "mode Off issued prefetch work (sw=%d guarded=%d cancelled=%d)"
+      s.sw_prefetches s.guarded_loads s.sw_prefetches_cancelled
+  else if r.spec_guard_trips > 0 && cell.mode = O.Off then
+    fail "mode Off tripped %d spec_load guards" r.spec_guard_trips
+  else None
+
+let workload_of ~source ~heap_limit_bytes : Workloads.Workload.t =
+  {
+    Workloads.Workload.name = "fuzz";
+    suite = `Specjvm;
+    description = "generated program (fuzzer)";
+    paper_note = "";
+    source;
+    heap_limit_bytes;
+  }
+
+let check ?(cells = default_cells) ?tweak_options ~source ~heap_limit_bytes
+    () =
+  match
+    (* Surface front-end failures as their own verdict: the generator is
+       supposed to emit well-typed programs, so a compile error is a
+       generator bug (or, during shrinking, an invalid candidate). *)
+    try
+      Ok (ignore (Minijava.Compile.program_of_source_exn source))
+    with e -> Error (Printexc.to_string e)
+  with
+  | Error msg -> Fail (Compile_error msg)
+  | Ok () -> (
+      let workload = workload_of ~source ~heap_limit_bytes in
+      let run cell =
+        let side_effect = ref None in
+        let compile_observer ~meth ~before ~after =
+          if !side_effect = None then
+            match Workloads.Observables.diff before after with
+            | None -> ()
+            | Some diff ->
+                side_effect :=
+                  Some
+                    (Inspection_side_effect
+                       {
+                         cell;
+                         meth = meth.Vm.Classfile.method_name;
+                         diff;
+                       })
+        in
+        match
+          Workloads.Harness.run ~standard_passes:cell.standard_passes
+            ~compile_observer ?tweak_options ~capture_observables:true
+            ~mode:cell.mode ~machine:cell.machine workload
+        with
+        | exception e ->
+            Error (Crash { cell; message = Printexc.to_string e })
+        | r -> (
+            match !side_effect with
+            | Some f -> Error f
+            | None ->
+                if r.faulting_prefetches > 0 then
+                  Error
+                    (Faulting_prefetch
+                       { cell; count = r.faulting_prefetches })
+                else (
+                  match stats_invariants cell r with
+                  | Some f -> Error f
+                  | None -> Ok r))
+      in
+      match cells with
+      | [] -> Pass { cells_run = 0 }
+      | baseline_cell :: rest -> (
+          match run baseline_cell with
+          | Error f -> Fail f
+          | Ok baseline ->
+              let compare_to_baseline cell (r : Workloads.Harness.run_result)
+                  =
+                if r.output <> baseline.output then
+                  Some
+                    (Output_divergence
+                       {
+                         cell;
+                         baseline_output = baseline.output;
+                         output = r.output;
+                       })
+                else
+                  match (baseline.observables, r.observables) with
+                  | Some a, Some b -> (
+                      match Workloads.Observables.diff a b with
+                      | None -> None
+                      | Some diff -> Some (Heap_divergence { cell; diff }))
+                  | _ -> None
+              in
+              let rec loop n = function
+                | [] -> Pass { cells_run = n }
+                | cell :: cells -> (
+                    match run cell with
+                    | Error f -> Fail f
+                    | Ok r -> (
+                        match compare_to_baseline cell r with
+                        | Some f -> Fail f
+                        | None -> loop (n + 1) cells))
+              in
+              loop 1 rest))

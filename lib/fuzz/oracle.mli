@@ -1,0 +1,58 @@
+(** Differential oracle for the stride-prefetching pass.
+
+    Runs one MiniJava program under a matrix of configurations (prefetch
+    mode x standard-pass pipeline x machine) and checks that the pass is
+    {e observably invisible}: every cell must reproduce the baseline
+    cell's stdout and statics-reachable heap graph, no prefetch operation
+    may compute a negative (faulting) address, object inspection must
+    leave the real heap and statics bit-identical across every JIT
+    compilation, and the memory-system counters must satisfy structural
+    invariants (misses bounded by accesses, no prefetch work in mode
+    [Off], ...). *)
+
+type cell = {
+  mode : Strideprefetch.Options.mode;
+  standard_passes : bool;
+      (** [true]: full JIT pipeline; [false]: prefetch pass alone *)
+  machine : Memsim.Config.machine;
+}
+
+val default_cells : cell list
+(** 3 modes x {pipeline, bare} x {pentium4, athlon_mp} = 12 cells, with
+    the baseline (Off / pipeline / pentium4) first. *)
+
+val cell_name : cell -> string
+(** E.g. ["inter+intra/pipeline/pentium4"]. *)
+
+type failure =
+  | Compile_error of string
+      (** the front end rejected the program — a generator bug, or an
+          invalid shrink candidate *)
+  | Crash of { cell : cell; message : string }
+  | Output_divergence of {
+      cell : cell;
+      baseline_output : string;
+      output : string;
+    }
+  | Heap_divergence of { cell : cell; diff : string }
+  | Inspection_side_effect of { cell : cell; meth : string; diff : string }
+  | Stats_violation of { cell : cell; message : string }
+  | Faulting_prefetch of { cell : cell; count : int }
+
+type verdict = Pass of { cells_run : int } | Fail of failure
+
+val describe : failure -> string
+(** Multi-line human-readable rendering, used in fuzzing reports. *)
+
+val check :
+  ?cells:cell list ->
+  ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  source:string ->
+  heap_limit_bytes:int ->
+  unit ->
+  verdict
+(** Compile [source] once (to reject front-end failures early), then run
+    each cell and compare to the first. [tweak_options] edits the
+    interpreter options in every cell — the hook the self-test uses to
+    inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
+    catches them. *)

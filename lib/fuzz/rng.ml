@@ -1,0 +1,45 @@
+(* splitmix64: tiny, fast, and excellent dispersion for sequential seeds —
+   exactly what deriving per-program seeds from [campaign_seed + index]
+   needs. Reference: Steele, Lea & Flood, "Fast splittable pseudorandom
+   number generators" (OOPSLA 2014). *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let scramble z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  scramble t.state
+
+let mix n = Int64.to_int (scramble (Int64.add (Int64.of_int n) golden))
+
+let int t bound =
+  if bound <= 0 then 0
+  else
+    (* Take the high-quality top bits, drop the sign, fold by modulo: the
+       tiny modulo bias is irrelevant for fuzzing. *)
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod bound
+
+let range t lo hi = if hi <= lo then lo else lo + int t (hi - lo + 1)
+let bool t = int t 2 = 1
+let chance t p = int t 100 < p
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,351 @@
+(* Greedy AST-level shrinker.
+
+   One-step candidates, coarse to fine: drop a whole class, drop a
+   method, delete one statement (DFS preorder), unwrap an [if] into one
+   of its branches, halve an integer literal. Candidates that no longer
+   compile are discarded (shrinking never needs to understand use-def
+   relationships — the front end does), and every accepted step strictly
+   decreases the measure (classes, methods, statements, literal mass)
+   lexicographically, so the loop terminates even without a budget. *)
+
+module A = Minijava.Ast
+
+let measure (prog : A.program) =
+  let stmts = ref 0 and lits = ref 0 in
+  let rec expr (e : A.expr) =
+    match e.A.desc with
+    | A.Int_lit n -> lits := !lits + abs n
+    | A.Null_lit | A.This | A.Var _ -> ()
+    | A.Field (b, _) | A.Length b | A.Unop_neg b | A.Unop_not b -> expr b
+    | A.Static_field _ -> ()
+    | A.Index (a, b) | A.Binop (_, a, b) ->
+        expr a;
+        expr b
+    | A.Call (r, _, args) ->
+        expr r;
+        List.iter expr args
+    | A.Bare_call (_, args)
+    | A.Static_call (_, _, args)
+    | A.New_object (_, args) ->
+        List.iter expr args
+    | A.New_int_array n | A.New_class_array (_, n) -> expr n
+  in
+  let lvalue = function
+    | A.Lvar _ -> ()
+    | A.Lfield (b, _) -> expr b
+    | A.Lstatic _ -> ()
+    | A.Lindex (a, b) ->
+        expr a;
+        expr b
+  in
+  let rec stmt (st : A.stmt) =
+    incr stmts;
+    match st.A.sdesc with
+    | A.Decl (_, _, e) | A.Print e | A.Expr_stmt e -> expr e
+    | A.Assign (lv, e) ->
+        lvalue lv;
+        expr e
+    | A.If (c, t, els) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt els
+    | A.While (c, b) ->
+        expr c;
+        List.iter stmt b
+    | A.For (init, c, upd, b) ->
+        Option.iter stmt init;
+        expr c;
+        Option.iter stmt upd;
+        List.iter stmt b
+    | A.Return e -> Option.iter expr e
+    | A.Break | A.Continue -> ()
+    | A.Block b -> List.iter stmt b
+  in
+  let methods = ref 0 and fields = ref 0 in
+  List.iter
+    (fun (c : A.class_decl) ->
+      fields := !fields + List.length c.A.class_fields;
+      List.iter
+        (fun (m : A.method_decl) ->
+          incr methods;
+          List.iter stmt m.A.method_body)
+        c.A.class_methods)
+    prog;
+  (List.length prog, !methods, !fields, !stmts, !lits)
+
+(* Rewrite the statement with preorder index [target] throughout the whole
+   program; [f] returns the replacement list. Header statements of [for]
+   loops are left alone (deleting an update would loop forever; the whole
+   [for] can be deleted as a unit instead). *)
+let rewrite_stmt target f (prog : A.program) =
+  let ctr = ref 0 in
+  let rec stmts ss = List.concat_map stmt ss
+  and stmt (st : A.stmt) =
+    let i = !ctr in
+    incr ctr;
+    if i = target then f st
+    else
+      let sdesc =
+        match st.A.sdesc with
+        | A.If (c, t, els) -> A.If (c, stmts t, stmts els)
+        | A.While (c, b) -> A.While (c, stmts b)
+        | A.For (init, c, upd, b) -> A.For (init, c, upd, stmts b)
+        | A.Block b -> A.Block (stmts b)
+        | d -> d
+      in
+      [ { st with A.sdesc } ]
+  in
+  List.map
+    (fun (c : A.class_decl) ->
+      {
+        c with
+        A.class_methods =
+          List.map
+            (fun (m : A.method_decl) ->
+              { m with A.method_body = stmts m.A.method_body })
+            c.A.class_methods;
+      })
+    prog
+
+(* Halve the integer literal with preorder index [target] (counting only
+   literals of magnitude >= 2). *)
+let halve_literal target (prog : A.program) =
+  let ctr = ref 0 in
+  let rec expr (e : A.expr) =
+    match e.A.desc with
+    | A.Int_lit n when abs n >= 2 ->
+        let i = !ctr in
+        incr ctr;
+        if i = target then { e with A.desc = A.Int_lit (n / 2) } else e
+    | A.Int_lit _ | A.Null_lit | A.This | A.Var _ | A.Static_field _ -> e
+    | A.Field (b, f) -> { e with A.desc = A.Field (expr b, f) }
+    | A.Length b -> { e with A.desc = A.Length (expr b) }
+    | A.Unop_neg b -> { e with A.desc = A.Unop_neg (expr b) }
+    | A.Unop_not b -> { e with A.desc = A.Unop_not (expr b) }
+    | A.Index (a, b) -> { e with A.desc = A.Index (expr a, expr b) }
+    | A.Binop (op, a, b) -> { e with A.desc = A.Binop (op, expr a, expr b) }
+    | A.Call (r, m, args) ->
+        { e with A.desc = A.Call (expr r, m, List.map expr args) }
+    | A.Bare_call (m, args) ->
+        { e with A.desc = A.Bare_call (m, List.map expr args) }
+    | A.Static_call (c, m, args) ->
+        { e with A.desc = A.Static_call (c, m, List.map expr args) }
+    | A.New_object (c, args) ->
+        { e with A.desc = A.New_object (c, List.map expr args) }
+    | A.New_int_array n -> { e with A.desc = A.New_int_array (expr n) }
+    | A.New_class_array (c, n) ->
+        { e with A.desc = A.New_class_array (c, expr n) }
+  in
+  let lvalue = function
+    | A.Lfield (b, f) -> A.Lfield (expr b, f)
+    | A.Lindex (a, b) -> A.Lindex (expr a, expr b)
+    | lv -> lv
+  in
+  let rec stmt (st : A.stmt) =
+    let sdesc =
+      match st.A.sdesc with
+      | A.Decl (ty, x, e) -> A.Decl (ty, x, expr e)
+      | A.Assign (lv, e) -> A.Assign (lvalue lv, expr e)
+      | A.If (c, t, els) -> A.If (expr c, List.map stmt t, List.map stmt els)
+      | A.While (c, b) -> A.While (expr c, List.map stmt b)
+      | A.For (init, c, upd, b) ->
+          A.For
+            (Option.map stmt init, expr c, Option.map stmt upd,
+             List.map stmt b)
+      | A.Return e -> A.Return (Option.map expr e)
+      | A.Expr_stmt e -> A.Expr_stmt (expr e)
+      | A.Print e -> A.Print (expr e)
+      | A.Block b -> A.Block (List.map stmt b)
+      | (A.Break | A.Continue) as d -> d
+    in
+    { st with A.sdesc }
+  in
+  List.map
+    (fun (c : A.class_decl) ->
+      {
+        c with
+        A.class_methods =
+          List.map
+            (fun (m : A.method_decl) ->
+              { m with A.method_body = List.map stmt m.A.method_body })
+            c.A.class_methods;
+      })
+    prog
+
+let candidates (prog : A.program) : A.program list =
+  let _, _, _, n_stmts, _ = measure prog in
+  let n_lits =
+    (* count literals of magnitude >= 2 (the ones [halve_literal] indexes) *)
+    let ctr = ref 0 in
+    let rec expr (e : A.expr) =
+      (match e.A.desc with A.Int_lit n when abs n >= 2 -> incr ctr | _ -> ());
+      match e.A.desc with
+      | A.Int_lit _ | A.Null_lit | A.This | A.Var _ | A.Static_field _ -> ()
+      | A.Field (b, _) | A.Length b | A.Unop_neg b | A.Unop_not b -> expr b
+      | A.Index (a, b) | A.Binop (_, a, b) ->
+          expr a;
+          expr b
+      | A.Call (r, _, args) ->
+          expr r;
+          List.iter expr args
+      | A.Bare_call (_, args)
+      | A.Static_call (_, _, args)
+      | A.New_object (_, args) ->
+          List.iter expr args
+      | A.New_int_array n | A.New_class_array (_, n) -> expr n
+    in
+    let lvalue = function
+      | A.Lfield (b, _) -> expr b
+      | A.Lindex (a, b) ->
+          expr a;
+          expr b
+      | _ -> ()
+    in
+    let rec stmt (st : A.stmt) =
+      match st.A.sdesc with
+      | A.Decl (_, _, e) | A.Print e | A.Expr_stmt e -> expr e
+      | A.Assign (lv, e) ->
+          lvalue lv;
+          expr e
+      | A.If (c, t, els) ->
+          expr c;
+          List.iter stmt t;
+          List.iter stmt els
+      | A.While (c, b) ->
+          expr c;
+          List.iter stmt b
+      | A.For (init, c, upd, b) ->
+          Option.iter stmt init;
+          expr c;
+          Option.iter stmt upd;
+          List.iter stmt b
+      | A.Return e -> Option.iter expr e
+      | A.Break | A.Continue -> ()
+      | A.Block b -> List.iter stmt b
+    in
+    List.iter
+      (fun (c : A.class_decl) ->
+        List.iter
+          (fun (m : A.method_decl) -> List.iter stmt m.A.method_body)
+          c.A.class_methods)
+      prog;
+    !ctr
+  in
+  let drop_classes =
+    List.filter_map
+      (fun (c : A.class_decl) ->
+        if c.A.class_name = "Main" then None
+        else
+          Some
+            (List.filter
+               (fun (c' : A.class_decl) ->
+                 c'.A.class_name <> c.A.class_name)
+               prog))
+      prog
+  in
+  let drop_methods =
+    List.concat_map
+      (fun (c : A.class_decl) ->
+        List.filter_map
+          (fun (m : A.method_decl) ->
+            if m.A.is_constructor || m.A.method_name = "main" then None
+            else
+              Some
+                (List.map
+                   (fun (c' : A.class_decl) ->
+                     if c'.A.class_name <> c.A.class_name then c'
+                     else
+                       {
+                         c' with
+                         A.class_methods =
+                           List.filter
+                             (fun (m' : A.method_decl) ->
+                               m'.A.method_name <> m.A.method_name)
+                             c'.A.class_methods;
+                       })
+                   prog))
+          c.A.class_methods)
+      prog
+  in
+  let drop_fields =
+    List.concat_map
+      (fun (c : A.class_decl) ->
+        List.map
+          (fun (f : A.field_decl) ->
+            List.map
+              (fun (c' : A.class_decl) ->
+                if c'.A.class_name <> c.A.class_name then c'
+                else
+                  {
+                    c' with
+                    A.class_fields =
+                      List.filter
+                        (fun (f' : A.field_decl) ->
+                          f'.A.field_name <> f.A.field_name)
+                        c'.A.class_fields;
+                  })
+              prog)
+          c.A.class_fields)
+      prog
+  in
+  let delete_stmts =
+    List.init n_stmts (fun k -> rewrite_stmt k (fun _ -> []) prog)
+  in
+  let unwrap_ifs =
+    List.concat_map
+      (fun k ->
+        [
+          rewrite_stmt k
+            (fun st ->
+              match st.A.sdesc with A.If (_, t, _) -> t | _ -> [ st ])
+            prog;
+          rewrite_stmt k
+            (fun st ->
+              match st.A.sdesc with A.If (_, _, els) -> els | _ -> [ st ])
+            prog;
+        ])
+      (List.init n_stmts Fun.id)
+  in
+  let halve = List.init n_lits (fun k -> halve_literal k prog) in
+  drop_classes @ drop_methods @ drop_fields @ delete_stmts @ unwrap_ifs
+  @ halve
+
+type result = {
+  program : A.program;
+  source : string;
+  steps : int;  (** accepted shrink steps *)
+  attempts : int;  (** oracle invocations spent *)
+}
+
+let run ?(max_attempts = 400) ~is_failing (prog : A.program) =
+  let compiles src =
+    try
+      ignore (Minijava.Compile.program_of_source_exn src);
+      true
+    with _ -> false
+  in
+  let attempts = ref 0 in
+  let rec loop prog steps =
+    let m = measure prog in
+    let try_candidate cand =
+      if !attempts >= max_attempts then None
+      else if measure cand >= m then None
+      else
+        let src = Minijava.Pretty.program cand in
+        if not (compiles src) then None
+        else (
+          incr attempts;
+          if is_failing src then Some cand else None)
+    in
+    match List.find_map try_candidate (candidates prog) with
+    | Some smaller when !attempts < max_attempts -> loop smaller (steps + 1)
+    | Some smaller -> (smaller, steps + 1)
+    | None -> (prog, steps)
+  in
+  let program, steps = loop prog 0 in
+  {
+    program;
+    source = Minijava.Pretty.program program;
+    steps;
+    attempts = !attempts;
+  }

@@ -1,0 +1,23 @@
+(** Greedy AST-level shrinker for failing fuzzing programs.
+
+    Tries one-step reductions — drop a class, drop a method, delete one
+    statement, unwrap an [if] into a branch, halve an integer literal —
+    keeping any candidate that still compiles and still fails. Every
+    accepted step strictly decreases the (classes, methods, statements,
+    literal-mass) measure, so shrinking terminates; [max_attempts] bounds
+    the number of (expensive) oracle invocations on top of that. *)
+
+type result = {
+  program : Minijava.Ast.program;
+  source : string;  (** [program] rendered by {!Minijava.Pretty} *)
+  steps : int;  (** accepted shrink steps *)
+  attempts : int;  (** oracle invocations spent *)
+}
+
+val run :
+  ?max_attempts:int ->
+  is_failing:(string -> bool) ->
+  Minijava.Ast.program ->
+  result
+(** [is_failing source] re-runs the oracle; it is only called on
+    candidates that compile. Default [max_attempts] is 400. *)

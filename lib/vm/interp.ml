@@ -6,6 +6,7 @@ type options = {
   gc_cycles_per_live : int;
   gc_cycles_per_dead : int;
   max_steps : int;
+  unguarded_spec_loads : bool;
 }
 
 let default_options machine =
@@ -17,6 +18,7 @@ let default_options machine =
     gc_cycles_per_live = 10;
     gc_cycles_per_dead = 2;
     max_steps = 2_000_000_000;
+    unguarded_spec_loads = false;
   }
 
 type t = {
@@ -44,6 +46,12 @@ type t = {
   mutable interpreted_cycles : int;
   mutable compiled_cycles : int;
   mutable steps : int;
+  mutable faulting_prefetches : int;
+      (** prefetch-type operations that computed an address outside the
+          simulated address space (negative) — always a codegen bug *)
+  mutable spec_guard_trips : int;
+      (** spec_loads whose target fell outside every live object: the
+          guard fired and [Null] was substituted (benign by design) *)
 }
 
 exception Vm_error of string
@@ -70,6 +78,8 @@ let create ?options machine program =
     interpreted_cycles = 0;
     compiled_cycles = 0;
     steps = 0;
+    faulting_prefetches = 0;
+    spec_guard_trips = 0;
   }
 
 let program t = t.program
@@ -85,6 +95,15 @@ let gc_count t = t.gc_count
 let gc_cycles t = t.gc_cycles
 let interpreted_cycles t = t.interpreted_cycles
 let compiled_cycles t = t.compiled_cycles
+let faulting_prefetches t = t.faulting_prefetches
+let spec_guard_trips t = t.spec_guard_trips
+
+(* Every address a prefetch-type instruction computes flows through here;
+   a negative address can only come from broken distance/offset arithmetic
+   in the prefetch pass, so the differential oracle asserts the counter
+   stays zero. *)
+let audit_prefetch_addr t addr =
+  if addr < 0 then t.faulting_prefetches <- t.faulting_prefetches + 1
 
 let vm_error fmt = Printf.ksprintf (fun msg -> raise (Vm_error msg)) fmt
 
@@ -407,19 +426,36 @@ and exec t (frame : Frame.t) =
     | Prefetch_inter { site; distance } ->
         charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
         let anchor = frame.site_addr.(site) in
-        if anchor >= 0 then
-          Memsim.Hierarchy.sw_prefetch t.mem ~addr:(anchor + distance)
-            ~now:(now t)
+        if anchor >= 0 then begin
+          let addr = anchor + distance in
+          audit_prefetch_addr t addr;
+          Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+        end
     | Spec_load { site; distance; reg } ->
         charge t frame (max 0 (t.opts.machine.guarded_load_cost - base_cost));
         let anchor = frame.site_addr.(site) in
         if anchor >= 0 then begin
           let addr = anchor + distance in
+          audit_prefetch_addr t addr;
           Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t);
           let v =
             match Heap.value_at t.heap addr with
             | Some v -> v
-            | None -> Value.Null
+            | None ->
+                (* The guard: a speculative load whose address fell outside
+                   every live object yields Null instead of faulting
+                   (Section 3.3's "loads guarded by software exception
+                   checks"). [unguarded_spec_loads] disables the guard to
+                   let the fuzzing oracle prove it would catch the
+                   resulting fault. *)
+                t.spec_guard_trips <- t.spec_guard_trips + 1;
+                if t.opts.unguarded_spec_loads then begin
+                  t.faulting_prefetches <- t.faulting_prefetches + 1;
+                  vm_error
+                    "unguarded spec_load faulted at address 0x%x in %s" addr
+                    frame.Frame.method_info.method_name
+                end;
+                Value.Null
           in
           frame.pref_regs.(reg) <- v
         end
@@ -427,10 +463,11 @@ and exec t (frame : Frame.t) =
     | Prefetch_dynamic { site; times } ->
         charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
         let addr = frame.site_addr.(site) and prev = frame.site_prev.(site) in
-        if addr >= 0 && prev >= 0 && addr <> prev then
-          Memsim.Hierarchy.sw_prefetch t.mem
-            ~addr:(addr + ((addr - prev) * times))
-            ~now:(now t)
+        if addr >= 0 && prev >= 0 && addr <> prev then begin
+          let target = addr + ((addr - prev) * times) in
+          audit_prefetch_addr t target;
+          Memsim.Hierarchy.sw_prefetch t.mem ~addr:target ~now:(now t)
+        end
     | Prefetch_indirect { reg; offset; guarded } ->
         let cost =
           if guarded then t.opts.machine.guarded_load_cost
@@ -440,6 +477,7 @@ and exec t (frame : Frame.t) =
         (match frame.pref_regs.(reg) with
         | Value.Ref id when Heap.exists t.heap id ->
             let addr = Heap.base_of t.heap id + offset in
+            audit_prefetch_addr t addr;
             if guarded then
               Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t)
             else Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)

@@ -23,6 +23,13 @@ type options = {
   gc_cycles_per_live : int;
   gc_cycles_per_dead : int;
   max_steps : int;  (** safety budget; {!Vm_error} when exceeded *)
+  unguarded_spec_loads : bool;
+      (** fault-injection knob for the differential fuzzing oracle: when
+          true, a [Spec_load] whose address falls outside every live
+          object raises {!Vm_error} (a simulated segfault) instead of
+          being caught by the guard and yielding [Null]. Default [false];
+          the paper's spec_load is guarded and never faults
+          (Section 3.3). *)
 }
 
 val default_options : Memsim.Config.machine -> options
@@ -57,6 +64,19 @@ val gc_cycles : t -> int
 val interpreted_cycles : t -> int
 val compiled_cycles : t -> int
 (** Cycle attribution for Table 3's "% of time in compiled code". *)
+
+val faulting_prefetches : t -> int
+(** Prefetch-type operations ([prefetch], [spec_load],
+    [prefetch_indirect], dynamic-stride prefetch) that computed a negative
+    — hence unmappable — address. Always indicates broken
+    distance/offset arithmetic in generated prefetch code; the fuzzing
+    oracle asserts this stays zero in every configuration. *)
+
+val spec_guard_trips : t -> int
+(** [spec_load]s whose target address fell outside every live object, so
+    the guard substituted [Null]. Expected and benign (speculation runs
+    past the end of data structures by design); reported for
+    diagnostics. *)
 
 val call : t -> Classfile.method_info -> Value.t array -> Value.t option
 (** Execute one method to completion (recursively executing its callees)

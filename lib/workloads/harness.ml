@@ -12,9 +12,13 @@ type run_result = {
   prefetch_pass_seconds : float;
   output : string;
   reports : Strideprefetch.Pass.loop_report list;
+  faulting_prefetches : int;
+  spec_guard_trips : int;
+  observables : Observables.t option;
 }
 
-let run ?opts ~mode ~machine (workload : Workload.t) =
+let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
+    ?(capture_observables = false) ~mode ~machine (workload : Workload.t) =
   let opts =
     let base =
       Option.value ~default:Strideprefetch.Options.default opts
@@ -23,15 +27,18 @@ let run ?opts ~mode ~machine (workload : Workload.t) =
   in
   let program = Workload.compile workload in
   let interp_options =
-    {
-      (Vm.Interp.default_options machine) with
-      Vm.Interp.heap_limit_bytes = workload.heap_limit_bytes;
-    }
+    let base =
+      {
+        (Vm.Interp.default_options machine) with
+        Vm.Interp.heap_limit_bytes = workload.heap_limit_bytes;
+      }
+    in
+    match tweak_options with Some f -> f base | None -> base
   in
   let interp = Vm.Interp.create ~options:interp_options machine program in
   let reports = ref [] in
   let passes =
-    Jit.Pipeline.standard_passes ()
+    (if standard_passes then Jit.Pipeline.standard_passes () else [])
     @
     match mode with
     | Strideprefetch.Options.Off -> []
@@ -44,7 +51,16 @@ let run ?opts ~mode ~machine (workload : Workload.t) =
   in
   let pipeline = Jit.Pipeline.create passes in
   Vm.Interp.set_compile_hook interp (fun _ m args ->
-      Jit.Pipeline.compile pipeline m args);
+      match compile_observer with
+      | None -> Jit.Pipeline.compile pipeline m args
+      | Some observe ->
+          (* Snapshot the complete heap + statics around the compilation —
+             the JIT (object inspection included) must rewrite only code,
+             never program state. *)
+          let before = Observables.capture ~scope:`All interp in
+          Jit.Pipeline.compile pipeline m args;
+          let after = Observables.capture ~scope:`All interp in
+          observe ~meth:m ~before ~after);
   ignore (Vm.Interp.run interp);
   let stats = Memsim.Stats.copy (Vm.Interp.stats interp) in
   {
@@ -62,6 +78,12 @@ let run ?opts ~mode ~machine (workload : Workload.t) =
       Jit.Pipeline.seconds_of_pass pipeline "stride-prefetch";
     output = Vm.Interp.output interp;
     reports = !reports;
+    faulting_prefetches = Vm.Interp.faulting_prefetches interp;
+    spec_guard_trips = Vm.Interp.spec_guard_trips interp;
+    observables =
+      (if capture_observables then
+         Some (Observables.capture ~scope:`Reachable interp)
+       else None);
   }
 
 let speedup ~baseline result =

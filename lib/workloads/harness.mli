@@ -1,6 +1,6 @@
 (** Experiment harness: run a workload on a machine under a prefetching
     configuration, with the full mixed-mode pipeline wired up, and collect
-    everything the paper's figures need. *)
+    everything the paper's figures — and the fuzzing oracle — need. *)
 
 type run_result = {
   workload : string;
@@ -16,10 +16,24 @@ type run_result = {
   prefetch_pass_seconds : float;
   output : string;  (** program output; must agree across modes *)
   reports : Strideprefetch.Pass.loop_report list;
+  faulting_prefetches : int;
+      (** prefetch-type ops that computed a negative address; must be 0 *)
+  spec_guard_trips : int;  (** guarded spec_loads that yielded Null *)
+  observables : Observables.t option;
+      (** end-of-run reachable heap + statics snapshot, when
+          [capture_observables] was requested *)
 }
 
 val run :
   ?opts:Strideprefetch.Options.t ->
+  ?standard_passes:bool ->
+  ?compile_observer:
+    (meth:Vm.Classfile.method_info ->
+    before:Observables.t ->
+    after:Observables.t ->
+    unit) ->
+  ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  ?capture_observables:bool ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
   Workload.t ->
@@ -27,7 +41,18 @@ val run :
 (** Compile the workload from source (fresh program), install the JIT
     pipeline (standard passes + stride prefetching at [mode]), execute,
     and collect results. [opts] overrides the algorithm's knobs; its
-    [mode] field is replaced by [mode]. *)
+    [mode] field is replaced by [mode].
+
+    [standard_passes] (default [true]): include the baseline JIT passes;
+    [false] compiles with only the prefetching pass, isolating it from
+    optimizer interactions. [compile_observer] is invoked around every
+    JIT compilation with bit-identical [`All]-scope snapshots taken
+    before and after — the hook the side-effect-freedom tests use to
+    prove object inspection leaves the heap and statics untouched.
+    [tweak_options] edits the interpreter options (e.g. the
+    [unguarded_spec_loads] fault-injection knob). [capture_observables]
+    (default [false]) captures a [`Reachable] snapshot at end of run into
+    [observables]. *)
 
 val speedup : baseline:run_result -> run_result -> float
 (** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two

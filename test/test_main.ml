@@ -9,4 +9,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("heap-dense", Test_heap_dense.suite);
       ("bench-runner", Test_bench_runner.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

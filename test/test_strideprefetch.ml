@@ -963,3 +963,199 @@ let phased_suite =
   ]
 
 let suite = suite @ phased_suite
+
+(* --- stride properties: majority boundary, min_samples gate, constant and
+   negative traces, phased fraction edges (fuzzing-oracle satellites) ----- *)
+
+let prop_dominant_exact_majority_boundary =
+  (* for any sample count, exactly ceil(majority * n) matches is accepted
+     and one fewer is rejected *)
+  QCheck.Test.make ~name:"75% boundary holds for every sample count"
+    ~count:60
+    QCheck.(8 -- 64)
+    (fun n ->
+      let k = int_of_float (ceil (0.75 *. float_of_int n)) in
+      let trace matches =
+        List.init n (fun i -> if i < matches then 48 else 1000 + (977 * i))
+      in
+      let at = SP.Stride.dominant ~opts (trace k) in
+      let under = SP.Stride.dominant ~opts (trace (k - 1)) in
+      (match at with Some p -> p.stride = 48 && p.matched = k | None -> false)
+      && under = None)
+
+let test_dominant_min_samples_gate () =
+  (* default min_samples is 4: four identical strides pass, three do not *)
+  Alcotest.(check int) "default gate" 4 opts.min_samples;
+  (match SP.Stride.dominant ~opts [ 24; 24; 24; 24 ] with
+  | Some p ->
+      Alcotest.(check int) "stride" 24 p.stride;
+      Alcotest.(check int) "samples" 4 p.samples
+  | None -> Alcotest.fail "min_samples exactly met must be accepted");
+  Alcotest.(check bool) "one below the gate rejected" true
+    (SP.Stride.dominant ~opts [ 24; 24; 24 ] = None);
+  Alcotest.(check bool) "raised gate rejects" true
+    (SP.Stride.dominant
+       ~opts:{ opts with SP.Options.min_samples = 5 }
+       [ 24; 24; 24; 24 ]
+    = None)
+
+let prop_inter_constant_address_is_invariant =
+  QCheck.Test.make ~name:"constant-address trace -> stride-0 invariant"
+    ~count:50
+    QCheck.(pair (6 -- 30) (int_bound 100_000))
+    (fun (n, addr) ->
+      let records = List.init n (fun i -> (i, addr)) in
+      match SP.Stride.inter ~opts records with
+      | Some p -> p.stride = 0 && SP.Stride.is_invariant p
+      | None -> false)
+
+let prop_inter_negative_stride_detected =
+  QCheck.Test.make ~name:"descending trace -> negative stride" ~count:50
+    QCheck.(pair (6 -- 30) (1 -- 512))
+    (fun (n, step) ->
+      let top = 1_000_000 in
+      let records = List.init n (fun i -> (i, top - (i * step))) in
+      match SP.Stride.inter ~opts records with
+      | Some p -> p.stride = -step && not (SP.Stride.is_invariant p)
+      | None -> false)
+
+let test_phased_fraction_boundary () =
+  (* two phases at 70% / 20%: the 20% phase sits exactly on
+     phased_min_fraction and must be kept; shaving it below the fraction
+     kills the whole phased pattern (a lone 70% phase cannot reach the
+     75% joint-majority requirement) *)
+  Alcotest.(check (float 1e-9)) "default fraction" 0.2
+    phased_opts.SP.Options.phased_min_fraction;
+  let build strides =
+    let _, rev =
+      List.fold_left
+        (fun (addr, acc) s -> (addr + s, (List.length acc, addr) :: acc))
+        (4096, []) strides
+    in
+    List.rev rev
+  in
+  let strides_at =
+    (* 20 strides: 14 x 112 (70%), 4 x 272 (20%), 2 unique noise *)
+    List.init 14 (fun _ -> 112)
+    @ List.init 4 (fun _ -> 272)
+    @ [ 997; 1379 ]
+  in
+  (match SP.Stride.phased ~opts:phased_opts (build strides_at) with
+  | [ _; _ ] as phases ->
+      let ss =
+        List.sort compare
+          (List.map (fun (p : SP.Stride.pattern) -> p.stride) phases)
+      in
+      Alcotest.(check (list int)) "phases at the boundary" [ 112; 272 ] ss
+  | l -> Alcotest.failf "expected 2 phases, got %d" (List.length l));
+  let strides_under =
+    (* 21 strides: the 272 phase drops to 4/21 < 20% *)
+    List.init 15 (fun _ -> 112)
+    @ List.init 4 (fun _ -> 272)
+    @ [ 997; 1379 ]
+  in
+  Alcotest.(check bool) "under-fraction phase kills the pattern" true
+    (SP.Stride.phased ~opts:phased_opts (build strides_under) = [])
+
+(* --- LDG on handcrafted bytecode: chain, diamond, invariant base, pinned
+   node/edge sets (fuzzing-oracle satellites) ----------------------------- *)
+
+(* p.a.b.c: the three-level chain L0 -> L1 -> L2 *)
+let chain_infos () =
+  let code =
+    [|
+      B.Aload 0;
+      B.Getfield { site = 0; offset = 8; name = "a"; is_ref = true };
+      B.Getfield { site = 1; offset = 12; name = "b"; is_ref = true };
+      B.Getfield { site = 2; offset = 16; name = "c"; is_ref = false };
+      B.Ireturn;
+    |]
+  in
+  Jit.Stack_model.analyze code ~arity:1
+    ~callee_arity:(fun _ -> 0)
+    ~callee_returns:(fun _ -> false)
+
+let test_ldg_three_level_chain () =
+  let ldg = SP.Ldg.build (chain_infos ()) ~sites:[ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "pinned node set" [ 0; 1; 2 ] (SP.Ldg.sites ldg);
+  Alcotest.(check (list int)) "L0 -> L1" [ 1 ] (SP.Ldg.succs ldg 0);
+  Alcotest.(check (list int)) "L1 -> L2" [ 2 ] (SP.Ldg.succs ldg 1);
+  Alcotest.(check (list int)) "chain end" [] (SP.Ldg.succs ldg 2);
+  Alcotest.(check (list int)) "L2's pred" [ 1 ] (SP.Ldg.preds ldg 2);
+  Alcotest.(check (list int)) "root has no pred" [] (SP.Ldg.preds ldg 0);
+  Alcotest.(check int) "exactly two edges" 2 (SP.Ldg.n_edges ldg);
+  (* transitive intra reachability spans the whole chain *)
+  Alcotest.(check (list int)) "chain reachable" [ 1; 2 ]
+    (List.sort compare (SP.Ldg.reachable_by_intra ldg ~from:0 (fun _ -> true)))
+
+(* h = p.h; a = h.a; b = h.b; c = b.c: one producer shared by two loads
+   (the diamond), one of which continues the chain *)
+let diamond_infos () =
+  let code =
+    [|
+      B.Aload 0;
+      B.Getfield { site = 0; offset = 8; name = "h"; is_ref = true };
+      B.Dup;
+      B.Getfield { site = 1; offset = 12; name = "a"; is_ref = true };
+      B.Astore 1;
+      B.Getfield { site = 2; offset = 16; name = "b"; is_ref = true };
+      B.Getfield { site = 3; offset = 20; name = "c"; is_ref = false };
+      B.Ireturn;
+    |]
+  in
+  Jit.Stack_model.analyze code ~arity:1
+    ~callee_arity:(fun _ -> 0)
+    ~callee_returns:(fun _ -> false)
+
+let test_ldg_diamond_sharing () =
+  let ldg = SP.Ldg.build (diamond_infos ()) ~sites:[ 0; 1; 2; 3 ] in
+  Alcotest.(check (list int)) "pinned node set" [ 0; 1; 2; 3 ]
+    (SP.Ldg.sites ldg);
+  Alcotest.(check (list int)) "shared producer fans out" [ 1; 2 ]
+    (List.sort compare (SP.Ldg.succs ldg 0));
+  Alcotest.(check (list int)) "left arm stops" [] (SP.Ldg.succs ldg 1);
+  Alcotest.(check (list int)) "right arm continues" [ 3 ]
+    (SP.Ldg.succs ldg 2);
+  Alcotest.(check int) "exactly three edges" 3 (SP.Ldg.n_edges ldg);
+  (* blocking the right arm keeps its continuation unreachable *)
+  Alcotest.(check (list int)) "selective reachability" [ 1 ]
+    (SP.Ldg.reachable_by_intra ldg ~from:0 (fun s -> s <> 2))
+
+(* two loads through loop-invariant bases (distinct parameters): no edge
+   may appear between them *)
+let invariant_base_infos () =
+  let code =
+    [|
+      B.Aload 0;
+      B.Getfield { site = 0; offset = 8; name = "x"; is_ref = false };
+      B.Aload 1;
+      B.Getfield { site = 1; offset = 8; name = "y"; is_ref = false };
+      B.Iadd;
+      B.Ireturn;
+    |]
+  in
+  Jit.Stack_model.analyze code ~arity:2
+    ~callee_arity:(fun _ -> 0)
+    ~callee_returns:(fun _ -> false)
+
+let test_ldg_invariant_base_no_edge () =
+  let ldg = SP.Ldg.build (invariant_base_infos ()) ~sites:[ 0; 1 ] in
+  Alcotest.(check (list int)) "pinned node set" [ 0; 1 ] (SP.Ldg.sites ldg);
+  Alcotest.(check int) "no edges at all" 0 (SP.Ldg.n_edges ldg);
+  Alcotest.(check (list int)) "L0 isolated" [] (SP.Ldg.succs ldg 0);
+  Alcotest.(check (list int)) "L1 isolated" [] (SP.Ldg.preds ldg 1)
+
+let satellite_suite =
+  [
+    Helpers.qtest prop_dominant_exact_majority_boundary;
+    ("stride: min_samples gate", `Quick, test_dominant_min_samples_gate);
+    Helpers.qtest prop_inter_constant_address_is_invariant;
+    Helpers.qtest prop_inter_negative_stride_detected;
+    ("stride: phased fraction boundary", `Quick, test_phased_fraction_boundary);
+    ("ldg: three-level chain pinned", `Quick, test_ldg_three_level_chain);
+    ("ldg: diamond sharing pinned", `Quick, test_ldg_diamond_sharing);
+    ("ldg: invariant bases stay isolated", `Quick,
+     test_ldg_invariant_base_no_edge);
+  ]
+
+let suite = suite @ satellite_suite

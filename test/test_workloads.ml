@@ -147,3 +147,43 @@ let suite =
     ("harness: determinism", `Quick, test_workload_determinism);
     ("jess: modes agree end-to-end", `Slow, test_jess_outputs_agree_across_modes);
   ]
+
+(* --- side-effect freedom of object inspection (fuzzing-oracle satellite) ---
+
+   The JIT's object inspection executes bytecode against the real heap
+   through a read-only shim; any write would be a correctness bug that the
+   differential oracle might only catch probabilistically. Here it is
+   checked directly: a bit-identical [`All]-scope snapshot (every live
+   object with its address, every static) taken around every JIT
+   compilation of every seed workload must be unchanged. *)
+
+let test_inspection_leaves_heap_and_globals_intact () =
+  let machine = Memsim.Config.pentium4 in
+  List.iter
+    (fun (w : W.t) ->
+      let compilations = ref 0 in
+      let observer ~meth ~before ~after =
+        incr compilations;
+        match Workloads.Observables.diff before after with
+        | None -> ()
+        | Some diff ->
+            Alcotest.failf "%s: compiling %s changed the heap/statics: %s"
+              w.W.name meth.Vm.Classfile.method_name diff
+      in
+      let r =
+        H.run ~compile_observer:observer
+          ~mode:Strideprefetch.Options.Inter_intra ~machine w
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: something was compiled" w.W.name)
+        true
+        (!compilations > 0 && r.H.methods_compiled = !compilations))
+    all
+
+let side_effect_suite =
+  [
+    ("inspection leaves heap and globals bit-identical", `Slow,
+     test_inspection_leaves_heap_and_globals_intact);
+  ]
+
+let suite = suite @ side_effect_suite
