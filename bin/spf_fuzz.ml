@@ -57,7 +57,10 @@ let inject_arg =
           "Oracle self-test: inject a deliberate fault and confirm the \
            oracle catches it. $(docv) is $(b,unguarded-spec-loads) \
            (speculative loads crash instead of yielding null when their \
-           guard trips, simulating unguarded prefetch dereferences).")
+           guard trips, simulating unguarded prefetch dereferences) or \
+           $(b,skip-guard-dominance) (the codegen emits dereference \
+           prefetches before their spec_load guard — runtime-benign, \
+           caught only by the static lint cell).")
 
 let quiet_arg =
   Arg.(
@@ -73,13 +76,22 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
     done;
     0)
   else
-    let tweak_options =
+    let tweak_options, tweak_prefetch =
       match inject with
-      | None -> None
+      | None -> (None, None)
       | Some "unguarded-spec-loads" ->
-          Some
-            (fun (o : Vm.Interp.options) ->
-              { o with Vm.Interp.unguarded_spec_loads = true })
+          ( Some
+              (fun (o : Vm.Interp.options) ->
+                { o with Vm.Interp.unguarded_spec_loads = true }),
+            None )
+      | Some "skip-guard-dominance" ->
+          ( None,
+            Some
+              (fun (o : Strideprefetch.Options.t) ->
+                {
+                  o with
+                  Strideprefetch.Options.fault_skip_guard_dominance = true;
+                }) )
       | Some other ->
           Printf.eprintf "unknown fault '%s'\n" other;
           exit 2
@@ -90,8 +102,8 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
         flush stdout)
     in
     let campaign =
-      Fuzz.Driver.run ?tweak_options ~shrink ~shrink_attempts ~progress
-        ~campaign_seed:seed ~count ~max_size ()
+      Fuzz.Driver.run ?tweak_options ?tweak_prefetch ~shrink ~shrink_attempts
+        ~progress ~campaign_seed:seed ~count ~max_size ()
     in
     List.iter
       (fun f ->

@@ -1,0 +1,192 @@
+(* spf_lint: run workloads (and optionally generated fuzz programs)
+   through the mixed-mode JIT, then lint every method body of the
+   executed program with the full analysis stack — the type-state
+   verifier, the prefetch-safety checkers, and the plan-aware lints
+   cross-checked against the pass's own loop reports. Diagnostics are
+   pc-level, with the faulting instruction rendered inline.
+
+   Exit status 0 when everything is clean, 1 when any finding was
+   produced, 2 on usage errors — so the tool slots directly into CI
+   (`dune build @lint`). *)
+
+open Cmdliner
+
+let all_workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+let all_modes =
+  Strideprefetch.Options.[ Off; Inter; Inter_intra ]
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Lint only this workload (default: all seed workloads).")
+
+let fuzz_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fuzz" ] ~docv:"N"
+        ~doc:
+          "Also lint $(docv) generated programs (seeded, deterministic; \
+           see $(b,--seed)).")
+
+let seed_arg =
+  Arg.(
+    value & opt int 2026
+    & info [ "s"; "seed" ] ~docv:"SEED"
+        ~doc:
+          "Base seed for $(b,--fuzz); program $(i,i) uses derived seed \
+           SEED+$(i,i), matching spf_fuzz's protocol.")
+
+let max_size_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-size" ] ~docv:"SIZE"
+        ~doc:"Size budget for generated programs.")
+
+let verify_each_pass_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each-pass" ]
+        ~doc:
+          "Debug mode: re-verify the method body after every JIT pass \
+           instead of linting once after the run; the first finding \
+           aborts compilation naming the offending pass.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print a line per configuration run.")
+
+let skip_guard_arg =
+  Arg.(
+    value & flag
+    & info [ "inject-skip-guard-dominance" ]
+        ~doc:
+          "Self-test: make the codegen emit dereference prefetches before \
+           their spec_load guard and confirm the lint reports it.")
+
+let config_name (w : Workloads.Workload.t) (machine : Memsim.Config.machine)
+    mode =
+  Printf.sprintf "%s/%s/%s" w.name machine.Memsim.Config.name
+    (Strideprefetch.Options.mode_name mode)
+
+(* Lint one (workload, machine, mode) cell. Returns (methods checked,
+   findings printed). *)
+let lint_one ~opts ~verify_each_pass ~verbose
+    (w : Workloads.Workload.t) (machine : Memsim.Config.machine) mode =
+  let name = config_name w machine mode in
+  if verbose then (
+    Printf.printf "-- %s\n" name;
+    flush stdout);
+  match
+    Workloads.Harness.run ~opts ~verify_each_pass ~mode ~machine w
+  with
+  | exception Jit.Pipeline.Verification_failed
+      { pass_name; method_name; message } ->
+      Printf.printf "[%s] %s failed verification after pass '%s':\n  %s\n"
+        name method_name pass_name message;
+      (0, 1)
+  | r ->
+      let program = r.program in
+      let require_guarded =
+        Strideprefetch.Options.use_guarded opts machine
+      in
+      let methods = ref 0 and findings = ref 0 in
+      Array.iter
+        (fun (m : Vm.Classfile.method_info) ->
+          incr methods;
+          List.iter
+            (fun d ->
+              incr findings;
+              Printf.printf "[%s] %s\n" name (Analysis.Diag.render ~meth:m d))
+            (Analysis.Check.check_method ~program ~reports:r.reports
+               ~scheduling_distance:
+                 opts.Strideprefetch.Options.scheduling_distance
+               ~require_guarded m))
+        program.Vm.Classfile.methods;
+      (!methods, !findings)
+
+let fuzz_workload ~seed ~max_size index : Workloads.Workload.t =
+  let g = Fuzz.Gen.generate ~seed:(seed + index) ~max_size in
+  {
+    Workloads.Workload.name = Printf.sprintf "fuzz-%d" (seed + index);
+    suite = `Specjvm;
+    description = "generated program (spf_lint corpus)";
+    paper_note = "";
+    source = Fuzz.Gen.source g;
+    heap_limit_bytes = g.Fuzz.Gen.heap_limit_bytes;
+  }
+
+let run workload fuzz seed max_size verify_each_pass verbose skip_guard =
+  let workloads =
+    match workload with
+    | None -> all_workloads
+    | Some name -> (
+        match
+          List.find_opt
+            (fun (w : Workloads.Workload.t) ->
+              String.lowercase_ascii w.name = String.lowercase_ascii name)
+            all_workloads
+        with
+        | Some w -> [ w ]
+        | None ->
+            Printf.eprintf "unknown workload: %s\n" name;
+            exit 2)
+  in
+  let workloads =
+    workloads @ List.init fuzz (fuzz_workload ~seed ~max_size)
+  in
+  let opts =
+    {
+      Strideprefetch.Options.default with
+      Strideprefetch.Options.fault_skip_guard_dominance = skip_guard;
+    }
+  in
+  let runs = ref 0 and methods = ref 0 and findings = ref 0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun mode ->
+              let m, f =
+                lint_one ~opts ~verify_each_pass ~verbose w machine mode
+              in
+              incr runs;
+              methods := !methods + m;
+              findings := !findings + f)
+            all_modes)
+        Memsim.Config.machines)
+    workloads;
+  Printf.printf "spf_lint: %d configuration(s), %d method bodies checked: \
+                 %d finding(s)\n"
+    !runs !methods !findings;
+  if skip_guard then
+    (* self-test semantics: the injected miscompile MUST be reported *)
+    if !findings > 0 then (
+      Printf.printf
+        "spf_lint: injected guard-dominance fault was caught (self-test \
+         passed)\n";
+      0)
+    else (
+      Printf.printf
+        "spf_lint: injected guard-dominance fault went UNREPORTED\n";
+      1)
+  else if !findings = 0 then 0
+  else 1
+
+let cmd =
+  let info =
+    Cmd.info "spf_lint" ~version:"1.0"
+      ~doc:
+        "Static analysis of prefetch-optimized bytecode: type-state \
+         verification, prefetch-safety checking and plan-aware linting \
+         of every JIT-transformed method body."
+  in
+  Cmd.v info
+    Term.(
+      const run $ workload_arg $ fuzz_arg $ seed_arg $ max_size_arg
+      $ verify_each_pass_arg $ verbose_arg $ skip_guard_arg)
+
+let () = exit (Cmd.eval' cmd)

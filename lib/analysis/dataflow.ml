@@ -1,0 +1,81 @@
+(* The reusable forward-dataflow fixpoint over Vm.Bytecode CFGs.
+
+   Block-level worklist iteration to a fixpoint, then one replay per block
+   to materialize the abstract state *entering every pc* — which is what
+   per-pc checkers and diagnostics want. Termination is the caller's
+   contract: the state lattice must have finite height and [transfer] must
+   be monotone. *)
+
+module type STATE = sig
+  type t
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (S : STATE) = struct
+  type result = {
+    before : S.t option array;
+        (* abstract state entering each pc; None = statically unreachable *)
+    block_in : S.t option array;  (* abstract state entering each block *)
+  }
+
+  let run ~(cfg : Jit.Cfg.t) ~entry
+      ~(transfer : pc:int -> Vm.Bytecode.instr -> S.t -> S.t) =
+    let n_blocks = Jit.Cfg.n_blocks cfg in
+    let block_in = Array.make n_blocks None in
+    block_in.(0) <- Some entry;
+    let flow_block bi st =
+      List.fold_left
+        (fun st (pc, instr) -> transfer ~pc instr st)
+        st
+        (Jit.Cfg.instrs_of_block cfg bi)
+    in
+    let worklist = Queue.create () in
+    let queued = Array.make n_blocks false in
+    let enqueue bi =
+      if not queued.(bi) then begin
+        queued.(bi) <- true;
+        Queue.add bi worklist
+      end
+    in
+    enqueue 0;
+    while not (Queue.is_empty worklist) do
+      let bi = Queue.take worklist in
+      queued.(bi) <- false;
+      match block_in.(bi) with
+      | None -> ()
+      | Some st ->
+          let out = flow_block bi st in
+          List.iter
+            (fun succ ->
+              let merged =
+                match block_in.(succ) with
+                | None -> out
+                | Some prior -> S.join prior out
+              in
+              match block_in.(succ) with
+              | Some prior when S.equal prior merged -> ()
+              | _ ->
+                  block_in.(succ) <- Some merged;
+                  enqueue succ)
+            (Jit.Cfg.block cfg bi).succs
+    done;
+    (* Replay each block once from its fixed in-state to recover the
+       per-pc states. *)
+    let before = Array.make (Array.length cfg.code) None in
+    Array.iteri
+      (fun bi st ->
+        match st with
+        | None -> ()
+        | Some st ->
+            ignore
+              (List.fold_left
+                 (fun st (pc, instr) ->
+                   before.(pc) <- Some st;
+                   transfer ~pc instr st)
+                 st
+                 (Jit.Cfg.instrs_of_block cfg bi)))
+      block_in;
+    { before; block_in }
+end

@@ -1,0 +1,31 @@
+(** CFG-driven forward-dataflow fixpoint over bytecode.
+
+    The framework underneath every checker in this library: a block-level
+    worklist iteration over {!Jit.Cfg}, followed by one replay per block
+    to materialize the abstract state {e entering every pc}. The caller
+    guarantees the lattice has finite height and [transfer] is monotone
+    (all lattices in this library are finite products of flat lattices). *)
+
+module type STATE = sig
+  type t
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (S : STATE) : sig
+  type result = {
+    before : S.t option array;
+        (** state entering each pc; [None] = statically unreachable *)
+    block_in : S.t option array;  (** state entering each block *)
+  }
+
+  val run :
+    cfg:Jit.Cfg.t ->
+    entry:S.t ->
+    transfer:(pc:int -> Vm.Bytecode.instr -> S.t -> S.t) ->
+    result
+  (** [transfer] may raise to abort the analysis (checkers raise a
+      diagnostic exception on definite errors); the exception propagates
+      to the caller of [run]. *)
+end

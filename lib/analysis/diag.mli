@@ -1,0 +1,28 @@
+(** Diagnostics produced by the static-analysis layer.
+
+    Every finding carries the {e name of the checker} that produced it, the
+    faulting pc, and a severity. {!render} adds the method name and the
+    rendered instruction at that pc, so a finding reads like
+
+    {v Kernel.scan: pc 23 (`prefetch (p0 +12)`): [spec-def-use] ... v} *)
+
+type severity = Error | Warning
+
+type t = { checker : string; pc : int; severity : severity; message : string }
+
+val error : checker:string -> pc:int -> ('a, unit, string, t) format4 -> 'a
+val warning : checker:string -> pc:int -> ('a, unit, string, t) format4 -> 'a
+
+val is_error : t -> bool
+val severity_name : severity -> string
+
+val instr_at : Vm.Classfile.method_info -> int -> string
+(** Rendered instruction at [pc], or ["<no instruction>"] out of range. *)
+
+val render : meth:Vm.Classfile.method_info -> t -> string
+(** ["<method>: pc <pc> (`<instr>`): [<checker>] <message>"]. *)
+
+val pp : meth:Vm.Classfile.method_info -> Format.formatter -> t -> unit
+
+val compare_by_pc : t -> t -> int
+(** Order findings by pc, then checker name (stable report order). *)

@@ -1,0 +1,103 @@
+(* Join-semilattices for the dataflow framework.
+
+   Every abstract domain used by the checkers is a finite-height join
+   semilattice; the fixpoint engine only needs [join] and [equal]. *)
+
+module type S = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(* Lift any equality type into the flat ("constant propagation") lattice
+   Bot < elements < Top. *)
+module Flat (X : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val of_value : X.t -> t
+  val top : t
+  val value : t -> X.t option
+end = struct
+  type t = Bot | Value of X.t | Top
+
+  let bottom = Bot
+  let top = Top
+  let of_value v = Value v
+  let value = function Value v -> Some v | Bot | Top -> None
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Top, _ | _, Top -> Top
+    | Value x, Value y -> if X.equal x y then a else Top
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Value x, Value y -> X.equal x y
+    | _ -> false
+
+  let pp ppf = function
+    | Bot -> Format.pp_print_string ppf "⊥"
+    | Top -> Format.pp_print_string ppf "⊤"
+    | Value v -> X.pp ppf v
+end
+
+(* The abstract-value lattice of the type-state verifier: what kind of
+   value occupies a stack slot, a local, or a prefetch register.
+
+            Top
+           /    \
+        Int    RefOrNull
+              /      \
+            Ref      Null
+               \     /
+                 Bot
+
+   [Ref] is a definitely-non-null reference (fresh allocation), [Null] a
+   definite null, [RefOrNull] the general reference produced by loads.
+   Parameters and unknown values enter as [Top]: the verifier reports a
+   type error only when misuse is {e definite}, so it never rejects code
+   the interpreter would run. *)
+module Avalue = struct
+  type t = Bot | Int | Null | Ref | Ref_or_null | Top
+
+  let bottom = Bot
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | x, y when x = y -> x
+    | (Null | Ref | Ref_or_null), (Null | Ref | Ref_or_null) -> Ref_or_null
+    | _ -> Top
+
+  let equal (a : t) b = a = b
+
+  (* Definitely not an integer? *)
+  let is_definitely_ref = function
+    | Null | Ref | Ref_or_null -> true
+    | Bot | Int | Top -> false
+
+  (* Definitely not a reference? *)
+  let is_definitely_int = function
+    | Int -> true
+    | Bot | Null | Ref | Ref_or_null | Top -> false
+
+  let to_string = function
+    | Bot -> "bot"
+    | Int -> "int"
+    | Null -> "null"
+    | Ref -> "ref"
+    | Ref_or_null -> "ref?"
+    | Top -> "top"
+
+  let pp ppf v = Format.pp_print_string ppf (to_string v)
+end

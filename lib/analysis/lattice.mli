@@ -1,0 +1,45 @@
+(** Join-semilattices for the dataflow framework.
+
+    The fixpoint engine ({!Dataflow}) is parameterized over a lattice of
+    abstract states; this module provides the signature, a [Flat] functor
+    (the classic Bot < values < Top constant-propagation shape), and the
+    abstract-value lattice of the type-state verifier. *)
+
+module type S = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Flat (X : sig
+  type t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end) : sig
+  include S
+
+  val of_value : X.t -> t
+  val top : t
+  val value : t -> X.t option
+end
+
+(** Abstract values of the type-state verifier. [Ref] is a definitely
+    non-null reference, [Null] a definite null, [Ref_or_null] the general
+    reference produced by heap loads, [Top] an unknown (parameters,
+    mixed-type joins). Misuse is reported only when {e definite}, so the
+    verifier never rejects code the interpreter would execute. *)
+module Avalue : sig
+  type t = Bot | Int | Null | Ref | Ref_or_null | Top
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val is_definitely_ref : t -> bool
+  val is_definitely_int : t -> bool
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end

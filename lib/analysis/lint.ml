@@ -1,0 +1,253 @@
+(* Lint rules over prefetch-optimized bytecode.
+
+   Bytecode-only rules (no plan needed):
+   - "redundant-prefetch": two prefetches of the same address expression
+     with no intervening re-anchor in one basic block (available-
+     expressions style — the anchor load is the only instruction that
+     changes A(site), so a duplicate in between is pure overhead);
+   - "dead-spec-reg": a spec_load whose register is never dereferenced is
+     a speculative memory access bought for nothing.
+
+   Plan-aware rules (cross-checking the transformed body against the
+   Codegen.plan the pass reported):
+   - "plan-consistency": every planned action must be spliced with exactly
+     the plan's distance/register/offsets, and the plan's distances must
+     agree with the detected stride pattern times the scheduling distance;
+   - "guard-required": intra-stride dereference targets must use the
+     guarded-load form on machines that require it (TLB priming), and
+     only there. *)
+
+module B = Vm.Bytecode
+
+type expr =
+  | Inter of int * int  (* site, distance *)
+  | Dyn of int * int  (* site, times *)
+  | Spec of int * int  (* site, distance *)
+  | Ind of int * int  (* reg, offset *)
+
+let redundant_prefetch ~(cfg : Jit.Cfg.t) =
+  let diags = ref [] in
+  for bi = 0 to Jit.Cfg.n_blocks cfg - 1 do
+    let avail : (expr, int) Hashtbl.t = Hashtbl.create 8 in
+    let kill pred =
+      let stale = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) avail [] in
+      List.iter (Hashtbl.remove avail) stale
+    in
+    List.iter
+      (fun (pc, instr) ->
+        (* a load through [site] recomputes A(site): expressions anchored
+           there are no longer "the same address" *)
+        (match B.all_sites instr with
+        | [] -> ()
+        | sites ->
+            kill (function
+              | Inter (s, _) | Dyn (s, _) | Spec (s, _) -> List.mem s sites
+              | Ind _ -> false));
+        let key =
+          match instr with
+          | B.Prefetch_inter { site; distance } -> Some (Inter (site, distance))
+          | B.Prefetch_dynamic { site; times } -> Some (Dyn (site, times))
+          | B.Spec_load { site; distance; reg } ->
+              (* the register is redefined: previous (reg, offset)
+                 expressions are stale *)
+              kill (function Ind (r, _) -> r = reg | _ -> false);
+              Some (Spec (site, distance))
+          | B.Prefetch_indirect { reg; offset; _ } -> Some (Ind (reg, offset))
+          | _ -> None
+        in
+        match key with
+        | None -> ()
+        | Some key -> (
+            match Hashtbl.find_opt avail key with
+            | Some prior ->
+                diags :=
+                  Diag.warning ~checker:"redundant-prefetch" ~pc
+                    "redundant prefetch: the same address expression was \
+                     already prefetched at pc %d with no intervening \
+                     re-anchor"
+                    prior
+                  :: !diags
+            | None -> Hashtbl.replace avail key pc))
+      (Jit.Cfg.instrs_of_block cfg bi)
+  done;
+  List.rev !diags
+
+let dead_spec_regs code =
+  let used = Hashtbl.create 8 in
+  Array.iter
+    (function
+      | B.Prefetch_indirect { reg; _ } -> Hashtbl.replace used reg ()
+      | _ -> ())
+    code;
+  let diags = ref [] in
+  Array.iteri
+    (fun pc instr ->
+      match instr with
+      | B.Spec_load { reg; _ } when not (Hashtbl.mem used reg) ->
+          diags :=
+            Diag.warning ~checker:"dead-spec-reg" ~pc
+              "spec_load defines p%d but nothing ever dereferences it \
+               (dead speculative load)"
+              reg
+            :: !diags
+      | _ -> ())
+    code;
+  List.rev !diags
+
+let bytecode_lints ~cfg (m : Vm.Classfile.method_info) =
+  redundant_prefetch ~cfg @ dead_spec_regs m.code
+
+(* --- plan-aware rules ---------------------------------------------------- *)
+
+let pc_of_site code site =
+  let found = ref (-1) in
+  Array.iteri
+    (fun pc instr ->
+      if !found < 0 && List.mem site (B.all_sites instr) then found := pc)
+    code;
+  !found
+
+let plan_consistency ~code
+    ~(reports : Strideprefetch.Pass.loop_report list) ~scheduling_distance
+    ?require_guarded () =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let find f =
+    let found = ref None in
+    Array.iteri
+      (fun pc instr -> if !found = None && f instr then found := Some (pc, instr))
+      code;
+    !found
+  in
+  List.iter
+    (fun (r : Strideprefetch.Pass.loop_report) ->
+      List.iter
+        (fun (a : Strideprefetch.Codegen.action) ->
+          let anchor = a.anchor_site in
+          let anchor_pc = pc_of_site code anchor in
+          match a.kind with
+          | Strideprefetch.Codegen.Prefetch_direct { distance } -> (
+              (match
+                 List.assoc_opt anchor r.inter_patterns
+               with
+              | Some (p : Strideprefetch.Stride.pattern) ->
+                  let expected = p.stride * scheduling_distance in
+                  if distance <> expected then
+                    emit
+                      (Diag.error ~checker:"plan-consistency" ~pc:anchor_pc
+                         "plan distance %+d for anchor L%d is inconsistent \
+                          with the detected stride %d x scheduling \
+                          distance %d"
+                         distance anchor p.stride scheduling_distance)
+              | None ->
+                  emit
+                    (Diag.error ~checker:"plan-consistency" ~pc:anchor_pc
+                       "plan emits a direct prefetch for anchor L%d but \
+                        the report records no inter-iteration pattern for \
+                        it"
+                       anchor));
+              match
+                find (function
+                  | B.Prefetch_inter { site; _ } -> site = anchor
+                  | _ -> false)
+              with
+              | None ->
+                  emit
+                    (Diag.error ~checker:"plan-consistency" ~pc:anchor_pc
+                       "planned prefetch for anchor L%d was not spliced \
+                        into the body"
+                       anchor)
+              | Some (pc, B.Prefetch_inter { distance = d; _ }) ->
+                  if d <> distance then
+                    emit
+                      (Diag.error ~checker:"plan-consistency" ~pc
+                         "spliced prefetch distance %+d differs from the \
+                          plan's %+d for anchor L%d"
+                         d distance anchor)
+              | Some _ -> ())
+          | Strideprefetch.Codegen.Prefetch_phased { times; _ } -> (
+              match
+                find (function
+                  | B.Prefetch_dynamic { site; _ } -> site = anchor
+                  | _ -> false)
+              with
+              | None ->
+                  emit
+                    (Diag.error ~checker:"plan-consistency" ~pc:anchor_pc
+                       "planned dynamic-stride prefetch for anchor L%d was \
+                        not spliced into the body"
+                       anchor)
+              | Some (pc, B.Prefetch_dynamic { times = t; _ }) ->
+                  if t <> times then
+                    emit
+                      (Diag.error ~checker:"plan-consistency" ~pc
+                         "spliced dynamic prefetch multiplier %d differs \
+                          from the plan's %d for anchor L%d"
+                         t times anchor)
+              | Some _ -> ())
+          | Strideprefetch.Codegen.Prefetch_deref { distance; reg; targets }
+            -> (
+              (match
+                 find (function
+                   | B.Spec_load { site; _ } -> site = anchor
+                   | _ -> false)
+               with
+              | None ->
+                  emit
+                    (Diag.error ~checker:"plan-consistency" ~pc:anchor_pc
+                       "planned spec_load for anchor L%d was not spliced \
+                        into the body"
+                       anchor)
+              | Some (pc, B.Spec_load { distance = d; reg = rg; _ }) ->
+                  if rg <> reg then
+                    emit
+                      (Diag.error ~checker:"plan-consistency" ~pc
+                         "spliced spec_load writes p%d but the plan \
+                          allocated p%d for anchor L%d"
+                         rg reg anchor);
+                  if d <> distance then
+                    emit
+                      (Diag.error ~checker:"plan-consistency" ~pc
+                         "spliced spec_load distance %+d differs from the \
+                          plan's %+d for anchor L%d"
+                         d distance anchor)
+              | Some _ -> ());
+              List.iter
+                (fun (t : Strideprefetch.Codegen.deref_target) ->
+                  match
+                    find (function
+                      | B.Prefetch_indirect { reg = rg; offset; _ } ->
+                          rg = reg && offset = t.offset
+                      | _ -> false)
+                  with
+                  | None ->
+                      emit
+                        (Diag.error ~checker:"plan-consistency"
+                           ~pc:anchor_pc
+                           "planned dereference prefetch (p%d %+d) for \
+                            L%d was not spliced into the body"
+                           reg t.offset t.target_site)
+                  | Some (pc, B.Prefetch_indirect { guarded; _ }) -> (
+                      match require_guarded with
+                      | None -> ()
+                      | Some rq ->
+                          let expected = rq && t.via_intra in
+                          if expected && not guarded then
+                            emit
+                              (Diag.error ~checker:"guard-required" ~pc
+                                 "dereference prefetch for L%d is reached \
+                                  via an intra-iteration stride and must \
+                                  use the guarded form on this machine"
+                                 t.target_site)
+                          else if guarded && not expected then
+                            emit
+                              (Diag.error ~checker:"guard-required" ~pc
+                                 "dereference prefetch for L%d uses the \
+                                  guarded form where the plan calls for a \
+                                  hardware prefetch"
+                                 t.target_site))
+                  | Some _ -> ())
+                targets))
+        r.plan.actions)
+    reports;
+  List.rev !diags

@@ -1,0 +1,42 @@
+(** Lint rules over prefetch-optimized bytecode.
+
+    Bytecode-only rules (warnings):
+
+    - ["redundant-prefetch"]: two prefetches of the same address
+      expression with no intervening re-anchor in one basic block
+      (available-expressions style);
+    - ["dead-spec-reg"]: a [spec_load] whose register is never
+      dereferenced — a speculative memory access bought for nothing.
+
+    Plan-aware rules (errors), cross-checking the transformed body
+    against the {!Strideprefetch.Codegen.plan} the pass reported:
+
+    - ["plan-consistency"]: every planned action must be spliced with
+      exactly the plan's distance/register/offsets, and the plan's
+      distances must agree with the detected stride pattern times the
+      scheduling distance;
+    - ["guard-required"]: intra-stride dereference targets must use the
+      guarded-load form on machines that require it (TLB priming), and
+      only there. *)
+
+val redundant_prefetch : cfg:Jit.Cfg.t -> Diag.t list
+
+val dead_spec_regs : Vm.Bytecode.instr array -> Diag.t list
+
+val bytecode_lints :
+  cfg:Jit.Cfg.t -> Vm.Classfile.method_info -> Diag.t list
+(** {!redundant_prefetch} followed by {!dead_spec_regs}. *)
+
+val plan_consistency :
+  code:Vm.Bytecode.instr array ->
+  reports:Strideprefetch.Pass.loop_report list ->
+  scheduling_distance:int ->
+  ?require_guarded:bool ->
+  unit ->
+  Diag.t list
+(** ["plan-consistency"] and (when [require_guarded] is given)
+    ["guard-required"] findings. [reports] must belong to the method
+    that owns [code]; pass the scheduling distance the pass ran with.
+    [require_guarded] is the machine's
+    {!Strideprefetch.Options.use_guarded}; omit it to skip the
+    guard-form check. *)

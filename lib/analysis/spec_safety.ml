@@ -1,0 +1,138 @@
+(* Prefetch-safety checkers for the speculative-load splices of Section
+   3.3. Three named checkers over one method body:
+
+   - "spec-def-use": every dereference of a prefetch register is dominated
+     by a spec_load that defines it (def-before-use, via Jit.Dominators);
+   - "guard-dominance": a *guarded* dereference must be protected by its
+     guard on every path — no execution may reach it bypassing the
+     spec_load (the guard), and every reaching definition must dominate it;
+   - "splice-purity": the spliced sequence between a spec_load and its
+     dereferences must be side-effect-free — contiguous prefetch
+     pseudo-instructions only, no stores, no calls, no branches, and (by
+     IR construction, re-checked by the type-state verifier) stack-
+     neutral. *)
+
+module B = Vm.Bytecode
+
+let is_prefetch_family = function
+  | B.Prefetch_inter _ | B.Spec_load _ | B.Prefetch_indirect _
+  | B.Prefetch_dynamic _ ->
+      true
+  | _ -> false
+
+(* pc-level dominance from block-level dominators: within one block,
+   program order decides. *)
+let dominates_pc (cfg : Jit.Cfg.t) ~idom ~def ~use =
+  let bd = cfg.block_of_pc.(def) and bu = cfg.block_of_pc.(use) in
+  if bd = bu then def < use else Jit.Dominators.dominates ~idom bd bu
+
+(* Reaching definitions of the prefetch registers: per register, the set
+   of spec_load pcs (plus the distinguished element [undef] when a path
+   from the entry reaches this pc without defining the register). *)
+let undef = -1
+
+module Reach = Dataflow.Make (struct
+  type t = int list array (* per reg, sorted def pcs; [undef] included *)
+
+  let join a b = Array.map2 (fun x y -> List.sort_uniq compare (x @ y)) a b
+  let equal (a : t) b = a = b
+end)
+
+let check ~(cfg : Jit.Cfg.t) ~idom (m : Vm.Classfile.method_info) =
+  let code = m.code in
+  let n_regs = m.n_pref_regs in
+  if n_regs = 0 then []
+  else begin
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    let defs_of = Array.make n_regs [] in
+    Array.iteri
+      (fun pc instr ->
+        match instr with
+        | B.Spec_load { reg; _ } when reg >= 0 && reg < n_regs ->
+            defs_of.(reg) <- defs_of.(reg) @ [ pc ]
+        | _ -> ())
+      code;
+    let reach =
+      Reach.run ~cfg
+        ~entry:(Array.make n_regs [ undef ])
+        ~transfer:(fun ~pc instr st ->
+          match instr with
+          | B.Spec_load { reg; _ } when reg >= 0 && reg < n_regs ->
+              let st = Array.copy st in
+              st.(reg) <- [ pc ];
+              st
+          | _ -> st)
+    in
+    Array.iteri
+      (fun pc instr ->
+        match instr with
+        | B.Prefetch_indirect { reg; guarded; _ }
+          when reg >= 0 && reg < n_regs && reach.Reach.before.(pc) <> None ->
+            (* def-before-use: some definition must dominate the use *)
+            let dominated_def =
+              List.exists
+                (fun def -> dominates_pc cfg ~idom ~def ~use:pc)
+                defs_of.(reg)
+            in
+            if not dominated_def then
+              emit
+                (Diag.error ~checker:"spec-def-use" ~pc
+                   "p%d is dereferenced with no dominating spec_load \
+                    definition (def-before-use)"
+                   reg);
+            (* guard dominance: a guarded deref must sit under its guard
+               on every path *)
+            (if guarded then
+               let reaching =
+                 (Option.get reach.Reach.before.(pc)).(reg)
+               in
+               if List.mem undef reaching then
+                 emit
+                   (Diag.error ~checker:"guard-dominance" ~pc
+                      "guarded dereference of p%d is reachable on a path \
+                       that bypasses its spec_load guard"
+                      reg)
+               else
+                 List.iter
+                   (fun def ->
+                     if not (dominates_pc cfg ~idom ~def ~use:pc) then
+                       emit
+                         (Diag.error ~checker:"guard-dominance" ~pc
+                            "guarded dereference of p%d is not dominated \
+                             by its reaching spec_load guard at pc %d"
+                            reg def))
+                   reaching);
+            (* splice purity: the dereference must sit in the contiguous
+               prefetch-only run following its spec_load *)
+            if defs_of.(reg) <> [] then begin
+              let block = Jit.Cfg.block cfg cfg.block_of_pc.(pc) in
+              let rec scan_back p =
+                if p < block.start_pc then
+                  Some
+                    (Diag.error ~checker:"splice-purity" ~pc
+                       "dereference of p%d is not in the same block as any \
+                        spec_load defining it; spliced prefetch sequences \
+                        must be contiguous"
+                       reg)
+                else
+                  match code.(p) with
+                  | B.Spec_load { reg = r; _ } when r = reg -> None
+                  | instr when is_prefetch_family instr -> scan_back (p - 1)
+                  | impure ->
+                      Some
+                        (Diag.error ~checker:"splice-purity" ~pc
+                           "spliced prefetch sequence for p%d is \
+                            interrupted by a side-effecting instruction at \
+                            pc %d (`%s`); the splice must contain prefetch \
+                            pseudo-instructions only"
+                           reg p (B.to_string impure))
+              in
+              match scan_back (pc - 1) with
+              | Some d -> emit d
+              | None -> ()
+            end
+        | _ -> ())
+      code;
+    List.rev !diags
+  end

@@ -61,33 +61,37 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Heap_divergence _, Oracle.Heap_divergence _
   | Oracle.Inspection_side_effect _, Oracle.Inspection_side_effect _
   | Oracle.Stats_violation _, Oracle.Stats_violation _
-  | Oracle.Faulting_prefetch _, Oracle.Faulting_prefetch _ ->
+  | Oracle.Faulting_prefetch _, Oracle.Faulting_prefetch _
+  | Oracle.Lint_violation _, Oracle.Lint_violation _ ->
       true
   | _ -> false
 
-let check_seed ?cells ?tweak_options ~seed ~max_size () =
+let check_seed ?cells ?tweak_options ?tweak_prefetch ~seed ~max_size () =
   let g = Gen.generate ~seed ~max_size in
   let verdict =
-    Oracle.check ?cells ?tweak_options ~source:(Gen.source g)
+    Oracle.check ?cells ?tweak_options ?tweak_prefetch ~source:(Gen.source g)
       ~heap_limit_bytes:g.Gen.heap_limit_bytes ()
   in
   (g, verdict)
 
-let shrink_finding ?cells ?tweak_options ?max_attempts ~heap_limit_bytes
+let shrink_finding ?cells ?tweak_options ?tweak_prefetch ?max_attempts
+    ~heap_limit_bytes
     ~(failure : Oracle.failure) program =
   (* A candidate counts as "still failing" only if it fails in the same
      class: shrinking an output divergence must not wander off into some
      unrelated compile error of a mangled candidate. *)
   let is_failing source =
     match
-      Oracle.check ?cells ?tweak_options ~source ~heap_limit_bytes ()
+      Oracle.check ?cells ?tweak_options ?tweak_prefetch ~source
+        ~heap_limit_bytes ()
     with
     | Oracle.Pass _ -> false
     | Oracle.Fail f -> same_class f failure
   in
   Shrink.run ?max_attempts ~is_failing program
 
-let run ?cells ?tweak_options ?(shrink = true) ?shrink_attempts
+let run ?cells ?tweak_options ?tweak_prefetch ?(shrink = true)
+    ?shrink_attempts
     ?(progress = fun ~index:_ ~seed:_ -> ()) ~campaign_seed ~count ~max_size
     () =
   let cells_per_program =
@@ -99,14 +103,16 @@ let run ?cells ?tweak_options ?(shrink = true) ?shrink_attempts
   for index = 0 to count - 1 do
     let seed = campaign_seed + index in
     progress ~index ~seed;
-    let g, verdict = check_seed ?cells ?tweak_options ~seed ~max_size () in
+    let g, verdict =
+      check_seed ?cells ?tweak_options ?tweak_prefetch ~seed ~max_size ()
+    in
     match verdict with
     | Oracle.Pass _ -> ()
     | Oracle.Fail failure ->
         let shrunk =
           if shrink then
             Some
-              (shrink_finding ?cells ?tweak_options
+              (shrink_finding ?cells ?tweak_options ?tweak_prefetch
                  ?max_attempts:shrink_attempts
                  ~heap_limit_bytes:g.Gen.heap_limit_bytes ~failure
                  g.Gen.program)

@@ -22,6 +22,7 @@ type campaign = {
 val check_seed :
   ?cells:Oracle.cell list ->
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  ?tweak_prefetch:(Strideprefetch.Options.t -> Strideprefetch.Options.t) ->
   seed:int ->
   max_size:int ->
   unit ->
@@ -31,6 +32,7 @@ val check_seed :
 val run :
   ?cells:Oracle.cell list ->
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  ?tweak_prefetch:(Strideprefetch.Options.t -> Strideprefetch.Options.t) ->
   ?shrink:bool ->
   ?shrink_attempts:int ->
   ?progress:(index:int -> seed:int -> unit) ->

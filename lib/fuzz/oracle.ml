@@ -59,6 +59,7 @@ type failure =
   | Inspection_side_effect of { cell : cell; meth : string; diff : string }
   | Stats_violation of { cell : cell; message : string }
   | Faulting_prefetch of { cell : cell; count : int }
+  | Lint_violation of { cell : cell; meth : string; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -83,6 +84,9 @@ let describe = function
   | Faulting_prefetch { cell; count } ->
       Printf.sprintf "[%s] %d prefetch op(s) computed a negative address"
         (cell_name cell) count
+  | Lint_violation { cell; meth; message } ->
+      Printf.sprintf "[%s] %s is not lint-clean: %s" (cell_name cell) meth
+        message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
 let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
@@ -140,8 +144,39 @@ let workload_of ~source ~heap_limit_bytes : Workloads.Workload.t =
     heap_limit_bytes;
   }
 
-let check ?(cells = default_cells) ?tweak_options ~source ~heap_limit_bytes
-    () =
+(* The lint cell: after a run, every JIT-transformed method body must be
+   clean under the whole analysis stack — type-state verifier, prefetch-
+   safety checkers, and the plan-aware lints cross-checked against the
+   loop reports the pass produced. Warnings count as violations: the
+   codegen of a correct pass never emits a redundant prefetch or a dead
+   spec-load register. *)
+let lint_failure ~opts (cell : cell) (r : Workloads.Harness.run_result) =
+  let program = r.program in
+  let require_guarded = O.use_guarded opts cell.machine in
+  let violation = ref None in
+  Array.iter
+    (fun (m : Vm.Classfile.method_info) ->
+      if !violation = None && m.compiled then
+        match
+          Analysis.Check.check_method ~program ~reports:r.reports
+            ~scheduling_distance:opts.O.scheduling_distance ~require_guarded
+            m
+        with
+        | [] -> ()
+        | d :: _ ->
+            violation :=
+              Some
+                (Lint_violation
+                   {
+                     cell;
+                     meth = m.method_name;
+                     message = Analysis.Diag.render ~meth:m d;
+                   }))
+    program.Vm.Classfile.methods;
+  !violation
+
+let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
+    ~heap_limit_bytes () =
   match
     (* Surface front-end failures as their own verdict: the generator is
        supposed to emit well-typed programs, so a compile error is a
@@ -153,6 +188,11 @@ let check ?(cells = default_cells) ?tweak_options ~source ~heap_limit_bytes
   | Error msg -> Fail (Compile_error msg)
   | Ok () -> (
       let workload = workload_of ~source ~heap_limit_bytes in
+      let opts =
+        match tweak_prefetch with
+        | Some f -> f Strideprefetch.Options.default
+        | None -> Strideprefetch.Options.default
+      in
       let run cell =
         let side_effect = ref None in
         let compile_observer ~meth ~before ~after =
@@ -170,10 +210,19 @@ let check ?(cells = default_cells) ?tweak_options ~source ~heap_limit_bytes
                        })
         in
         match
-          Workloads.Harness.run ~standard_passes:cell.standard_passes
+          Workloads.Harness.run ~opts ~standard_passes:cell.standard_passes
             ~compile_observer ?tweak_options ~capture_observables:true
             ~mode:cell.mode ~machine:cell.machine workload
         with
+        | exception Jit.Pipeline.Verification_failed
+            { pass_name; method_name; message } ->
+            Error
+              (Lint_violation
+                 {
+                   cell;
+                   meth = method_name;
+                   message = Printf.sprintf "after pass %s: %s" pass_name message;
+                 })
         | exception e ->
             Error (Crash { cell; message = Printexc.to_string e })
         | r -> (
@@ -187,7 +236,10 @@ let check ?(cells = default_cells) ?tweak_options ~source ~heap_limit_bytes
                 else (
                   match stats_invariants cell r with
                   | Some f -> Error f
-                  | None -> Ok r))
+                  | None -> (
+                      match lint_failure ~opts cell r with
+                      | Some f -> Error f
+                      | None -> Ok r)))
       in
       match cells with
       | [] -> Pass { cells_run = 0 }

@@ -38,6 +38,11 @@ type failure =
   | Inspection_side_effect of { cell : cell; meth : string; diff : string }
   | Stats_violation of { cell : cell; message : string }
   | Faulting_prefetch of { cell : cell; count : int }
+  | Lint_violation of { cell : cell; meth : string; message : string }
+      (** a JIT-transformed method body is not clean under the
+          [Analysis] stack (type-state, prefetch safety, plan-aware
+          lints); warnings count — correct codegen emits neither
+          redundant prefetches nor dead spec-load registers *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -47,6 +52,7 @@ val describe : failure -> string
 val check :
   ?cells:cell list ->
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  ?tweak_prefetch:(Strideprefetch.Options.t -> Strideprefetch.Options.t) ->
   source:string ->
   heap_limit_bytes:int ->
   unit ->
@@ -55,4 +61,8 @@ val check :
     each cell and compare to the first. [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
-    catches them. *)
+    catches them. [tweak_prefetch] likewise edits the prefetch-pass
+    options (each cell's mode still overrides the [mode] field) — e.g.
+    setting [fault_skip_guard_dominance] to prove the lint cell catches
+    a guard-dominance miscompile that is invisible to every differential
+    check. *)

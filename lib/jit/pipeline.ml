@@ -3,13 +3,22 @@ type pass = {
   apply : Vm.Classfile.method_info -> Vm.Value.t array -> unit;
 }
 
+exception
+  Verification_failed of {
+    pass_name : string;
+    method_name : string;
+    message : string;
+  }
+
 type t = {
   passes : pass list;
+  verifier : (Vm.Classfile.method_info -> (unit, string) result) option;
   timings : (string, float) Hashtbl.t;
   mutable compiled : int;
 }
 
-let create passes = { passes; timings = Hashtbl.create 8; compiled = 0 }
+let create ?verifier passes =
+  { passes; verifier; timings = Hashtbl.create 8; compiled = 0 }
 
 let analysis_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
   let cfg = Cfg.build m.code in
@@ -33,6 +42,17 @@ let standard_passes () =
 
 let now_seconds () = Unix.gettimeofday ()
 
+let check_after_pass t pass_name (m : Vm.Classfile.method_info) =
+  match t.verifier with
+  | None -> ()
+  | Some verify -> (
+      match verify m with
+      | Ok () -> ()
+      | Error message ->
+          raise
+            (Verification_failed
+               { pass_name; method_name = m.method_name; message }))
+
 let compile t (m : Vm.Classfile.method_info) args =
   let start_method = now_seconds () in
   List.iter
@@ -43,7 +63,8 @@ let compile t (m : Vm.Classfile.method_info) args =
       let prior =
         Option.value ~default:0.0 (Hashtbl.find_opt t.timings pass.pass_name)
       in
-      Hashtbl.replace t.timings pass.pass_name (prior +. elapsed))
+      Hashtbl.replace t.timings pass.pass_name (prior +. elapsed);
+      check_after_pass t pass.pass_name m)
     t.passes;
   m.compile_seconds <- m.compile_seconds +. (now_seconds () -. start_method);
   t.compiled <- t.compiled + 1

@@ -13,9 +13,23 @@ type pass = {
       (** may replace [method_info.code] *)
 }
 
+exception
+  Verification_failed of {
+    pass_name : string;
+    method_name : string;
+    message : string;
+  }
+(** Raised by {!compile} when the [?verifier] rejects a method body right
+    after a pass ran — [pass_name] names the offending pass. *)
+
 type t
 
-val create : pass list -> t
+val create :
+  ?verifier:(Vm.Classfile.method_info -> (unit, string) result) -> pass list -> t
+(** [?verifier] is a debug-mode hook (see [Analysis.Check.pass_verifier])
+    run over the method body after {e every} pass; [Error msg] aborts
+    compilation with {!Verification_failed}. The pipeline stays generic:
+    it never depends on the analysis library, it just runs the callback. *)
 
 val standard_passes : unit -> pass list
 (** The baseline JIT: IR/analysis construction (CFG, dominators, loop

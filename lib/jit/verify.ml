@@ -1,13 +1,22 @@
 module B = Vm.Bytecode
 
-type error = { pc : int; message : string }
+type error = {
+  pc : int;
+  message : string;
+  method_name : string;
+  instr : string;  (* rendered faulting instruction, or "<no instruction>" *)
+}
 
-let string_of_error e = Printf.sprintf "pc %d: %s" e.pc e.message
+let string_of_error e =
+  Printf.sprintf "%s: pc %d (`%s`): %s" e.method_name e.pc e.instr e.message
 
-exception Bad of error
+exception Bad of int * string
 
-let err pc fmt =
-  Printf.ksprintf (fun message -> raise (Bad { pc; message })) fmt
+let err pc fmt = Printf.ksprintf (fun message -> raise (Bad (pc, message))) fmt
+
+let instr_at code pc =
+  if pc >= 0 && pc < Array.length code then B.to_string code.(pc)
+  else "<no instruction>"
 
 (* Net stack effect and minimum stack depth required by one instruction. *)
 let stack_effect = function
@@ -117,11 +126,11 @@ let check ~(program : Vm.Classfile.program) (m : Vm.Classfile.method_info) =
           if not (B.is_terminator instr) then flow (pc + 1) d'))
     done;
     Ok ()
-  with Bad e -> Error e
+  with Bad (pc, message) ->
+    Error
+      { pc; message; method_name = m.method_name; instr = instr_at code pc }
 
 let check_exn ~program m =
   match check ~program m with
   | Ok () -> ()
-  | Error e ->
-      invalid_arg
-        (Printf.sprintf "verify: %s: %s" m.method_name (string_of_error e))
+  | Error e -> invalid_arg (Printf.sprintf "verify: %s" (string_of_error e))

@@ -13,7 +13,14 @@
       [n_pref_regs];
     - execution cannot fall off the end of the body. *)
 
-type error = { pc : int; message : string }
+type error = {
+  pc : int;
+  message : string;
+  method_name : string;  (** which method failed verification *)
+  instr : string;
+      (** the rendered instruction at the faulting pc, ["<no instruction>"]
+          when [pc] is out of range (e.g. an empty body) *)
+}
 
 val check :
   program:Vm.Classfile.program -> Vm.Classfile.method_info -> (unit, error) result
@@ -23,3 +30,6 @@ val check_exn : program:Vm.Classfile.program -> Vm.Classfile.method_info -> unit
 (** Raises [Invalid_argument] with a rendered error. *)
 
 val string_of_error : error -> string
+(** ["<method>: pc <pc> (`<instr>`): <message>"] — same shape as the
+    analysis layer's [Analysis.Diag.render], so mixed logs read
+    uniformly. *)

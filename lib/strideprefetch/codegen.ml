@@ -209,21 +209,31 @@ let plan ~(opts : Options.t) ~(machine : Memsim.Config.machine) ~code ~ldg
    small DTLB, intra-iteration stride prefetches use a guarded load (TLB
    priming); everything else uses the hardware prefetch instruction, which
    the processor cancels on a DTLB miss. *)
-let splice_of_action ~guarded action =
+let splice_of_action ?(fault_skip_guard = false) ~guarded action =
   match action.kind with
   | Prefetch_direct { distance } ->
       [ B.Prefetch_inter { site = action.anchor_site; distance } ]
   | Prefetch_phased { times; phases = _ } ->
       [ B.Prefetch_dynamic { site = action.anchor_site; times } ]
   | Prefetch_deref { distance; reg; targets } ->
-      B.Spec_load { site = action.anchor_site; distance; reg }
-      :: List.map
-           (fun t ->
-             B.Prefetch_indirect
-               { reg; offset = t.offset; guarded = guarded && t.via_intra })
-           targets
+      let guard = B.Spec_load { site = action.anchor_site; distance; reg } in
+      let derefs =
+        List.map
+          (fun t ->
+            B.Prefetch_indirect
+              { reg; offset = t.offset; guarded = guarded && t.via_intra })
+          targets
+      in
+      if fault_skip_guard then
+        (* injected miscompile: dereferences escape their guard (the
+           spec_load lands after them). Runtime-benign — the register
+           still holds its initial null, so the indirect prefetches are
+           no-ops — but statically unsound; the analysis layer must
+           report it. *)
+        derefs @ [ guard ]
+      else guard :: derefs
 
-let apply ~guarded code plans =
+let apply ?fault_skip_guard ~guarded code plans =
   let n = Array.length code in
   let splices = Array.make n [] in
   List.iter
@@ -232,7 +242,8 @@ let apply ~guarded code plans =
         (fun action ->
           if action.anchor_pc >= 0 && action.anchor_pc < n then
             splices.(action.anchor_pc) <-
-              splices.(action.anchor_pc) @ splice_of_action ~guarded action)
+              splices.(action.anchor_pc)
+              @ splice_of_action ?fault_skip_guard ~guarded action)
         plan.actions)
     plans;
   let out = ref [] in

@@ -45,6 +45,13 @@ type t = {
           the paper restricts itself to single-stride patterns. *)
   phased_min_fraction : float;
       (** minimum share of samples for each phase of a phased pattern *)
+  fault_skip_guard_dominance : bool;
+      (** fault injection for the analysis layer: emit a deref splice's
+          [prefetch_indirect]s {e before} their [spec_load] guard. The
+          miscompile is runtime-benign (the register still holds its
+          initial null, so the indirect prefetches are no-ops) but must
+          be caught statically by the spec-def-use / guard-dominance
+          checkers. Never enable outside lint self-tests. *)
 }
 
 let default =
@@ -62,6 +69,7 @@ let default =
     max_call_depth = 3;
     enable_phased = false;
     phased_min_fraction = 0.2;
+    fault_skip_guard_dominance = false;
   }
 
 let with_mode mode t = { t with mode }

@@ -41,6 +41,11 @@ type t = {
           restricts itself to single-stride patterns) *)
   phased_min_fraction : float;
       (** minimum share of samples for each phase of a phased pattern *)
+  fault_skip_guard_dominance : bool;
+      (** fault injection for the analysis layer: emit a deref splice's
+          [prefetch_indirect]s {e before} their [spec_load] guard — a
+          runtime-benign miscompile the spec-def-use / guard-dominance
+          checkers must catch. Never enable outside lint self-tests. *)
 }
 
 val default : t

@@ -166,7 +166,10 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
       if rewrite && List.exists (fun p -> p.Codegen.actions <> []) !plans
       then begin
         let guarded = Options.use_guarded opts machine in
-        meth.code <- Codegen.apply ~guarded code !plans;
+        meth.code <-
+          Codegen.apply
+            ~fault_skip_guard:opts.fault_skip_guard_dominance ~guarded code
+            !plans;
         meth.n_pref_regs <- !next_reg
       end;
       List.rev !reports
@@ -211,6 +214,11 @@ let pp_report ppf r =
     (fun ((a, b), p) ->
       Format.fprintf ppf "intra (L%d,L%d): %a@," a b Stride.pp p)
     r.intra_patterns;
+  Format.fprintf ppf "plan: %d action%s, %d rejected, %d spec-load reg%s@,"
+    (List.length r.plan.actions)
+    (if List.length r.plan.actions = 1 then "" else "s")
+    (List.length r.plan.rejected) r.plan.regs_used
+    (if r.plan.regs_used = 1 then "" else "s");
   List.iter
     (fun (a : Codegen.action) ->
       match a.kind with

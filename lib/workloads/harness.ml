@@ -15,10 +15,12 @@ type run_result = {
   faulting_prefetches : int;
   spec_guard_trips : int;
   observables : Observables.t option;
+  program : Vm.Classfile.program;
 }
 
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
-    ?(capture_observables = false) ~mode ~machine (workload : Workload.t) =
+    ?(capture_observables = false) ?(verify_each_pass = false) ~mode
+    ~machine (workload : Workload.t) =
   let opts =
     let base =
       Option.value ~default:Strideprefetch.Options.default opts
@@ -49,7 +51,22 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
             ();
         ]
   in
-  let pipeline = Jit.Pipeline.create passes in
+  let verifier =
+    if not verify_each_pass then None
+    else
+      Some
+        (fun m ->
+          (* [!reports] is read at verification time: after the
+             stride-prefetch pass ran on [m] its loop reports are already
+             in the sink, so the plan-aware lints see them; after the
+             baseline passes the list holds nothing for [m] and only the
+             plan-free checkers apply. *)
+          Analysis.Check.verify ~program ~reports:!reports
+            ~scheduling_distance:opts.Strideprefetch.Options.scheduling_distance
+            ~require_guarded:(Strideprefetch.Options.use_guarded opts machine)
+            m)
+  in
+  let pipeline = Jit.Pipeline.create ?verifier passes in
   Vm.Interp.set_compile_hook interp (fun _ m args ->
       match compile_observer with
       | None -> Jit.Pipeline.compile pipeline m args
@@ -84,6 +101,7 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
       (if capture_observables then
          Some (Observables.capture ~scope:`Reachable interp)
        else None);
+    program;
   }
 
 let speedup ~baseline result =

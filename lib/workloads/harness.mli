@@ -22,6 +22,9 @@ type run_result = {
   observables : Observables.t option;
       (** end-of-run reachable heap + statics snapshot, when
           [capture_observables] was requested *)
+  program : Vm.Classfile.program;
+      (** the executed program, with every JIT-rewritten body in place —
+          what post-run analyses (the lint oracle) inspect *)
 }
 
 val run :
@@ -34,6 +37,7 @@ val run :
     unit) ->
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
   ?capture_observables:bool ->
+  ?verify_each_pass:bool ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
   Workload.t ->
@@ -52,7 +56,11 @@ val run :
     [tweak_options] edits the interpreter options (e.g. the
     [unguarded_spec_loads] fault-injection knob). [capture_observables]
     (default [false]) captures a [`Reachable] snapshot at end of run into
-    [observables]. *)
+    [observables]. [verify_each_pass] (default [false], a debug mode)
+    installs {!Analysis.Check.verify} as the pipeline's verifier: the
+    method body is re-checked after {e every} pass, and the first finding
+    aborts compilation with [Jit.Pipeline.Verification_failed] naming the
+    offending pass. *)
 
 val speedup : baseline:run_result -> run_result -> float
 (** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two

@@ -46,3 +46,9 @@ let program_of_code ?(max_locals = 8) code =
   }
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* Substring test (OCaml's stdlib has none). *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0

@@ -1,0 +1,529 @@
+(* Tests for the static-analysis layer (lib/analysis): the type-state
+   verifier, the prefetch-safety checkers, the lint rules, and the
+   wiring — verify-each-pass debug mode, the fuzz oracle's lint cell,
+   and the skip-guard-dominance fault injection. *)
+
+module B = Vm.Bytecode
+module SP = Strideprefetch
+module A = Analysis
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let meth ?(name = "T.m") ?(max_locals = 4) ?(n_pref_regs = 0)
+    ?(returns_value = false) code =
+  let m =
+    Vm.Classfile.make_method ~method_id:0 ~method_name:name ~arity:0
+      ~returns_value ~max_locals ~code:(Array.of_list code)
+  in
+  m.Vm.Classfile.n_pref_regs <- n_pref_regs;
+  m
+
+let program_of m =
+  { Vm.Classfile.classes = [||]; methods = [| m |]; statics = [||]; entry = 0 }
+
+let checkers diags = List.map (fun (d : A.Diag.t) -> d.A.Diag.checker) diags
+
+let expect_checker what checker diags =
+  if not (List.mem checker (checkers diags)) then
+    Alcotest.failf "%s: expected a %S finding, got [%s]" what checker
+      (String.concat "; "
+         (List.map (fun (d : A.Diag.t) -> d.A.Diag.checker) diags))
+
+let getfield ~site =
+  B.Getfield { site; offset = 8; name = "f"; is_ref = false }
+
+let spec_safety_diags ?(n_pref_regs = 1) code =
+  let m = meth ~n_pref_regs code in
+  let cfg = Jit.Cfg.build m.Vm.Classfile.code in
+  let idom = Jit.Dominators.compute cfg in
+  A.Spec_safety.check ~cfg ~idom m
+
+(* --- the type-state verifier --------------------------------------------- *)
+
+let typestate code =
+  let m = meth code in
+  A.Typestate.check ~program:(program_of m) m
+
+let test_typestate_structural () =
+  let expect_error what code =
+    match typestate code with
+    | [] -> Alcotest.failf "%s: malformed body accepted" what
+    | [ d ] ->
+        Alcotest.(check string) "checker name" "typestate" d.A.Diag.checker
+    | _ -> Alcotest.failf "%s: more than one diagnostic" what
+  in
+  expect_error "branch out of range" [ B.Goto 99 ];
+  expect_error "falls off the end" [ B.Iconst 1; B.Pop ];
+  expect_error "stack underflow" [ B.Pop; B.Return ];
+  expect_error "local out of range" [ B.Iload 77; B.Pop; B.Return ];
+  expect_error "inconsistent join depth"
+    [
+      B.Iconst 0;
+      (* pc 1: branch to 4 with depth 0; fall through pushes *)
+      B.If (B.Eq, 4);
+      B.Iconst 1;
+      B.Goto 4;
+      (* pc 4: joined at depths 0 and 1 *)
+      B.Iconst 2;
+      B.Pop;
+      B.Return;
+    ]
+
+let test_typestate_value_kinds () =
+  let expect_error what code =
+    match typestate code with
+    | [] -> Alcotest.failf "%s: misuse accepted" what
+    | _ -> ()
+  in
+  (* integer arithmetic on a definite reference *)
+  expect_error "arith on null"
+    [ B.Iconst 1; B.Aconst_null; B.Iadd; B.Pop; B.Return ];
+  expect_error "arith on fresh object"
+    [ B.Iconst 1; B.New 0; B.Iadd; B.Pop; B.Return ];
+  (* dereference of a definite null *)
+  expect_error "getfield on definite null"
+    [ B.Aconst_null; getfield ~site:0; B.Pop; B.Return ];
+  (* array index must be an int *)
+  expect_error "ref as array index"
+    [
+      B.Iconst 4;
+      B.Newarray B.Int_array;
+      B.Aconst_null;
+      B.Iaload { len_site = 0; elem_site = 1 };
+      B.Pop;
+      B.Return;
+    ];
+  (* value return in a void method *)
+  (match
+     A.Typestate.check
+       ~program:(program_of (meth [ B.Iconst 1; B.Ireturn ]))
+       (meth [ B.Iconst 1; B.Ireturn ])
+   with
+  | [] -> Alcotest.fail "value return in void method accepted"
+  | _ -> ());
+  (* null-tolerant contexts stay accepted: comparisons and null tests *)
+  (match
+     typestate
+       [
+         B.Aconst_null;
+         B.Ifnull 3;
+         B.Goto 3;
+         B.Aconst_null;
+         B.Aconst_null;
+         B.If_acmpeq 6;
+         B.Return;
+       ]
+   with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "null test rejected: %s" d.A.Diag.message)
+
+let test_typestate_reg_use_before_def () =
+  let m =
+    meth ~n_pref_regs:1
+      [ B.Prefetch_indirect { reg = 0; offset = 0; guarded = false }; B.Return ]
+  in
+  match A.Typestate.check ~program:(program_of m) m with
+  | [ d ] ->
+      Alcotest.(check string) "checker" "typestate" d.A.Diag.checker;
+      Alcotest.(check int) "pc" 0 d.A.Diag.pc
+  | _ -> Alcotest.fail "use-before-def of a prefetch register accepted"
+
+let test_typestate_accepts_frontend_output () =
+  let program = Helpers.compile Test_strideprefetch.quickstart_source in
+  Array.iter
+    (fun m ->
+      match A.Typestate.check ~program m with
+      | [] -> ()
+      | d :: _ ->
+          Alcotest.failf "frontend output rejected: %s"
+            (A.Diag.render ~meth:m d))
+    program.Vm.Classfile.methods
+
+(* --- prefetch-safety checkers -------------------------------------------- *)
+
+let test_spec_def_use_diamond () =
+  (* both arms define p0, so every path defines it (the type-state
+     verifier is happy) — but neither definition dominates the use *)
+  let diags =
+    spec_safety_diags
+      [
+        B.Iconst 1;
+        B.If (B.Eq, 4);
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Goto 5;
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Prefetch_indirect { reg = 0; offset = 0; guarded = false };
+        B.Return;
+      ]
+  in
+  expect_checker "diamond defs" "spec-def-use" diags
+
+let test_guard_dominance_bypass () =
+  (* a path around the spec_load reaches the guarded dereference *)
+  let diags =
+    spec_safety_diags
+      [
+        B.Iconst 1;
+        B.If (B.Eq, 3);
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Prefetch_indirect { reg = 0; offset = 0; guarded = true };
+        B.Return;
+      ]
+  in
+  expect_checker "guard bypass" "guard-dominance" diags
+
+let test_splice_purity_interrupted () =
+  (* a store inside the spliced sequence is a miscompile *)
+  let diags =
+    spec_safety_diags
+      [
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Iconst 5;
+        B.Istore 0;
+        B.Prefetch_indirect { reg = 0; offset = 0; guarded = false };
+        B.Return;
+      ]
+  in
+  expect_checker "store in splice" "splice-purity" diags;
+  (* the clean contiguous splice passes all three checkers *)
+  let clean =
+    spec_safety_diags
+      [
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Prefetch_indirect { reg = 0; offset = 0; guarded = true };
+        B.Prefetch_indirect { reg = 0; offset = 8; guarded = false };
+        B.Return;
+      ]
+  in
+  Alcotest.(check int) "clean splice" 0 (List.length clean)
+
+(* --- lint rules ---------------------------------------------------------- *)
+
+let test_redundant_prefetch () =
+  let lint code =
+    A.Lint.redundant_prefetch ~cfg:(Jit.Cfg.build (Array.of_list code))
+  in
+  (* duplicate with no intervening re-anchor: flagged *)
+  let dup =
+    lint
+      [
+        B.Prefetch_inter { site = 0; distance = 8 };
+        B.Prefetch_inter { site = 0; distance = 8 };
+        B.Return;
+      ]
+  in
+  expect_checker "duplicate prefetch" "redundant-prefetch" dup;
+  (* an anchor load in between recomputes A(site): not flagged *)
+  let reanchored =
+    lint
+      [
+        B.Prefetch_inter { site = 0; distance = 8 };
+        getfield ~site:0;
+        B.Prefetch_inter { site = 0; distance = 8 };
+        B.Return;
+      ]
+  in
+  Alcotest.(check int) "re-anchored" 0 (List.length reanchored);
+  (* different distances are different address expressions: not flagged *)
+  let different =
+    lint
+      [
+        B.Prefetch_inter { site = 0; distance = 8 };
+        B.Prefetch_inter { site = 0; distance = 16 };
+        B.Return;
+      ]
+  in
+  Alcotest.(check int) "different distances" 0 (List.length different)
+
+let test_dead_spec_reg () =
+  let dead =
+    A.Lint.dead_spec_regs
+      [| B.Spec_load { site = 0; distance = 8; reg = 0 }; B.Return |]
+  in
+  expect_checker "dead spec reg" "dead-spec-reg" dead;
+  let live =
+    A.Lint.dead_spec_regs
+      [|
+        B.Spec_load { site = 0; distance = 8; reg = 0 };
+        B.Prefetch_indirect { reg = 0; offset = 0; guarded = false };
+        B.Return;
+      |]
+  in
+  Alcotest.(check int) "live spec reg" 0 (List.length live)
+
+let direct_report ~plan_distance ~stride =
+  let pattern = { SP.Stride.stride; matched = 19; samples = 19 } in
+  let action =
+    {
+      SP.Codegen.anchor_site = 0;
+      anchor_pc = 0;
+      kind = SP.Codegen.Prefetch_direct { distance = plan_distance };
+    }
+  in
+  {
+    SP.Pass.method_name = "T.m";
+    loop_id = 0;
+    header_block = 0;
+    candidate_sites = [ 0 ];
+    inter_patterns = [ (0, pattern) ];
+    intra_patterns = [];
+    plan = { SP.Codegen.actions = [ action ]; rejected = []; regs_used = 0 };
+    promoted = false;
+    skipped_low_trip = false;
+    iterations_observed = 20;
+    inspection_steps = 100;
+  }
+
+let test_plan_consistency () =
+  let code splice_distance =
+    [|
+      getfield ~site:0;
+      B.Prefetch_inter { site = 0; distance = splice_distance };
+      B.Return;
+    |]
+  in
+  (* consistent: plan distance = stride x scheduling distance, splice
+     matches the plan *)
+  let ok =
+    A.Lint.plan_consistency ~code:(code 16)
+      ~reports:[ direct_report ~plan_distance:16 ~stride:16 ]
+      ~scheduling_distance:1 ()
+  in
+  Alcotest.(check int) "consistent plan" 0 (List.length ok);
+  (* spliced distance differs from the plan's *)
+  expect_checker "splice distance" "plan-consistency"
+    (A.Lint.plan_consistency ~code:(code 8)
+       ~reports:[ direct_report ~plan_distance:16 ~stride:16 ]
+       ~scheduling_distance:1 ());
+  (* plan distance contradicts the detected stride pattern *)
+  expect_checker "plan vs pattern" "plan-consistency"
+    (A.Lint.plan_consistency ~code:(code 8)
+       ~reports:[ direct_report ~plan_distance:8 ~stride:16 ]
+       ~scheduling_distance:1 ());
+  (* planned action never spliced *)
+  expect_checker "missing splice" "plan-consistency"
+    (A.Lint.plan_consistency
+       ~code:[| getfield ~site:0; B.Return |]
+       ~reports:[ direct_report ~plan_distance:16 ~stride:16 ]
+       ~scheduling_distance:1 ())
+
+let deref_report =
+  let action =
+    {
+      SP.Codegen.anchor_site = 0;
+      anchor_pc = 0;
+      kind =
+        SP.Codegen.Prefetch_deref
+          {
+            distance = 16;
+            reg = 0;
+            targets =
+              [ { SP.Codegen.target_site = 1; offset = 8; via_intra = true } ];
+          };
+    }
+  in
+  {
+    (direct_report ~plan_distance:16 ~stride:16) with
+    SP.Pass.plan =
+      { SP.Codegen.actions = [ action ]; rejected = []; regs_used = 1 };
+  }
+
+let test_guard_required () =
+  let code guarded =
+    [|
+      getfield ~site:0;
+      B.Spec_load { site = 0; distance = 16; reg = 0 };
+      B.Prefetch_indirect { reg = 0; offset = 8; guarded };
+      B.Return;
+    |]
+  in
+  (* machine requires guarding; intra-stride target spliced unguarded *)
+  expect_checker "unguarded on guarding machine" "guard-required"
+    (A.Lint.plan_consistency ~code:(code false) ~reports:[ deref_report ]
+       ~scheduling_distance:1 ~require_guarded:true ());
+  (* guarded form where the machine calls for hardware prefetch *)
+  expect_checker "guarded on hardware machine" "guard-required"
+    (A.Lint.plan_consistency ~code:(code true) ~reports:[ deref_report ]
+       ~scheduling_distance:1 ~require_guarded:false ());
+  (* matching forms: clean both ways *)
+  Alcotest.(check int) "guarded where required" 0
+    (List.length
+       (A.Lint.plan_consistency ~code:(code true) ~reports:[ deref_report ]
+          ~scheduling_distance:1 ~require_guarded:true ()));
+  Alcotest.(check int) "hardware where required" 0
+    (List.length
+       (A.Lint.plan_consistency ~code:(code false) ~reports:[ deref_report ]
+          ~scheduling_distance:1 ~require_guarded:false ()))
+
+(* --- the composing driver and the wiring --------------------------------- *)
+
+let test_check_method_gates_on_typestate () =
+  (* a structurally broken body yields exactly the type-state finding —
+     CFG-level checkers never run on garbage *)
+  let m = meth [ B.Goto 99 ] in
+  match A.Check.check_method ~program:(program_of m) m with
+  | [ d ] -> Alcotest.(check string) "checker" "typestate" d.A.Diag.checker
+  | ds -> Alcotest.failf "expected exactly the gate finding, got %d" (List.length ds)
+
+let quickstart_workload : Workloads.Workload.t =
+  {
+    Workloads.Workload.name = "quickstart";
+    suite = `Specjvm;
+    description = "tok-vector scan kernel (test workload)";
+    paper_note = "";
+    source = Test_strideprefetch.quickstart_source;
+    heap_limit_bytes = 64 * 1024 * 1024;
+  }
+
+let test_transformed_workload_is_lint_clean () =
+  (* end-to-end: run the quickstart kernel with prefetching on, then lint
+     every method of the executed program with the full stack, plan-aware
+     lints included. Sanity-check the run actually spliced something. *)
+  List.iter
+    (fun machine ->
+      let opts = SP.Options.default in
+      let r =
+        Workloads.Harness.run ~opts ~mode:SP.Options.Inter_intra ~machine
+          quickstart_workload
+      in
+      let spliced =
+        Array.exists
+          (fun (m : Vm.Classfile.method_info) ->
+            Array.exists A.Spec_safety.is_prefetch_family m.Vm.Classfile.code)
+          r.Workloads.Harness.program.Vm.Classfile.methods
+      in
+      Alcotest.(check bool) "prefetches were spliced" true spliced;
+      Array.iter
+        (fun (m : Vm.Classfile.method_info) ->
+          match
+            A.Check.check_method ~program:r.Workloads.Harness.program
+              ~reports:r.Workloads.Harness.reports
+              ~scheduling_distance:opts.SP.Options.scheduling_distance
+              ~require_guarded:(SP.Options.use_guarded opts machine)
+              m
+          with
+          | [] -> ()
+          | d :: _ ->
+              Alcotest.failf "%s not lint-clean on %s: %s"
+                m.Vm.Classfile.method_name machine.Memsim.Config.name
+                (A.Diag.render ~meth:m d))
+        r.Workloads.Harness.program.Vm.Classfile.methods)
+    Memsim.Config.machines
+
+let test_verify_each_pass_mode () =
+  (* clean run: the per-pass verifier stays silent *)
+  (try
+     ignore
+       (Workloads.Harness.run ~verify_each_pass:true
+          ~mode:SP.Options.Inter_intra ~machine:Memsim.Config.pentium4
+          quickstart_workload)
+   with Jit.Pipeline.Verification_failed { pass_name; message; _ } ->
+     Alcotest.failf "clean run failed verification after %s: %s" pass_name
+       message);
+  (* injected miscompile: the verifier aborts compilation naming the
+     offending pass *)
+  let opts =
+    { SP.Options.default with SP.Options.fault_skip_guard_dominance = true }
+  in
+  match
+    Workloads.Harness.run ~opts ~verify_each_pass:true
+      ~mode:SP.Options.Inter_intra ~machine:Memsim.Config.pentium4
+      quickstart_workload
+  with
+  | exception Jit.Pipeline.Verification_failed { pass_name; message; _ } ->
+      Alcotest.(check string) "offending pass" "stride-prefetch" pass_name;
+      Alcotest.(check bool) "pc-level diagnostic" true
+        (Helpers.contains message "pc ")
+  | _ -> Alcotest.fail "injected miscompile survived verify-each-pass"
+
+let lint_cells =
+  (* baseline + one prefetching cell: enough for the lint oracle, cheap
+     enough for the unit suite *)
+  [
+    {
+      Fuzz.Oracle.mode = SP.Options.Off;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    };
+    {
+      Fuzz.Oracle.mode = SP.Options.Inter_intra;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    };
+  ]
+
+let test_oracle_lint_cell_catches_injection () =
+  (* without the fault the program passes the full oracle... *)
+  (match
+     Fuzz.Oracle.check ~cells:lint_cells
+       ~source:Test_strideprefetch.quickstart_source
+       ~heap_limit_bytes:(64 * 1024 * 1024) ()
+   with
+  | Fuzz.Oracle.Pass _ -> ()
+  | Fuzz.Oracle.Fail f ->
+      Alcotest.failf "clean program failed the oracle: %s"
+        (Fuzz.Oracle.describe f));
+  (* ... with it, the lint cell (and only a static check — the program's
+     behaviour is unchanged) reports the miscompile *)
+  match
+    Fuzz.Oracle.check ~cells:lint_cells
+      ~tweak_prefetch:(fun o ->
+        { o with SP.Options.fault_skip_guard_dominance = true })
+      ~source:Test_strideprefetch.quickstart_source
+      ~heap_limit_bytes:(64 * 1024 * 1024) ()
+  with
+  | Fuzz.Oracle.Fail (Fuzz.Oracle.Lint_violation { meth; message; _ }) ->
+      Alcotest.(check bool) "names the kernel" true
+        (Helpers.contains meth "Kernel");
+      Alcotest.(check bool) "pc-level diagnostic" true
+        (Helpers.contains message "pc ")
+  | Fuzz.Oracle.Fail f ->
+      Alcotest.failf "wrong failure class: %s" (Fuzz.Oracle.describe f)
+  | Fuzz.Oracle.Pass _ ->
+      Alcotest.fail "injected guard-dominance miscompile went undetected"
+
+let test_fuzz_sample_is_lint_clean () =
+  (* a small deterministic corpus through the full oracle (the lint cell
+     runs inside it); seed 2026 matches the @lint lane *)
+  for index = 0 to 4 do
+    let _, verdict =
+      Fuzz.Driver.check_seed ~cells:lint_cells ~seed:(2026 + index)
+        ~max_size:6 ()
+    in
+    match verdict with
+    | Fuzz.Oracle.Pass _ -> ()
+    | Fuzz.Oracle.Fail f ->
+        Alcotest.failf "seed %d not lint-clean: %s" (2026 + index)
+          (Fuzz.Oracle.describe f)
+  done
+
+let suite =
+  [
+    ("typestate: structural errors", `Quick, test_typestate_structural);
+    ("typestate: value-kind errors", `Quick, test_typestate_value_kinds);
+    ( "typestate: reg use-before-def",
+      `Quick,
+      test_typestate_reg_use_before_def );
+    ( "typestate: accepts frontend output",
+      `Quick,
+      test_typestate_accepts_frontend_output );
+    ("spec-safety: def-use diamond", `Quick, test_spec_def_use_diamond);
+    ("spec-safety: guard bypass", `Quick, test_guard_dominance_bypass);
+    ("spec-safety: splice purity", `Quick, test_splice_purity_interrupted);
+    ("lint: redundant prefetch", `Quick, test_redundant_prefetch);
+    ("lint: dead spec reg", `Quick, test_dead_spec_reg);
+    ("lint: plan consistency", `Quick, test_plan_consistency);
+    ("lint: guard required", `Quick, test_guard_required);
+    ( "check: typestate gates the stack",
+      `Quick,
+      test_check_method_gates_on_typestate );
+    ( "wiring: transformed workload lint-clean",
+      `Quick,
+      test_transformed_workload_is_lint_clean );
+    ("wiring: verify-each-pass mode", `Quick, test_verify_each_pass_mode);
+    ( "wiring: oracle lint cell catches injection",
+      `Slow,
+      test_oracle_lint_cell_catches_injection );
+    ("wiring: fuzz sample lint-clean", `Slow, test_fuzz_sample_is_lint_clean);
+  ]

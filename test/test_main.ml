@@ -10,4 +10,5 @@ let () =
       ("heap-dense", Test_heap_dense.suite);
       ("bench-runner", Test_bench_runner.suite);
       ("fuzz", Test_fuzz.suite);
+      ("analysis", Test_analysis.suite);
     ]
