@@ -41,10 +41,10 @@ let subheading title = Printf.printf "\n-- %s --\n" title
    parallel by [prefill]; [result_of_cell] falls back to a serial run only
    for cells no experiment declared (which would be a bug in [needs]). *)
 
-type key = string * string * SP.Options.mode * SP.Options.t option
+type key = string * string * SP.Options.mode * SP.Options.t option * bool
 
 let key_of (c : Runner.cell) : key =
-  (c.workload.W.name, c.machine.Memsim.Config.name, c.mode, c.opts)
+  (c.workload.W.name, c.machine.Memsim.Config.name, c.mode, c.opts, c.telemetry)
 
 let cache : (key, Runner.timed) Hashtbl.t = Hashtbl.create 64
 
@@ -389,9 +389,39 @@ let default_matrix () =
         machines)
     workloads
 
+(* One attributed (telemetry) twin per workload, at the headline
+   configuration: it fills [run_result.effectiveness] so the BENCH json
+   carries coverage/accuracy rollups next to the cycle counts. *)
+let telemetry_matrix () =
+  List.map
+    (fun (w : W.t) ->
+      Runner.cell ~telemetry:true w Memsim.Config.pentium4
+        SP.Options.Inter_intra)
+    workloads
+
+let effectiveness_json (eff : Workloads.Effectiveness.t) =
+  let pct f = Printf.sprintf "%.4f" f in
+  let kind (k : Workloads.Effectiveness.kind_rollup) =
+    Printf.sprintf
+      "{\"kind\": \"%s\", \"sites\": %d, \"issued\": %d, \"useful\": %d, \
+       \"late\": %d, \"useless\": %d, \"cancelled\": %d, \"redundant\": %d, \
+       \"coverage\": %s, \"accuracy\": %s}"
+      (json_escape k.kind_name) k.sites k.issued k.useful k.late k.useless
+      k.cancelled k.redundant (pct k.kind_coverage) (pct k.kind_accuracy)
+  in
+  let t = eff.totals in
+  Printf.sprintf
+    "{\"issued\": %d, \"useful\": %d, \"late\": %d, \"useless\": %d, \
+     \"cancelled\": %d, \"redundant\": %d, \"coverage\": %s, \"accuracy\": \
+     %s, \"unattributed_misses\": %d, \"sites\": %d, \"kinds\": [%s]}"
+    t.Memsim.Attribution.issued t.useful t.late t.useless t.cancelled
+    t.redundant (pct eff.total_coverage) (pct eff.total_accuracy)
+    eff.unattributed_misses (List.length eff.rows)
+    (String.concat ", " (List.map kind eff.kinds))
+
 let timings ~jobs ~json_path () =
   heading "Timings: per-cell host wall-clock (hot-path benchmark)";
-  let cells = default_matrix () in
+  let cells = default_matrix () @ telemetry_matrix () in
   let timed = List.map timed_of_cell cells in
   let total_cell_seconds =
     List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
@@ -410,7 +440,7 @@ let timings ~jobs ~json_path () =
   let oc = open_out json_path in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bench_hotpath/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"bench_hotpath/v2\",\n";
   Buffer.add_string buf
     (Printf.sprintf "  \"jobs\": %d,\n  \"host_cpus\": %d,\n" jobs
        (Runner.default_jobs ()));
@@ -421,14 +451,20 @@ let timings ~jobs ~json_path () =
   Buffer.add_string buf "  \"cells\": [\n";
   List.iteri
     (fun i (t : Runner.timed) ->
+      let effectiveness =
+        match t.result.H.effectiveness with
+        | Some eff ->
+            Printf.sprintf ", \"effectiveness\": %s" (effectiveness_json eff)
+        | None -> ""
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
-            \"%s\", \"seconds\": %.6f, \"cycles\": %d}%s\n"
+            \"%s\", \"telemetry\": %b, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
            (json_escape t.cell.Runner.workload.W.name)
            (json_escape t.cell.Runner.machine.Memsim.Config.name)
            (json_escape (SP.Options.mode_name t.cell.Runner.mode))
-           t.seconds t.result.H.cycles
+           t.cell.Runner.telemetry t.seconds t.result.H.cycles effectiveness
            (if i = List.length timed - 1 then "" else ",")))
     timed;
   Buffer.add_string buf "  ]\n}\n";
@@ -501,7 +537,7 @@ let micro ~smoke () =
       Bechamel.Test.make ~name:"whole-prefetch-pass"
         (Bechamel.Staged.stage (fun () ->
              let m = fresh_meth () in
-             ignore (SP.Pass.run ~opts ~interp ~meth:m ~args)));
+             ignore (SP.Pass.run ~opts ~interp ~meth:m ~args ())));
       Bechamel.Test.make ~name:"stride-detection-1k"
         (Bechamel.Staged.stage
            (let records = List.init 1000 (fun i -> (i, 4096 + (i * 60))) in
@@ -597,7 +633,7 @@ let needs = function
       matrix_cells ~machines:[ Memsim.Config.pentium4 ]
         ~modes:[ SP.Options.Inter_intra ]
   | "ablation" -> ablation_cells ()
-  | "timings" -> default_matrix ()
+  | "timings" -> default_matrix () @ telemetry_matrix ()
   | _ -> []
 
 let experiment_names =

@@ -18,6 +18,10 @@ type cell = {
   machine : Memsim.Config.machine;
   mode : SP.Options.mode;
   opts : SP.Options.t option;  (** algorithm-knob override; [None] = defaults *)
+  telemetry : bool;
+      (** thread the observability stack through the run; fills
+          [run_result.effectiveness] (coverage/accuracy rollups for the
+          BENCH json) without perturbing the simulation *)
 }
 
 type timed = {
@@ -26,19 +30,24 @@ type timed = {
   seconds : float;  (** host wall-clock for this cell *)
 }
 
-let cell ?opts workload machine mode = { workload; machine; mode; opts }
+let cell ?opts ?(telemetry = false) workload machine mode =
+  { workload; machine; mode; opts; telemetry }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s" c.workload.W.name c.machine.Memsim.Config.name
+  Printf.sprintf "%s/%s/%s%s%s" c.workload.W.name c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
+    (if c.telemetry then "/telemetry" else "")
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in
   let result =
     match c.opts with
-    | None -> H.run ~mode:c.mode ~machine:c.machine c.workload
-    | Some opts -> H.run ~opts ~mode:c.mode ~machine:c.machine c.workload
+    | None ->
+        H.run ~telemetry:c.telemetry ~mode:c.mode ~machine:c.machine c.workload
+    | Some opts ->
+        H.run ~opts ~telemetry:c.telemetry ~mode:c.mode ~machine:c.machine
+          c.workload
   in
   { cell = c; result; seconds = Unix.gettimeofday () -. t0 }
 

@@ -14,6 +14,10 @@ type cell = {
   mode : Strideprefetch.Options.mode;
   opts : Strideprefetch.Options.t option;
       (** algorithm-knob override; [None] = defaults *)
+  telemetry : bool;
+      (** run with the observability stack threaded through, filling
+          [run_result.effectiveness]; the simulation itself is
+          bit-identical either way (golden-tested) *)
 }
 
 type timed = {
@@ -24,14 +28,17 @@ type timed = {
 
 val cell :
   ?opts:Strideprefetch.Options.t ->
+  ?telemetry:bool ->
   Workloads.Workload.t ->
   Memsim.Config.machine ->
   Strideprefetch.Options.mode ->
   cell
+(** [telemetry] defaults to [false]. *)
 
 val cell_label : cell -> string
 (** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
-    overrides the algorithm knobs. *)
+    overrides the algorithm knobs and a ["/telemetry"] suffix when the
+    cell records effectiveness attribution. *)
 
 val run_cell : cell -> timed
 (** Run one cell serially in the calling domain. *)

@@ -74,6 +74,25 @@ let phased_arg =
           "Detect Wu-style phased multiple-stride loads and prefetch them \
            with a run-time-computed stride (extension).")
 
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Run with telemetry enabled and write the event stream as Chrome \
+           trace_event JSON (load in chrome://tracing or ui.perfetto.dev). \
+           Also prints the per-site effectiveness table.")
+
+let explain_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print per-loop decision provenance: candidate sites, observed \
+           delta histograms, detected patterns and rejection reasons \
+           (same reports as $(b,--verbose)).")
+
 let opts_of ~interproc ~phased =
   {
     Strideprefetch.Options.default with
@@ -100,6 +119,30 @@ let print_result ~verbose (r : Workloads.Harness.run_result) =
       (fun rep -> Format.printf "%a@." Strideprefetch.Pass.pp_report rep)
       r.reports
 
+(* Telemetry epilogue shared by [run] and [file]: effectiveness table plus
+   the Chrome-trace export, when the run carried a sink. *)
+let export_trace ~trace (r : Workloads.Harness.run_result) =
+  match trace with
+  | None -> ()
+  | Some path ->
+      (match r.effectiveness with
+      | Some eff when eff.Workloads.Effectiveness.rows <> [] ->
+          Format.printf "@.%a@." Workloads.Effectiveness.pp_table eff
+      | Some _ | None -> ());
+      (match r.sink with
+      | Some sink ->
+          let other =
+            [
+              ("workload", Telemetry.Json.Str r.workload);
+              ("machine", Telemetry.Json.Str r.machine);
+              ( "mode",
+                Telemetry.Json.Str (Strideprefetch.Options.mode_name r.mode) );
+            ]
+          in
+          Telemetry.Trace.write_chrome ~other sink ~path;
+          Printf.printf "chrome trace written to %s\n" path
+      | None -> ())
+
 let list_cmd =
   let run () =
     List.iter
@@ -122,21 +165,26 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine mode verbose interproc phased =
+  let run name machine mode verbose interproc phased trace explain =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
         exit 1
     | Some w ->
         let opts = opts_of ~interproc ~phased in
-        let result = Workloads.Harness.run ~opts ~mode ~machine w in
-        print_result ~verbose result
+        let result =
+          Workloads.Harness.run ~opts
+            ~telemetry:(trace <> None)
+            ~mode ~machine w
+        in
+        print_result ~verbose:(verbose || explain) result;
+        export_trace ~trace result
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Cmdliner.Term.(
       const run $ workload_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -175,7 +223,7 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
-  let run path machine mode verbose interproc phased =
+  let run path machine mode verbose interproc phased trace explain =
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
     | Error e ->
@@ -193,14 +241,19 @@ let file_cmd =
           }
         in
         let opts = opts_of ~interproc ~phased in
-        let result = Workloads.Harness.run ~opts ~mode ~machine w in
-        print_result ~verbose result
+        let result =
+          Workloads.Harness.run ~opts
+            ~telemetry:(trace <> None)
+            ~mode ~machine w
+        in
+        print_result ~verbose:(verbose || explain) result;
+        export_trace ~trace result
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
     Cmdliner.Term.(
       const run $ path_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg)
 
 let () =
   let info =

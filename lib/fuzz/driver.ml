@@ -62,7 +62,8 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Inspection_side_effect _, Oracle.Inspection_side_effect _
   | Oracle.Stats_violation _, Oracle.Stats_violation _
   | Oracle.Faulting_prefetch _, Oracle.Faulting_prefetch _
-  | Oracle.Lint_violation _, Oracle.Lint_violation _ ->
+  | Oracle.Lint_violation _, Oracle.Lint_violation _
+  | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _ ->
       true
   | _ -> false
 

@@ -60,6 +60,7 @@ type failure =
   | Stats_violation of { cell : cell; message : string }
   | Faulting_prefetch of { cell : cell; count : int }
   | Lint_violation of { cell : cell; meth : string; message : string }
+  | Telemetry_divergence of { cell : cell; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -87,6 +88,10 @@ let describe = function
   | Lint_violation { cell; meth; message } ->
       Printf.sprintf "[%s] %s is not lint-clean: %s" (cell_name cell) meth
         message
+  | Telemetry_divergence { cell; message } ->
+      Printf.sprintf
+        "[%s] telemetry perturbed the simulation (must be observe-only): %s"
+        (cell_name cell) message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
 let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
@@ -123,6 +128,18 @@ let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
     fail "useless prefetches (%d) > issued prefetches+guarded loads (%d)"
       s.sw_prefetch_useless
       (s.sw_prefetches + s.guarded_loads)
+  else if s.sw_prefetch_useful + s.sw_prefetch_late > s.sw_prefetches + s.guarded_loads
+  then
+    (* every useful/late classification is pinned to one issued software
+       prefetch or guarded load *)
+    fail "useful+late attributions (%d+%d) > issued prefetches+guarded (%d)"
+      s.sw_prefetch_useful s.sw_prefetch_late
+      (s.sw_prefetches + s.guarded_loads)
+  else if s.in_flight_demand_hits + s.sw_prefetch_late > s.in_flight_hits then
+    (* the attribution split of in-flight demand hits cannot exceed the
+       aggregate counter it refines *)
+    fail "in_flight_demand_hits+late (%d+%d) > in_flight_hits (%d)"
+      s.in_flight_demand_hits s.sw_prefetch_late s.in_flight_hits
   else if
     cell.mode = O.Off
     && (s.sw_prefetches <> 0 || s.guarded_loads <> 0
@@ -174,6 +191,68 @@ let lint_failure ~opts (cell : cell) (r : Workloads.Harness.run_result) =
                    }))
     program.Vm.Classfile.methods;
   !violation
+
+(* Telemetry-observer cross-check: one fresh cell pair, plain vs fully
+   attributed, at the headline configuration. Telemetry must observe the
+   simulation without participating: program output, cycle count and
+   every core (non-telemetry) counter must be bit-identical, and the
+   attributed run's effectiveness books must balance
+   (issued = cancelled + redundant + useful + late + useless). *)
+let telemetry_crosscheck ~opts ?tweak_options workload =
+  let cell =
+    {
+      mode = O.Inter_intra;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    }
+  in
+  let run ~telemetry =
+    Workloads.Harness.run ~opts ?tweak_options ~telemetry ~mode:cell.mode
+      ~machine:cell.machine workload
+  in
+  match (run ~telemetry:false, run ~telemetry:true) with
+  | exception e -> Some (Crash { cell; message = Printexc.to_string e })
+  | plain, attributed ->
+      let diverged message = Some (Telemetry_divergence { cell; message }) in
+      if plain.output <> attributed.output then
+        diverged "program output differs"
+      else if plain.cycles <> attributed.cycles then
+        diverged
+          (Printf.sprintf "cycles differ: plain=%d telemetry=%d" plain.cycles
+             attributed.cycles)
+      else if
+        plain.faulting_prefetches <> attributed.faulting_prefetches
+        || plain.spec_guard_trips <> attributed.spec_guard_trips
+      then diverged "fault/guard counters differ"
+      else begin
+        match
+          List.find_opt
+            (fun ((k, a), (k', b)) -> k <> k' || a <> b)
+            (List.combine
+               (Memsim.Stats.core_alist plain.stats)
+               (Memsim.Stats.core_alist attributed.stats))
+        with
+        | Some ((k, a), (_, b)) ->
+            diverged
+              (Printf.sprintf "core counter %s differs: plain=%d telemetry=%d"
+                 k a b)
+        | None -> (
+            match attributed.effectiveness with
+            | None -> diverged "telemetry run produced no effectiveness report"
+            | Some eff ->
+                let t = eff.Workloads.Effectiveness.totals in
+                let classified =
+                  t.Memsim.Attribution.cancelled + t.redundant + t.useful
+                  + t.late + t.useless
+                in
+                if t.issued <> classified then
+                  diverged
+                    (Printf.sprintf
+                       "attribution books don't balance: issued=%d but \
+                        cancelled+redundant+useful+late+useless=%d"
+                       t.issued classified)
+                else None)
+      end
 
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
     ~heap_limit_bytes () =
@@ -266,7 +345,12 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                   | _ -> None
               in
               let rec loop n = function
-                | [] -> Pass { cells_run = n }
+                | [] -> (
+                    (* Differential matrix clean: append the telemetry
+                       observer-effect pair. *)
+                    match telemetry_crosscheck ~opts ?tweak_options workload with
+                    | Some f -> Fail f
+                    | None -> Pass { cells_run = n + 2 })
                 | cell :: cells -> (
                     match run cell with
                     | Error f -> Fail f

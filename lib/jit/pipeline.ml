@@ -13,12 +13,17 @@ exception
 type t = {
   passes : pass list;
   verifier : (Vm.Classfile.method_info -> (unit, string) result) option;
+  span : name:string -> meth:string -> (unit -> unit) -> unit;
+      (** telemetry hook wrapping the whole compilation and each pass;
+          the default just runs the thunk *)
   timings : (string, float) Hashtbl.t;
   mutable compiled : int;
 }
 
-let create ?verifier passes =
-  { passes; verifier; timings = Hashtbl.create 8; compiled = 0 }
+let no_span ~name:_ ~meth:_ f = f ()
+
+let create ?verifier ?(span = no_span) passes =
+  { passes; verifier; span; timings = Hashtbl.create 8; compiled = 0 }
 
 let analysis_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
   let cfg = Cfg.build m.code in
@@ -54,20 +59,25 @@ let check_after_pass t pass_name (m : Vm.Classfile.method_info) =
                { pass_name; method_name = m.method_name; message }))
 
 let compile t (m : Vm.Classfile.method_info) args =
-  let start_method = now_seconds () in
-  List.iter
-    (fun pass ->
-      let start = now_seconds () in
-      pass.apply m args;
-      let elapsed = now_seconds () -. start in
-      let prior =
-        Option.value ~default:0.0 (Hashtbl.find_opt t.timings pass.pass_name)
-      in
-      Hashtbl.replace t.timings pass.pass_name (prior +. elapsed);
-      check_after_pass t pass.pass_name m)
-    t.passes;
-  m.compile_seconds <- m.compile_seconds +. (now_seconds () -. start_method);
-  t.compiled <- t.compiled + 1
+  t.span ~name:"compile" ~meth:m.method_name (fun () ->
+      let start_method = now_seconds () in
+      List.iter
+        (fun pass ->
+          t.span ~name:("pass:" ^ pass.pass_name) ~meth:m.method_name
+            (fun () ->
+              let start = now_seconds () in
+              pass.apply m args;
+              let elapsed = now_seconds () -. start in
+              let prior =
+                Option.value ~default:0.0
+                  (Hashtbl.find_opt t.timings pass.pass_name)
+              in
+              Hashtbl.replace t.timings pass.pass_name (prior +. elapsed);
+              check_after_pass t pass.pass_name m))
+        t.passes;
+      m.compile_seconds <-
+        m.compile_seconds +. (now_seconds () -. start_method);
+      t.compiled <- t.compiled + 1)
 
 let seconds_of_pass t name =
   Option.value ~default:0.0 (Hashtbl.find_opt t.timings name)

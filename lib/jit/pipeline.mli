@@ -25,11 +25,20 @@ exception
 type t
 
 val create :
-  ?verifier:(Vm.Classfile.method_info -> (unit, string) result) -> pass list -> t
+  ?verifier:(Vm.Classfile.method_info -> (unit, string) result) ->
+  ?span:(name:string -> meth:string -> (unit -> unit) -> unit) ->
+  pass list ->
+  t
 (** [?verifier] is a debug-mode hook (see [Analysis.Check.pass_verifier])
     run over the method body after {e every} pass; [Error msg] aborts
     compilation with {!Verification_failed}. The pipeline stays generic:
-    it never depends on the analysis library, it just runs the callback. *)
+    it never depends on the analysis library, it just runs the callback.
+
+    [?span] is the telemetry hook: {!compile} wraps the whole compilation
+    in [span ~name:"compile"] and each pass in [span ~name:"pass:<name>"]
+    (the harness supplies a closure recording into a [Telemetry.Sink]).
+    The default runs the thunk with no other effect, keeping the jit
+    library independent of the telemetry library. *)
 
 val standard_passes : unit -> pass list
 (** The baseline JIT: IR/analysis construction (CFG, dominators, loop

@@ -1,0 +1,191 @@
+(* Per-site effectiveness attribution for software prefetches.
+
+   Every prefetch-type operation carries a small dense [site] id (the
+   joining of ids to methods/loops/strategies happens outside memsim, in
+   the telemetry layer — this module speaks only ints). Each fill that a
+   software prefetch initiates is remembered in a shadow table keyed by
+   the line index at the level the fill targeted; the first demand access
+   that reaches that line classifies the prefetch:
+
+   - {b useful}: the demand found the line present and ready — the
+     prefetch converted a miss into a hit;
+   - {b late}: the demand arrived while the fill was still in flight —
+     the prefetch hid only part of the latency;
+   - {b useless}: the line was evicted (observed lazily: a later miss on
+     a tracked line proves the eviction) or never touched before a
+     flush, so the prefetch moved data nobody read.
+
+   At issue time two further outcomes are recorded directly:
+   {b cancelled} (DTLB-miss cancellation of a hardware-form prefetch)
+   and {b redundant} (the target line was already cached). Every issue
+   lands in exactly one class, so after [flush]:
+
+     issued = cancelled + redundant + useful + late + useless
+
+   which the tests assert. Demand {e memory} misses (fills from DRAM)
+   are additionally bucketed by a caller-supplied demand key, giving the
+   denominator for coverage: a site's useful prefetches over the misses
+   it was meant to eliminate plus the ones that remain. *)
+
+type site_counters = {
+  mutable issued : int;
+  mutable cancelled : int;  (** DTLB-miss cancellations *)
+  mutable redundant : int;  (** target line already cached at issue *)
+  mutable useful : int;  (** demand found the line ready *)
+  mutable late : int;  (** demand arrived while the fill was in flight *)
+  mutable useless : int;  (** evicted or flushed untouched *)
+}
+
+let zero_counters () =
+  { issued = 0; cancelled = 0; redundant = 0; useful = 0; late = 0; useless = 0 }
+
+type entry = { site : int; mutable touched : bool }
+
+type t = {
+  mutable sites : site_counters array;
+  mutable n_sites : int;
+  l1_lines : (int, entry) Hashtbl.t;  (** L1 line index -> issuing site *)
+  l2_lines : (int, entry) Hashtbl.t;  (** L2 line index -> issuing site *)
+  demand_misses : (int, int ref) Hashtbl.t;  (** demand key -> memory misses *)
+}
+
+let create () =
+  {
+    sites = Array.init 16 (fun _ -> zero_counters ());
+    n_sites = 0;
+    l1_lines = Hashtbl.create 1024;
+    l2_lines = Hashtbl.create 1024;
+    demand_misses = Hashtbl.create 64;
+  }
+
+let site t id =
+  if id < 0 then invalid_arg "Attribution.site: negative site id";
+  if id >= Array.length t.sites then begin
+    let n = max (2 * Array.length t.sites) (id + 1) in
+    let grown = Array.init n (fun _ -> zero_counters ()) in
+    Array.blit t.sites 0 grown 0 (Array.length t.sites);
+    t.sites <- grown
+  end;
+  if id >= t.n_sites then t.n_sites <- id + 1;
+  t.sites.(id)
+
+let n_sites t = t.n_sites
+
+let site_counters t id =
+  if id < 0 || id >= t.n_sites then zero_counters ()
+  else
+    let c = t.sites.(id) in
+    {
+      issued = c.issued;
+      cancelled = c.cancelled;
+      redundant = c.redundant;
+      useful = c.useful;
+      late = c.late;
+      useless = c.useless;
+    }
+
+let note_issue t ~site:id =
+  let c = site t id in
+  c.issued <- c.issued + 1
+
+let note_cancelled t ~site:id =
+  let c = site t id in
+  c.cancelled <- c.cancelled + 1
+
+let note_redundant t ~site:id =
+  let c = site t id in
+  c.redundant <- c.redundant + 1
+
+let table t = function `L1 -> t.l1_lines | `L2 -> t.l2_lines
+
+(* A software prefetch initiated a fill of [line] at [level]. If a stale
+   untouched entry is being replaced, its line must have been evicted
+   since (the caller only fills on a probe miss), so it is classified
+   useless here. *)
+let note_fill t ~level ~line ~site:id =
+  let tbl = table t level in
+  (match Hashtbl.find_opt tbl line with
+  | Some old when not old.touched ->
+      let c = site t old.site in
+      c.useless <- c.useless + 1
+  | Some _ | None -> ());
+  Hashtbl.replace tbl line { site = id; touched = false }
+
+type outcome = Useful | Late | Untracked
+
+(* A demand access found [line] present at [level]; [ready] says whether
+   the fill had completed. The first demand to touch a tracked line
+   classifies its prefetch; later demands are untracked hits. *)
+let demand_resolve t ~level ~line ~ready =
+  let tbl = table t level in
+  match Hashtbl.find_opt tbl line with
+  | Some e when not e.touched ->
+      e.touched <- true;
+      let c = site t e.site in
+      if ready then begin
+        c.useful <- c.useful + 1;
+        Useful
+      end
+      else begin
+        c.late <- c.late + 1;
+        Late
+      end
+  | Some _ | None -> Untracked
+
+(* A demand access missed [line] at [level]: any untouched tracked entry
+   was evicted before use. *)
+let demand_evict t ~level ~line =
+  let tbl = table t level in
+  match Hashtbl.find_opt tbl line with
+  | Some e ->
+      if not e.touched then begin
+        let c = site t e.site in
+        c.useless <- c.useless + 1
+      end;
+      Hashtbl.remove tbl line
+  | None -> ()
+
+let note_demand_miss t ~key =
+  match Hashtbl.find_opt t.demand_misses key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.demand_misses key (ref 1)
+
+let demand_misses_for t ~key =
+  match Hashtbl.find_opt t.demand_misses key with Some r -> !r | None -> 0
+
+let demand_miss_buckets t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.demand_misses []
+  |> List.sort compare
+
+(* The shadow tables speak raw line indices, so they must be emptied
+   whenever the simulated address space is rewritten (GC compaction) or
+   the caches are reset; any still-untouched fill is then useless by
+   definition. Also called once at end of run to settle the books. *)
+let flush t =
+  let settle tbl =
+    Hashtbl.iter
+      (fun _ e ->
+        if not e.touched then begin
+          let c = site t e.site in
+          c.useless <- c.useless + 1
+        end)
+      tbl;
+    Hashtbl.reset tbl
+  in
+  settle t.l1_lines;
+  settle t.l2_lines
+
+let tracked_lines t = Hashtbl.length t.l1_lines + Hashtbl.length t.l2_lines
+
+let totals t =
+  let acc = zero_counters () in
+  for i = 0 to t.n_sites - 1 do
+    let c = t.sites.(i) in
+    acc.issued <- acc.issued + c.issued;
+    acc.cancelled <- acc.cancelled + c.cancelled;
+    acc.redundant <- acc.redundant + c.redundant;
+    acc.useful <- acc.useful + c.useful;
+    acc.late <- acc.late + c.late;
+    acc.useless <- acc.useless + c.useless
+  done;
+  acc

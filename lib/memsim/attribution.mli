@@ -1,0 +1,69 @@
+(** Per-site effectiveness attribution for software prefetches.
+
+    Sites are small dense ints; what a site {e means} (method, loop,
+    strategy) is recorded outside memsim by the telemetry layer. The
+    hierarchy's [_attr] entry points drive this module; each prefetch
+    issue is classified into exactly one of six outcomes, so after
+    {!flush}:
+
+    {v issued = cancelled + redundant + useful + late + useless v}
+
+    Demand {e memory} misses are additionally bucketed under a
+    caller-supplied key, providing the coverage denominator. *)
+
+type t
+
+type site_counters = {
+  mutable issued : int;
+  mutable cancelled : int;  (** DTLB-miss cancellations *)
+  mutable redundant : int;  (** target line already cached at issue *)
+  mutable useful : int;  (** demand found the line ready *)
+  mutable late : int;  (** demand arrived while the fill was in flight *)
+  mutable useless : int;  (** evicted or flushed untouched *)
+}
+
+type outcome = Useful | Late | Untracked
+
+val create : unit -> t
+
+val n_sites : t -> int
+(** One past the highest site id seen. *)
+
+val site_counters : t -> int -> site_counters
+(** A copy of site [id]'s counters (all-zero for unseen ids). *)
+
+val totals : t -> site_counters
+(** Sum over all sites. *)
+
+val note_issue : t -> site:int -> unit
+val note_cancelled : t -> site:int -> unit
+val note_redundant : t -> site:int -> unit
+
+val note_fill : t -> level:[ `L1 | `L2 ] -> line:int -> site:int -> unit
+(** A prefetch from [site] initiated a fill of [line] at [level].
+    Replacing a stale untouched entry classifies it useless. *)
+
+val demand_resolve :
+  t -> level:[ `L1 | `L2 ] -> line:int -> ready:bool -> outcome
+(** A demand access found [line] present; the first demand to touch a
+    tracked line classifies its prefetch [Useful] (fill complete) or
+    [Late] (fill in flight). *)
+
+val demand_evict : t -> level:[ `L1 | `L2 ] -> line:int -> unit
+(** A demand access missed [line]: an untouched tracked entry was
+    evicted before use (useless). *)
+
+val note_demand_miss : t -> key:int -> unit
+(** Record a demand memory miss under [key] (coverage denominator). *)
+
+val demand_misses_for : t -> key:int -> int
+val demand_miss_buckets : t -> (int * int) list
+
+val flush : t -> unit
+(** Classify every still-untouched fill useless and empty the shadow
+    tables. Must be called whenever the simulated address space is
+    rewritten (GC compaction) or the caches reset, and once at end of
+    run. *)
+
+val tracked_lines : t -> int
+(** Entries currently in the shadow tables (tests / occupancy). *)

@@ -163,3 +163,144 @@ let reset t =
   Tlb.reset t.dtlb;
   Hw_prefetch.reset t.hwpf;
   Stats.reset t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Attributed entry points.
+
+   These are deliberate near-copies of the plain paths above that
+   additionally classify each access against an [Attribution.t]. They
+   perform the {e identical} state transitions, in the identical order,
+   and bump the identical seed counters — the only extra stats they
+   touch are the [Stats.telemetry_only] counters, which are zero in a
+   plain run. The telemetry-off golden tests and the fuzz oracle's
+   on/off cross-check exist to catch any drift between the two copies.
+
+   Classification happens at the level a prefetch targeted: [note_fill]
+   registers the line there, and the demand path resolves tracked lines
+   as useful (hit-and-ready), late (hit-in-flight) or useless (a miss on
+   a tracked line proves eviction). Demand {e memory} misses are
+   bucketed under [dkey] for the coverage denominator. *)
+
+let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
+  record_l1_miss t kind;
+  let l2_line = Cache.line_of t.l2 addr in
+  let stall =
+    let r2 = Cache.access_residual t.l2 ~addr ~now in
+    if r2 = 0 then begin
+      (match Attribution.demand_resolve at ~level:`L2 ~line:l2_line ~ready:true
+       with
+      | Attribution.Useful ->
+          t.stats.sw_prefetch_useful <- t.stats.sw_prefetch_useful + 1
+      | Attribution.Late | Attribution.Untracked -> ());
+      t.l1_miss_penalty
+    end
+    else if r2 > 0 then begin
+      t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+      (match Attribution.demand_resolve at ~level:`L2 ~line:l2_line ~ready:false
+       with
+      | Attribution.Late ->
+          t.stats.sw_prefetch_late <- t.stats.sw_prefetch_late + 1
+      | Attribution.Untracked ->
+          t.stats.in_flight_demand_hits <- t.stats.in_flight_demand_hits + 1
+      | Attribution.Useful -> ());
+      t.l1_miss_penalty + r2
+    end
+    else begin
+      Attribution.demand_evict at ~level:`L2 ~line:l2_line;
+      Attribution.note_demand_miss at ~key:dkey;
+      record_l2_miss t kind;
+      let s = t.l1_miss_penalty + t.mem_latency in
+      hw_prefetch_on_l2_miss t ~addr ~now;
+      Cache.fill t.l2 ~addr ~ready_at:now;
+      s
+    end
+  in
+  Cache.fill t.l1 ~addr ~ready_at:now;
+  stall
+
+let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
+  (match kind with
+  | `Load -> t.stats.loads <- t.stats.loads + 1
+  | `Store -> t.stats.stores <- t.stats.stores + 1);
+  let tlb_stall =
+    if Tlb.access t.dtlb ~addr then 0
+    else begin
+      record_dtlb_miss t kind;
+      Tlb.fill t.dtlb ~addr;
+      t.tlb_miss_penalty
+    end
+  in
+  let l1_line = Cache.line_of t.l1 addr in
+  let r1 = Cache.access_residual t.l1 ~addr ~now in
+  if r1 = 0 then begin
+    (match
+       Attribution.demand_resolve attrib ~level:`L1 ~line:l1_line ~ready:true
+     with
+    | Attribution.Useful ->
+        t.stats.sw_prefetch_useful <- t.stats.sw_prefetch_useful + 1
+    | Attribution.Late | Attribution.Untracked -> ());
+    tlb_stall + t.l1_hit_extra
+  end
+  else if r1 > 0 then begin
+    t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
+    (match
+       Attribution.demand_resolve attrib ~level:`L1 ~line:l1_line ~ready:false
+     with
+    | Attribution.Late ->
+        t.stats.sw_prefetch_late <- t.stats.sw_prefetch_late + 1
+    | Attribution.Untracked ->
+        t.stats.in_flight_demand_hits <- t.stats.in_flight_demand_hits + 1
+    | Attribution.Useful -> ());
+    tlb_stall + r1
+  end
+  else begin
+    Attribution.demand_evict attrib ~level:`L1 ~line:l1_line;
+    tlb_stall + demand_l1_miss_attr t attrib ~addr ~kind ~now ~dkey
+  end
+
+let sw_prefetch_attr t ~attrib ~addr ~now ~site =
+  t.stats.sw_prefetches <- t.stats.sw_prefetches + 1;
+  Attribution.note_issue attrib ~site;
+  if not (Tlb.probe t.dtlb ~addr) then begin
+    t.stats.sw_prefetches_cancelled <- t.stats.sw_prefetches_cancelled + 1;
+    Attribution.note_cancelled attrib ~site
+  end
+  else
+    match t.machine.prefetch_target with
+    | Config.To_l2 ->
+        if Cache.probe t.l2 ~addr then begin
+          t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1;
+          Attribution.note_redundant attrib ~site
+        end
+        else begin
+          ignore (l2_fill_ready t ~addr ~now);
+          Attribution.note_fill attrib ~level:`L2
+            ~line:(Cache.line_of t.l2 addr) ~site
+        end
+    | Config.To_l1 ->
+        if Cache.probe t.l1 ~addr then begin
+          t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1;
+          Attribution.note_redundant attrib ~site
+        end
+        else begin
+          let ready = l2_fill_ready t ~addr ~now in
+          Cache.fill t.l1 ~addr
+            ~ready_at:(max ready (now + t.l1_miss_penalty));
+          Attribution.note_fill attrib ~level:`L1
+            ~line:(Cache.line_of t.l1 addr) ~site
+        end
+
+let guarded_load_attr t ~attrib ~addr ~now ~site =
+  t.stats.guarded_loads <- t.stats.guarded_loads + 1;
+  Attribution.note_issue attrib ~site;
+  if not (Tlb.probe t.dtlb ~addr) then Tlb.fill t.dtlb ~addr;
+  if Cache.probe t.l1 ~addr then begin
+    t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1;
+    Attribution.note_redundant attrib ~site
+  end
+  else begin
+    let ready = l2_fill_ready t ~addr ~now in
+    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.l1_miss_penalty));
+    Attribution.note_fill attrib ~level:`L1 ~line:(Cache.line_of t.l1 addr)
+      ~site
+  end

@@ -35,3 +35,32 @@ val line_bytes : t -> int
 
 val page_bytes : t -> int
 val reset : t -> unit
+
+(** {2 Attributed entry points}
+
+    Near-copies of the plain operations that additionally classify each
+    access against an {!Attribution.t}. They perform identical state
+    transitions and identical seed-counter updates — a run through these
+    entry points is bit-identical (cycles and core stats) to a plain
+    run; the only extra counters they touch are [Stats.telemetry_only].
+    Drift between the copies is caught by the golden telemetry tests and
+    the fuzz oracle's on/off cross-check. *)
+
+val demand_access_attr :
+  t ->
+  attrib:Attribution.t ->
+  addr:int ->
+  kind:[ `Load | `Store ] ->
+  now:int ->
+  dkey:int ->
+  int
+(** As {!demand_access}; resolves tracked lines (useful/late/useless)
+    and buckets demand memory misses under [dkey]. *)
+
+val sw_prefetch_attr :
+  t -> attrib:Attribution.t -> addr:int -> now:int -> site:int -> unit
+(** As {!sw_prefetch}; records the issue under [site]. *)
+
+val guarded_load_attr :
+  t -> attrib:Attribution.t -> addr:int -> now:int -> site:int -> unit
+(** As {!guarded_load}; records the issue under [site]. *)

@@ -16,6 +16,13 @@ type t = {
   mutable retired_instructions : int;
   mutable cycles : int;
   mutable stall_cycles : int;
+  (* Telemetry-only classification counters: maintained only by the
+     [_attr] hierarchy entry points, so they are zero in a plain run.
+     They refine — never replace — the counters above:
+     [in_flight_demand_hits + sw_prefetch_late <= in_flight_hits]. *)
+  mutable in_flight_demand_hits : int;
+  mutable sw_prefetch_late : int;
+  mutable sw_prefetch_useful : int;
 }
 
 let create () =
@@ -37,69 +44,89 @@ let create () =
     retired_instructions = 0;
     cycles = 0;
     stall_cycles = 0;
+    in_flight_demand_hits = 0;
+    sw_prefetch_late = 0;
+    sw_prefetch_useful = 0;
   }
 
-let reset t =
-  t.loads <- 0;
-  t.stores <- 0;
-  t.l1_load_misses <- 0;
-  t.l1_store_misses <- 0;
-  t.l2_load_misses <- 0;
-  t.l2_store_misses <- 0;
-  t.dtlb_load_misses <- 0;
-  t.dtlb_store_misses <- 0;
-  t.in_flight_hits <- 0;
-  t.sw_prefetches <- 0;
-  t.sw_prefetches_cancelled <- 0;
-  t.sw_prefetch_useless <- 0;
-  t.guarded_loads <- 0;
-  t.hw_prefetches <- 0;
-  t.retired_instructions <- 0;
-  t.cycles <- 0;
-  t.stall_cycles <- 0
+(* The single canonical field list: one (name, getter, setter) triple per
+   counter. [reset], [copy_into], [add] and the serializers below are all
+   derived from it, so adding a counter means adding exactly one triple
+   here (and the record field) — forgetting the triple is caught by the
+   field-count unit test, which compares [List.length fields] against the
+   runtime size of the record. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
+  [
+    ("loads", (fun t -> t.loads), fun t v -> t.loads <- v);
+    ("stores", (fun t -> t.stores), fun t v -> t.stores <- v);
+    ( "l1_load_misses",
+      (fun t -> t.l1_load_misses),
+      fun t v -> t.l1_load_misses <- v );
+    ( "l1_store_misses",
+      (fun t -> t.l1_store_misses),
+      fun t v -> t.l1_store_misses <- v );
+    ( "l2_load_misses",
+      (fun t -> t.l2_load_misses),
+      fun t v -> t.l2_load_misses <- v );
+    ( "l2_store_misses",
+      (fun t -> t.l2_store_misses),
+      fun t v -> t.l2_store_misses <- v );
+    ( "dtlb_load_misses",
+      (fun t -> t.dtlb_load_misses),
+      fun t v -> t.dtlb_load_misses <- v );
+    ( "dtlb_store_misses",
+      (fun t -> t.dtlb_store_misses),
+      fun t v -> t.dtlb_store_misses <- v );
+    ( "in_flight_hits",
+      (fun t -> t.in_flight_hits),
+      fun t v -> t.in_flight_hits <- v );
+    ("sw_prefetches", (fun t -> t.sw_prefetches), fun t v -> t.sw_prefetches <- v);
+    ( "sw_prefetches_cancelled",
+      (fun t -> t.sw_prefetches_cancelled),
+      fun t v -> t.sw_prefetches_cancelled <- v );
+    ( "sw_prefetch_useless",
+      (fun t -> t.sw_prefetch_useless),
+      fun t v -> t.sw_prefetch_useless <- v );
+    ("guarded_loads", (fun t -> t.guarded_loads), fun t v -> t.guarded_loads <- v);
+    ("hw_prefetches", (fun t -> t.hw_prefetches), fun t v -> t.hw_prefetches <- v);
+    ( "retired_instructions",
+      (fun t -> t.retired_instructions),
+      fun t v -> t.retired_instructions <- v );
+    ("cycles", (fun t -> t.cycles), fun t v -> t.cycles <- v);
+    ("stall_cycles", (fun t -> t.stall_cycles), fun t v -> t.stall_cycles <- v);
+    ( "in_flight_demand_hits",
+      (fun t -> t.in_flight_demand_hits),
+      fun t v -> t.in_flight_demand_hits <- v );
+    ( "sw_prefetch_late",
+      (fun t -> t.sw_prefetch_late),
+      fun t v -> t.sw_prefetch_late <- v );
+    ( "sw_prefetch_useful",
+      (fun t -> t.sw_prefetch_useful),
+      fun t v -> t.sw_prefetch_useful <- v );
+  ]
 
+(* Counters that exist only when telemetry is enabled. Comparisons that
+   must hold across a telemetry-on/off pair (golden tests, the fuzz
+   oracle) compare [core_alist] only. *)
+let telemetry_only =
+  [ "in_flight_demand_hits"; "sw_prefetch_late"; "sw_prefetch_useful" ]
+
+let to_alist t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let core_alist t =
+  List.filter_map
+    (fun (name, get, _) ->
+      if List.mem name telemetry_only then None else Some (name, get t))
+    fields
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) fields
 let copy t = { t with loads = t.loads }
-
-let copy_into t ~into =
-  into.loads <- t.loads;
-  into.stores <- t.stores;
-  into.l1_load_misses <- t.l1_load_misses;
-  into.l1_store_misses <- t.l1_store_misses;
-  into.l2_load_misses <- t.l2_load_misses;
-  into.l2_store_misses <- t.l2_store_misses;
-  into.dtlb_load_misses <- t.dtlb_load_misses;
-  into.dtlb_store_misses <- t.dtlb_store_misses;
-  into.in_flight_hits <- t.in_flight_hits;
-  into.sw_prefetches <- t.sw_prefetches;
-  into.sw_prefetches_cancelled <- t.sw_prefetches_cancelled;
-  into.sw_prefetch_useless <- t.sw_prefetch_useless;
-  into.guarded_loads <- t.guarded_loads;
-  into.hw_prefetches <- t.hw_prefetches;
-  into.retired_instructions <- t.retired_instructions;
-  into.cycles <- t.cycles;
-  into.stall_cycles <- t.stall_cycles
+let copy_into t ~into = List.iter (fun (_, get, set) -> set into (get t)) fields
 
 let add a b =
-  {
-    loads = a.loads + b.loads;
-    stores = a.stores + b.stores;
-    l1_load_misses = a.l1_load_misses + b.l1_load_misses;
-    l1_store_misses = a.l1_store_misses + b.l1_store_misses;
-    l2_load_misses = a.l2_load_misses + b.l2_load_misses;
-    l2_store_misses = a.l2_store_misses + b.l2_store_misses;
-    dtlb_load_misses = a.dtlb_load_misses + b.dtlb_load_misses;
-    dtlb_store_misses = a.dtlb_store_misses + b.dtlb_store_misses;
-    in_flight_hits = a.in_flight_hits + b.in_flight_hits;
-    sw_prefetches = a.sw_prefetches + b.sw_prefetches;
-    sw_prefetches_cancelled =
-      a.sw_prefetches_cancelled + b.sw_prefetches_cancelled;
-    sw_prefetch_useless = a.sw_prefetch_useless + b.sw_prefetch_useless;
-    guarded_loads = a.guarded_loads + b.guarded_loads;
-    hw_prefetches = a.hw_prefetches + b.hw_prefetches;
-    retired_instructions = a.retired_instructions + b.retired_instructions;
-    cycles = a.cycles + b.cycles;
-    stall_cycles = a.stall_cycles + b.stall_cycles;
-  }
+  let r = create () in
+  List.iter (fun (_, get, set) -> set r (get a + get b)) fields;
+  r
 
 let per_instruction t misses =
   if t.retired_instructions = 0 then 0.0
@@ -119,7 +146,12 @@ let pp ppf t =
     t.retired_instructions t.cycles t.stall_cycles t.loads t.stores
     t.l1_load_misses t.l2_load_misses t.dtlb_load_misses t.sw_prefetches
     t.sw_prefetches_cancelled t.sw_prefetch_useless t.guarded_loads
-    t.hw_prefetches
+    t.hw_prefetches;
+  if t.sw_prefetch_useful + t.sw_prefetch_late + t.in_flight_demand_hits > 0
+  then
+    Format.fprintf ppf
+      "@,attributed: useful=%d late=%d (demand-shadowed in-flight=%d)"
+      t.sw_prefetch_useful t.sw_prefetch_late t.in_flight_demand_hits
 
 let pp_mpi ppf t =
   Format.fprintf ppf "L1 %.5f  L2 %.5f  DTLB %.5f" (l1_load_mpi t)

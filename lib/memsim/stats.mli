@@ -27,9 +27,35 @@ type t = {
   mutable retired_instructions : int;
   mutable cycles : int;
   mutable stall_cycles : int;  (** memory stall part of [cycles] *)
+  mutable in_flight_demand_hits : int;
+      (** telemetry only: in-flight hits whose fill was {e not} initiated
+          by an attributed software prefetch (demand or hardware-stream
+          shadowing); zero in a plain run *)
+  mutable sw_prefetch_late : int;
+      (** telemetry only: demand arrived while an attributed software
+          prefetch's fill was still in flight; zero in a plain run *)
+  mutable sw_prefetch_useful : int;
+      (** telemetry only: demand found an attributed software prefetch's
+          line present and ready; zero in a plain run *)
 }
 
 val create : unit -> t
+
+val fields : (string * (t -> int) * (t -> int -> unit)) list
+(** The canonical counter list: one (name, getter, setter) triple per
+    record field, in declaration order. [reset]/[copy_into]/[add] and
+    the serializers are derived from it; a unit test checks its length
+    against the runtime size of the record so a new counter cannot be
+    added without extending it. *)
+
+val telemetry_only : string list
+(** Names of counters maintained only by the [_attr] hierarchy entry
+    points. Telemetry-on/off comparisons must ignore exactly these. *)
+
+val to_alist : t -> (string * int) list
+val core_alist : t -> (string * int) list
+(** [to_alist] minus the {!telemetry_only} counters. *)
+
 val reset : t -> unit
 val copy : t -> t
 

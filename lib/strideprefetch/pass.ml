@@ -1,10 +1,19 @@
 module C = Vm.Classfile
 
+type site_evidence = {
+  site : int;
+  observations : int;  (** address records collected for this site *)
+  delta_histogram : (int * int) list;  (** (delta, count), top first *)
+  top_fraction : float;
+      (** share of the top delta — what the 75%-majority rule tested *)
+}
+
 type loop_report = {
   method_name : string;
   loop_id : int;
   header_block : int;
   candidate_sites : int list;
+  evidence : site_evidence list;
   inter_patterns : (int * Stride.pattern) list;
   intra_patterns : ((int * int) * Stride.pattern) list;
   plan : Codegen.plan;
@@ -24,7 +33,139 @@ let loop_sites cfg loop =
 
 let empty_plan = { Codegen.actions = []; rejected = []; regs_used = 0 }
 
-let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
+(* Per-site inspection evidence: the delta histograms the accept/reject
+   decisions were made from, packaged for the report and the explain
+   records. *)
+let evidence_of (inspection : Inspection.result) candidates =
+  List.filter_map
+    (fun site ->
+      let recs =
+        if site < Array.length inspection.per_site then
+          inspection.per_site.(site)
+        else []
+      in
+      if recs = [] then None
+      else begin
+        let hist = Stride.delta_histogram recs in
+        let total = List.fold_left (fun a (_, c) -> a + c) 0 hist in
+        let top = match hist with (_, c) :: _ -> c | [] -> 0 in
+        Some
+          {
+            site;
+            observations = List.length recs;
+            delta_histogram = hist;
+            top_fraction =
+              (if total = 0 then 0.0
+               else float_of_int top /. float_of_int total);
+          }
+      end)
+    candidates
+
+(* The explain record: one instant event per analyzed loop carrying the
+   decision and its evidence, emitted when a telemetry sink is given. *)
+let explain_instant sink (r : loop_report) =
+  let open Telemetry in
+  let pattern_args =
+    List.map
+      (fun (s, (p : Stride.pattern)) ->
+        ( Printf.sprintf "inter_L%d" s,
+          Json.Str
+            (Printf.sprintf "stride %d (%d/%d)" p.stride p.matched p.samples)
+        ))
+      r.inter_patterns
+    @ List.map
+        (fun ((a, b), (p : Stride.pattern)) ->
+          ( Printf.sprintf "intra_L%d_L%d" a b,
+            Json.Str
+              (Printf.sprintf "stride %d (%d/%d)" p.stride p.matched
+                 p.samples) ))
+        r.intra_patterns
+  in
+  let evidence_args =
+    List.map
+      (fun e ->
+        ( Printf.sprintf "evidence_L%d" e.site,
+          Json.Obj
+            [
+              ("observations", Json.Int e.observations);
+              ("top_fraction", Json.Float e.top_fraction);
+              ( "deltas",
+                Json.List
+                  (List.map
+                     (fun (d, c) ->
+                       Json.Obj
+                         [ ("delta", Json.Int d); ("count", Json.Int c) ])
+                     e.delta_histogram) );
+            ] ))
+      r.evidence
+  in
+  Sink.instant sink ~cat:"explain" "loop-decision"
+    ~args:
+      ([
+         ("method", Json.Str r.method_name);
+         ("loop", Json.Int r.loop_id);
+         ("header_block", Json.Int r.header_block);
+         ("promoted", Json.Bool r.promoted);
+         ("skipped_low_trip", Json.Bool r.skipped_low_trip);
+         ("iterations", Json.Int r.iterations_observed);
+         ("inspection_steps", Json.Int r.inspection_steps);
+         ( "candidates",
+           Json.List (List.map (fun s -> Json.Int s) r.candidate_sites) );
+         ("actions", Json.Int (List.length r.plan.actions));
+         ( "rejected",
+           Json.List
+             (List.map
+                (fun (s, reason) ->
+                  Json.Obj
+                    [ ("site", Json.Int s); ("reason", Json.Str reason) ])
+                r.plan.rejected) );
+       ]
+      @ pattern_args @ evidence_args)
+
+(* Register compile-time provenance for every prefetch instruction the
+   plan will splice, under the same structural keys the interpreter
+   resolves at execution time. *)
+let register_plan registry ~(meth : C.method_info) ~loop_id
+    (plan : Codegen.plan) =
+  let open Telemetry.Attrib in
+  let mid = meth.method_id in
+  let meta kind ~anchor ~target =
+    {
+      method_name = meth.method_name;
+      loop_id;
+      kind;
+      anchor_site = anchor;
+      target_site = target;
+    }
+  in
+  List.iter
+    (fun (a : Codegen.action) ->
+      match a.kind with
+      | Codegen.Prefetch_direct _ ->
+          register registry
+            (Inter_site { method_id = mid; site = a.anchor_site })
+            (meta Inter ~anchor:a.anchor_site ~target:a.anchor_site)
+      | Codegen.Prefetch_phased _ ->
+          register registry
+            (Dynamic_site { method_id = mid; site = a.anchor_site })
+            (meta Phased ~anchor:a.anchor_site ~target:a.anchor_site)
+      | Codegen.Prefetch_deref { reg = r; targets; _ } ->
+          register registry
+            (Spec_site { method_id = mid; site = a.anchor_site; reg = r })
+            (meta Spec ~anchor:a.anchor_site ~target:a.anchor_site);
+          List.iter
+            (fun (tgt : Codegen.deref_target) ->
+              register registry
+                (Indirect_site
+                   { method_id = mid; reg = r; offset = tgt.offset })
+                (meta
+                   (if tgt.via_intra then Intra else Deref)
+                   ~anchor:a.anchor_site ~target:tgt.target_site))
+            targets)
+    plan.actions
+
+let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
+    ~rewrite () =
   let program = Vm.Interp.program interp in
   let code = meth.code in
   if Array.length code = 0 then []
@@ -46,6 +187,10 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
       let reports = ref [] in
       let plans = ref [] in
       let next_reg = ref meth.n_pref_regs in
+      let push_report r =
+        reports := r :: !reports;
+        match sink with Some s -> explain_instant s r | None -> ()
+      in
       List.iter
         (fun (loop : Jit.Loops.loop) ->
           let own = loop_sites cfg loop in
@@ -65,21 +210,35 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
             |> List.sort_uniq compare
           in
           let inspection =
-            Inspection.inspect ~program ~heap ~globals ~opts ~cfg ~forest
-              ~target:loop ~meth ~args
+            let run () =
+              Inspection.inspect ~program ~heap ~globals ~opts ~cfg ~forest
+                ~target:loop ~meth ~args
+            in
+            match sink with
+            | None -> run ()
+            | Some s ->
+                Telemetry.Sink.span s ~cat:"inspect"
+                  ~args:
+                    [
+                      ("method", Telemetry.Json.Str meth.method_name);
+                      ("loop", Telemetry.Json.Int loop.loop_id);
+                    ]
+                  "inspect" run
           in
+          let evidence = evidence_of inspection candidates in
           let small_trip =
             inspection.natural_exit
             && inspection.iterations < opts.small_trip_count
           in
           if small_trip && loop.parent <> None then begin
             Hashtbl.replace promoted_sites loop.loop_id candidates;
-            reports :=
+            push_report
               {
                 method_name = meth.method_name;
                 loop_id = loop.loop_id;
                 header_block = loop.header;
                 candidate_sites = candidates;
+                evidence;
                 inter_patterns = [];
                 intra_patterns = [];
                 plan = empty_plan;
@@ -88,15 +247,15 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
               }
-              :: !reports
           end
           else if small_trip then
-            reports :=
+            push_report
               {
                 method_name = meth.method_name;
                 loop_id = loop.loop_id;
                 header_block = loop.header;
                 candidate_sites = candidates;
+                evidence;
                 inter_patterns = [];
                 intra_patterns = [];
                 plan = empty_plan;
@@ -105,7 +264,6 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
               }
-              :: !reports
           else begin
             let ldg = Ldg.build infos ~sites:candidates in
             let trace site =
@@ -127,11 +285,27 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
             in
             let phased site = Stride.phased ~opts (trace site) in
             let plan =
-              Codegen.plan ~opts ~machine ~code ~ldg ~inter ~intra ~phased
-                ~first_reg:!next_reg
+              let run () =
+                Codegen.plan ~opts ~machine ~code ~ldg ~inter ~intra ~phased
+                  ~first_reg:!next_reg
+              in
+              match sink with
+              | None -> run ()
+              | Some s ->
+                  Telemetry.Sink.span s ~cat:"pass"
+                    ~args:
+                      [
+                        ("method", Telemetry.Json.Str meth.method_name);
+                        ("loop", Telemetry.Json.Int loop.loop_id);
+                      ]
+                    "codegen" run
             in
             next_reg := !next_reg + plan.regs_used;
             plans := plan :: !plans;
+            (match registry with
+            | Some reg when rewrite ->
+                register_plan reg ~meth ~loop_id:loop.loop_id plan
+            | Some _ | None -> ());
             let inter_patterns =
               List.filter_map
                 (fun s -> Option.map (fun p -> (s, p)) (inter s))
@@ -146,12 +320,13 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
                     (Ldg.succs ldg s))
                 (Ldg.sites ldg)
             in
-            reports :=
+            push_report
               {
                 method_name = meth.method_name;
                 loop_id = loop.loop_id;
                 header_block = loop.header;
                 candidate_sites = candidates;
+                evidence;
                 inter_patterns;
                 intra_patterns;
                 plan;
@@ -160,7 +335,6 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
               }
-              :: !reports
           end)
         (Jit.Loops.postorder forest);
       if rewrite && List.exists (fun p -> p.Codegen.actions <> []) !plans
@@ -176,25 +350,25 @@ let process ~opts ~interp ~(meth : C.method_info) ~args ~rewrite =
     end
   end
 
-let run ~opts ~interp ~meth ~args =
+let run ?registry ?sink ~opts ~interp ~meth ~args () =
   match opts.Options.mode with
   | Options.Off -> []
   | Options.Inter | Options.Inter_intra ->
-      process ~opts ~interp ~meth ~args ~rewrite:true
+      process ?registry ?sink ~opts ~interp ~meth ~args ~rewrite:true ()
 
-let analyze_only ~opts ~interp ~meth ~args =
+let analyze_only ?registry ?sink ~opts ~interp ~meth ~args () =
   match opts.Options.mode with
   | Options.Off -> []
   | Options.Inter | Options.Inter_intra ->
-      process ~opts ~interp ~meth ~args ~rewrite:false
+      process ?registry ?sink ~opts ~interp ~meth ~args ~rewrite:false ()
 
-let make_pass ~opts ~interp ?report_sink () =
+let make_pass ~opts ~interp ?report_sink ?registry ?sink () =
   {
     Jit.Pipeline.pass_name = "stride-prefetch";
     apply =
       (fun meth args ->
-        let reports = run ~opts ~interp ~meth ~args in
-        match report_sink with Some sink -> sink reports | None -> ());
+        let reports = run ?registry ?sink ~opts ~interp ~meth ~args () in
+        match report_sink with Some f -> f reports | None -> ());
   }
 
 let pp_report ppf r =
@@ -207,6 +381,23 @@ let pp_report ppf r =
   Format.fprintf ppf "candidates: %s@,"
     (String.concat ", "
        (List.map (Printf.sprintf "L%d") r.candidate_sites));
+  (* Inspection evidence: the per-site delta histograms the 75%-majority
+     test was applied to. Show the leading deltas. *)
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  List.iter
+    (fun e ->
+      let shown = take 4 e.delta_histogram in
+      let omitted = List.length e.delta_histogram - List.length shown in
+      Format.fprintf ppf "evidence L%d: %d obs, deltas %s%s (top %.0f%%)@,"
+        e.site e.observations
+        (String.concat ", "
+           (List.map (fun (d, c) -> Printf.sprintf "%+dx%d" d c) shown))
+        (if omitted > 0 then Printf.sprintf " (+%d more)" omitted else "")
+        (100.0 *. e.top_fraction))
+    r.evidence;
   List.iter
     (fun (s, p) -> Format.fprintf ppf "inter L%d: %a@," s Stride.pp p)
     r.inter_patterns;

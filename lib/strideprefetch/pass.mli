@@ -8,11 +8,21 @@
     are promoted into the enclosing loop's candidate set, "considered
     again as if they were in the parent loop". *)
 
+type site_evidence = {
+  site : int;
+  observations : int;  (** address records collected for this site *)
+  delta_histogram : (int * int) list;  (** (delta, count), top first *)
+  top_fraction : float;
+      (** share of the top delta — what the 75%-majority rule tested *)
+}
+
 type loop_report = {
   method_name : string;
   loop_id : int;
   header_block : int;
   candidate_sites : int list;
+  evidence : site_evidence list;
+      (** per-site inspection evidence behind the decisions below *)
   inter_patterns : (int * Stride.pattern) list;
   intra_patterns : ((int * int) * Stride.pattern) list;
   plan : Codegen.plan;
@@ -23,28 +33,43 @@ type loop_report = {
 }
 
 val run :
+  ?registry:Telemetry.Attrib.t ->
+  ?sink:Telemetry.Sink.t ->
   opts:Options.t ->
   interp:Vm.Interp.t ->
   meth:Vm.Classfile.method_info ->
   args:Vm.Value.t array ->
+  unit ->
   loop_report list
 (** Analyze and (unless [opts.mode = Off] or nothing qualified) rewrite
     [meth.code] in place, splicing prefetch sequences and setting
-    [meth.n_pref_regs]. Returns one report per loop processed. *)
+    [meth.n_pref_regs]. Returns one report per loop processed.
+
+    [?registry] records decision provenance for each spliced prefetch
+    instruction (strategy kind, anchor/target load sites, loop) under the
+    structural keys the interpreter resolves at execution — the join the
+    effectiveness report is built on. [?sink] records inspection and
+    per-loop codegen spans plus one ["loop-decision"] explain instant per
+    loop, carrying the evidence of {!loop_report.evidence}. *)
 
 val make_pass :
   opts:Options.t ->
   interp:Vm.Interp.t ->
   ?report_sink:(loop_report list -> unit) ->
+  ?registry:Telemetry.Attrib.t ->
+  ?sink:Telemetry.Sink.t ->
   unit ->
   Jit.Pipeline.pass
 (** Package {!run} as a pipeline pass named ["stride-prefetch"]. *)
 
 val analyze_only :
+  ?registry:Telemetry.Attrib.t ->
+  ?sink:Telemetry.Sink.t ->
   opts:Options.t ->
   interp:Vm.Interp.t ->
   meth:Vm.Classfile.method_info ->
   args:Vm.Value.t array ->
+  unit ->
   loop_report list
 (** Like {!run} but never rewrites the method (used by examples to show
     what would be generated). *)

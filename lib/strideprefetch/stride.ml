@@ -107,6 +107,24 @@ let phased ~(opts : Options.t) records =
         else []
   end
 
+(* The evidence behind [inter]/[phased] decisions, surfaced by the
+   explain records: the histogram of consecutive-execution address deltas
+   of one site's records, by descending count (ties by delta value). *)
+let delta_histogram records =
+  let rec strides acc = function
+    | (_, a) :: ((_, b) :: _ as rest) -> strides ((b - a) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace counts s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+    (strides [] records);
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) counts []
+  |> List.sort (fun (d1, c1) (d2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare d1 d2)
+
 let pp ppf p =
   Format.fprintf ppf "stride %d (%d/%d = %.0f%%)" p.stride p.matched p.samples
     (100.0 *. confidence p)

@@ -45,4 +45,11 @@ val phased : opts:Options.t -> (int * int) list -> pattern list
     phases by descending sample count, or [[]] for single-stride or
     irregular loads. *)
 
+val delta_histogram : (int * int) list -> (int * int) list
+(** [(delta, count)] histogram of the consecutive-execution address
+    deltas of one site's [(iteration, address)] records, sorted by
+    descending count (ties by delta). This is the raw evidence the
+    {!inter}/{!phased} decisions are made from; the pass embeds it in
+    explain records. *)
+
 val pp : Format.formatter -> pattern -> unit

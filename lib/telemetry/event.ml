@@ -1,0 +1,35 @@
+(* One telemetry event. Spans carry both clocks: host wall time (what the
+   Chrome trace renders on its timeline) and the simulated cycle counter
+   (what the paper's evaluation is denominated in), so a pass's compile
+   cost and the simulated time it bought can be read off the same
+   record. *)
+
+type phase =
+  | Span  (** a closed interval: compile, pass, inspection, GC, ... *)
+  | Instant  (** a point event: explain-record, plan emission, ... *)
+  | Counter  (** a sampled set of named values *)
+
+type t = {
+  name : string;
+  cat : string;  (** coarse grouping: "jit", "pass", "inspect", "gc", ... *)
+  phase : phase;
+  ts_us : float;  (** host wall-clock, microseconds since sink creation *)
+  dur_us : float;  (** spans only; 0 otherwise *)
+  cycles_begin : int;  (** simulated cycle counter when the event began *)
+  cycles_end : int;  (** spans only; = [cycles_begin] otherwise *)
+  args : (string * Json.t) list;
+}
+
+let dummy =
+  {
+    name = "";
+    cat = "";
+    phase = Instant;
+    ts_us = 0.0;
+    dur_us = 0.0;
+    cycles_begin = 0;
+    cycles_end = 0;
+    args = [];
+  }
+
+let phase_letter = function Span -> "X" | Instant -> "i" | Counter -> "C"

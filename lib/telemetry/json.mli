@@ -1,0 +1,25 @@
+(** Minimal JSON values for the telemetry pipeline: rendering for the
+    Chrome-trace / JSONL exporters and a small parser for the
+    well-formedness tests. No external JSON library is required. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Strict parser: the whole string must be one JSON value. [Error]
+    carries a message with a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any. *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

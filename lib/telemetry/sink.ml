@@ -1,0 +1,90 @@
+(* The telemetry sink: a preallocated event ring plus the two clocks.
+
+   Everything that records telemetry takes a sink *option*: [None] is the
+   zero-cost disabled state (the instrumented code does not even compute
+   its event arguments), [Some sink] records into the ring. The golden
+   tests assert that threading a sink through a run leaves every simulated
+   cycle and stats counter bit-identical — telemetry observes the
+   simulation, never participates in it. *)
+
+type t = {
+  ring : Event.t Ring.t;
+  t0 : float;  (** Unix.gettimeofday at creation; event ts are relative *)
+  mutable cycle_source : unit -> int;
+      (** reads the simulated cycle counter; installed by the harness once
+          the interpreter exists *)
+}
+
+let create ?(capacity = 65536) () =
+  {
+    ring = Ring.create ~capacity ~dummy:Event.dummy;
+    t0 = Unix.gettimeofday ();
+    cycle_source = (fun () -> 0);
+  }
+
+let set_cycle_source t f = t.cycle_source <- f
+let now_us t = (Unix.gettimeofday () -. t.t0) *. 1e6
+let cycles t = t.cycle_source ()
+
+let add_span t ?(cat = "") ?(args = []) ~name ~ts_us ~dur_us ~cycles_begin
+    ~cycles_end () =
+  Ring.add t.ring
+    {
+      Event.name;
+      cat;
+      phase = Event.Span;
+      ts_us;
+      dur_us;
+      cycles_begin;
+      cycles_end;
+      args;
+    }
+
+let span t ?cat ?args name f =
+  let ts_us = now_us t in
+  let cycles_begin = cycles t in
+  let finish () =
+    add_span t ?cat ?args ~name ~ts_us ~dur_us:(now_us t -. ts_us)
+      ~cycles_begin ~cycles_end:(cycles t) ()
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let instant t ?(cat = "") ?(args = []) name =
+  let ts_us = now_us t in
+  let c = cycles t in
+  Ring.add t.ring
+    {
+      Event.name;
+      cat;
+      phase = Event.Instant;
+      ts_us;
+      dur_us = 0.0;
+      cycles_begin = c;
+      cycles_end = c;
+      args;
+    }
+
+let counter t ?(cat = "") name args =
+  let ts_us = now_us t in
+  let c = cycles t in
+  Ring.add t.ring
+    {
+      Event.name;
+      cat;
+      phase = Event.Counter;
+      ts_us;
+      dur_us = 0.0;
+      cycles_begin = c;
+      cycles_end = c;
+      args;
+    }
+
+let events t = Ring.to_list t.ring
+let total_events t = Ring.total t.ring
+let dropped t = Ring.dropped t.ring

@@ -1,0 +1,51 @@
+(** The telemetry sink: a preallocated event ring plus the two clocks
+    (host wall time and the simulated cycle counter).
+
+    Everything that records telemetry takes a sink [option]: [None] is the
+    zero-cost disabled state, [Some sink] records into the ring. Telemetry
+    observes the simulation and never participates in it — the golden tests
+    assert that threading a sink through a run leaves every simulated cycle
+    and stats counter bit-identical. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 65536 events; the ring overwrites its oldest
+    entries on wrap and counts them in [dropped]. *)
+
+val set_cycle_source : t -> (unit -> int) -> unit
+(** Install the reader of the simulated cycle counter; the harness does
+    this once the interpreter exists. Before installation, cycles read
+    as 0. *)
+
+val now_us : t -> float
+(** Host wall-clock microseconds since the sink was created. *)
+
+val cycles : t -> int
+(** Current simulated cycle count, via the installed source. *)
+
+val add_span :
+  t ->
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  name:string ->
+  ts_us:float ->
+  dur_us:float ->
+  cycles_begin:int ->
+  cycles_end:int ->
+  unit ->
+  unit
+
+val span :
+  t -> ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()] and records a span covering it on both
+    clocks. The span is recorded whether [f] returns or raises. *)
+
+val instant : t -> ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+val counter : t -> ?cat:string -> string -> (string * Json.t) list -> unit
+
+val events : t -> Event.t list
+(** Oldest-first snapshot of the retained window. *)
+
+val total_events : t -> int
+val dropped : t -> int

@@ -21,6 +21,17 @@ let default_options machine =
     unguarded_spec_loads = false;
   }
 
+(* Telemetry wiring, bundled so the disabled state is a single [None]
+   test on the hot paths. [attrib] is memsim's int-keyed effectiveness
+   table; [registry] maps the interpreter's structural prefetch-site
+   keys to the dense ids [attrib] speaks; [tsink] (optional even when
+   attribution is on) receives GC spans. *)
+type telemetry = {
+  attrib : Memsim.Attribution.t;
+  registry : Telemetry.Attrib.t;
+  tsink : Telemetry.Sink.t option;
+}
+
 type t = {
   program : Classfile.program;
   heap : Heap.t;
@@ -52,6 +63,9 @@ type t = {
   mutable spec_guard_trips : int;
       (** spec_loads whose target fell outside every live object: the
           guard fired and [Null] was substituted (benign by design) *)
+  mutable telem : telemetry option;
+      (** [None] (the default) selects the plain hierarchy entry points:
+          telemetry off costs one immediate-constant test per access *)
 }
 
 exception Vm_error of string
@@ -80,6 +94,7 @@ let create ?options machine program =
     steps = 0;
     faulting_prefetches = 0;
     spec_guard_trips = 0;
+    telem = None;
   }
 
 let program t = t.program
@@ -97,6 +112,22 @@ let interpreted_cycles t = t.interpreted_cycles
 let compiled_cycles t = t.compiled_cycles
 let faulting_prefetches t = t.faulting_prefetches
 let spec_guard_trips t = t.spec_guard_trips
+
+let set_telemetry t ~registry ?sink () =
+  let attrib = Memsim.Attribution.create () in
+  (match sink with
+  | Some s ->
+      Telemetry.Sink.set_cycle_source s (fun () -> t.stats.cycles)
+  | None -> ());
+  t.telem <- Some { attrib; registry; tsink = sink }
+
+let attribution t =
+  match t.telem with Some tl -> Some tl.attrib | None -> None
+
+let finalize_telemetry t =
+  match t.telem with
+  | Some tl -> Memsim.Attribution.flush tl.attrib
+  | None -> ()
 
 (* Every address a prefetch-type instruction computes flows through here;
    a negative address can only come from broken distance/offset arithmetic
@@ -131,10 +162,39 @@ let observe_load t (frame : Frame.t) ~site ~addr =
   | None -> ()
 
 let demand t frame ~addr ~kind =
-  let stall = Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t) in
+  let stall =
+    match t.telem with
+    | None -> Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t)
+    | Some tl ->
+        Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
+          ~kind ~now:(now t) ~dkey:(-1)
+  in
+  if stall > 0 then charge_stall t frame stall
+
+(* A demand load at a numbered load site. Under telemetry its memory
+   misses are bucketed by the packed (method, site) key — the coverage
+   denominator for prefetches registered against that site. *)
+let demand_load t (frame : Frame.t) ~addr ~site =
+  let stall =
+    match t.telem with
+    | None ->
+        Memsim.Hierarchy.demand_access t.mem ~addr ~kind:`Load ~now:(now t)
+    | Some tl ->
+        let dkey =
+          Telemetry.Attrib.demand_key ~method_id:frame.method_info.method_id
+            ~site
+        in
+        Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
+          ~kind:`Load ~now:(now t) ~dkey
+  in
   if stall > 0 then charge_stall t frame stall
 
 let collect_garbage t =
+  let ts_us, cycles_begin =
+    match t.telem with
+    | Some { tsink = Some s; _ } -> (Telemetry.Sink.now_us s, t.stats.cycles)
+    | _ -> (0.0, 0)
+  in
   let roots =
     List.concat_map Frame.roots t.frames
     @ Array.to_list t.globals
@@ -152,7 +212,27 @@ let collect_garbage t =
      list, so a newly added counter cannot silently desync here. *)
   let saved = Memsim.Stats.copy t.stats in
   Memsim.Hierarchy.reset t.mem;
-  Memsim.Stats.copy_into saved ~into:t.stats
+  Memsim.Stats.copy_into saved ~into:t.stats;
+  match t.telem with
+  | None -> ()
+  | Some tl ->
+      (* The shadow tables speak pre-compaction line indices: any fill
+         still untracked is useless by definition now. *)
+      Memsim.Attribution.flush tl.attrib;
+      (match tl.tsink with
+      | Some s ->
+          Telemetry.Sink.add_span s ~cat:"gc" ~name:"gc"
+            ~args:
+              [
+                ("live", Telemetry.Json.Int result.live);
+                ("collected", Telemetry.Json.Int result.collected);
+                ("gc_count", Telemetry.Json.Int t.gc_count);
+                ("gc_cycles", Telemetry.Json.Int cycles);
+              ]
+            ~ts_us
+            ~dur_us:(Telemetry.Sink.now_us s -. ts_us)
+            ~cycles_begin ~cycles_end:t.stats.cycles ()
+      | None -> ())
 
 let allocate t frame alloc =
   let id =
@@ -190,7 +270,7 @@ let compare_int (c : Bytecode.cmp) a b =
    the element address. Charges the length-load access. *)
 let array_access t frame ~len_site ~id ~index =
   let len_addr = Heap.length_addr t.heap id in
-  demand t frame ~addr:len_addr ~kind:`Load;
+  demand_load t frame ~addr:len_addr ~site:len_site;
   observe_load t frame ~site:len_site ~addr:len_addr;
   let len = Heap.array_length t.heap id in
   if index < 0 || index >= len then
@@ -349,7 +429,7 @@ and exec t (frame : Frame.t) =
     | Getfield { site; offset; name = _; is_ref = _ } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in
-        demand t frame ~addr ~kind:`Load;
+        demand_load t frame ~addr ~site;
         observe_load t frame ~site ~addr;
         let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
         Frame.push frame (Heap.get_field t.heap id slot)
@@ -362,7 +442,7 @@ and exec t (frame : Frame.t) =
         Heap.set_field t.heap id slot v
     | Getstatic { site; index; name = _; is_ref = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
-        demand t frame ~addr ~kind:`Load;
+        demand_load t frame ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame t.globals.(index)
     | Putstatic { index; name = _ } ->
@@ -375,7 +455,7 @@ and exec t (frame : Frame.t) =
         let index = Frame.pop_int frame in
         let id = as_ref frame (Frame.pop frame) in
         let addr = array_access t frame ~len_site ~id ~index in
-        demand t frame ~addr ~kind:`Load;
+        demand_load t frame ~addr ~site:elem_site;
         observe_load t frame ~site:elem_site ~addr;
         Frame.push frame (Heap.get_elem t.heap id index)
     | Aastore { len_site } | Iastore { len_site } ->
@@ -390,7 +470,7 @@ and exec t (frame : Frame.t) =
     | Arraylength { site } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.length_addr t.heap id in
-        demand t frame ~addr ~kind:`Load;
+        demand_load t frame ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame (Value.Int (Heap.array_length t.heap id))
     | New class_id ->
@@ -429,7 +509,16 @@ and exec t (frame : Frame.t) =
         if anchor >= 0 then begin
           let addr = anchor + distance in
           audit_prefetch_addr t addr;
-          Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+          match t.telem with
+          | None -> Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+          | Some tl ->
+              let sid =
+                Telemetry.Attrib.site_id tl.registry
+                  (Telemetry.Attrib.Inter_site
+                     { method_id = m.method_id; site })
+              in
+              Memsim.Hierarchy.sw_prefetch_attr t.mem ~attrib:tl.attrib
+                ~addr ~now:(now t) ~site:sid
         end
     | Spec_load { site; distance; reg } ->
         charge t frame (max 0 (t.opts.machine.guarded_load_cost - base_cost));
@@ -437,7 +526,16 @@ and exec t (frame : Frame.t) =
         if anchor >= 0 then begin
           let addr = anchor + distance in
           audit_prefetch_addr t addr;
-          Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t);
+          (match t.telem with
+          | None -> Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t)
+          | Some tl ->
+              let sid =
+                Telemetry.Attrib.site_id tl.registry
+                  (Telemetry.Attrib.Spec_site
+                     { method_id = m.method_id; site; reg })
+              in
+              Memsim.Hierarchy.guarded_load_attr t.mem ~attrib:tl.attrib
+                ~addr ~now:(now t) ~site:sid);
           let v =
             match Heap.value_at t.heap addr with
             | Some v -> v
@@ -466,7 +564,16 @@ and exec t (frame : Frame.t) =
         if addr >= 0 && prev >= 0 && addr <> prev then begin
           let target = addr + ((addr - prev) * times) in
           audit_prefetch_addr t target;
-          Memsim.Hierarchy.sw_prefetch t.mem ~addr:target ~now:(now t)
+          match t.telem with
+          | None -> Memsim.Hierarchy.sw_prefetch t.mem ~addr:target ~now:(now t)
+          | Some tl ->
+              let sid =
+                Telemetry.Attrib.site_id tl.registry
+                  (Telemetry.Attrib.Dynamic_site
+                     { method_id = m.method_id; site })
+              in
+              Memsim.Hierarchy.sw_prefetch_attr t.mem ~attrib:tl.attrib
+                ~addr:target ~now:(now t) ~site:sid
         end
     | Prefetch_indirect { reg; offset; guarded } ->
         let cost =
@@ -475,12 +582,26 @@ and exec t (frame : Frame.t) =
         in
         charge t frame (max 0 (cost - base_cost));
         (match frame.pref_regs.(reg) with
-        | Value.Ref id when Heap.exists t.heap id ->
+        | Value.Ref id when Heap.exists t.heap id -> (
             let addr = Heap.base_of t.heap id + offset in
             audit_prefetch_addr t addr;
-            if guarded then
-              Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t)
-            else Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+            match t.telem with
+            | None ->
+                if guarded then
+                  Memsim.Hierarchy.guarded_load t.mem ~addr ~now:(now t)
+                else Memsim.Hierarchy.sw_prefetch t.mem ~addr ~now:(now t)
+            | Some tl ->
+                let sid =
+                  Telemetry.Attrib.site_id tl.registry
+                    (Telemetry.Attrib.Indirect_site
+                       { method_id = m.method_id; reg; offset })
+                in
+                if guarded then
+                  Memsim.Hierarchy.guarded_load_attr t.mem ~attrib:tl.attrib
+                    ~addr ~now:(now t) ~site:sid
+                else
+                  Memsim.Hierarchy.sw_prefetch_attr t.mem ~attrib:tl.attrib
+                    ~addr ~now:(now t) ~site:sid)
         | Value.Ref _ | Value.Int _ | Value.Null -> ()));
     ()
   done;

@@ -72,6 +72,23 @@ val faulting_prefetches : t -> int
     distance/offset arithmetic in generated prefetch code; the fuzzing
     oracle asserts this stays zero in every configuration. *)
 
+val set_telemetry : t -> registry:Telemetry.Attrib.t -> ?sink:Telemetry.Sink.t -> unit -> unit
+(** Enable effectiveness attribution: all memory traffic is routed
+    through the hierarchy's [_attr] entry points, classifying every
+    software prefetch against a fresh {!Memsim.Attribution.t} (readable
+    via {!attribution}). Prefetch sites are resolved in [registry];
+    demand-load misses are bucketed by (method, site). When [sink] is
+    given its cycle source is installed and GC spans are recorded.
+    Attribution changes no simulated state: cycles and all core stats
+    counters stay bit-identical to a plain run. *)
+
+val attribution : t -> Memsim.Attribution.t option
+(** The attribution table installed by {!set_telemetry}, if any. *)
+
+val finalize_telemetry : t -> unit
+(** Settle the attribution books at end of run: still-untouched prefetch
+    fills are classified useless. Call before reading {!attribution}. *)
+
 val spec_guard_trips : t -> int
 (** [spec_load]s whose target address fell outside every live object, so
     the guard substituted [Null]. Expected and benign (speculation runs

@@ -1,0 +1,257 @@
+(* The join of the three telemetry views into the paper-facing
+   effectiveness report: the pass's compile-time provenance
+   (Telemetry.Attrib metas), the interpreter's execution identity (dense
+   site ids in the same registry), and memsim's outcome classification
+   (Memsim.Attribution counters and demand-miss buckets).
+
+   Per site and per strategy kind it reports
+
+   - {b accuracy} = useful / issued: of the prefetches this site issued,
+     how many converted a demand miss into a hit;
+   - {b coverage} = useful / (useful + remaining memory misses at the
+     registered target load site): of the misses the prefetch was meant
+     to eliminate, how many it did eliminate. A useful prefetch is a
+     miss that no longer happens, so useful + remaining misses
+     reconstructs the baseline miss count without a second run. *)
+
+module A = Telemetry.Attrib
+
+type site_row = {
+  site_id : int;
+  key : A.key;
+  meta : A.meta option;  (** None: issued but never registered (bug) *)
+  counters : Memsim.Attribution.site_counters;
+  target_misses : int;
+      (** remaining demand memory misses at the registered target site *)
+  coverage : float;
+  accuracy : float;
+}
+
+type kind_rollup = {
+  kind_name : string;
+  sites : int;
+  issued : int;
+  useful : int;
+  late : int;
+  useless : int;
+  cancelled : int;
+  redundant : int;
+  kind_coverage : float;
+  kind_accuracy : float;
+}
+
+type t = {
+  rows : site_row list;
+  kinds : kind_rollup list;
+  totals : Memsim.Attribution.site_counters;
+  total_coverage : float;
+  total_accuracy : float;
+  unattributed_misses : int;
+      (** demand memory misses outside any numbered load site *)
+}
+
+let ratio num den =
+  if den <= 0 then 0.0 else float_of_int num /. float_of_int den
+
+let method_id_of_key = function
+  | A.Inter_site { method_id; _ }
+  | A.Dynamic_site { method_id; _ }
+  | A.Spec_site { method_id; _ }
+  | A.Indirect_site { method_id; _ } ->
+      method_id
+
+let target_key_of meta key =
+  A.demand_key ~method_id:(method_id_of_key key)
+    ~site:meta.A.target_site
+
+let build ~registry ~attrib =
+  let n = A.n_sites registry in
+  let rows =
+    List.init n (fun id ->
+        let key = A.key_of_id registry id in
+        let meta = A.meta_of_key registry key in
+        let counters = Memsim.Attribution.site_counters attrib id in
+        let target_misses =
+          match meta with
+          | Some m ->
+              Memsim.Attribution.demand_misses_for attrib
+                ~key:(target_key_of m key)
+          | None -> 0
+        in
+        {
+          site_id = id;
+          key;
+          meta;
+          counters;
+          target_misses;
+          coverage =
+            ratio counters.useful (counters.useful + target_misses);
+          accuracy = ratio counters.useful counters.issued;
+        })
+  in
+  let kind_of row =
+    match row.meta with Some m -> A.kind_name m.A.kind | None -> "unknown"
+  in
+  let kind_names =
+    List.sort_uniq compare (List.map kind_of rows)
+  in
+  let kinds =
+    List.map
+      (fun kname ->
+        let members = List.filter (fun r -> kind_of r = kname) rows in
+        let sum f = List.fold_left (fun acc r -> acc + f r) 0 members in
+        let issued = sum (fun r -> r.counters.issued) in
+        let useful = sum (fun r -> r.counters.useful) in
+        (* Distinct target demand sites only: several prefetch sites may
+           cover the same load, and its remaining misses must not be
+           double counted in the coverage denominator. *)
+        let target_misses =
+          List.filter_map
+            (fun r ->
+              match r.meta with
+              | Some m -> Some (target_key_of m r.key, r.target_misses)
+              | None -> None)
+            members
+          |> List.sort_uniq compare
+          |> List.fold_left (fun acc (_, misses) -> acc + misses) 0
+        in
+        {
+          kind_name = kname;
+          sites = List.length members;
+          issued;
+          useful;
+          late = sum (fun r -> r.counters.late);
+          useless = sum (fun r -> r.counters.useless);
+          cancelled = sum (fun r -> r.counters.cancelled);
+          redundant = sum (fun r -> r.counters.redundant);
+          kind_coverage = ratio useful (useful + target_misses);
+          kind_accuracy = ratio useful issued;
+        })
+      kind_names
+  in
+  let totals = Memsim.Attribution.totals attrib in
+  let all_misses =
+    List.fold_left
+      (fun acc (_, m) -> acc + m)
+      0
+      (Memsim.Attribution.demand_miss_buckets attrib)
+  in
+  let unattributed_misses =
+    Memsim.Attribution.demand_misses_for attrib ~key:(-1)
+  in
+  {
+    rows;
+    kinds;
+    totals;
+    total_coverage = ratio totals.useful (totals.useful + all_misses);
+    total_accuracy = ratio totals.useful totals.issued;
+    unattributed_misses;
+  }
+
+let pp_key = A.pp_key
+
+let pp_row ppf r =
+  let kind, loop =
+    match r.meta with
+    | Some m -> (A.kind_name m.A.kind, string_of_int m.A.loop_id)
+    | None -> ("?", "?")
+  in
+  Format.fprintf ppf
+    "%-24s %-7s %4s %7d %7d %6d %7d %6d %6d %7d   %5.1f%%  %5.1f%%"
+    (Format.asprintf "%a" pp_key r.key)
+    kind loop r.counters.issued r.counters.useful r.counters.late
+    r.counters.useless r.counters.cancelled r.counters.redundant
+    r.target_misses (100.0 *. r.coverage) (100.0 *. r.accuracy)
+
+let pp_table ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "%-24s %-7s %4s %7s %7s %6s %7s %6s %6s %7s   %6s  %6s@," "site" "kind"
+    "loop" "issued" "useful" "late" "useless" "cancel" "redund" "misses"
+    "cover" "accur";
+  List.iter (fun r -> Format.fprintf ppf "%a@," pp_row r) t.rows;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun k ->
+      Format.fprintf ppf
+        "kind %-7s: %d site%s, issued=%d useful=%d late=%d useless=%d \
+         cancelled=%d redundant=%d  coverage=%.1f%% accuracy=%.1f%%@,"
+        k.kind_name k.sites
+        (if k.sites = 1 then "" else "s")
+        k.issued k.useful k.late k.useless k.cancelled k.redundant
+        (100.0 *. k.kind_coverage)
+        (100.0 *. k.kind_accuracy))
+    t.kinds;
+  Format.fprintf ppf
+    "total: issued=%d useful=%d late=%d useless=%d cancelled=%d \
+     redundant=%d  coverage=%.1f%% accuracy=%.1f%%  (unattributed \
+     misses=%d)@]"
+    t.totals.issued t.totals.useful t.totals.late t.totals.useless
+    t.totals.cancelled t.totals.redundant
+    (100.0 *. t.total_coverage)
+    (100.0 *. t.total_accuracy)
+    t.unattributed_misses
+
+let json_of_counters (c : Memsim.Attribution.site_counters) =
+  Telemetry.Json.Obj
+    [
+      ("issued", Telemetry.Json.Int c.issued);
+      ("cancelled", Telemetry.Json.Int c.cancelled);
+      ("redundant", Telemetry.Json.Int c.redundant);
+      ("useful", Telemetry.Json.Int c.useful);
+      ("late", Telemetry.Json.Int c.late);
+      ("useless", Telemetry.Json.Int c.useless);
+    ]
+
+let to_json t =
+  let open Telemetry.Json in
+  let row_json r =
+    let meta_fields =
+      match r.meta with
+      | Some m ->
+          [
+            ("method", Str m.A.method_name);
+            ("loop", Int m.A.loop_id);
+            ("kind", Str (A.kind_name m.A.kind));
+            ("anchor_site", Int m.A.anchor_site);
+            ("target_site", Int m.A.target_site);
+          ]
+      | None -> [ ("kind", Str "unknown") ]
+    in
+    Obj
+      ([
+         ("site_id", Int r.site_id);
+         ("site", Str (Format.asprintf "%a" pp_key r.key));
+       ]
+      @ meta_fields
+      @ [
+          ("counters", json_of_counters r.counters);
+          ("target_misses", Int r.target_misses);
+          ("coverage", Float r.coverage);
+          ("accuracy", Float r.accuracy);
+        ])
+  in
+  let kind_json k =
+    Obj
+      [
+        ("kind", Str k.kind_name);
+        ("sites", Int k.sites);
+        ("issued", Int k.issued);
+        ("useful", Int k.useful);
+        ("late", Int k.late);
+        ("useless", Int k.useless);
+        ("cancelled", Int k.cancelled);
+        ("redundant", Int k.redundant);
+        ("coverage", Float k.kind_coverage);
+        ("accuracy", Float k.kind_accuracy);
+      ]
+  in
+  Obj
+    [
+      ("sites", List (List.map row_json t.rows));
+      ("kinds", List (List.map kind_json t.kinds));
+      ("totals", json_of_counters t.totals);
+      ("coverage", Float t.total_coverage);
+      ("accuracy", Float t.total_accuracy);
+      ("unattributed_misses", Int t.unattributed_misses);
+    ]

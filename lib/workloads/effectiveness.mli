@@ -1,0 +1,51 @@
+(** The effectiveness report: joins the pass's compile-time provenance,
+    the interpreter's prefetch-site identities and memsim's outcome
+    classification into per-site, per-kind and total coverage/accuracy.
+
+    - accuracy = useful / issued;
+    - coverage = useful / (useful + remaining memory misses at the
+      registered target load site): a useful prefetch {e is} an
+      eliminated miss, so the ratio reconstructs "misses eliminated over
+      baseline misses" without a second run. *)
+
+type site_row = {
+  site_id : int;
+  key : Telemetry.Attrib.key;
+  meta : Telemetry.Attrib.meta option;
+      (** [None]: the site issued prefetches but was never registered by
+          the pass — indicates a provenance bug *)
+  counters : Memsim.Attribution.site_counters;
+  target_misses : int;
+  coverage : float;
+  accuracy : float;
+}
+
+type kind_rollup = {
+  kind_name : string;
+  sites : int;
+  issued : int;
+  useful : int;
+  late : int;
+  useless : int;
+  cancelled : int;
+  redundant : int;
+  kind_coverage : float;
+  kind_accuracy : float;
+}
+
+type t = {
+  rows : site_row list;
+  kinds : kind_rollup list;
+  totals : Memsim.Attribution.site_counters;
+  total_coverage : float;
+  total_accuracy : float;
+  unattributed_misses : int;
+}
+
+val build : registry:Telemetry.Attrib.t -> attrib:Memsim.Attribution.t -> t
+(** Call after [Vm.Interp.finalize_telemetry] so the books are settled. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** The per-site table plus per-kind and total rollups. *)
+
+val to_json : t -> Telemetry.Json.t

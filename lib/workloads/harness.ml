@@ -16,11 +16,14 @@ type run_result = {
   spec_guard_trips : int;
   observables : Observables.t option;
   program : Vm.Classfile.program;
+  sink : Telemetry.Sink.t option;
+  effectiveness : Effectiveness.t option;
 }
 
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
-    ?(capture_observables = false) ?(verify_each_pass = false) ~mode
-    ~machine (workload : Workload.t) =
+    ?(capture_observables = false) ?(verify_each_pass = false)
+    ?(telemetry = false) ?sink_capacity ~mode ~machine
+    (workload : Workload.t) =
   let opts =
     let base =
       Option.value ~default:Strideprefetch.Options.default opts
@@ -38,6 +41,18 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     match tweak_options with Some f -> f base | None -> base
   in
   let interp = Vm.Interp.create ~options:interp_options machine program in
+  (* Telemetry wiring: one sink + one site registry per run. The sink's
+     cycle source is installed by [set_telemetry]; attribution rides the
+     hierarchy's [_attr] entry points and leaves the simulation
+     bit-identical (asserted by the golden tests). *)
+  let sink =
+    if telemetry then Some (Telemetry.Sink.create ?capacity:sink_capacity ())
+    else None
+  in
+  let registry = if telemetry then Some (Telemetry.Attrib.create ()) else None in
+  (match registry with
+  | Some reg -> Vm.Interp.set_telemetry interp ~registry:reg ?sink ()
+  | None -> ());
   let reports = ref [] in
   let passes =
     (if standard_passes then Jit.Pipeline.standard_passes () else [])
@@ -48,7 +63,7 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
         [
           Strideprefetch.Pass.make_pass ~opts ~interp
             ~report_sink:(fun r -> reports := !reports @ r)
-            ();
+            ?registry ?sink ();
         ]
   in
   let verifier =
@@ -66,7 +81,15 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
             ~require_guarded:(Strideprefetch.Options.use_guarded opts machine)
             m)
   in
-  let pipeline = Jit.Pipeline.create ?verifier passes in
+  let span =
+    Option.map
+      (fun s ~name ~meth f ->
+        Telemetry.Sink.span s ~cat:"jit"
+          ~args:[ ("method", Telemetry.Json.Str meth) ]
+          name f)
+      sink
+  in
+  let pipeline = Jit.Pipeline.create ?verifier ?span passes in
   Vm.Interp.set_compile_hook interp (fun _ m args ->
       match compile_observer with
       | None -> Jit.Pipeline.compile pipeline m args
@@ -79,7 +102,22 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
           let after = Observables.capture ~scope:`All interp in
           observe ~meth:m ~before ~after);
   ignore (Vm.Interp.run interp);
+  Vm.Interp.finalize_telemetry interp;
   let stats = Memsim.Stats.copy (Vm.Interp.stats interp) in
+  let effectiveness =
+    match (registry, Vm.Interp.attribution interp) with
+    | Some reg, Some attrib -> Some (Effectiveness.build ~registry:reg ~attrib)
+    | _ -> None
+  in
+  (* Stamp the final counters onto the event stream so an exported trace
+     is self-contained. *)
+  (match sink with
+  | Some s ->
+      Telemetry.Sink.counter s ~cat:"stats" "final-stats"
+        (List.map
+           (fun (k, v) -> (k, Telemetry.Json.Int v))
+           (Memsim.Stats.to_alist stats))
+  | None -> ());
   {
     workload = workload.name;
     machine = machine.Memsim.Config.name;
@@ -102,6 +140,8 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
          Some (Observables.capture ~scope:`Reachable interp)
        else None);
     program;
+    sink;
+    effectiveness;
   }
 
 let speedup ~baseline result =

@@ -25,6 +25,11 @@ type run_result = {
   program : Vm.Classfile.program;
       (** the executed program, with every JIT-rewritten body in place —
           what post-run analyses (the lint oracle) inspect *)
+  sink : Telemetry.Sink.t option;
+      (** the event ring of a [~telemetry:true] run, ready for the
+          Chrome-trace / JSONL exporters *)
+  effectiveness : Effectiveness.t option;
+      (** per-site prefetch effectiveness of a [~telemetry:true] run *)
 }
 
 val run :
@@ -38,6 +43,8 @@ val run :
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
   ?capture_observables:bool ->
   ?verify_each_pass:bool ->
+  ?telemetry:bool ->
+  ?sink_capacity:int ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
   Workload.t ->
@@ -60,7 +67,17 @@ val run :
     installs {!Analysis.Check.verify} as the pipeline's verifier: the
     method body is re-checked after {e every} pass, and the first finding
     aborts compilation with [Jit.Pipeline.Verification_failed] naming the
-    offending pass. *)
+    offending pass.
+
+    [telemetry] (default [false]) threads the full observability stack
+    through the run — compile/pass/inspection/GC spans and per-loop
+    explain records into a fresh sink ([sink_capacity] events, default
+    65536), prefetch-site attribution through the hierarchy's [_attr]
+    entry points — and fills [run_result.sink] and
+    [run_result.effectiveness]. Telemetry observes the simulation and
+    never participates: cycles and all core stats counters are
+    bit-identical to a [~telemetry:false] run (golden-tested; only the
+    [Memsim.Stats.telemetry_only] counters become nonzero). *)
 
 val speedup : baseline:run_result -> run_result -> float
 (** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two

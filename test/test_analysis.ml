@@ -266,6 +266,7 @@ let direct_report ~plan_distance ~stride =
     loop_id = 0;
     header_block = 0;
     candidate_sites = [ 0 ];
+    evidence = [];
     inter_patterns = [ (0, pattern) ];
     intra_patterns = [];
     plan = { SP.Codegen.actions = [ action ]; rejected = []; regs_used = 0 };

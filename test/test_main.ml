@@ -11,4 +11,5 @@ let () =
       ("bench-runner", Test_bench_runner.suite);
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -658,6 +658,7 @@ let test_pass_analyze_only_does_not_rewrite () =
     SP.Pass.analyze_only ~opts ~interp ~meth:m
       ~args:
         [| Vm.Value.Ref (Option.get !kernel); Vm.Value.Ref (Option.get !vec) |]
+      ()
   in
   Alcotest.(check bool) "reports produced" true (reports <> []);
   Alcotest.(check bool) "code unchanged" true (m.C.code = before)
