@@ -1,0 +1,81 @@
+(** Statistical bench-regression gate over bench_hotpath/v2 reports.
+
+    The gate separates the two signals a report carries by how much
+    evidence each needs:
+
+    - {e simulated cycles} are deterministic — a pure function of the
+      cell — so any per-cell difference is a real behavioural change and
+      the gate demands exact equality;
+    - {e host wall-clock seconds} are noisy, so the gate aggregates the
+      per-cell new/old ratios as a geometric mean and bootstraps a 95%
+      confidence interval over the log-ratios (fixed seed: the verdict is
+      deterministic given the two reports). Only a slowdown whose whole
+      interval clears the practical threshold (default +5%) fails, so
+      same-host re-runs of an unchanged tree pass. *)
+
+type cell_rec = {
+  workload : string;
+  machine : string;
+  mode : string;
+  telemetry : bool;
+  profile : bool;
+  seconds : float;
+  cycles : int;
+}
+
+type run = {
+  schema : string;
+  jobs : int;
+  host_cpus : int;
+  cells : cell_rec list;
+}
+
+val cell_key : cell_rec -> string
+(** ["workload/machine/mode"] with ["/telemetry"] / ["/profile"] suffixes —
+    the identity cells are matched on across reports (it deliberately
+    ignores [seconds], [cycles] and the report's [jobs]). *)
+
+val of_string : label:string -> string -> (run, string) result
+(** Parse a report. Lenient about schema (so {!compare_runs} can name both
+    schemas in its refusal) and about missing boolean fields, strict about
+    each cell's workload/machine/mode/seconds/cycles. [label] prefixes
+    error messages. *)
+
+val load : string -> (run, string) result
+(** {!of_string} on a file's contents; I/O errors become [Error]. *)
+
+type pair = { key : string; a : cell_rec; b : cell_rec }
+
+type comparison = {
+  pairs : pair list;  (** cells present in both reports, in A's order *)
+  only_a : string list;
+  only_b : string list;
+  cycle_regressions : pair list;  (** [b.cycles > a.cycles] *)
+  cycle_improvements : pair list;  (** [b.cycles < a.cycles] *)
+  seconds_geomean : float;
+      (** geometric mean of per-cell wall-clock ratios B/A; [nan] if no
+          cell has positive timings on both sides *)
+  ci_low : float;  (** 2.5th bootstrap percentile of the geomean ratio *)
+  ci_high : float;  (** 97.5th bootstrap percentile *)
+  threshold : float;  (** the practical-significance threshold used *)
+  significant_slowdown : bool;  (** [ci_low > 1 + threshold] *)
+  significant_speedup : bool;  (** [ci_high < 1 - threshold] *)
+}
+
+val compare_runs :
+  ?threshold:float -> a:run -> b:run -> unit -> (comparison, string) result
+(** Compare report [b] (new) against report [a] (baseline). Refuses with
+    [Error] when either schema differs from {!Report.schema} (the message
+    names both) or when the reports share no cell. [threshold] defaults
+    to [0.05] (5% wall-clock). *)
+
+val passes : comparison -> bool
+(** No cycle regression and no significant slowdown. *)
+
+val gate_exit : comparison -> int
+(** [0] when {!passes}, [1] otherwise. *)
+
+val render : comparison -> string
+(** The full human-readable verdict: per-cell table ({!Telemetry.Table}),
+    unmatched cells, cycle and wall-clock summaries, and a final
+    [GATE: PASS] / [GATE: FAIL] line. *)

@@ -41,10 +41,16 @@ let subheading title = Printf.printf "\n-- %s --\n" title
    parallel by [prefill]; [result_of_cell] falls back to a serial run only
    for cells no experiment declared (which would be a bug in [needs]). *)
 
-type key = string * string * SP.Options.mode * SP.Options.t option * bool
+type key =
+  string * string * SP.Options.mode * SP.Options.t option * bool * bool
 
 let key_of (c : Runner.cell) : key =
-  (c.workload.W.name, c.machine.Memsim.Config.name, c.mode, c.opts, c.telemetry)
+  ( c.workload.W.name,
+    c.machine.Memsim.Config.name,
+    c.mode,
+    c.opts,
+    c.telemetry,
+    c.profile )
 
 let cache : (key, Runner.timed) Hashtbl.t = Hashtbl.create 64
 
@@ -363,73 +369,22 @@ let ablation () =
     majorities
 
 (* ------------------------------------------------------------------ *)
-(* Timings: per-cell host wall-clock of the full default matrix, written
-   as BENCH_hotpath.json for tracking the simulator's own performance. *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let default_matrix () =
-  List.concat_map
-    (fun (w : W.t) ->
-      List.concat_map
-        (fun machine ->
-          List.map (fun mode -> Runner.cell w machine mode) all_modes)
-        machines)
-    workloads
-
-(* One attributed (telemetry) twin per workload, at the headline
-   configuration: it fills [run_result.effectiveness] so the BENCH json
-   carries coverage/accuracy rollups next to the cycle counts. *)
-let telemetry_matrix () =
-  List.map
-    (fun (w : W.t) ->
-      Runner.cell ~telemetry:true w Memsim.Config.pentium4
-        SP.Options.Inter_intra)
-    workloads
-
-let effectiveness_json (eff : Workloads.Effectiveness.t) =
-  let pct f = Printf.sprintf "%.4f" f in
-  let kind (k : Workloads.Effectiveness.kind_rollup) =
-    Printf.sprintf
-      "{\"kind\": \"%s\", \"sites\": %d, \"issued\": %d, \"useful\": %d, \
-       \"late\": %d, \"useless\": %d, \"cancelled\": %d, \"redundant\": %d, \
-       \"coverage\": %s, \"accuracy\": %s}"
-      (json_escape k.kind_name) k.sites k.issued k.useful k.late k.useless
-      k.cancelled k.redundant (pct k.kind_coverage) (pct k.kind_accuracy)
-  in
-  let t = eff.totals in
-  Printf.sprintf
-    "{\"issued\": %d, \"useful\": %d, \"late\": %d, \"useless\": %d, \
-     \"cancelled\": %d, \"redundant\": %d, \"coverage\": %s, \"accuracy\": \
-     %s, \"unattributed_misses\": %d, \"sites\": %d, \"kinds\": [%s]}"
-    t.Memsim.Attribution.issued t.useful t.late t.useless t.cancelled
-    t.redundant (pct eff.total_coverage) (pct eff.total_accuracy)
-    eff.unattributed_misses (List.length eff.rows)
-    (String.concat ", " (List.map kind eff.kinds))
+(* Timings: per-cell host wall-clock of the canonical matrix, written as
+   BENCH_hotpath.json (schema bench_hotpath/v2) for the regression gate.
+   The matrix and the JSON writer live in Bench_runner.Report, shared
+   with the spf_bench recorder. *)
 
 let timings ~jobs ~json_path () =
   heading "Timings: per-cell host wall-clock (hot-path benchmark)";
-  let cells = default_matrix () @ telemetry_matrix () in
+  let cells = Bench_runner.Report.default_cells () in
   let timed = List.map timed_of_cell cells in
   let total_cell_seconds =
     List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
   in
-  Printf.printf "%-32s %10s %14s\n" "cell" "seconds" "cycles";
+  Printf.printf "%-40s %10s %14s\n" "cell" "seconds" "cycles";
   List.iter
     (fun (t : Runner.timed) ->
-      Printf.printf "%-32s %10.3f %14d\n"
+      Printf.printf "%-40s %10.3f %14d\n"
         (Runner.cell_label t.cell)
         t.seconds t.result.H.cycles)
     timed;
@@ -437,39 +392,8 @@ let timings ~jobs ~json_path () =
                  job(s), %d host cpu(s))\n"
     total_cell_seconds !matrix_wall_seconds jobs
     (Runner.default_jobs ());
-  let oc = open_out json_path in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"bench_hotpath/v2\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"jobs\": %d,\n  \"host_cpus\": %d,\n" jobs
-       (Runner.default_jobs ()));
-  Buffer.add_string buf
-    (Printf.sprintf "  \"matrix_wall_seconds\": %.6f,\n" !matrix_wall_seconds);
-  Buffer.add_string buf
-    (Printf.sprintf "  \"total_cell_seconds\": %.6f,\n" total_cell_seconds);
-  Buffer.add_string buf "  \"cells\": [\n";
-  List.iteri
-    (fun i (t : Runner.timed) ->
-      let effectiveness =
-        match t.result.H.effectiveness with
-        | Some eff ->
-            Printf.sprintf ", \"effectiveness\": %s" (effectiveness_json eff)
-        | None -> ""
-      in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
-            \"%s\", \"telemetry\": %b, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
-           (json_escape t.cell.Runner.workload.W.name)
-           (json_escape t.cell.Runner.machine.Memsim.Config.name)
-           (json_escape (SP.Options.mode_name t.cell.Runner.mode))
-           t.cell.Runner.telemetry t.seconds t.result.H.cycles effectiveness
-           (if i = List.length timed - 1 then "" else ",")))
-    timed;
-  Buffer.add_string buf "  ]\n}\n";
-  output_string oc (Buffer.contents buf);
-  close_out oc;
+  Bench_runner.Report.write_json ~path:json_path ~jobs
+    ~matrix_wall_seconds:!matrix_wall_seconds timed;
   Printf.printf "Wrote %s\n" json_path
 
 (* ------------------------------------------------------------------ *)
@@ -633,7 +557,7 @@ let needs = function
       matrix_cells ~machines:[ Memsim.Config.pentium4 ]
         ~modes:[ SP.Options.Inter_intra ]
   | "ablation" -> ablation_cells ()
-  | "timings" -> default_matrix () @ telemetry_matrix ()
+  | "timings" -> Bench_runner.Report.default_cells ()
   | _ -> []
 
 let experiment_names =

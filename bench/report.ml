@@ -1,0 +1,117 @@
+(* The hot-path benchmark report: the canonical cell matrix and the
+   bench_hotpath/v2 JSON serialization, shared by the reproduction
+   harness (bench/main.exe timings) and the regression-gate recorder
+   (bench/spf_bench.exe --record). Keeping one writer guarantees both
+   producers emit byte-compatible reports for Gate.compare_runs. *)
+
+module SP = Strideprefetch
+module W = Workloads.Workload
+module H = Workloads.Harness
+
+let schema = "bench_hotpath/v2"
+
+let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+let machines = [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ]
+let all_modes = [ SP.Options.Off; SP.Options.Inter; SP.Options.Inter_intra ]
+
+let default_cells () =
+  (* The full (workload x machine x mode) simulation matrix... *)
+  List.concat_map
+    (fun (w : W.t) ->
+      List.concat_map
+        (fun machine ->
+          List.map (fun mode -> Runner.cell w machine mode) all_modes)
+        machines)
+    workloads
+  (* ...one attributed (telemetry) twin per workload at the headline
+     configuration, filling [run_result.effectiveness] so the report
+     carries coverage/accuracy rollups next to the cycle counts... *)
+  @ List.map
+      (fun (w : W.t) ->
+        Runner.cell ~telemetry:true w Memsim.Config.pentium4
+          SP.Options.Inter_intra)
+      workloads
+  (* ...and one profiled twin of the headline db cell, so the report also
+     tracks the object-centric profiler's observer overhead over time. *)
+  @ [
+      Runner.cell ~profile:true
+        (List.find (fun (w : W.t) -> w.name = "db") workloads)
+        Memsim.Config.pentium4 SP.Options.Inter_intra;
+    ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let effectiveness_json (eff : Workloads.Effectiveness.t) =
+  let pct f = Printf.sprintf "%.4f" f in
+  let kind (k : Workloads.Effectiveness.kind_rollup) =
+    Printf.sprintf
+      "{\"kind\": \"%s\", \"sites\": %d, \"issued\": %d, \"useful\": %d, \
+       \"late\": %d, \"useless\": %d, \"cancelled\": %d, \"redundant\": %d, \
+       \"coverage\": %s, \"accuracy\": %s}"
+      (json_escape k.kind_name) k.sites k.issued k.useful k.late k.useless
+      k.cancelled k.redundant (pct k.kind_coverage) (pct k.kind_accuracy)
+  in
+  let t = eff.totals in
+  Printf.sprintf
+    "{\"issued\": %d, \"useful\": %d, \"late\": %d, \"useless\": %d, \
+     \"cancelled\": %d, \"redundant\": %d, \"coverage\": %s, \"accuracy\": \
+     %s, \"unattributed_misses\": %d, \"sites\": %d, \"kinds\": [%s]}"
+    t.Memsim.Attribution.issued t.useful t.late t.useless t.cancelled
+    t.redundant (pct eff.total_coverage) (pct eff.total_accuracy)
+    eff.unattributed_misses (List.length eff.rows)
+    (String.concat ", " (List.map kind eff.kinds))
+
+let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
+  let total_cell_seconds =
+    List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"schema\": \"%s\",\n" schema);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"jobs\": %d,\n  \"host_cpus\": %d,\n" jobs
+       (Runner.default_jobs ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"matrix_wall_seconds\": %.6f,\n" matrix_wall_seconds);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_cell_seconds\": %.6f,\n" total_cell_seconds);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i (t : Runner.timed) ->
+      let effectiveness =
+        match t.result.H.effectiveness with
+        | Some eff ->
+            Printf.sprintf ", \"effectiveness\": %s" (effectiveness_json eff)
+        | None -> ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
+            \"%s\", \"telemetry\": %b, \"profile\": %b, \"seconds\": %.6f, \
+            \"cycles\": %d%s}%s\n"
+           (json_escape t.cell.Runner.workload.W.name)
+           (json_escape t.cell.Runner.machine.Memsim.Config.name)
+           (json_escape (SP.Options.mode_name t.cell.Runner.mode))
+           t.cell.Runner.telemetry t.cell.Runner.profile t.seconds
+           t.result.H.cycles effectiveness
+           (if i = List.length timed - 1 then "" else ",")))
+    timed;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path ~jobs ~matrix_wall_seconds timed =
+  let oc = open_out path in
+  output_string oc (to_json_string ~jobs ~matrix_wall_seconds timed);
+  close_out oc

@@ -1,0 +1,26 @@
+(** The hot-path benchmark report: canonical cell matrix and the
+    bench_hotpath/v2 JSON serialization, shared by the reproduction
+    harness ([bench/main.exe timings]) and the regression-gate recorder
+    ([bench/spf_bench.exe --record]). *)
+
+val schema : string
+(** ["bench_hotpath/v2"]. v2 adds the per-cell ["profile"] flag (and so
+    changes what a cell key means); {!Gate.compare_runs} refuses to
+    compare reports whose schemas differ from this one. *)
+
+val default_cells : unit -> Runner.cell list
+(** The canonical matrix: every (workload x machine x mode) cell, plus one
+    attributed (telemetry) twin per workload and one profiled twin of the
+    headline db cell at pentium4/inter+intra — so the report tracks the
+    observer overheads of telemetry and profiling alongside the plain
+    simulation wall-clock. *)
+
+val to_json_string :
+  jobs:int -> matrix_wall_seconds:float -> Runner.timed list -> string
+(** Render a full bench_hotpath/v2 report. Cells appear in list order;
+    cycle counts are exact integers, seconds are host wall-clock. *)
+
+val write_json :
+  path:string -> jobs:int -> matrix_wall_seconds:float ->
+  Runner.timed list -> unit
+(** {!to_json_string} to a file. *)

@@ -22,6 +22,10 @@ type cell = {
       (** thread the observability stack through the run; fills
           [run_result.effectiveness] (coverage/accuracy rollups for the
           BENCH json) without perturbing the simulation *)
+  profile : bool;
+      (** additionally install the object-centric profiler; fills
+          [run_result.profile] (implies telemetry) without perturbing
+          the simulation *)
 }
 
 type timed = {
@@ -30,24 +34,27 @@ type timed = {
   seconds : float;  (** host wall-clock for this cell *)
 }
 
-let cell ?opts ?(telemetry = false) workload machine mode =
-  { workload; machine; mode; opts; telemetry }
+let cell ?opts ?(telemetry = false) ?(profile = false) workload machine mode =
+  { workload; machine; mode; opts; telemetry; profile }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s%s" c.workload.W.name c.machine.Memsim.Config.name
+  Printf.sprintf "%s/%s/%s%s%s%s" c.workload.W.name
+    c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
     (if c.telemetry then "/telemetry" else "")
+    (if c.profile then "/profile" else "")
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in
   let result =
     match c.opts with
     | None ->
-        H.run ~telemetry:c.telemetry ~mode:c.mode ~machine:c.machine c.workload
+        H.run ~telemetry:c.telemetry ~profile:c.profile ~mode:c.mode
+          ~machine:c.machine c.workload
     | Some opts ->
-        H.run ~opts ~telemetry:c.telemetry ~mode:c.mode ~machine:c.machine
-          c.workload
+        H.run ~opts ~telemetry:c.telemetry ~profile:c.profile ~mode:c.mode
+          ~machine:c.machine c.workload
   in
   { cell = c; result; seconds = Unix.gettimeofday () -. t0 }
 

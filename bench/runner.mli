@@ -18,6 +18,10 @@ type cell = {
       (** run with the observability stack threaded through, filling
           [run_result.effectiveness]; the simulation itself is
           bit-identical either way (golden-tested) *)
+  profile : bool;
+      (** additionally install the object-centric profiler, filling
+          [run_result.profile] (implies telemetry); like telemetry the
+          simulation is bit-identical either way *)
 }
 
 type timed = {
@@ -29,16 +33,18 @@ type timed = {
 val cell :
   ?opts:Strideprefetch.Options.t ->
   ?telemetry:bool ->
+  ?profile:bool ->
   Workloads.Workload.t ->
   Memsim.Config.machine ->
   Strideprefetch.Options.mode ->
   cell
-(** [telemetry] defaults to [false]. *)
+(** [telemetry] and [profile] default to [false]. *)
 
 val cell_label : cell -> string
 (** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
-    overrides the algorithm knobs and a ["/telemetry"] suffix when the
-    cell records effectiveness attribution. *)
+    overrides the algorithm knobs, a ["/telemetry"] suffix when the
+    cell records effectiveness attribution, and a ["/profile"] suffix
+    when the cell carries the object-centric profiler. *)
 
 val run_cell : cell -> timed
 (** Run one cell serially in the calling domain. *)

@@ -1,0 +1,186 @@
+(* spf_bench: record bench_hotpath/v2 reports and run the statistical
+   regression gate between them.
+
+   Usage:
+     spf_bench --record PATH [--jobs N]         run the canonical matrix,
+                                                write the report to PATH
+     spf_bench --compare BASELINE NEW           gate NEW against BASELINE
+                                                (exit 1 on regression)
+     spf_bench --gate-against BASELINE [--jobs N]
+                                                record a fresh in-memory
+                                                run and gate it against
+                                                BASELINE
+     spf_bench --smoke                          fast self-check used by
+                                                dune runtest: one cell run
+                                                twice must gate clean, an
+                                                injected +10% cycle count
+                                                must fail, and a v1 schema
+                                                must be refused
+
+   Cycle counts are gated on exact equality (they are deterministic);
+   wall-clock is gated on a bootstrap 95% CI of the per-cell geomean
+   ratio against a practical threshold (--threshold, default 5%). *)
+
+module Runner = Bench_runner.Runner
+module Report = Bench_runner.Report
+module Gate = Bench_runner.Gate
+module W = Workloads.Workload
+module SP = Strideprefetch
+
+let usage () =
+  prerr_endline
+    "usage: spf_bench (--record PATH | --compare BASELINE NEW | \
+     --gate-against BASELINE | --smoke) [--jobs N] [--threshold PCT]"
+
+let ok_or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("spf_bench: " ^ e);
+      exit 2
+
+let record_timed ~jobs =
+  let cells = Report.default_cells () in
+  Printf.eprintf "[spf_bench] running %d cells on %d job(s)...\n%!"
+    (List.length cells) jobs;
+  let t0 = Unix.gettimeofday () in
+  let timed =
+    Runner.run_matrix ~jobs
+      ~progress:(fun c ->
+        Printf.eprintf "[spf_bench]   %s\n%!" (Runner.cell_label c))
+      cells
+  in
+  (timed, Unix.gettimeofday () -. t0)
+
+let record ~jobs path =
+  let timed, wall = record_timed ~jobs in
+  Report.write_json ~path ~jobs ~matrix_wall_seconds:wall timed;
+  Printf.printf "wrote %s (%d cells, %.1f s wall)\n" path (List.length timed)
+    wall
+
+let compare_runs ?threshold a b =
+  let c = ok_or_die (Gate.compare_runs ?threshold ~a ~b ()) in
+  print_string (Gate.render c);
+  exit (Gate.gate_exit c)
+
+let compare_files ?threshold path_a path_b =
+  let a = ok_or_die (Gate.load path_a) and b = ok_or_die (Gate.load path_b) in
+  compare_runs ?threshold a b
+
+let gate_against ?threshold ~jobs baseline_path =
+  let a = ok_or_die (Gate.load baseline_path) in
+  let timed, wall = record_timed ~jobs in
+  let b =
+    ok_or_die
+      (Gate.of_string ~label:"<fresh run>"
+         (Report.to_json_string ~jobs ~matrix_wall_seconds:wall timed))
+  in
+  compare_runs ?threshold a b
+
+(* The runtest self-check: everything the gate promises, on one cell. *)
+let smoke () =
+  let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all in
+  let db = List.find (fun (w : W.t) -> w.name = "db") workloads in
+  let cell = Runner.cell db Memsim.Config.pentium4 SP.Options.Inter_intra in
+  let report_once () =
+    Report.to_json_string ~jobs:1 ~matrix_wall_seconds:0.0
+      [ Runner.run_cell cell ]
+  in
+  let a = ok_or_die (Gate.of_string ~label:"run A" (report_once ()))
+  and b = ok_or_die (Gate.of_string ~label:"run B" (report_once ())) in
+  (* A huge threshold takes single-cell wall-clock noise out of the
+     verdict: the smoke asserts the cycle law, not host timing. *)
+  let c = ok_or_die (Gate.compare_runs ~threshold:10.0 ~a ~b ()) in
+  print_string (Gate.render c);
+  if not (Gate.passes c) || c.Gate.cycle_improvements <> [] then begin
+    prerr_endline
+      "smoke FAIL: identical re-runs disagree on simulated cycles";
+    exit 1
+  end;
+  (* An injected +10% cycle count must trip the exact-equality gate. *)
+  let b_slow =
+    {
+      b with
+      Gate.cells =
+        List.map
+          (fun (r : Gate.cell_rec) ->
+            { r with Gate.cycles = r.cycles + (r.cycles / 10) })
+          b.Gate.cells;
+    }
+  in
+  (match Gate.compare_runs ~threshold:10.0 ~a ~b:b_slow () with
+  | Ok c' when Gate.gate_exit c' = 1 ->
+      print_endline "smoke: injected +10% cycles fails the gate (good)"
+  | Ok _ ->
+      prerr_endline "smoke FAIL: injected cycle regression not detected";
+      exit 1
+  | Error e ->
+      prerr_endline ("smoke FAIL: " ^ e);
+      exit 1);
+  (* A v1 report must be refused, naming both schemas. *)
+  (match
+     Gate.compare_runs ~a:{ a with Gate.schema = "bench_hotpath/v1" } ~b ()
+   with
+  | Error e ->
+      print_endline ("smoke: v1 schema refused (good): " ^ e)
+  | Ok _ ->
+      prerr_endline "smoke FAIL: cross-schema compare was not refused";
+      exit 1);
+  print_endline "smoke: OK"
+
+let () =
+  let jobs = ref (Runner.default_jobs ()) in
+  let threshold = ref None in
+  let action = ref None in
+  let set_action a =
+    match !action with
+    | None -> action := Some a
+    | Some _ ->
+        prerr_endline "spf_bench: more than one action given";
+        usage ();
+        exit 2
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            prerr_endline "--jobs expects a positive integer";
+            exit 2);
+        parse rest
+    | "--threshold" :: p :: rest ->
+        (match float_of_string_opt p with
+        | Some p when p >= 0.0 -> threshold := Some (p /. 100.0)
+        | _ ->
+            prerr_endline "--threshold expects a percentage >= 0";
+            exit 2);
+        parse rest
+    | "--record" :: path :: rest ->
+        set_action (`Record path);
+        parse rest
+    | "--compare" :: a :: b :: rest ->
+        set_action (`Compare (a, b));
+        parse rest
+    | "--gate-against" :: path :: rest ->
+        set_action (`Gate path);
+        parse rest
+    | "--smoke" :: rest ->
+        set_action `Smoke;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ ->
+        prerr_endline ("spf_bench: unknown argument " ^ arg);
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !action with
+  | Some (`Record path) -> record ~jobs:!jobs path
+  | Some (`Compare (a, b)) -> compare_files ?threshold:!threshold a b
+  | Some (`Gate path) -> gate_against ?threshold:!threshold ~jobs:!jobs path
+  | Some `Smoke -> smoke ()
+  | None ->
+      usage ();
+      exit 2

@@ -93,6 +93,15 @@ let explain_arg =
            delta histograms, detected patterns and rejection reasons \
            (same reports as $(b,--verbose)).")
 
+let profile_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Run with the object-centric profiler installed and print the \
+           top-down cycle accounting (see $(b,spf_prof) for the full \
+           table/flamegraph/JSON tooling).")
+
 let opts_of ~interproc ~phased =
   {
     Strideprefetch.Options.default with
@@ -117,7 +126,10 @@ let print_result ~verbose (r : Workloads.Harness.run_result) =
   if verbose then
     List.iter
       (fun rep -> Format.printf "%a@." Strideprefetch.Pass.pp_report rep)
-      r.reports
+      r.reports;
+  match r.profile with
+  | Some rep -> Format.printf "@.%a@." (Profile.Report.pp_topdown ~top:10) rep
+  | None -> ()
 
 (* Telemetry epilogue shared by [run] and [file]: effectiveness table plus
    the Chrome-trace export, when the run carried a sink. *)
@@ -165,7 +177,7 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine mode verbose interproc phased trace explain =
+  let run name machine mode verbose interproc phased trace explain profile =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
@@ -175,7 +187,7 @@ let run_cmd =
         let result =
           Workloads.Harness.run ~opts
             ~telemetry:(trace <> None)
-            ~mode ~machine w
+            ~profile ~mode ~machine w
         in
         print_result ~verbose:(verbose || explain) result;
         export_trace ~trace result
@@ -184,7 +196,7 @@ let run_cmd =
     (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Cmdliner.Term.(
       const run $ workload_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -223,7 +235,7 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
-  let run path machine mode verbose interproc phased trace explain =
+  let run path machine mode verbose interproc phased trace explain profile =
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
     | Error e ->
@@ -244,7 +256,7 @@ let file_cmd =
         let result =
           Workloads.Harness.run ~opts
             ~telemetry:(trace <> None)
-            ~mode ~machine w
+            ~profile ~mode ~machine w
         in
         print_result ~verbose:(verbose || explain) result;
         export_trace ~trace result
@@ -253,7 +265,7 @@ let file_cmd =
     (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
     Cmdliner.Term.(
       const run $ path_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg)
 
 let () =
   let info =

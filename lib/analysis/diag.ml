@@ -12,6 +12,14 @@ let warning ~checker ~pc fmt =
     (fun message -> { checker; pc; severity = Warning; message })
     fmt
 
+(* A finding about the whole run rather than one instruction (runtime
+   invariant checks: conservation laws, end-of-run audits). pc -1 marks
+   it; [render_plain] renders without a method context. *)
+let global ~checker fmt =
+  Printf.ksprintf
+    (fun message -> { checker; pc = -1; severity = Error; message })
+    fmt
+
 let is_error d = d.severity = Error
 
 let severity_name = function Error -> "error" | Warning -> "warning"
@@ -27,6 +35,11 @@ let instr_at (m : Vm.Classfile.method_info) pc =
 let render ~(meth : Vm.Classfile.method_info) d =
   Printf.sprintf "%s: pc %d (`%s`): %s[%s] %s" meth.method_name d.pc
     (instr_at meth d.pc)
+    (match d.severity with Error -> "" | Warning -> "warning ")
+    d.checker d.message
+
+let render_plain d =
+  Printf.sprintf "%s[%s] %s"
     (match d.severity with Error -> "" | Warning -> "warning ")
     d.checker d.message
 

@@ -13,6 +13,11 @@ type t = { checker : string; pc : int; severity : severity; message : string }
 val error : checker:string -> pc:int -> ('a, unit, string, t) format4 -> 'a
 val warning : checker:string -> pc:int -> ('a, unit, string, t) format4 -> 'a
 
+val global : checker:string -> ('a, unit, string, t) format4 -> 'a
+(** An error about the whole run rather than one instruction (runtime
+    invariant audits: the conservation-law checks). [pc] is [-1];
+    render with {!render_plain}. *)
+
 val is_error : t -> bool
 val severity_name : severity -> string
 
@@ -21,6 +26,10 @@ val instr_at : Vm.Classfile.method_info -> int -> string
 
 val render : meth:Vm.Classfile.method_info -> t -> string
 (** ["<method>: pc <pc> (`<instr>`): [<checker>] <message>"]. *)
+
+val render_plain : t -> string
+(** ["[<checker>] <message>"] — for {!global} findings, which have no
+    method context. *)
 
 val pp : meth:Vm.Classfile.method_info -> Format.formatter -> t -> unit
 

@@ -192,12 +192,14 @@ let lint_failure ~opts (cell : cell) (r : Workloads.Harness.run_result) =
     program.Vm.Classfile.methods;
   !violation
 
-(* Telemetry-observer cross-check: one fresh cell pair, plain vs fully
-   attributed, at the headline configuration. Telemetry must observe the
-   simulation without participating: program output, cycle count and
-   every core (non-telemetry) counter must be bit-identical, and the
-   attributed run's effectiveness books must balance
-   (issued = cancelled + redundant + useful + late + useless). *)
+(* Telemetry/profiler-observer cross-check: one fresh cell pair, plain vs
+   fully attributed AND profiled, at the headline configuration. The
+   observability stack must observe the simulation without participating:
+   program output, cycle count and every core (non-telemetry) counter
+   must be bit-identical, the attributed run's effectiveness books must
+   balance (issued = cancelled + redundant + useful + late + useless),
+   and the profiler's cycle bins must sum exactly to the run's cycle
+   count (the conservation law of lib/profile). *)
 let telemetry_crosscheck ~opts ?tweak_options workload =
   let cell =
     {
@@ -206,11 +208,13 @@ let telemetry_crosscheck ~opts ?tweak_options workload =
       machine = Memsim.Config.pentium4;
     }
   in
-  let run ~telemetry =
-    Workloads.Harness.run ~opts ?tweak_options ~telemetry ~mode:cell.mode
-      ~machine:cell.machine workload
+  let run ~telemetry ~profile =
+    Workloads.Harness.run ~opts ?tweak_options ~telemetry ~profile
+      ~mode:cell.mode ~machine:cell.machine workload
   in
-  match (run ~telemetry:false, run ~telemetry:true) with
+  match
+    (run ~telemetry:false ~profile:false, run ~telemetry:true ~profile:true)
+  with
   | exception e -> Some (Crash { cell; message = Printexc.to_string e })
   | plain, attributed ->
       let diverged message = Some (Telemetry_divergence { cell; message }) in
@@ -251,7 +255,18 @@ let telemetry_crosscheck ~opts ?tweak_options workload =
                        "attribution books don't balance: issued=%d but \
                         cancelled+redundant+useful+late+useless=%d"
                        t.issued classified)
-                else None)
+                else begin
+                  (* The profiler rode along on the attributed run; its
+                     conservation law must hold on every fuzzed program. *)
+                  match attributed.profile with
+                  | None -> diverged "profiled run produced no profile report"
+                  | Some rep -> (
+                      match Profile.Report.conservation_error rep with
+                      | Some msg ->
+                          diverged
+                            ("profiler conservation law violated: " ^ msg)
+                      | None -> None)
+                end)
       end
 
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source

@@ -44,10 +44,13 @@ type failure =
           lints); warnings count — correct codegen emits neither
           redundant prefetches nor dead spec-load registers *)
   | Telemetry_divergence of { cell : cell; message : string }
-      (** the telemetry stack perturbed the simulation: a [~telemetry]
-          run diverged from its plain twin in output, cycles or a core
-          stats counter — or the attribution books failed to balance
-          (issued <> cancelled + redundant + useful + late + useless) *)
+      (** the observability stack perturbed the simulation: a
+          [~telemetry:true ~profile:true] run diverged from its plain
+          twin in output, cycles or a core stats counter — or the
+          attribution books failed to balance
+          (issued <> cancelled + redundant + useful + late + useless),
+          or the profiler's cycle bins did not sum to the run's cycle
+          count *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -65,9 +68,11 @@ val check :
 (** Compile [source] once (to reject front-end failures early), then run
     each cell and compare to the first. Once the whole differential
     matrix is clean, one extra pair is run at the headline configuration
-    (inter+intra / pipeline / pentium4), plain vs [~telemetry:true], and
-    compared bit-for-bit on output, cycles and every core stats counter —
-    the observer-effect check (the pair counts 2 toward [cells_run]). [tweak_options] edits the
+    (inter+intra / pipeline / pentium4), plain vs
+    [~telemetry:true ~profile:true], and compared bit-for-bit on output,
+    cycles and every core stats counter, with the attribution and
+    profiler conservation laws checked on the observed twin — the
+    observer-effect check (the pair counts 2 toward [cells_run]). [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
     catches them. [tweak_prefetch] likewise edits the prefetch-pass

@@ -189,3 +189,31 @@ let totals t =
     acc.useless <- acc.useless + c.useless
   done;
   acc
+
+(* The conservation law of the outcome taxonomy. Promoted from the test
+   suite to a callable check so the harness can assert it at end of run
+   (behind [Strideprefetch.Options.check_invariants]) and report any
+   violation through the diagnostics layer. Only meaningful after
+   [flush]: in-flight entries are still unclassified before that. *)
+let conservation_error t =
+  let err = ref None in
+  let check label (c : site_counters) =
+    if !err = None then begin
+      let classified =
+        c.cancelled + c.redundant + c.useful + c.late + c.useless
+      in
+      if c.issued <> classified then
+        err :=
+          Some
+            (Printf.sprintf
+               "%s: issued=%d but \
+                cancelled+redundant+useful+late+useless=%d (law: issued = \
+                cancelled + redundant + useful + late + useless)"
+               label c.issued classified)
+    end
+  in
+  for i = 0 to t.n_sites - 1 do
+    check (Printf.sprintf "site %d" i) t.sites.(i)
+  done;
+  check "totals" (totals t);
+  !err

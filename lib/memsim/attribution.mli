@@ -67,3 +67,10 @@ val flush : t -> unit
 
 val tracked_lines : t -> int
 (** Entries currently in the shadow tables (tests / occupancy). *)
+
+val conservation_error : t -> string option
+(** Check the outcome conservation law
+    [issued = cancelled + redundant + useful + late + useless] per site
+    and over the totals. [None] when the books balance; [Some msg]
+    describes the first violated site. Only meaningful after {!flush}
+    (before it, in-flight fills are legitimately unclassified). *)

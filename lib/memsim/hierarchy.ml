@@ -11,6 +11,15 @@ type t = {
   l1_miss_penalty : int;
   tlb_miss_penalty : int;
   mem_latency : int;  (** DRAM fill latency = L2 miss penalty *)
+  (* Stall breakdown of the most recent attributed demand access, for the
+     profiler's top-down cycle accounting. Written only by the [_attr]
+     demand path (so a plain run never touches them) and guaranteed to
+     satisfy [bd_tlb + bd_l1 + bd_l2 + bd_mem = returned stall] — the
+     conservation law the profiler's golden tests assert. *)
+  mutable bd_tlb : int;
+  mutable bd_l1 : int;
+  mutable bd_l2 : int;
+  mutable bd_mem : int;
 }
 
 let create (machine : Config.machine) =
@@ -31,6 +40,10 @@ let create (machine : Config.machine) =
     l1_miss_penalty = machine.l1.miss_penalty;
     tlb_miss_penalty = machine.dtlb.tlb_miss_penalty;
     mem_latency = machine.l2.miss_penalty;
+    bd_tlb = 0;
+    bd_l1 = 0;
+    bd_l2 = 0;
+    bd_mem = 0;
   }
 
 let machine t = t.machine
@@ -184,6 +197,8 @@ let reset t =
 let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
   record_l1_miss t kind;
   let l2_line = Cache.line_of t.l2 addr in
+  (* Every L1-missing access pays the L2 access penalty: L2-bound. *)
+  t.bd_l2 <- t.l1_miss_penalty;
   let stall =
     let r2 = Cache.access_residual t.l2 ~addr ~now in
     if r2 = 0 then begin
@@ -203,12 +218,15 @@ let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
       | Attribution.Untracked ->
           t.stats.in_flight_demand_hits <- t.stats.in_flight_demand_hits + 1
       | Attribution.Useful -> ());
+      (* Residual of an in-flight fill sourced below the L2: mem-bound. *)
+      t.bd_mem <- r2;
       t.l1_miss_penalty + r2
     end
     else begin
       Attribution.demand_evict at ~level:`L2 ~line:l2_line;
       Attribution.note_demand_miss at ~key:dkey;
       record_l2_miss t kind;
+      t.bd_mem <- t.mem_latency;
       let s = t.l1_miss_penalty + t.mem_latency in
       hw_prefetch_on_l2_miss t ~addr ~now;
       Cache.fill t.l2 ~addr ~ready_at:now;
@@ -230,6 +248,10 @@ let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
       t.tlb_miss_penalty
     end
   in
+  t.bd_tlb <- tlb_stall;
+  t.bd_l1 <- 0;
+  t.bd_l2 <- 0;
+  t.bd_mem <- 0;
   let l1_line = Cache.line_of t.l1 addr in
   let r1 = Cache.access_residual t.l1 ~addr ~now in
   if r1 = 0 then begin
@@ -239,6 +261,7 @@ let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
     | Attribution.Useful ->
         t.stats.sw_prefetch_useful <- t.stats.sw_prefetch_useful + 1
     | Attribution.Late | Attribution.Untracked -> ());
+    t.bd_l1 <- t.l1_hit_extra;
     tlb_stall + t.l1_hit_extra
   end
   else if r1 > 0 then begin
@@ -251,12 +274,20 @@ let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
     | Attribution.Untracked ->
         t.stats.in_flight_demand_hits <- t.stats.in_flight_demand_hits + 1
     | Attribution.Useful -> ());
+    (* Waiting out an in-flight L1 fill: the data is still on its way
+       from below, so the residual is accounted memory-bound. *)
+    t.bd_mem <- r1;
     tlb_stall + r1
   end
   else begin
     Attribution.demand_evict attrib ~level:`L1 ~line:l1_line;
     tlb_stall + demand_l1_miss_attr t attrib ~addr ~kind ~now ~dkey
   end
+
+let last_tlb_stall t = t.bd_tlb
+let last_l1_stall t = t.bd_l1
+let last_l2_stall t = t.bd_l2
+let last_mem_stall t = t.bd_mem
 
 let sw_prefetch_attr t ~attrib ~addr ~now ~site =
   t.stats.sw_prefetches <- t.stats.sw_prefetches + 1;

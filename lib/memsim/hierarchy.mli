@@ -64,3 +64,26 @@ val sw_prefetch_attr :
 val guarded_load_attr :
   t -> attrib:Attribution.t -> addr:int -> now:int -> site:int -> unit
 (** As {!guarded_load}; records the issue under [site]. *)
+
+(** {2 Stall breakdown of the last attributed demand access}
+
+    The profiler's top-down cycle accounting: after a call to
+    {!demand_access_attr} returning stall [s], the four components below
+    satisfy the conservation law
+
+    {v last_tlb + last_l1 + last_l2 + last_mem = s v}
+
+    - [tlb]: the DTLB miss penalty, when the translation missed;
+    - [l1]: the machine's L1 hit-extra cycles on a ready L1 hit;
+    - [l2]: the L1-miss (= L2 access) penalty paid by every L1 miss;
+    - [mem]: DRAM latency on an L2 miss, or the residual wait on a fill
+      that was still in flight (the data is on its way from below the
+      level that hit, so residuals are accounted memory-bound).
+
+    Only the [_attr] demand path maintains these fields; after a plain
+    {!demand_access} they are stale. *)
+
+val last_tlb_stall : t -> int
+val last_l1_stall : t -> int
+val last_l2_stall : t -> int
+val last_mem_stall : t -> int

@@ -45,6 +45,14 @@ type t = {
           the paper restricts itself to single-stride patterns. *)
   phased_min_fraction : float;
       (** minimum share of samples for each phase of a phased pattern *)
+  check_invariants : bool;
+      (** assert the telemetry/profiler conservation laws at the end of
+          every harness run (attribution:
+          [issued = cancelled + redundant + useful + late + useless];
+          profiler: binned cycles reconstruct [Stats.cycles] exactly) and
+          raise on violation. Cheap — the checks are O(sites + pcs) once
+          per run — but off by default so library users decide how
+          violations surface. *)
   fault_skip_guard_dominance : bool;
       (** fault injection for the analysis layer: emit a deref splice's
           [prefetch_indirect]s {e before} their [spec_load] guard. The
@@ -69,6 +77,7 @@ let default =
     max_call_depth = 3;
     enable_phased = false;
     phased_min_fraction = 0.2;
+    check_invariants = false;
     fault_skip_guard_dominance = false;
   }
 

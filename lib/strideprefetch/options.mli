@@ -41,6 +41,13 @@ type t = {
           restricts itself to single-stride patterns) *)
   phased_min_fraction : float;
       (** minimum share of samples for each phase of a phased pattern *)
+  check_invariants : bool;
+      (** assert the telemetry/profiler conservation laws at the end of
+          every harness run (attribution:
+          [issued = cancelled + redundant + useful + late + useless];
+          profiler: binned cycles reconstruct [Stats.cycles] exactly) and
+          raise {!Workloads.Harness.Invariant_violation} on a breach.
+          Cheap (O(sites + pcs) once per run); off by default. *)
   fault_skip_guard_dominance : bool;
       (** fault injection for the analysis layer: emit a deref splice's
           [prefetch_indirect]s {e before} their [spec_load] guard — a

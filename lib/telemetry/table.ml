@@ -1,0 +1,92 @@
+(* Deterministic fixed-width table rendering: widths are the max over
+   header and cells per column, alignment is per column, the gap is two
+   spaces. No Format boxes inside cells — cells are plain strings — so
+   the output depends only on the input strings and the renderer can be
+   golden- and determinism-tested byte-for-byte. *)
+
+type align = Left | Right
+
+type row = Cells of string array | Sep
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list;  (** reversed *)
+}
+
+let make ~columns =
+  let headers = Array.of_list (List.map fst columns) in
+  let aligns = Array.of_list (List.map snd columns) in
+  if Array.length headers = 0 then invalid_arg "Table.make: no columns";
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let k = List.length cells in
+  if k > n then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" k n);
+  let arr = Array.make n "" in
+  List.iteri (fun i c -> arr.(i) <- c) cells;
+  t.rows <- Cells arr :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let cell_int = string_of_int
+let cell_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let widths t =
+  let w = Array.map String.length t.headers in
+  List.iter
+    (function
+      | Sep -> ()
+      | Cells cells ->
+          Array.iteri
+            (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c)
+            cells)
+    t.rows;
+  w
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let pp ppf t =
+  let w = widths t in
+  let last = Array.length w - 1 in
+  let line cells align_of =
+    let buf = Buffer.create 80 in
+    Array.iteri
+      (fun i c ->
+        (* Never pad the final column on the right: no trailing blanks. *)
+        let s =
+          if i = last && align_of i = Left then c else pad (align_of i) w.(i) c
+        in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf s)
+      cells;
+    Buffer.contents buf
+  in
+  let rule () =
+    line (Array.map (fun n -> String.make n '-') w) (fun _ -> Left)
+  in
+  Format.pp_open_vbox ppf 0;
+  Format.pp_print_string ppf (line t.headers (fun i -> t.aligns.(i)));
+  Format.pp_print_cut ppf ();
+  Format.pp_print_string ppf (rule ());
+  List.iteri
+    (fun i row ->
+      Format.pp_print_cut ppf ();
+      match row with
+      | Sep -> Format.pp_print_string ppf (rule ())
+      | Cells cells ->
+          ignore i;
+          Format.pp_print_string ppf (line cells (fun i -> t.aligns.(i))))
+    (List.rev t.rows);
+  Format.pp_close_box ppf ()
+
+let to_string t = Format.asprintf "%a" pp t

@@ -32,6 +32,31 @@ type telemetry = {
   tsink : Telemetry.Sink.t option;
 }
 
+(* Profiler wiring: a record of observer closures installed by the
+   profiling layer (lib/profile). The interpreter reports every cycle it
+   charges to exactly one hook call, so a collector that sums what it is
+   handed reconstructs [Stats.cycles] exactly — the profiler's
+   conservation law. Hooks observe only: a profiled run is bit-identical
+   to a plain one (fuzz-checked). Profiling requires telemetry (the
+   stall breakdown is maintained by the hierarchy's [_attr] path). *)
+type prof_bin = Prof_retire | Prof_alloc | Prof_pf_overhead | Prof_guard_overhead
+
+type profile_hooks = {
+  on_cycles : method_id:int -> pc:int -> bin:prof_bin -> cycles:int -> unit;
+      (** non-stall charges: base instruction slots, allocation cost and
+          the incremental cost of prefetch-type instructions *)
+  on_stall :
+    method_id:int -> pc:int -> obj:int -> tlb:int -> l1:int -> l2:int ->
+    mem:int -> unit;
+      (** a demand access stalled; [tlb+l1+l2+mem] is the full stall.
+          [obj] is the referenced heap object id, or [-1] (statics /
+          unknown). *)
+  on_alloc : obj:int -> method_id:int -> pc:int -> bytes:int -> unit;
+      (** a new object: records its allocation site for object-centric
+          profiles *)
+  on_gc : cycles:int -> unit;  (** one collection's cycle bill *)
+}
+
 type t = {
   program : Classfile.program;
   heap : Heap.t;
@@ -66,6 +91,9 @@ type t = {
   mutable telem : telemetry option;
       (** [None] (the default) selects the plain hierarchy entry points:
           telemetry off costs one immediate-constant test per access *)
+  mutable prof : profile_hooks option;
+      (** [None] (the default) disables profiling: off costs one
+          immediate-constant test per charge site *)
 }
 
 exception Vm_error of string
@@ -95,6 +123,7 @@ let create ?options machine program =
     faulting_prefetches = 0;
     spec_guard_trips = 0;
     telem = None;
+    prof = None;
   }
 
 let program t = t.program
@@ -120,6 +149,13 @@ let set_telemetry t ~registry ?sink () =
       Telemetry.Sink.set_cycle_source s (fun () -> t.stats.cycles)
   | None -> ());
   t.telem <- Some { attrib; registry; tsink = sink }
+
+let set_profile t hooks =
+  if t.telem = None then
+    invalid_arg
+      "Interp.set_profile: profiling requires telemetry (call set_telemetry \
+       first; the stall breakdown lives on the attributed hierarchy path)";
+  t.prof <- Some hooks
 
 let attribution t =
   match t.telem with Some tl -> Some tl.attrib | None -> None
@@ -161,20 +197,46 @@ let observe_load t (frame : Frame.t) ~site ~addr =
   | Some f -> f ~method_id:frame.method_info.method_id ~site ~addr
   | None -> ()
 
-let demand t frame ~addr ~kind =
+(* Report a stalled demand access to the profiler. The attributing pc is
+   [frame.pc - 1]: every memory-access handler runs after the dispatch
+   loop advanced [frame.pc] past the instruction and none of them
+   branches first, so this is the pc of the instruction being executed.
+   The four components are read back from the hierarchy's breakdown of
+   the access that just returned [stall]; they sum to it exactly. *)
+let[@inline never] prof_stall t p (frame : Frame.t) ~obj ~stall:_ =
+  p.on_stall ~method_id:frame.method_info.method_id ~pc:(frame.pc - 1) ~obj
+    ~tlb:(Memsim.Hierarchy.last_tlb_stall t.mem)
+    ~l1:(Memsim.Hierarchy.last_l1_stall t.mem)
+    ~l2:(Memsim.Hierarchy.last_l2_stall t.mem)
+    ~mem:(Memsim.Hierarchy.last_mem_stall t.mem)
+
+(* Report a non-stall cycle charge ([bin] at [pc]) to the profiler.
+   Kept out of line so the disabled state costs one immediate test. *)
+let[@inline] prof_cycles t ~method_id ~pc ~bin ~cycles =
+  match t.prof with
+  | Some p -> p.on_cycles ~method_id ~pc ~bin ~cycles
+  | None -> ()
+
+let demand t frame ~obj ~addr ~kind =
   let stall =
     match t.telem with
     | None -> Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t)
     | Some tl ->
-        Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-          ~kind ~now:(now t) ~dkey:(-1)
+        let stall =
+          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
+            ~kind ~now:(now t) ~dkey:(-1)
+        in
+        (match t.prof with
+        | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
+        | Some _ | None -> ());
+        stall
   in
   if stall > 0 then charge_stall t frame stall
 
 (* A demand load at a numbered load site. Under telemetry its memory
    misses are bucketed by the packed (method, site) key — the coverage
    denominator for prefetches registered against that site. *)
-let demand_load t (frame : Frame.t) ~addr ~site =
+let demand_load t (frame : Frame.t) ~obj ~addr ~site =
   let stall =
     match t.telem with
     | None ->
@@ -184,8 +246,14 @@ let demand_load t (frame : Frame.t) ~addr ~site =
           Telemetry.Attrib.demand_key ~method_id:frame.method_info.method_id
             ~site
         in
-        Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-          ~kind:`Load ~now:(now t) ~dkey
+        let stall =
+          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
+            ~kind:`Load ~now:(now t) ~dkey
+        in
+        (match t.prof with
+        | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
+        | Some _ | None -> ());
+        stall
   in
   if stall > 0 then charge_stall t frame stall
 
@@ -207,6 +275,7 @@ let collect_garbage t =
   in
   t.gc_cycles <- t.gc_cycles + cycles;
   t.stats.cycles <- t.stats.cycles + cycles;
+  (match t.prof with Some p -> p.on_gc ~cycles | None -> ());
   (* Compaction rewrites the simulated address space: flush the hierarchy
      but keep the accumulated counters. [Stats.copy_into] owns the field
      list, so a newly added counter cannot silently desync here. *)
@@ -243,8 +312,17 @@ let allocate t frame alloc =
       with Heap.Out_of_memory -> vm_error "heap exhausted after collection")
   in
   charge t frame t.opts.alloc_cycles;
+  (* Record the allocation site {e before} the header write so the
+     write's stall can already be attributed to the new object. *)
+  (match t.prof with
+  | Some p ->
+      let method_id = frame.Frame.method_info.method_id in
+      let pc = frame.Frame.pc - 1 in
+      p.on_alloc ~obj:id ~method_id ~pc ~bytes:(Heap.size_of t.heap id);
+      p.on_cycles ~method_id ~pc ~bin:Prof_alloc ~cycles:t.opts.alloc_cycles
+  | None -> ());
   (* The header write warms the first line of the new object. *)
-  demand t frame ~addr:(Heap.base_of t.heap id) ~kind:`Store;
+  demand t frame ~obj:id ~addr:(Heap.base_of t.heap id) ~kind:`Store;
   id
 
 let as_ref frame v =
@@ -270,7 +348,7 @@ let compare_int (c : Bytecode.cmp) a b =
    the element address. Charges the length-load access. *)
 let array_access t frame ~len_site ~id ~index =
   let len_addr = Heap.length_addr t.heap id in
-  demand_load t frame ~addr:len_addr ~site:len_site;
+  demand_load t frame ~obj:id ~addr:len_addr ~site:len_site;
   observe_load t frame ~site:len_site ~addr:len_addr;
   let len = Heap.array_length t.heap id in
   if index < 0 || index >= len then
@@ -349,6 +427,23 @@ and exec t (frame : Frame.t) =
     frame.pc <- pc + 1;
     retire t 1;
     charge t frame base_cost;
+    (* The base slot of a prefetch-type instruction is itself overhead
+       the optimization added — it bins as pf/guard overhead, not
+       retire, so the profiler's overhead bins carry the full cost of
+       the pass's inserted code. The classifying match only runs when a
+       profiler is installed. *)
+    (match t.prof with
+    | Some p ->
+        let bin =
+          match instr with
+          | Prefetch_inter _ | Prefetch_dynamic _ -> Prof_pf_overhead
+          | Spec_load _ -> Prof_guard_overhead
+          | Prefetch_indirect { guarded; _ } ->
+              if guarded then Prof_guard_overhead else Prof_pf_overhead
+          | _ -> Prof_retire
+        in
+        p.on_cycles ~method_id:m.method_id ~pc ~bin ~cycles:base_cost
+    | None -> ());
     (match instr with
     | Iconst k -> Frame.push frame (Value.Int k)
     | Aconst_null -> Frame.push frame Value.Null
@@ -429,7 +524,7 @@ and exec t (frame : Frame.t) =
     | Getfield { site; offset; name = _; is_ref = _ } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in
-        demand_load t frame ~addr ~site;
+        demand_load t frame ~obj:id ~addr ~site;
         observe_load t frame ~site ~addr;
         let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
         Frame.push frame (Heap.get_field t.heap id slot)
@@ -437,40 +532,44 @@ and exec t (frame : Frame.t) =
         let v = Frame.pop frame in
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in
-        demand t frame ~addr ~kind:`Store;
+        demand t frame ~obj:id ~addr ~kind:`Store;
         let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
         Heap.set_field t.heap id slot v
     | Getstatic { site; index; name = _; is_ref = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
-        demand_load t frame ~addr ~site;
+        demand_load t frame ~obj:(-1) ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame t.globals.(index)
     | Putstatic { index; name = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
-        demand t frame ~addr ~kind:`Store;
+        demand t frame ~obj:(-1) ~addr ~kind:`Store;
         t.globals.(index) <- Frame.pop frame
     | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
         retire t 1;
         charge t frame base_cost;
+        prof_cycles t ~method_id:m.method_id ~pc ~bin:Prof_retire
+          ~cycles:base_cost;
         let index = Frame.pop_int frame in
         let id = as_ref frame (Frame.pop frame) in
         let addr = array_access t frame ~len_site ~id ~index in
-        demand_load t frame ~addr ~site:elem_site;
+        demand_load t frame ~obj:id ~addr ~site:elem_site;
         observe_load t frame ~site:elem_site ~addr;
         Frame.push frame (Heap.get_elem t.heap id index)
     | Aastore { len_site } | Iastore { len_site } ->
         retire t 1;
         charge t frame base_cost;
+        prof_cycles t ~method_id:m.method_id ~pc ~bin:Prof_retire
+          ~cycles:base_cost;
         let v = Frame.pop frame in
         let index = Frame.pop_int frame in
         let id = as_ref frame (Frame.pop frame) in
         let addr = array_access t frame ~len_site ~id ~index in
-        demand t frame ~addr ~kind:`Store;
+        demand t frame ~obj:id ~addr ~kind:`Store;
         Heap.set_elem t.heap id index v
     | Arraylength { site } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.length_addr t.heap id in
-        demand_load t frame ~addr ~site;
+        demand_load t frame ~obj:id ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame (Value.Int (Heap.array_length t.heap id))
     | New class_id ->
@@ -504,7 +603,11 @@ and exec t (frame : Frame.t) =
         Buffer.add_string t.out (string_of_int v);
         Buffer.add_char t.out '\n'
     | Prefetch_inter { site; distance } ->
-        charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
+        let extra = max 0 (t.opts.machine.prefetch_cost - base_cost) in
+        charge t frame extra;
+        if extra > 0 then
+          prof_cycles t ~method_id:m.method_id ~pc ~bin:Prof_pf_overhead
+            ~cycles:extra;
         let anchor = frame.site_addr.(site) in
         if anchor >= 0 then begin
           let addr = anchor + distance in
@@ -521,7 +624,11 @@ and exec t (frame : Frame.t) =
                 ~addr ~now:(now t) ~site:sid
         end
     | Spec_load { site; distance; reg } ->
-        charge t frame (max 0 (t.opts.machine.guarded_load_cost - base_cost));
+        let extra = max 0 (t.opts.machine.guarded_load_cost - base_cost) in
+        charge t frame extra;
+        if extra > 0 then
+          prof_cycles t ~method_id:m.method_id ~pc ~bin:Prof_guard_overhead
+            ~cycles:extra;
         let anchor = frame.site_addr.(site) in
         if anchor >= 0 then begin
           let addr = anchor + distance in
@@ -559,7 +666,11 @@ and exec t (frame : Frame.t) =
         end
         else frame.pref_regs.(reg) <- Value.Null
     | Prefetch_dynamic { site; times } ->
-        charge t frame (max 0 (t.opts.machine.prefetch_cost - base_cost));
+        let extra = max 0 (t.opts.machine.prefetch_cost - base_cost) in
+        charge t frame extra;
+        if extra > 0 then
+          prof_cycles t ~method_id:m.method_id ~pc ~bin:Prof_pf_overhead
+            ~cycles:extra;
         let addr = frame.site_addr.(site) and prev = frame.site_prev.(site) in
         if addr >= 0 && prev >= 0 && addr <> prev then begin
           let target = addr + ((addr - prev) * times) in
@@ -580,7 +691,12 @@ and exec t (frame : Frame.t) =
           if guarded then t.opts.machine.guarded_load_cost
           else t.opts.machine.prefetch_cost
         in
-        charge t frame (max 0 (cost - base_cost));
+        let extra = max 0 (cost - base_cost) in
+        charge t frame extra;
+        if extra > 0 then
+          prof_cycles t ~method_id:m.method_id ~pc
+            ~bin:(if guarded then Prof_guard_overhead else Prof_pf_overhead)
+            ~cycles:extra;
         (match frame.pref_regs.(reg) with
         | Value.Ref id when Heap.exists t.heap id -> (
             let addr = Heap.base_of t.heap id + offset in

@@ -85,6 +85,54 @@ val set_telemetry : t -> registry:Telemetry.Attrib.t -> ?sink:Telemetry.Sink.t -
 val attribution : t -> Memsim.Attribution.t option
 (** The attribution table installed by {!set_telemetry}, if any. *)
 
+(** {2 Profiling hooks}
+
+    The interpreter reports every cycle it charges through exactly one
+    hook call, so a collector that sums what it is handed reconstructs
+    [Stats.cycles] exactly — the profiler's conservation law (asserted
+    by the golden tests and the fuzz oracle). Hooks observe only; a
+    profiled run is bit-identical (cycles, stats, output) to an
+    unprofiled one. *)
+
+(** Non-stall charge classes. Stall cycles arrive separately through
+    [on_stall], already broken down by the level that caused them. *)
+type prof_bin =
+  | Prof_retire  (** base instruction slot(s) *)
+  | Prof_alloc  (** fixed allocation cost *)
+  | Prof_pf_overhead
+      (** full execution cost (base slot + incremental) of unguarded
+          prefetch-type instructions — every cycle the optimization's
+          inserted code costs *)
+  | Prof_guard_overhead
+      (** full execution cost of guarded loads (spec_load / guarded
+          prefetch_indirect) *)
+
+type profile_hooks = {
+  on_cycles : method_id:int -> pc:int -> bin:prof_bin -> cycles:int -> unit;
+      (** [cycles] non-stall cycles charged at [pc] under [bin] *)
+  on_stall :
+    method_id:int ->
+    pc:int ->
+    obj:int ->
+    tlb:int ->
+    l1:int ->
+    l2:int ->
+    mem:int ->
+    unit;
+      (** a demand access at [pc] stalled; [tlb+l1+l2+mem] is the full
+          stall. [obj] is the referenced heap object id, or [-1]
+          (statics / unknown). *)
+  on_alloc : obj:int -> method_id:int -> pc:int -> bytes:int -> unit;
+      (** a new object [obj] of [bytes] bytes was allocated at [pc] *)
+  on_gc : cycles:int -> unit;  (** one collection's total cycle bill *)
+}
+
+val set_profile : t -> profile_hooks -> unit
+(** Install profiling hooks. Requires telemetry to be enabled first
+    ({!set_telemetry}) — the per-access stall breakdown is maintained
+    only by the hierarchy's attributed path; raises [Invalid_argument]
+    otherwise. *)
+
 val finalize_telemetry : t -> unit
 (** Settle the attribution books at end of run: still-untouched prefetch
     fills are classified useless. Call before reading {!attribution}. *)

@@ -150,27 +150,53 @@ let build ~registry ~attrib =
 
 let pp_key = A.pp_key
 
-let pp_row ppf r =
-  let kind, loop =
-    match r.meta with
-    | Some m -> (A.kind_name m.A.kind, string_of_int m.A.loop_id)
-    | None -> ("?", "?")
-  in
-  Format.fprintf ppf
-    "%-24s %-7s %4s %7d %7d %6d %7d %6d %6d %7d   %5.1f%%  %5.1f%%"
-    (Format.asprintf "%a" pp_key r.key)
-    kind loop r.counters.issued r.counters.useful r.counters.late
-    r.counters.useless r.counters.cancelled r.counters.redundant
-    r.target_misses (100.0 *. r.coverage) (100.0 *. r.accuracy)
-
+(* The per-site table is rendered through the shared
+   [Telemetry.Table] module, the same renderer the profiler and the
+   bench gate use. *)
 let pp_table ppf t =
-  Format.fprintf ppf "@[<v>";
-  Format.fprintf ppf
-    "%-24s %-7s %4s %7s %7s %6s %7s %6s %6s %7s   %6s  %6s@," "site" "kind"
-    "loop" "issued" "useful" "late" "useless" "cancel" "redund" "misses"
-    "cover" "accur";
-  List.iter (fun r -> Format.fprintf ppf "%a@," pp_row r) t.rows;
-  Format.fprintf ppf "@,";
+  let open Telemetry.Table in
+  let tbl =
+    make
+      ~columns:
+        [
+          ("site", Left);
+          ("kind", Left);
+          ("loop", Right);
+          ("issued", Right);
+          ("useful", Right);
+          ("late", Right);
+          ("useless", Right);
+          ("cancel", Right);
+          ("redund", Right);
+          ("misses", Right);
+          ("cover", Right);
+          ("accur", Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      let kind, loop =
+        match r.meta with
+        | Some m -> (A.kind_name m.A.kind, string_of_int m.A.loop_id)
+        | None -> ("?", "?")
+      in
+      add_row tbl
+        [
+          Format.asprintf "%a" pp_key r.key;
+          kind;
+          loop;
+          cell_int r.counters.issued;
+          cell_int r.counters.useful;
+          cell_int r.counters.late;
+          cell_int r.counters.useless;
+          cell_int r.counters.cancelled;
+          cell_int r.counters.redundant;
+          cell_int r.target_misses;
+          cell_pct r.coverage;
+          cell_pct r.accuracy;
+        ])
+    t.rows;
+  Format.fprintf ppf "@[<v>%a@,@," pp tbl;
   List.iter
     (fun k ->
       Format.fprintf ppf

@@ -18,11 +18,17 @@ type run_result = {
   program : Vm.Classfile.program;
   sink : Telemetry.Sink.t option;
   effectiveness : Effectiveness.t option;
+  profile : Profile.Report.t option;
 }
+
+exception Invariant_violation of string
+(** A runtime conservation law was violated at the end of a run made
+    with [check_invariants]. The payload is the rendered
+    {!Analysis.Diag.global} finding. *)
 
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     ?(capture_observables = false) ?(verify_each_pass = false)
-    ?(telemetry = false) ?sink_capacity ~mode ~machine
+    ?(telemetry = false) ?(profile = false) ?sink_capacity ~mode ~machine
     (workload : Workload.t) =
   let opts =
     let base =
@@ -45,6 +51,9 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
      cycle source is installed by [set_telemetry]; attribution rides the
      hierarchy's [_attr] entry points and leaves the simulation
      bit-identical (asserted by the golden tests). *)
+  (* Profiling rides the attributed hierarchy path, so it implies
+     telemetry. *)
+  let telemetry = telemetry || profile in
   let sink =
     if telemetry then Some (Telemetry.Sink.create ?capacity:sink_capacity ())
     else None
@@ -53,6 +62,14 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
   (match registry with
   | Some reg -> Vm.Interp.set_telemetry interp ~registry:reg ?sink ()
   | None -> ());
+  let collector =
+    if profile then begin
+      let c = Profile.Collector.create () in
+      Vm.Interp.set_profile interp (Profile.Collector.hooks c);
+      Some c
+    end
+    else None
+  in
   let reports = ref [] in
   let passes =
     (if standard_passes then Jit.Pipeline.standard_passes () else [])
@@ -109,6 +126,35 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     | Some reg, Some attrib -> Some (Effectiveness.build ~registry:reg ~attrib)
     | _ -> None
   in
+  let profile_report =
+    Option.map
+      (fun c ->
+        Profile.Report.build ~program ~reports:!reports
+          ~cycles:stats.Memsim.Stats.cycles c)
+      collector
+  in
+  (* The runtime invariant audit: both conservation laws, reported
+     through the diagnostics layer. [finalize_telemetry] already settled
+     the attribution books above, so the checks are meaningful here. *)
+  if opts.Strideprefetch.Options.check_invariants then begin
+    let fail d = raise (Invariant_violation (Analysis.Diag.render_plain d)) in
+    (match Vm.Interp.attribution interp with
+    | Some attrib -> (
+        match Memsim.Attribution.conservation_error attrib with
+        | Some msg ->
+            fail
+              (Analysis.Diag.global ~checker:"attribution-conservation" "%s"
+                 msg)
+        | None -> ())
+    | None -> ());
+    match profile_report with
+    | Some rep -> (
+        match Profile.Report.conservation_error rep with
+        | Some msg ->
+            fail (Analysis.Diag.global ~checker:"profile-conservation" "%s" msg)
+        | None -> ())
+    | None -> ()
+  end;
   (* Stamp the final counters onto the event stream so an exported trace
      is self-contained. *)
   (match sink with
@@ -142,6 +188,7 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     program;
     sink;
     effectiveness;
+    profile = profile_report;
   }
 
 let speedup ~baseline result =

@@ -30,7 +30,18 @@ type run_result = {
           Chrome-trace / JSONL exporters *)
   effectiveness : Effectiveness.t option;
       (** per-site prefetch effectiveness of a [~telemetry:true] run *)
+  profile : Profile.Report.t option;
+      (** object-centric cycle profile of a [~profile:true] run: per-pc /
+          per-loop / per-allocation-site stall attribution, ready for the
+          top-down, folded-stack and JSON renderers *)
 }
+
+exception Invariant_violation of string
+(** Raised at the end of a run made with [opts.check_invariants = true]
+    when a runtime conservation law does not hold: attribution's
+    [issued = cancelled + redundant + useful + late + useless] or the
+    profiler's [binned cycles = Stats.cycles]. The payload is the
+    rendered {!Analysis.Diag.global} finding. *)
 
 val run :
   ?opts:Strideprefetch.Options.t ->
@@ -44,6 +55,7 @@ val run :
   ?capture_observables:bool ->
   ?verify_each_pass:bool ->
   ?telemetry:bool ->
+  ?profile:bool ->
   ?sink_capacity:int ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
@@ -77,7 +89,13 @@ val run :
     [run_result.effectiveness]. Telemetry observes the simulation and
     never participates: cycles and all core stats counters are
     bit-identical to a [~telemetry:false] run (golden-tested; only the
-    [Memsim.Stats.telemetry_only] counters become nonzero). *)
+    [Memsim.Stats.telemetry_only] counters become nonzero).
+
+    [profile] (default [false]) additionally installs the object-centric
+    profiler ({!Profile.Collector} hooks) and fills
+    [run_result.profile]. Implies [telemetry]. Like telemetry, profiling
+    observes only: cycles, stats and program output stay bit-identical
+    (fuzz-checked across the differential matrix). *)
 
 val speedup : baseline:run_result -> run_result -> float
 (** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two

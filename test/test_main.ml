@@ -12,4 +12,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("analysis", Test_analysis.suite);
       ("telemetry", Test_telemetry.suite);
+      ("profile", Test_profile.suite);
+      ("bench-gate", Test_bench_gate.suite);
     ]

@@ -1,0 +1,230 @@
+(* Tests for the object-centric profiler (lib/profile): the conservation
+   law over a (machine x mode) matrix, observer-effect freedom (a
+   profiled run is bit-identical to a plain one), sane bin and
+   allocation-site attribution, and byte-identical determinism of the
+   folded-stack / JSON exports — across repeated runs and across Domain
+   pool sizes. *)
+
+module H = Workloads.Harness
+module W = Workloads.Workload
+module SP = Strideprefetch
+module R = Bench_runner.Runner
+
+let chase =
+  {
+    W.name = "prof-chase";
+    suite = `Specjvm;
+    description = "profiler test fixture: pointer chase";
+    paper_note = "";
+    heap_limit_bytes = 4 * 1024 * 1024;
+    source =
+      {|
+class Node {
+  int v; int p1; int p2; int p3; int p4; int p5; int p6; int p7; int p8;
+  int q1; int q2; int q3; int q4; int q5; int q6; int q7; int q8;
+  Node next;
+  Node(int x) { v = x; next = null; }
+}
+class Walker {
+  int sweep(Node head) {
+    int acc = 0;
+    Node p = head;
+    while (p != null) { acc = (acc + p.v) % 9973; p = p.next; }
+    return acc;
+  }
+}
+class T {
+  static void main() {
+    Node head = new Node(0);
+    Node cur = head;
+    for (int i = 1; i < 400; i = i + 1) {
+      cur.next = new Node(i);
+      cur = cur.next;
+    }
+    Walker w = new Walker();
+    int acc = 0;
+    for (int r = 0; r < 8; r = r + 1) { acc = w.sweep(head); }
+    print(acc);
+  }
+}
+|};
+  }
+
+let machines = [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ]
+let modes = [ SP.Options.Off; SP.Options.Inter; SP.Options.Inter_intra ]
+
+let profiled ?(machine = Memsim.Config.pentium4)
+    ?(mode = SP.Options.Inter_intra) ?opts w =
+  H.run ?opts ~profile:true ~mode ~machine w
+
+let report r = Option.get r.H.profile
+
+(* Every cell of the little matrix must bin every cycle exactly once. *)
+let test_conservation_matrix () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun mode ->
+          let r = profiled ~machine ~mode chase in
+          let rep = report r in
+          Alcotest.(check (option string))
+            (Printf.sprintf "conservation %s/%s"
+               machine.Memsim.Config.name (SP.Options.mode_name mode))
+            None
+            (Profile.Report.conservation_error rep);
+          Alcotest.(check int)
+            "report cycles = run cycles" r.H.cycles rep.Profile.Report.cycles)
+        modes)
+    machines
+
+(* The profiler observes; it must not participate. *)
+let test_observer_effect () =
+  let plain = H.run ~mode:SP.Options.Inter_intra ~machine:Memsim.Config.pentium4 chase in
+  let prof = profiled chase in
+  Alcotest.(check string) "output" plain.H.output prof.H.output;
+  Alcotest.(check int) "cycles" plain.H.cycles prof.H.cycles;
+  List.iter2
+    (fun (k, a) (k', b) ->
+      Alcotest.(check string) "counter name" k k';
+      Alcotest.(check int) ("core counter " ^ k) a b)
+    (Memsim.Stats.core_alist plain.H.stats)
+    (Memsim.Stats.core_alist prof.H.stats)
+
+let test_bins_sane () =
+  let r = profiled chase in
+  let rep = report r in
+  let t = rep.Profile.Report.totals in
+  Alcotest.(check bool) "retire cycles recorded" true (t.Profile.Collector.b_retire > 0);
+  Alcotest.(check bool) "alloc cycles recorded" true (t.Profile.Collector.b_alloc > 0);
+  Alcotest.(check bool)
+    "some memory stall recorded" true
+    (t.Profile.Collector.b_l1 + t.Profile.Collector.b_l2
+     + t.Profile.Collector.b_mem + t.Profile.Collector.b_tlb
+    > 0);
+  Alcotest.(check int) "totals + gc = cycles" rep.Profile.Report.cycles
+    (Profile.Collector.bins_total t + rep.Profile.Report.gc_cycles);
+  (* Hot rows exist, and each row's bins sum to its own total. *)
+  Alcotest.(check bool) "pc rows nonempty" true (rep.Profile.Report.pcs <> []);
+  List.iter
+    (fun (row : Profile.Report.pc_row) ->
+      Alcotest.(check int) "row total" row.row_total
+        (Profile.Collector.bins_total row.bins))
+    rep.Profile.Report.pcs
+
+(* Object-centric attribution: the chase allocates 400 Nodes inside
+   T.main and then stalls on them; the allocation sites must be
+   attributed to T.main with the right object count. *)
+let test_objects_attributed () =
+  let r = profiled chase in
+  let rep = report r in
+  let main_rows =
+    List.filter
+      (fun (o : Profile.Report.obj_row) -> o.alloc_method = "T.main")
+      rep.Profile.Report.objects
+  in
+  Alcotest.(check bool) "T.main allocation sites present" true
+    (main_rows <> []);
+  let allocs =
+    List.fold_left
+      (fun acc (o : Profile.Report.obj_row) -> acc + o.allocs)
+      0 main_rows
+  in
+  (* 400 Nodes + 1 Walker, all allocated by T.main. *)
+  Alcotest.(check int) "T.main's allocations attributed" 401 allocs;
+  let stalls =
+    List.fold_left
+      (fun acc (o : Profile.Report.obj_row) -> acc + o.o_total)
+      0 main_rows
+  in
+  Alcotest.(check bool) "chasing those Nodes stalled" true (stalls > 0)
+
+(* The prefetching modes must show their overhead in the pf bin. *)
+let test_pf_overhead_bin () =
+  let off = report (profiled ~mode:SP.Options.Off chase) in
+  let on = report (profiled ~mode:SP.Options.Inter_intra chase) in
+  Alcotest.(check int)
+    "no prefetch overhead at mode Off" 0
+    off.Profile.Report.totals.Profile.Collector.b_pf;
+  Alcotest.(check bool)
+    "prefetch overhead appears at inter+intra" true
+    (on.Profile.Report.totals.Profile.Collector.b_pf > 0)
+
+(* check_invariants promotes the conservation laws to runtime asserts;
+   a healthy run must pass through them silently. *)
+let test_invariant_gate () =
+  let opts = { SP.Options.default with SP.Options.check_invariants = true } in
+  let r = profiled ~opts chase in
+  Alcotest.(check bool) "run completed" true (String.length r.H.output > 0)
+
+(* Byte determinism: same cell, two fresh runs, identical exports. *)
+let test_determinism_two_runs () =
+  let a = report (profiled chase) and b = report (profiled chase) in
+  Alcotest.(check string) "folded stacks byte-identical"
+    (Profile.Report.folded a) (Profile.Report.folded b);
+  Alcotest.(check string) "JSON byte-identical"
+    (Telemetry.Json.to_string (Profile.Report.to_json a))
+    (Telemetry.Json.to_string (Profile.Report.to_json b))
+
+(* ...and across Domain pool sizes: the profiled cells of a parallel
+   matrix are byte-identical to the serial ones. *)
+let test_determinism_jobs () =
+  let cells =
+    [
+      R.cell ~profile:true chase Memsim.Config.pentium4 SP.Options.Inter_intra;
+      R.cell ~profile:true chase Memsim.Config.athlon_mp SP.Options.Inter;
+    ]
+  in
+  let exports timed =
+    List.map
+      (fun (t : R.timed) ->
+        let rep = Option.get t.result.H.profile in
+        ( Profile.Report.folded rep,
+          Telemetry.Json.to_string (Profile.Report.to_json rep) ))
+      timed
+  in
+  let serial = exports (R.run_matrix ~jobs:1 cells)
+  and parallel = exports (R.run_matrix ~jobs:2 cells) in
+  List.iter2
+    (fun (fa, ja) (fb, jb) ->
+      Alcotest.(check string) "folded: jobs 1 = jobs 2" fa fb;
+      Alcotest.(check string) "json: jobs 1 = jobs 2" ja jb)
+    serial parallel
+
+(* The folded export is well-formed flamegraph.pl input. *)
+let test_folded_format () =
+  let rep = report (profiled chase) in
+  let folded = Profile.Report.folded rep in
+  Alcotest.(check bool) "non-empty" true (String.length folded > 0);
+  Alcotest.(check bool) "ends with newline" true
+    (folded.[String.length folded - 1] = '\n');
+  String.split_on_char '\n' folded
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match String.rindex_opt line ' ' with
+         | None -> Alcotest.failf "no count field: %S" line
+         | Some i -> (
+             let count = String.sub line (i + 1) (String.length line - i - 1) in
+             match int_of_string_opt count with
+             | Some n when n > 0 -> ()
+             | _ -> Alcotest.failf "bad count in %S" line))
+
+let suite =
+  [
+    Alcotest.test_case "conservation law across machine x mode" `Slow
+      test_conservation_matrix;
+    Alcotest.test_case "profiling is observer-only" `Slow test_observer_effect;
+    Alcotest.test_case "bins are sane and self-consistent" `Quick
+      test_bins_sane;
+    Alcotest.test_case "object-centric allocation-site attribution" `Quick
+      test_objects_attributed;
+    Alcotest.test_case "prefetch overhead lands in the pf bin" `Quick
+      test_pf_overhead_bin;
+    Alcotest.test_case "check-invariants gate passes on a healthy run" `Quick
+      test_invariant_gate;
+    Alcotest.test_case "exports byte-identical across runs" `Quick
+      test_determinism_two_runs;
+    Alcotest.test_case "exports byte-identical across Domain pools" `Slow
+      test_determinism_jobs;
+    Alcotest.test_case "folded stacks are well-formed" `Quick
+      test_folded_format;
+  ]
