@@ -21,6 +21,12 @@ type cell_rec = {
   workload : string;
   machine : string;
   mode : string;
+  engine : string;
+      (** "closure" when the field is absent: reports written before the
+          dispatch lane existed timed the only engine there was, and its
+          cells keep matching the closure cells of newer reports —
+          wall-clock across that boundary is compared under the reset
+          protocol in BENCH_history/README.md *)
   telemetry : bool;
   profile : bool;
   seconds : float;
@@ -35,9 +41,10 @@ type run = {
 }
 
 let cell_key c =
-  Printf.sprintf "%s/%s/%s%s%s" c.workload c.machine c.mode
+  Printf.sprintf "%s/%s/%s%s%s%s" c.workload c.machine c.mode
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
+    (if c.engine = "closure" then "" else "/" ^ c.engine ^ "-engine")
 
 (* ------------------------------------------------------------------ *)
 (* Lenient report reader: any schema loads (so a mismatch can be reported
@@ -80,6 +87,7 @@ let cell_of_json ~label i j =
           workload;
           machine;
           mode;
+          engine = Option.value ~default:"closure" (mem_str "engine" j);
           telemetry = Option.value ~default:false (mem_bool "telemetry" j);
           profile = Option.value ~default:false (mem_bool "profile" j);
           seconds;
@@ -255,6 +263,33 @@ let compare_runs ?(threshold = 0.05) ~(a : run) ~(b : run) () =
 
 let passes c = c.cycle_regressions = [] && not c.significant_slowdown
 let gate_exit c = if passes c then 0 else 1
+
+(* Per-report dispatch lane: geomean of switch/closure wall-clock over
+   the switch-engine twins and their plain closure cells. [None] when the
+   report has no dispatch lane (pre-lane baselines). *)
+let dispatch_geomean (r : run) =
+  let ratios =
+    List.filter_map
+      (fun s ->
+        if s.engine <> "switch" then None
+        else
+          List.find_opt
+            (fun c ->
+              c.engine = "closure" && (not c.telemetry) && (not c.profile)
+              && c.workload = s.workload && c.machine = s.machine
+              && c.mode = s.mode)
+            r.cells
+          |> Option.map (fun c -> (s.seconds, c.seconds)))
+      r.cells
+    |> List.filter (fun (s, c) -> s > 0.0 && c > 0.0)
+  in
+  match ratios with
+  | [] -> None
+  | _ ->
+      Some
+        (exp
+           (List.fold_left (fun acc (s, c) -> acc +. log (s /. c)) 0.0 ratios
+           /. float_of_int (List.length ratios)))
 
 (* ------------------------------------------------------------------ *)
 

@@ -17,6 +17,11 @@ type cell_rec = {
   workload : string;
   machine : string;
   mode : string;
+  engine : string;
+      (** ["closure"] when the field is absent: pre-dispatch-lane reports
+          timed the only engine there was, and their cells keep matching
+          newer closure cells (see the wall-clock reset protocol in
+          BENCH_history/README.md) *)
   telemetry : bool;
   profile : bool;
   seconds : float;
@@ -31,9 +36,10 @@ type run = {
 }
 
 val cell_key : cell_rec -> string
-(** ["workload/machine/mode"] with ["/telemetry"] / ["/profile"] suffixes —
-    the identity cells are matched on across reports (it deliberately
-    ignores [seconds], [cycles] and the report's [jobs]). *)
+(** ["workload/machine/mode"] with ["/telemetry"] / ["/profile"] /
+    ["/switch-engine"] suffixes — the identity cells are matched on
+    across reports (it deliberately ignores [seconds], [cycles] and the
+    report's [jobs]). *)
 
 val of_string : label:string -> string -> (run, string) result
 (** Parse a report. Lenient about schema (so {!compare_runs} can name both
@@ -74,6 +80,11 @@ val passes : comparison -> bool
 
 val gate_exit : comparison -> int
 (** [0] when {!passes}, [1] otherwise. *)
+
+val dispatch_geomean : run -> float option
+(** The report's dispatch lane: geomean of switch/closure wall-clock
+    speedups over the switch-engine twins and their plain closure cells;
+    [None] when the report predates the lane. *)
 
 val render : comparison -> string
 (** The full human-readable verdict: per-cell table ({!Telemetry.Table}),

@@ -31,13 +31,27 @@ let default_cells () =
         Runner.cell ~telemetry:true w Memsim.Config.pentium4
           SP.Options.Inter_intra)
       workloads
-  (* ...and one profiled twin of the headline db cell, so the report also
-     tracks the object-centric profiler's observer overhead over time. *)
+  (* ...one profiled twin of the headline db cell, so the report also
+     tracks the object-centric profiler's observer overhead over time... *)
   @ [
       Runner.cell ~profile:true
         (List.find (fun (w : W.t) -> w.name = "db") workloads)
         Memsim.Config.pentium4 SP.Options.Inter_intra;
     ]
+  (* ...and one switch-engine twin per (workload x machine) at the
+     headline mode: the dispatch lane. The twins' cycle counts must be
+     byte-identical to their closure cells (the engines' contract, and
+     the gate's exact-equality law applies to them too); their seconds
+     measure what closure compilation buys on the host, summarized as
+     the report's ["dispatch"] geomean. *)
+  @ List.concat_map
+      (fun (w : W.t) ->
+        List.map
+          (fun machine ->
+            Runner.cell ~engine:Vm.Interp.Switch w machine
+              SP.Options.Inter_intra)
+          machines)
+      workloads
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -73,6 +87,70 @@ let effectiveness_json (eff : Workloads.Effectiveness.t) =
     eff.unattributed_misses (List.length eff.rows)
     (String.concat ", " (List.map kind eff.kinds))
 
+(* The dispatch lane: pair every switch-engine cell with its closure
+   twin (same workload/machine/mode, no observers, no knob overrides)
+   and aggregate the per-pair wall-clock speedups switch/closure as a
+   geometric mean — the headline number for what closure compilation
+   buys on the host. *)
+let dispatch_pairs (timed : Runner.timed list) =
+  let plain_closure (t : Runner.timed) (s : Runner.timed) =
+    t.cell.Runner.engine = Vm.Interp.Closure
+    && t.cell.Runner.opts = None
+    && (not t.cell.Runner.telemetry)
+    && (not t.cell.Runner.profile)
+    && t.cell.Runner.workload.W.name = s.cell.Runner.workload.W.name
+    && t.cell.Runner.machine.Memsim.Config.name
+       = s.cell.Runner.machine.Memsim.Config.name
+    && t.cell.Runner.mode = s.cell.Runner.mode
+  in
+  List.filter_map
+    (fun (s : Runner.timed) ->
+      if s.cell.Runner.engine <> Vm.Interp.Switch then None
+      else
+        match List.find_opt (fun t -> plain_closure t s) timed with
+        | Some c when s.seconds > 0.0 && c.Runner.seconds > 0.0 ->
+            Some (s, c)
+        | Some _ | None -> None)
+    timed
+
+let dispatch_geomean pairs =
+  match pairs with
+  | [] -> nan
+  | _ ->
+      exp
+        (List.fold_left
+           (fun acc ((s : Runner.timed), (c : Runner.timed)) ->
+             acc +. log (s.Runner.seconds /. c.Runner.seconds))
+           0.0 pairs
+        /. float_of_int (List.length pairs))
+
+let dispatch_json (timed : Runner.timed list) =
+  match dispatch_pairs timed with
+  | [] -> ""
+  | pairs ->
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf "  \"dispatch\": {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    \"geomean_speedup\": %.4f,\n"
+           (dispatch_geomean pairs));
+      Buffer.add_string buf "    \"pairs\": [\n";
+      List.iteri
+        (fun i ((s : Runner.timed), (c : Runner.timed)) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
+                \"%s\", \"switch_seconds\": %.6f, \"closure_seconds\": \
+                %.6f, \"speedup\": %.4f}%s\n"
+               (json_escape s.cell.Runner.workload.W.name)
+               (json_escape s.cell.Runner.machine.Memsim.Config.name)
+               (json_escape (SP.Options.mode_name s.cell.Runner.mode))
+               s.seconds c.Runner.seconds
+               (s.seconds /. c.Runner.seconds)
+               (if i = List.length pairs - 1 then "" else ",")))
+        pairs;
+      Buffer.add_string buf "    ]\n  },\n";
+      Buffer.contents buf
+
 let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
   let total_cell_seconds =
     List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
@@ -87,6 +165,7 @@ let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
     (Printf.sprintf "  \"matrix_wall_seconds\": %.6f,\n" matrix_wall_seconds);
   Buffer.add_string buf
     (Printf.sprintf "  \"total_cell_seconds\": %.6f,\n" total_cell_seconds);
+  Buffer.add_string buf (dispatch_json timed);
   Buffer.add_string buf "  \"cells\": [\n";
   List.iteri
     (fun i (t : Runner.timed) ->
@@ -99,11 +178,12 @@ let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
-            \"%s\", \"telemetry\": %b, \"profile\": %b, \"seconds\": %.6f, \
-            \"cycles\": %d%s}%s\n"
+            \"%s\", \"engine\": \"%s\", \"telemetry\": %b, \"profile\": \
+            %b, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
            (json_escape t.cell.Runner.workload.W.name)
            (json_escape t.cell.Runner.machine.Memsim.Config.name)
            (json_escape (SP.Options.mode_name t.cell.Runner.mode))
+           (Vm.Interp.engine_name t.cell.Runner.engine)
            t.cell.Runner.telemetry t.cell.Runner.profile t.seconds
            t.result.H.cycles effectiveness
            (if i = List.length timed - 1 then "" else ",")))

@@ -13,7 +13,19 @@ val default_cells : unit -> Runner.cell list
     attributed (telemetry) twin per workload and one profiled twin of the
     headline db cell at pentium4/inter+intra — so the report tracks the
     observer overheads of telemetry and profiling alongside the plain
-    simulation wall-clock. *)
+    simulation wall-clock — plus one switch-engine twin per
+    (workload x machine) at inter+intra: the dispatch lane, whose cycle
+    counts must equal the closure cells' exactly and whose wall-clock
+    ratio is the report's ["dispatch"] geomean. *)
+
+val dispatch_pairs :
+  Runner.timed list -> (Runner.timed * Runner.timed) list
+(** Every (switch twin, plain closure cell) pair with matching
+    workload/machine/mode and positive timings. *)
+
+val dispatch_geomean : (Runner.timed * Runner.timed) list -> float
+(** Geometric mean of per-pair wall-clock speedups switch/closure
+    ([nan] on the empty list). *)
 
 val to_json_string :
   jobs:int -> matrix_wall_seconds:float -> Runner.timed list -> string

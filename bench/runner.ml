@@ -26,6 +26,12 @@ type cell = {
       (** additionally install the object-centric profiler; fills
           [run_result.profile] (implies telemetry) without perturbing
           the simulation *)
+  engine : Vm.Interp.engine;
+      (** which execution engine runs the cell; default [Closure]. The
+          simulated cycle count is engine-independent (bit-identity is
+          the engines' contract), so a switch twin differs from its
+          closure cell only in host wall-clock — the dispatch-speedup
+          lane of the report *)
 }
 
 type timed = {
@@ -34,27 +40,31 @@ type timed = {
   seconds : float;  (** host wall-clock for this cell *)
 }
 
-let cell ?opts ?(telemetry = false) ?(profile = false) workload machine mode =
-  { workload; machine; mode; opts; telemetry; profile }
+let cell ?opts ?(telemetry = false) ?(profile = false)
+    ?(engine = Vm.Interp.Closure) workload machine mode =
+  { workload; machine; mode; opts; telemetry; profile; engine }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s%s%s" c.workload.W.name
+  Printf.sprintf "%s/%s/%s%s%s%s%s" c.workload.W.name
     c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
+    (match c.engine with
+    | Vm.Interp.Closure -> ""
+    | e -> "/" ^ Vm.Interp.engine_name e ^ "-engine")
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in
   let result =
     match c.opts with
     | None ->
-        H.run ~telemetry:c.telemetry ~profile:c.profile ~mode:c.mode
-          ~machine:c.machine c.workload
+        H.run ~engine:c.engine ~telemetry:c.telemetry ~profile:c.profile
+          ~mode:c.mode ~machine:c.machine c.workload
     | Some opts ->
-        H.run ~opts ~telemetry:c.telemetry ~profile:c.profile ~mode:c.mode
-          ~machine:c.machine c.workload
+        H.run ~opts ~engine:c.engine ~telemetry:c.telemetry
+          ~profile:c.profile ~mode:c.mode ~machine:c.machine c.workload
   in
   { cell = c; result; seconds = Unix.gettimeofday () -. t0 }
 

@@ -22,6 +22,11 @@ type cell = {
       (** additionally install the object-centric profiler, filling
           [run_result.profile] (implies telemetry); like telemetry the
           simulation is bit-identical either way *)
+  engine : Vm.Interp.engine;
+      (** which execution engine runs the cell; default [Closure]. Cycle
+          counts are engine-independent (the engines' bit-identity
+          contract), so a switch twin differs from its closure cell only
+          in host wall-clock — the dispatch-speedup lane *)
 }
 
 type timed = {
@@ -34,17 +39,20 @@ val cell :
   ?opts:Strideprefetch.Options.t ->
   ?telemetry:bool ->
   ?profile:bool ->
+  ?engine:Vm.Interp.engine ->
   Workloads.Workload.t ->
   Memsim.Config.machine ->
   Strideprefetch.Options.mode ->
   cell
-(** [telemetry] and [profile] default to [false]. *)
+(** [telemetry] and [profile] default to [false]; [engine] to
+    [Vm.Interp.Closure]. *)
 
 val cell_label : cell -> string
 (** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
     overrides the algorithm knobs, a ["/telemetry"] suffix when the
-    cell records effectiveness attribution, and a ["/profile"] suffix
-    when the cell carries the object-centric profiler. *)
+    cell records effectiveness attribution, a ["/profile"] suffix
+    when the cell carries the object-centric profiler, and a
+    ["/switch-engine"] suffix when it runs on a non-default engine. *)
 
 val run_cell : cell -> timed
 (** Run one cell serially in the calling domain. *)

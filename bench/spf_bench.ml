@@ -51,15 +51,30 @@ let record_timed ~jobs =
   in
   (timed, Unix.gettimeofday () -. t0)
 
+let print_dispatch label run =
+  match Gate.dispatch_geomean run with
+  | Some g ->
+      Printf.printf "dispatch geomean speedup (switch/closure) %s: %.3fx\n"
+        label g
+  | None -> ()
+
 let record ~jobs path =
   let timed, wall = record_timed ~jobs in
   Report.write_json ~path ~jobs ~matrix_wall_seconds:wall timed;
   Printf.printf "wrote %s (%d cells, %.1f s wall)\n" path (List.length timed)
-    wall
+    wall;
+  let pairs = Report.dispatch_pairs timed in
+  if pairs <> [] then
+    Printf.printf "dispatch geomean speedup (switch/closure): %.3fx over %d \
+                   pairs\n"
+      (Report.dispatch_geomean pairs)
+      (List.length pairs)
 
 let compare_runs ?threshold a b =
   let c = ok_or_die (Gate.compare_runs ?threshold ~a ~b ()) in
   print_string (Gate.render c);
+  print_dispatch "A" a;
+  print_dispatch "B" b;
   exit (Gate.gate_exit c)
 
 let compare_files ?threshold path_a path_b =

@@ -60,7 +60,10 @@ let inject_arg =
            guard trips, simulating unguarded prefetch dereferences) or \
            $(b,skip-guard-dominance) (the codegen emits dereference \
            prefetches before their spec_load guard — runtime-benign, \
-           caught only by the static lint cell).")
+           caught only by the static lint cell) or $(b,engine-desync) \
+           (the closure-compiled engine retires one extra instruction \
+           per goto, invisible to program output and cycle counts — \
+           caught only by the engine cross-check's full-stats diff).")
 
 let quiet_arg =
   Arg.(
@@ -92,6 +95,11 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
                   o with
                   Strideprefetch.Options.fault_skip_guard_dominance = true;
                 }) )
+      | Some "engine-desync" ->
+          ( Some
+              (fun (o : Vm.Interp.options) ->
+                { o with Vm.Interp.fault_engine_desync = true }),
+            None )
       | Some other ->
           Printf.eprintf "unknown fault '%s'\n" other;
           exit 2

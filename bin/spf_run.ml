@@ -39,12 +39,57 @@ let mode_conv =
   in
   Cmdliner.Arg.conv (parse, print)
 
+let engine_conv =
+  let parse s =
+    match Vm.Interp.engine_of_string (String.lowercase_ascii s) with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected one of: closure, switch")
+  in
+  let print ppf e = Format.fprintf ppf "%s" (Vm.Interp.engine_name e) in
+  Cmdliner.Arg.conv (parse, print)
+
 let machine_arg =
   Cmdliner.Arg.(
     value
     & opt machine_conv Memsim.Config.pentium4
     & info [ "m"; "machine" ] ~docv:"MACHINE"
         ~doc:"Simulated machine (pentium4 or athlonmp).")
+
+let engine_arg =
+  Cmdliner.Arg.(
+    value
+    & opt engine_conv Vm.Interp.Closure
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,closure) (method bodies pre-compiled to \
+           direct-threaded closure arrays; the default) or $(b,switch) \
+           (the reference fetch/decode loop). Simulated results are \
+           bit-identical either way; closure is faster on the host.")
+
+let max_steps_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-steps" ] ~docv:"N"
+        ~doc:
+          "Step budget: abort with exit code 3 once the VM has dispatched \
+           more than $(docv) instructions (default: 2e9).")
+
+(* Exit code 3 marks a run cut off by the step budget — distinct from
+   cmdliner usage errors (124/125) and uncaught VM faults, so scripts and
+   CI rules can gate on it. *)
+let budget_exit_code = 3
+
+let with_budget_exit f =
+  try f ()
+  with Vm.Interp.Budget_exhausted n ->
+    Printf.eprintf "spf_run: step budget exceeded (max_steps=%d)\n" n;
+    exit budget_exit_code
+
+let tweak_max_steps max_steps o =
+  match max_steps with
+  | Some n -> { o with Vm.Interp.max_steps = n }
+  | None -> o
 
 let mode_arg =
   Cmdliner.Arg.(
@@ -177,7 +222,8 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine mode verbose interproc phased trace explain profile =
+  let run name machine mode verbose interproc phased trace explain profile
+      engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
@@ -185,9 +231,12 @@ let run_cmd =
     | Some w ->
         let opts = opts_of ~interproc ~phased in
         let result =
-          Workloads.Harness.run ~opts
-            ~telemetry:(trace <> None)
-            ~profile ~mode ~machine w
+          with_budget_exit (fun () ->
+              Workloads.Harness.run ~opts
+                ~telemetry:(trace <> None)
+                ~profile ~engine
+                ~tweak_options:(tweak_max_steps max_steps)
+                ~mode ~machine w)
         in
         print_result ~verbose:(verbose || explain) result;
         export_trace ~trace result
@@ -196,7 +245,8 @@ let run_cmd =
     (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Cmdliner.Term.(
       const run $ workload_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg
+      $ engine_arg $ max_steps_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -205,17 +255,21 @@ let compare_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine =
+  let run name machine engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
         exit 1
     | Some w ->
-        let baseline = Workloads.Harness.run ~mode:Strideprefetch.Options.Off ~machine w in
-        let inter = Workloads.Harness.run ~mode:Strideprefetch.Options.Inter ~machine w in
-        let both =
-          Workloads.Harness.run ~mode:Strideprefetch.Options.Inter_intra ~machine w
+        let one mode =
+          with_budget_exit (fun () ->
+              Workloads.Harness.run ~engine
+                ~tweak_options:(tweak_max_steps max_steps)
+                ~mode ~machine w)
         in
+        let baseline = one Strideprefetch.Options.Off in
+        let inter = one Strideprefetch.Options.Inter in
+        let both = one Strideprefetch.Options.Inter_intra in
         Printf.printf "%s on %s:\n" w.name machine.Memsim.Config.name;
         Printf.printf "  BASELINE     %12d cycles\n" baseline.cycles;
         Printf.printf "  INTER        %12d cycles  %+.1f%%\n" inter.cycles
@@ -226,7 +280,8 @@ let compare_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "compare"
        ~doc:"Run BASELINE / INTER / INTER+INTRA and print speedups.")
-    Cmdliner.Term.(const run $ workload_arg $ machine_arg)
+    Cmdliner.Term.(
+      const run $ workload_arg $ machine_arg $ engine_arg $ max_steps_arg)
 
 let file_cmd =
   let path_arg =
@@ -235,7 +290,8 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
-  let run path machine mode verbose interproc phased trace explain profile =
+  let run path machine mode verbose interproc phased trace explain profile
+      engine max_steps =
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
     | Error e ->
@@ -254,9 +310,12 @@ let file_cmd =
         in
         let opts = opts_of ~interproc ~phased in
         let result =
-          Workloads.Harness.run ~opts
-            ~telemetry:(trace <> None)
-            ~profile ~mode ~machine w
+          with_budget_exit (fun () ->
+              Workloads.Harness.run ~opts
+                ~telemetry:(trace <> None)
+                ~profile ~engine
+                ~tweak_options:(tweak_max_steps max_steps)
+                ~mode ~machine w)
         in
         print_result ~verbose:(verbose || explain) result;
         export_trace ~trace result
@@ -265,7 +324,8 @@ let file_cmd =
     (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
     Cmdliner.Term.(
       const run $ path_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg)
+      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg
+      $ engine_arg $ max_steps_arg)
 
 let () =
   let info =

@@ -63,7 +63,8 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Stats_violation _, Oracle.Stats_violation _
   | Oracle.Faulting_prefetch _, Oracle.Faulting_prefetch _
   | Oracle.Lint_violation _, Oracle.Lint_violation _
-  | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _ ->
+  | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _
+  | Oracle.Engine_divergence _, Oracle.Engine_divergence _ ->
       true
   | _ -> false
 
@@ -95,10 +96,13 @@ let run ?cells ?tweak_options ?tweak_prefetch ?(shrink = true)
     ?shrink_attempts
     ?(progress = fun ~index:_ ~seed:_ -> ()) ~campaign_seed ~count ~max_size
     () =
+  (* Matrix cells plus the two appended cross-check pairs: plain vs
+     telemetry+profile, and switch vs closure engine. *)
   let cells_per_program =
-    match cells with
+    (match cells with
     | Some cs -> List.length cs
-    | None -> List.length Oracle.default_cells
+    | None -> List.length Oracle.default_cells)
+    + 4
   in
   let findings = ref [] in
   for index = 0 to count - 1 do

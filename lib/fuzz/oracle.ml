@@ -61,6 +61,7 @@ type failure =
   | Faulting_prefetch of { cell : cell; count : int }
   | Lint_violation of { cell : cell; meth : string; message : string }
   | Telemetry_divergence of { cell : cell; message : string }
+  | Engine_divergence of { cell : cell; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -91,6 +92,11 @@ let describe = function
   | Telemetry_divergence { cell; message } ->
       Printf.sprintf
         "[%s] telemetry perturbed the simulation (must be observe-only): %s"
+        (cell_name cell) message
+  | Engine_divergence { cell; message } ->
+      Printf.sprintf
+        "[%s] switch and closure engines diverged (bit-identity is their \
+         contract): %s"
         (cell_name cell) message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
@@ -269,6 +275,98 @@ let telemetry_crosscheck ~opts ?tweak_options workload =
                 end)
       end
 
+(* Engine cross-check: one fresh cell pair at the headline configuration,
+   reference switch engine vs closure-compiled engine. Bit-identity is
+   the engines' contract, so on a completed run {e everything} must
+   agree: program output, the statics-reachable heap graph, and the full
+   stats surface — every core memory-system counter plus the VM-side
+   books (cycle split, GC count, methods compiled, fault/guard
+   counters). A crashing program must crash {e identically} in both
+   engines (same exception, same message) and is compared on the crash
+   alone: the closure engine's block batching commits a whole block's
+   step/cycle bookkeeping before a mid-block error where the switch
+   engine stops at the faulting instruction (documented in
+   lib/vm/engine.ml), so post-crash counters are deliberately not
+   comparable — and no stats counter is readable from an aborted run
+   anyway. *)
+let engine_crosscheck ~opts ?tweak_options workload =
+  let cell =
+    {
+      mode = O.Inter_intra;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    }
+  in
+  let run engine =
+    match
+      Workloads.Harness.run ~opts ?tweak_options ~engine
+        ~capture_observables:true ~mode:cell.mode ~machine:cell.machine
+        workload
+    with
+    | r -> Ok r
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let diverged message = Some (Engine_divergence { cell; message }) in
+  match (run Vm.Interp.Switch, run Vm.Interp.Closure) with
+  | Error sw, Error cl ->
+      if sw = cl then None
+      else
+        diverged
+          (Printf.sprintf "engines crash differently: switch raised %s, \
+                           closure raised %s" sw cl)
+  | Error sw, Ok _ ->
+      diverged
+        (Printf.sprintf "switch engine crashed (%s) but closure completed" sw)
+  | Ok _, Error cl ->
+      diverged
+        (Printf.sprintf "closure engine crashed (%s) but switch completed" cl)
+  | Ok sw, Ok cl ->
+      if sw.output <> cl.output then diverged "program output differs"
+      else begin
+        let counter name f =
+          if f sw = f cl then None
+          else
+            Some
+              (Printf.sprintf "%s differs: switch=%d closure=%d" name (f sw)
+                 (f cl))
+        in
+        let vm_books =
+          List.filter_map
+            (fun (name, f) -> counter name f)
+            [
+              ("cycles", fun (r : Workloads.Harness.run_result) -> r.cycles);
+              ("interpreted_cycles", fun r -> r.interpreted_cycles);
+              ("compiled_cycles", fun r -> r.compiled_cycles);
+              ("gc_count", fun r -> r.gc_count);
+              ("methods_compiled", fun r -> r.methods_compiled);
+              ("faulting_prefetches", fun r -> r.faulting_prefetches);
+              ("spec_guard_trips", fun r -> r.spec_guard_trips);
+            ]
+        in
+        match vm_books with
+        | msg :: _ -> diverged msg
+        | [] -> (
+            match
+              List.find_opt
+                (fun ((k, a), (k', b)) -> k <> k' || a <> b)
+                (List.combine
+                   (Memsim.Stats.core_alist sw.stats)
+                   (Memsim.Stats.core_alist cl.stats))
+            with
+            | Some ((k, a), (_, b)) ->
+                diverged
+                  (Printf.sprintf "core counter %s differs: switch=%d \
+                                   closure=%d" k a b)
+            | None -> (
+                match (sw.observables, cl.observables) with
+                | Some a, Some b -> (
+                    match Workloads.Observables.diff a b with
+                    | None -> None
+                    | Some diff ->
+                        diverged ("reachable heap differs: " ^ diff))
+                | _ -> diverged "a run captured no observables"))
+      end
+
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
     ~heap_limit_bytes () =
   match
@@ -362,10 +460,16 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
               let rec loop n = function
                 | [] -> (
                     (* Differential matrix clean: append the telemetry
-                       observer-effect pair. *)
+                       observer-effect pair, then the switch-vs-closure
+                       engine pair. *)
                     match telemetry_crosscheck ~opts ?tweak_options workload with
                     | Some f -> Fail f
-                    | None -> Pass { cells_run = n + 2 })
+                    | None -> (
+                        match
+                          engine_crosscheck ~opts ?tweak_options workload
+                        with
+                        | Some f -> Fail f
+                        | None -> Pass { cells_run = n + 4 }))
                 | cell :: cells -> (
                     match run cell with
                     | Error f -> Fail f

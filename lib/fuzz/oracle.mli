@@ -51,6 +51,13 @@ type failure =
           (issued <> cancelled + redundant + useful + late + useless),
           or the profiler's cycle bins did not sum to the run's cycle
           count *)
+  | Engine_divergence of { cell : cell; message : string }
+      (** the switch and closure-compiled engines disagreed on the same
+          program — output, cycles, a core stats counter, a VM-side
+          counter (GC count, methods compiled, fault/guard trips), the
+          reachable heap, or their crash behaviour. Bit-identity across
+          engines is their contract (lib/vm/engine.ml); crashing runs
+          are compared on the crash alone, never on post-crash stats *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -72,7 +79,12 @@ val check :
     [~telemetry:true ~profile:true], and compared bit-for-bit on output,
     cycles and every core stats counter, with the attribution and
     profiler conservation laws checked on the observed twin — the
-    observer-effect check (the pair counts 2 toward [cells_run]). [tweak_options] edits the
+    observer-effect check. A second extra pair then re-runs the headline
+    configuration on the reference switch engine vs the closure-compiled
+    engine and demands bit-identity (output, cycles, every core and
+    VM-side counter, the reachable heap; crashes must match exactly and
+    are compared on the crash alone). The two pairs count 4 toward
+    [cells_run]. [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
     catches them. [tweak_prefetch] likewise edits the prefetch-pass

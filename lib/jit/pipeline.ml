@@ -16,14 +16,18 @@ type t = {
   span : name:string -> meth:string -> (unit -> unit) -> unit;
       (** telemetry hook wrapping the whole compilation and each pass;
           the default just runs the thunk *)
+  on_mutate : Vm.Classfile.method_info -> unit;
+      (** execution-engine recompilation hook, run after each pass (and
+          its verification): a pass may have swapped [method_info.code],
+          staling the closure engine's compiled artifact *)
   timings : (string, float) Hashtbl.t;
   mutable compiled : int;
 }
 
 let no_span ~name:_ ~meth:_ f = f ()
 
-let create ?verifier ?(span = no_span) passes =
-  { passes; verifier; span; timings = Hashtbl.create 8; compiled = 0 }
+let create ?verifier ?(span = no_span) ?(on_mutate = fun _ -> ()) passes =
+  { passes; verifier; span; on_mutate; timings = Hashtbl.create 8; compiled = 0 }
 
 let analysis_pass (m : Vm.Classfile.method_info) (_args : Vm.Value.t array) =
   let cfg = Cfg.build m.code in
@@ -73,7 +77,8 @@ let compile t (m : Vm.Classfile.method_info) args =
                   (Hashtbl.find_opt t.timings pass.pass_name)
               in
               Hashtbl.replace t.timings pass.pass_name (prior +. elapsed);
-              check_after_pass t pass.pass_name m))
+              check_after_pass t pass.pass_name m;
+              t.on_mutate m))
         t.passes;
       m.compile_seconds <-
         m.compile_seconds +. (now_seconds () -. start_method);

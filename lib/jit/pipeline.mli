@@ -27,6 +27,7 @@ type t
 val create :
   ?verifier:(Vm.Classfile.method_info -> (unit, string) result) ->
   ?span:(name:string -> meth:string -> (unit -> unit) -> unit) ->
+  ?on_mutate:(Vm.Classfile.method_info -> unit) ->
   pass list ->
   t
 (** [?verifier] is a debug-mode hook (see [Analysis.Check.pass_verifier])
@@ -38,7 +39,13 @@ val create :
     in [span ~name:"compile"] and each pass in [span ~name:"pass:<name>"]
     (the harness supplies a closure recording into a [Telemetry.Sink]).
     The default runs the thunk with no other effect, keeping the jit
-    library independent of the telemetry library. *)
+    library independent of the telemetry library.
+
+    [?on_mutate] runs after each pass (and its verification): a pass may
+    have replaced [method_info.code], and the execution engine may hold a
+    compiled artifact of the old body. The harness supplies
+    [Vm.Interp.precompile_method] so the closure engine's artifact is
+    refreshed eagerly between passes. Default: no-op. *)
 
 val standard_passes : unit -> pass list
 (** The baseline JIT: IR/analysis construction (CFG, dominators, loop

@@ -49,6 +49,10 @@ let create (machine : Config.machine) =
 let machine t = t.machine
 let stats t = t.stats
 
+(* Int-specialized [max]: [Stdlib.max] compiles to the generic-compare C
+   call, visible on the prefetch/miss fill paths. *)
+let[@inline] imax (a : int) b = if a > b then a else b
+
 let line_bytes t =
   match t.machine.prefetch_target with
   | Config.To_l2 -> t.machine.l2.line_bytes
@@ -157,7 +161,7 @@ let sw_prefetch t ~addr ~now =
         else begin
           let ready = l2_fill_ready t ~addr ~now in
           Cache.fill t.l1 ~addr
-            ~ready_at:(max ready (now + t.l1_miss_penalty))
+            ~ready_at:(imax ready (now + t.l1_miss_penalty))
         end
 
 let guarded_load t ~addr ~now =
@@ -167,7 +171,7 @@ let guarded_load t ~addr ~now =
     t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1
   else begin
     let ready = l2_fill_ready t ~addr ~now in
-    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.l1_miss_penalty))
+    Cache.fill t.l1 ~addr ~ready_at:(imax ready (now + t.l1_miss_penalty))
   end
 
 let reset t =
@@ -316,7 +320,7 @@ let sw_prefetch_attr t ~attrib ~addr ~now ~site =
         else begin
           let ready = l2_fill_ready t ~addr ~now in
           Cache.fill t.l1 ~addr
-            ~ready_at:(max ready (now + t.l1_miss_penalty));
+            ~ready_at:(imax ready (now + t.l1_miss_penalty));
           Attribution.note_fill attrib ~level:`L1
             ~line:(Cache.line_of t.l1 addr) ~site
         end
@@ -331,7 +335,7 @@ let guarded_load_attr t ~attrib ~addr ~now ~site =
   end
   else begin
     let ready = l2_fill_ready t ~addr ~now in
-    Cache.fill t.l1 ~addr ~ready_at:(max ready (now + t.l1_miss_penalty));
+    Cache.fill t.l1 ~addr ~ready_at:(imax ready (now + t.l1_miss_penalty));
     Attribution.note_fill attrib ~level:`L1 ~line:(Cache.line_of t.l1 addr)
       ~site
   end

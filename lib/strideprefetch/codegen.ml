@@ -1,3 +1,11 @@
+(* The prefetch instructions spliced here execute on whichever engine the
+   VM selected: the reference switch interpreter or the closure-compiled
+   engine (DESIGN.md section 10). Codegen does not get to know — the
+   engines' bit-identity contract (same cycles, same stats, enforced by
+   test/test_engine.ml and the fuzz oracle's engine axis) means the emitted
+   code must not rely on any dispatch-order or timing property beyond the
+   bytecode semantics itself. *)
+
 module B = Vm.Bytecode
 
 type deref_target = { target_site : int; offset : int; via_intra : bool }

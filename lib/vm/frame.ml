@@ -23,21 +23,26 @@ exception Stack_error of string
 
 let max_stack = 256
 
+(* Int-specialized [max]: [Stdlib.max] is polymorphic and goes through
+   the generic comparison C call — measurable in [reusable], which runs
+   on every method invocation. *)
+let[@inline] imax (a : int) b = if a > b then a else b
+
 let create (m : Classfile.method_info) ~args =
   if Array.length args <> m.arity then
     invalid_arg
       (Printf.sprintf "frame: %s expects %d arguments, got %d" m.method_name
          m.arity (Array.length args));
-  let locals = Array.make (max m.max_locals m.arity) Value.Null in
+  let locals = Array.make (imax m.max_locals m.arity) Value.Null in
   Array.blit args 0 locals 0 (Array.length args);
   {
     method_info = m;
     locals;
     stack = Array.make max_stack Value.Null;
     sp = 0;
-    site_addr = Array.make (max m.n_sites 1) (-1);
-    site_prev = Array.make (max m.n_sites 1) (-1);
-    pref_regs = Array.make (max m.n_pref_regs 1) Value.Null;
+    site_addr = Array.make (imax m.n_sites 1) (-1);
+    site_prev = Array.make (imax m.n_sites 1) (-1);
+    pref_regs = Array.make (imax m.n_pref_regs 1) Value.Null;
     pc = 0;
   }
 
@@ -47,9 +52,9 @@ let create (m : Classfile.method_info) ~args =
    discard the pooled frame and build a fresh one. *)
 let reusable t (m : Classfile.method_info) =
   t.method_info == m
-  && Array.length t.locals = max m.max_locals m.arity
-  && Array.length t.site_addr = max m.n_sites 1
-  && Array.length t.pref_regs = max m.n_pref_regs 1
+  && Array.length t.locals = imax m.max_locals m.arity
+  && Array.length t.site_addr = imax m.n_sites 1
+  && Array.length t.pref_regs = imax m.n_pref_regs 1
 
 let reset t ~args =
   let m = t.method_info in
@@ -57,8 +62,10 @@ let reset t ~args =
     invalid_arg
       (Printf.sprintf "frame: %s expects %d arguments, got %d" m.method_name
          m.arity (Array.length args));
-  Array.fill t.locals 0 (Array.length t.locals) Value.Null;
-  Array.blit args 0 t.locals 0 (Array.length args);
+  (* Equivalent to fill-then-blit, skipping the slots the args overwrite. *)
+  let n_args = Array.length args in
+  Array.blit args 0 t.locals 0 n_args;
+  Array.fill t.locals n_args (Array.length t.locals - n_args) Value.Null;
   t.sp <- 0;
   Array.fill t.site_addr 0 (Array.length t.site_addr) (-1);
   Array.fill t.site_prev 0 (Array.length t.site_prev) (-1);

@@ -112,8 +112,8 @@ let[@inline] get t id =
   else dangling id
 
 let exists t id = id >= 0 && id < t.next_id && (Array.unsafe_get t.by_id id).id = id
-let base_of t id = (get t id).base
-let size_of t id = (get t id).size
+let[@inline] base_of t id = (get t id).base
+let[@inline] size_of t id = (get t id).size
 
 let class_id_of t id =
   match (get t id).contents with
@@ -159,6 +159,17 @@ let set_elem t id i v =
 
 let elem_addr t id i =
   (get t id).base + Classfile.array_elems_offset + (i * Classfile.slot_bytes)
+
+(* One-fetch [(base, length)] view of an array object, for the closure
+   engine's array-access sequence: bounds-check-load address, bounds test
+   and element address all derive from a single table lookup instead of
+   three [get] round-trips. *)
+let[@inline] array_view t id =
+  let obj = get t id in
+  match obj.contents with
+  | Int_array a -> (obj.base, Array.length a)
+  | Ref_array a -> (obj.base, Array.length a)
+  | Object _ -> invalid_arg "heap: object used as array"
 
 (* Greatest object whose base is <= addr, by binary search over the
    address-ordered table; the last hit is memoized, which turns the

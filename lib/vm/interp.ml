@@ -1,4 +1,22 @@
-type options = {
+(* The execution-engine facade.
+
+   The shared interpreter state and step helpers live in [State]; the
+   closure-compiled engine lives in [Engine]; this module keeps the
+   public API stable, implements the reference {e switch} engine (the
+   classic fetch/decode loop), and wires whichever engine
+   [options.engine] selects into [State.engine_exec] at [create] time.
+
+   The switch engine is the semantic reference: the closure engine must
+   match it bit-for-bit on output, heap, and every stats counter
+   (test/test_engine.ml; the fuzz oracle's engine axis). Keep the two in
+   lockstep — any change to the loop below needs the mirrored change in
+   [Engine.compile]. *)
+
+open State
+
+type engine = State.engine = Switch | Closure
+
+type options = State.options = {
   machine : Memsim.Config.machine;
   heap_limit_bytes : int;
   hot_threshold : int;
@@ -7,407 +25,71 @@ type options = {
   gc_cycles_per_dead : int;
   max_steps : int;
   unguarded_spec_loads : bool;
+  engine : engine;
+  fault_engine_desync : bool;
 }
 
-let default_options machine =
-  {
-    machine;
-    heap_limit_bytes = 64 * 1024 * 1024;
-    hot_threshold = 2;
-    alloc_cycles = 4;
-    gc_cycles_per_live = 10;
-    gc_cycles_per_dead = 2;
-    max_steps = 2_000_000_000;
-    unguarded_spec_loads = false;
-  }
+let default_options = State.default_options
+let engine_name = function Switch -> "switch" | Closure -> "closure"
 
-(* Telemetry wiring, bundled so the disabled state is a single [None]
-   test on the hot paths. [attrib] is memsim's int-keyed effectiveness
-   table; [registry] maps the interpreter's structural prefetch-site
-   keys to the dense ids [attrib] speaks; [tsink] (optional even when
-   attribution is on) receives GC spans. *)
-type telemetry = {
-  attrib : Memsim.Attribution.t;
-  registry : Telemetry.Attrib.t;
-  tsink : Telemetry.Sink.t option;
-}
+let engine_of_string = function
+  | "switch" -> Some Switch
+  | "closure" -> Some Closure
+  | _ -> None
 
-(* Profiler wiring: a record of observer closures installed by the
-   profiling layer (lib/profile). The interpreter reports every cycle it
-   charges to exactly one hook call, so a collector that sums what it is
-   handed reconstructs [Stats.cycles] exactly — the profiler's
-   conservation law. Hooks observe only: a profiled run is bit-identical
-   to a plain one (fuzz-checked). Profiling requires telemetry (the
-   stall breakdown is maintained by the hierarchy's [_attr] path). *)
-type prof_bin = Prof_retire | Prof_alloc | Prof_pf_overhead | Prof_guard_overhead
+type prof_bin = State.prof_bin =
+  | Prof_retire
+  | Prof_alloc
+  | Prof_pf_overhead
+  | Prof_guard_overhead
 
-type profile_hooks = {
+type profile_hooks = State.profile_hooks = {
   on_cycles : method_id:int -> pc:int -> bin:prof_bin -> cycles:int -> unit;
-      (** non-stall charges: base instruction slots, allocation cost and
-          the incremental cost of prefetch-type instructions *)
   on_stall :
-    method_id:int -> pc:int -> obj:int -> tlb:int -> l1:int -> l2:int ->
-    mem:int -> unit;
-      (** a demand access stalled; [tlb+l1+l2+mem] is the full stall.
-          [obj] is the referenced heap object id, or [-1] (statics /
-          unknown). *)
+    method_id:int ->
+    pc:int ->
+    obj:int ->
+    tlb:int ->
+    l1:int ->
+    l2:int ->
+    mem:int ->
+    unit;
   on_alloc : obj:int -> method_id:int -> pc:int -> bytes:int -> unit;
-      (** a new object: records its allocation site for object-centric
-          profiles *)
-  on_gc : cycles:int -> unit;  (** one collection's cycle bill *)
+  on_gc : cycles:int -> unit;
 }
 
-type t = {
-  program : Classfile.program;
-  heap : Heap.t;
-  mem : Memsim.Hierarchy.t;
-  stats : Memsim.Stats.t;
-      (** [Hierarchy.stats mem], hoisted: the record's identity is stable
-          across [Hierarchy.reset] (the counters are reset in place), so
-          [charge]/[retire] can update it without re-fetching it from the
-          hierarchy on every instruction. *)
-  opts : options;
-  globals : Value.t array;
-  out : Buffer.t;
-  frame_pool : Frame.t list array;
-      (** per-method free list of frames; [call] recycles activation
-          records instead of allocating locals/stack/site arrays anew *)
-  mutable frames : Frame.t list;
-  mutable compile_hook :
-    (t -> Classfile.method_info -> Value.t array -> unit) option;
-  mutable load_observer :
-    (method_id:int -> site:int -> addr:int -> unit) option;
-  mutable gc_count : int;
-  mutable gc_cycles : int;
-  mutable interpreted_cycles : int;
-  mutable compiled_cycles : int;
-  mutable steps : int;
-  mutable faulting_prefetches : int;
-      (** prefetch-type operations that computed an address outside the
-          simulated address space (negative) — always a codegen bug *)
-  mutable spec_guard_trips : int;
-      (** spec_loads whose target fell outside every live object: the
-          guard fired and [Null] was substituted (benign by design) *)
-  mutable telem : telemetry option;
-      (** [None] (the default) selects the plain hierarchy entry points:
-          telemetry off costs one immediate-constant test per access *)
-  mutable prof : profile_hooks option;
-      (** [None] (the default) disables profiling: off costs one
-          immediate-constant test per charge site *)
-}
+type t = State.t
 
-exception Vm_error of string
+exception Vm_error = State.Vm_error
+exception Budget_exhausted = State.Budget_exhausted
 
-let create ?options machine program =
-  let opts =
-    match options with Some o -> o | None -> default_options machine
-  in
-  let mem = Memsim.Hierarchy.create machine in
-  {
-    program;
-    heap = Heap.create ~limit_bytes:opts.heap_limit_bytes ();
-    mem;
-    stats = Memsim.Hierarchy.stats mem;
-    opts;
-    globals = Array.make (max 1 (Array.length program.statics)) Value.Null;
-    out = Buffer.create 256;
-    frame_pool = Array.make (max 1 (Array.length program.methods)) [];
-    frames = [];
-    compile_hook = None;
-    load_observer = None;
-    gc_count = 0;
-    gc_cycles = 0;
-    interpreted_cycles = 0;
-    compiled_cycles = 0;
-    steps = 0;
-    faulting_prefetches = 0;
-    spec_guard_trips = 0;
-    telem = None;
-    prof = None;
-  }
+let program (t : t) = t.program
+let heap (t : t) = t.heap
+let memory (t : t) = t.mem
+let stats (t : t) = t.stats
+let options (t : t) = t.opts
+let output (t : t) = Buffer.contents t.out
+let global (t : t) index = t.globals.(index)
+let set_compile_hook (t : t) hook = t.compile_hook <- Some hook
+let set_load_observer (t : t) f = t.load_observer <- Some f
+let gc_count (t : t) = t.gc_count
+let gc_cycles (t : t) = t.gc_cycles
+let interpreted_cycles (t : t) = t.interpreted_cycles
+let compiled_cycles (t : t) = t.compiled_cycles
+let faulting_prefetches (t : t) = t.faulting_prefetches
+let spec_guard_trips (t : t) = t.spec_guard_trips
+let steps (t : t) = t.steps
+let set_telemetry = State.set_telemetry
+let set_profile = State.set_profile
+let attribution = State.attribution
+let finalize_telemetry = State.finalize_telemetry
+let call = State.call
+let run = State.run
 
-let program t = t.program
-let heap t = t.heap
-let memory t = t.mem
-let stats t = t.stats
-let options t = t.opts
-let output t = Buffer.contents t.out
-let global t index = t.globals.(index)
-let set_compile_hook t hook = t.compile_hook <- Some hook
-let set_load_observer t f = t.load_observer <- Some f
-let gc_count t = t.gc_count
-let gc_cycles t = t.gc_cycles
-let interpreted_cycles t = t.interpreted_cycles
-let compiled_cycles t = t.compiled_cycles
-let faulting_prefetches t = t.faulting_prefetches
-let spec_guard_trips t = t.spec_guard_trips
-
-let set_telemetry t ~registry ?sink () =
-  let attrib = Memsim.Attribution.create () in
-  (match sink with
-  | Some s ->
-      Telemetry.Sink.set_cycle_source s (fun () -> t.stats.cycles)
-  | None -> ());
-  t.telem <- Some { attrib; registry; tsink = sink }
-
-let set_profile t hooks =
-  if t.telem = None then
-    invalid_arg
-      "Interp.set_profile: profiling requires telemetry (call set_telemetry \
-       first; the stall breakdown lives on the attributed hierarchy path)";
-  t.prof <- Some hooks
-
-let attribution t =
-  match t.telem with Some tl -> Some tl.attrib | None -> None
-
-let finalize_telemetry t =
-  match t.telem with
-  | Some tl -> Memsim.Attribution.flush tl.attrib
-  | None -> ()
-
-(* Every address a prefetch-type instruction computes flows through here;
-   a negative address can only come from broken distance/offset arithmetic
-   in the prefetch pass, so the differential oracle asserts the counter
-   stays zero. *)
-let audit_prefetch_addr t addr =
-  if addr < 0 then t.faulting_prefetches <- t.faulting_prefetches + 1
-
-let vm_error fmt = Printf.ksprintf (fun msg -> raise (Vm_error msg)) fmt
-
-let charge t (frame : Frame.t) cycles =
-  let stats = t.stats in
-  stats.cycles <- stats.cycles + cycles;
-  if frame.method_info.compiled then
-    t.compiled_cycles <- t.compiled_cycles + cycles
-  else t.interpreted_cycles <- t.interpreted_cycles + cycles
-
-let charge_stall t (frame : Frame.t) cycles =
-  t.stats.stall_cycles <- t.stats.stall_cycles + cycles;
-  charge t frame cycles
-
-let retire t n =
-  t.stats.retired_instructions <- t.stats.retired_instructions + n
-
-let now t = t.stats.cycles
-
-let observe_load t (frame : Frame.t) ~site ~addr =
-  frame.site_prev.(site) <- frame.site_addr.(site);
-  frame.site_addr.(site) <- addr;
-  match t.load_observer with
-  | Some f -> f ~method_id:frame.method_info.method_id ~site ~addr
-  | None -> ()
-
-(* Report a stalled demand access to the profiler. The attributing pc is
-   [frame.pc - 1]: every memory-access handler runs after the dispatch
-   loop advanced [frame.pc] past the instruction and none of them
-   branches first, so this is the pc of the instruction being executed.
-   The four components are read back from the hierarchy's breakdown of
-   the access that just returned [stall]; they sum to it exactly. *)
-let[@inline never] prof_stall t p (frame : Frame.t) ~obj ~stall:_ =
-  p.on_stall ~method_id:frame.method_info.method_id ~pc:(frame.pc - 1) ~obj
-    ~tlb:(Memsim.Hierarchy.last_tlb_stall t.mem)
-    ~l1:(Memsim.Hierarchy.last_l1_stall t.mem)
-    ~l2:(Memsim.Hierarchy.last_l2_stall t.mem)
-    ~mem:(Memsim.Hierarchy.last_mem_stall t.mem)
-
-(* Report a non-stall cycle charge ([bin] at [pc]) to the profiler.
-   Kept out of line so the disabled state costs one immediate test. *)
-let[@inline] prof_cycles t ~method_id ~pc ~bin ~cycles =
-  match t.prof with
-  | Some p -> p.on_cycles ~method_id ~pc ~bin ~cycles
-  | None -> ()
-
-let demand t frame ~obj ~addr ~kind =
-  let stall =
-    match t.telem with
-    | None -> Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t)
-    | Some tl ->
-        let stall =
-          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-            ~kind ~now:(now t) ~dkey:(-1)
-        in
-        (match t.prof with
-        | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
-        | Some _ | None -> ());
-        stall
-  in
-  if stall > 0 then charge_stall t frame stall
-
-(* A demand load at a numbered load site. Under telemetry its memory
-   misses are bucketed by the packed (method, site) key — the coverage
-   denominator for prefetches registered against that site. *)
-let demand_load t (frame : Frame.t) ~obj ~addr ~site =
-  let stall =
-    match t.telem with
-    | None ->
-        Memsim.Hierarchy.demand_access t.mem ~addr ~kind:`Load ~now:(now t)
-    | Some tl ->
-        let dkey =
-          Telemetry.Attrib.demand_key ~method_id:frame.method_info.method_id
-            ~site
-        in
-        let stall =
-          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-            ~kind:`Load ~now:(now t) ~dkey
-        in
-        (match t.prof with
-        | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
-        | Some _ | None -> ());
-        stall
-  in
-  if stall > 0 then charge_stall t frame stall
-
-let collect_garbage t =
-  let ts_us, cycles_begin =
-    match t.telem with
-    | Some { tsink = Some s; _ } -> (Telemetry.Sink.now_us s, t.stats.cycles)
-    | _ -> (0.0, 0)
-  in
-  let roots =
-    List.concat_map Frame.roots t.frames
-    @ Array.to_list t.globals
-  in
-  let result = Gc_compact.collect t.heap ~roots in
-  t.gc_count <- t.gc_count + 1;
-  let cycles =
-    (result.live * t.opts.gc_cycles_per_live)
-    + (result.collected * t.opts.gc_cycles_per_dead)
-  in
-  t.gc_cycles <- t.gc_cycles + cycles;
-  t.stats.cycles <- t.stats.cycles + cycles;
-  (match t.prof with Some p -> p.on_gc ~cycles | None -> ());
-  (* Compaction rewrites the simulated address space: flush the hierarchy
-     but keep the accumulated counters. [Stats.copy_into] owns the field
-     list, so a newly added counter cannot silently desync here. *)
-  let saved = Memsim.Stats.copy t.stats in
-  Memsim.Hierarchy.reset t.mem;
-  Memsim.Stats.copy_into saved ~into:t.stats;
-  match t.telem with
-  | None -> ()
-  | Some tl ->
-      (* The shadow tables speak pre-compaction line indices: any fill
-         still untracked is useless by definition now. *)
-      Memsim.Attribution.flush tl.attrib;
-      (match tl.tsink with
-      | Some s ->
-          Telemetry.Sink.add_span s ~cat:"gc" ~name:"gc"
-            ~args:
-              [
-                ("live", Telemetry.Json.Int result.live);
-                ("collected", Telemetry.Json.Int result.collected);
-                ("gc_count", Telemetry.Json.Int t.gc_count);
-                ("gc_cycles", Telemetry.Json.Int cycles);
-              ]
-            ~ts_us
-            ~dur_us:(Telemetry.Sink.now_us s -. ts_us)
-            ~cycles_begin ~cycles_end:t.stats.cycles ()
-      | None -> ())
-
-let allocate t frame alloc =
-  let id =
-    try alloc ()
-    with Heap.Out_of_memory -> (
-      collect_garbage t;
-      try alloc ()
-      with Heap.Out_of_memory -> vm_error "heap exhausted after collection")
-  in
-  charge t frame t.opts.alloc_cycles;
-  (* Record the allocation site {e before} the header write so the
-     write's stall can already be attributed to the new object. *)
-  (match t.prof with
-  | Some p ->
-      let method_id = frame.Frame.method_info.method_id in
-      let pc = frame.Frame.pc - 1 in
-      p.on_alloc ~obj:id ~method_id ~pc ~bytes:(Heap.size_of t.heap id);
-      p.on_cycles ~method_id ~pc ~bin:Prof_alloc ~cycles:t.opts.alloc_cycles
-  | None -> ());
-  (* The header write warms the first line of the new object. *)
-  demand t frame ~obj:id ~addr:(Heap.base_of t.heap id) ~kind:`Store;
-  id
-
-let as_ref frame v =
-  match v with
-  | Value.Ref id -> id
-  | Value.Null ->
-      vm_error "null pointer dereference in %s"
-        frame.Frame.method_info.method_name
-  | Value.Int _ ->
-      vm_error "integer used as reference in %s"
-        frame.Frame.method_info.method_name
-
-let compare_int (c : Bytecode.cmp) a b =
-  match c with
-  | Eq -> a = b
-  | Ne -> a <> b
-  | Lt -> a < b
-  | Ge -> a >= b
-  | Gt -> a > b
-  | Le -> a <= b
-
-(* Load the array length (bounds-check load), verify the index, and return
-   the element address. Charges the length-load access. *)
-let array_access t frame ~len_site ~id ~index =
-  let len_addr = Heap.length_addr t.heap id in
-  demand_load t frame ~obj:id ~addr:len_addr ~site:len_site;
-  observe_load t frame ~site:len_site ~addr:len_addr;
-  let len = Heap.array_length t.heap id in
-  if index < 0 || index >= len then
-    vm_error "array index %d out of bounds [0,%d) in %s" index len
-      frame.Frame.method_info.method_name;
-  Heap.elem_addr t.heap id index
-
-let maybe_compile t (m : Classfile.method_info) args =
-  if (not m.compiled) && m.invocations >= t.opts.hot_threshold then
-    match t.compile_hook with
-    | Some hook ->
-        (* Mark first: the hook may recursively execute nothing, but a
-           failed compilation should not retrigger on every call. *)
-        m.compiled <- true;
-        hook t m args
-    | None -> ()
-
-(* Acquire an activation record, recycling one from the per-method pool
-   when its shape still matches (the JIT may have swapped the method body,
-   invalidating pooled frames — [Frame.reusable] checks). *)
-let acquire_frame t (m : Classfile.method_info) ~args =
-  match t.frame_pool.(m.method_id) with
-  | frame :: rest when Frame.reusable frame m ->
-      t.frame_pool.(m.method_id) <- rest;
-      Frame.reset frame ~args;
-      frame
-  | _ :: _ ->
-      (* Stale shape: drop the whole pool for this method. *)
-      t.frame_pool.(m.method_id) <- [];
-      Frame.create m ~args
-  | [] -> Frame.create m ~args
-
-let release_frame t (frame : Frame.t) =
-  let id = frame.method_info.method_id in
-  t.frame_pool.(id) <- frame :: t.frame_pool.(id)
-
-let pop_frames t =
-  match t.frames with _ :: rest -> t.frames <- rest | [] -> ()
-
-let rec call t (m : Classfile.method_info) args =
-  m.invocations <- m.invocations + 1;
-  maybe_compile t m args;
-  let frame = acquire_frame t m ~args in
-  t.frames <- frame :: t.frames;
-  (* Explicit push/pop instead of [Fun.protect]: the happy path allocates
-     no closure; the exception path reraises with its backtrace intact.
-     On an exception the frame is deliberately NOT returned to the pool —
-     the VM is unwinding and the pool's contents no longer matter. *)
-  match exec t frame with
-  | result ->
-      pop_frames t;
-      release_frame t frame;
-      result
-  | exception e ->
-      let bt = Printexc.get_raw_backtrace () in
-      pop_frames t;
-      Printexc.raise_with_backtrace e bt
-
-and exec t (frame : Frame.t) =
+(* The reference switch engine: one fetch/decode loop iteration per
+   instruction. [Invoke] recurses through [State.call], which dispatches
+   the callee through whichever engine is wired — the engines compose. *)
+let exec_switch (t : t) (frame : Frame.t) =
   let m = frame.method_info in
   let code = m.code in
   let n = Array.length code in
@@ -421,7 +103,8 @@ and exec t (frame : Frame.t) =
     if frame.pc < 0 || frame.pc >= n then
       vm_error "pc %d out of bounds in %s" frame.pc m.method_name;
     t.steps <- t.steps + 1;
-    if t.steps > t.opts.max_steps then vm_error "step budget exceeded";
+    if t.steps > t.opts.max_steps then
+      raise (Budget_exhausted t.opts.max_steps);
     let pc = frame.pc in
     let instr = code.(pc) in
     frame.pc <- pc + 1;
@@ -434,15 +117,8 @@ and exec t (frame : Frame.t) =
        profiler is installed. *)
     (match t.prof with
     | Some p ->
-        let bin =
-          match instr with
-          | Prefetch_inter _ | Prefetch_dynamic _ -> Prof_pf_overhead
-          | Spec_load _ -> Prof_guard_overhead
-          | Prefetch_indirect { guarded; _ } ->
-              if guarded then Prof_guard_overhead else Prof_pf_overhead
-          | _ -> Prof_retire
-        in
-        p.on_cycles ~method_id:m.method_id ~pc ~bin ~cycles:base_cost
+        p.on_cycles ~method_id:m.method_id ~pc ~bin:(bin_of_instr instr)
+          ~cycles:base_cost
     | None -> ());
     (match instr with
     | Iconst k -> Frame.push frame (Value.Int k)
@@ -723,6 +399,15 @@ and exec t (frame : Frame.t) =
   done;
   !result
 
-let run t =
-  let entry = Classfile.method_of_id t.program t.program.entry in
-  call t entry (Array.make entry.arity Value.Null)
+let create ?options machine program =
+  let t = State.make ?options machine program in
+  (t.engine_exec <-
+     (match t.opts.engine with
+     | Switch -> exec_switch
+     | Closure -> Engine.exec));
+  t
+
+let precompile_method (t : t) (m : Classfile.method_info) =
+  match t.opts.engine with
+  | Closure -> Engine.precompile t m
+  | Switch -> ()

@@ -13,7 +13,24 @@
 
     Heap exhaustion triggers a mark-and-sweep + sliding-compaction
     collection ({!Gc_compact}); caches and DTLB are flushed afterwards,
-    since compaction rewrites the simulated address space. *)
+    since compaction rewrites the simulated address space.
+
+    Two execution engines implement these semantics (DESIGN.md
+    section 10): the reference {e switch} engine (a fetch/decode loop)
+    and the {e closure} engine, which pre-compiles each method body into
+    a pc-indexed array of direct-threaded OCaml closures. They are
+    bit-identical in every observable — output, heap, cycles, all stats
+    counters — which test/test_engine.ml and the fuzz oracle's engine
+    axis enforce; the closure engine is simply faster on the host. *)
+
+type engine =
+  | Switch  (** the reference fetch/decode loop *)
+  | Closure  (** closure-compiled, direct-threaded (default) *)
+
+val engine_name : engine -> string
+(** ["switch"] / ["closure"]. *)
+
+val engine_of_string : string -> engine option
 
 type options = {
   machine : Memsim.Config.machine;
@@ -22,7 +39,7 @@ type options = {
   alloc_cycles : int;  (** fixed allocation cost *)
   gc_cycles_per_live : int;
   gc_cycles_per_dead : int;
-  max_steps : int;  (** safety budget; {!Vm_error} when exceeded *)
+  max_steps : int;  (** step budget; {!Budget_exhausted} when exceeded *)
   unguarded_spec_loads : bool;
       (** fault-injection knob for the differential fuzzing oracle: when
           true, a [Spec_load] whose address falls outside every live
@@ -30,6 +47,13 @@ type options = {
           being caught by the guard and yielding [Null]. Default [false];
           the paper's spec_load is guarded and never faults
           (Section 3.3). *)
+  engine : engine;  (** which engine {!create} wires; default [Closure] *)
+  fault_engine_desync : bool;
+      (** fault-injection knob for the fuzz oracle's engine axis: when
+          true the closure engine retires one extra instruction per
+          executed [Goto], desynchronizing it from the switch reference
+          in a way only the full-stats cross-engine diff can see.
+          Default [false]. *)
 }
 
 val default_options : Memsim.Config.machine -> options
@@ -37,6 +61,13 @@ val default_options : Memsim.Config.machine -> options
 type t
 
 exception Vm_error of string
+
+exception Budget_exhausted of int
+(** The step budget ([options.max_steps]) was exhausted — the run was cut
+    off, not completed. The payload is the budget that was exceeded.
+    Distinct from {!Vm_error} (a program/VM fault) so drivers can map it
+    to a dedicated exit code; raised by both engines at exactly the same
+    step. A printer is registered: ["step budget exceeded (max_steps=N)"]. *)
 
 val create : ?options:options -> Memsim.Config.machine -> Classfile.program -> t
 
@@ -142,6 +173,17 @@ val spec_guard_trips : t -> int
     the guard substituted [Null]. Expected and benign (speculation runs
     past the end of data structures by design); reported for
     diagnostics. *)
+
+val steps : t -> int
+(** Instructions dispatched so far (the quantity [options.max_steps]
+    budgets). Engine-invariant. *)
+
+val precompile_method : t -> Classfile.method_info -> unit
+(** Under the closure engine: (re)compile the method's closure artifact
+    now if it is stale — the JIT pipeline calls this after each pass
+    mutation so a freshly optimized body re-enters execution already
+    compiled. A no-op under the switch engine. Purely an eagerness hint:
+    the artifact is validated on every method entry regardless. *)
 
 val call : t -> Classfile.method_info -> Value.t array -> Value.t option
 (** Execute one method to completion (recursively executing its callees)

@@ -9,6 +9,14 @@ type t =
   | Ref of int  (** object id, stable across GC *)
   | Null
 
+val of_int : int -> t
+(** [of_int n] is [Int n], sharing one preallocated block per small [n]
+    (the hot range of loop counters and array indices). Sharing is
+    unobservable — values are only compared structurally — and spares the
+    execution engine's arithmetic both the minor-heap allocation and the
+    write barrier's remembered-set path when the result lands in a
+    promoted operand stack. *)
+
 val equal : t -> t -> bool
 val is_reference : t -> bool
 val to_string : t -> string

@@ -27,7 +27,7 @@ exception Invariant_violation of string
     {!Analysis.Diag.global} finding. *)
 
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
-    ?(capture_observables = false) ?(verify_each_pass = false)
+    ?engine ?(capture_observables = false) ?(verify_each_pass = false)
     ?(telemetry = false) ?(profile = false) ?sink_capacity ~mode ~machine
     (workload : Workload.t) =
   let opts =
@@ -43,6 +43,11 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
         (Vm.Interp.default_options machine) with
         Vm.Interp.heap_limit_bytes = workload.heap_limit_bytes;
       }
+    in
+    let base =
+      match engine with
+      | Some e -> { base with Vm.Interp.engine = e }
+      | None -> base
     in
     match tweak_options with Some f -> f base | None -> base
   in
@@ -106,7 +111,11 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
           name f)
       sink
   in
-  let pipeline = Jit.Pipeline.create ?verifier ?span passes in
+  let pipeline =
+    Jit.Pipeline.create ?verifier ?span
+      ~on_mutate:(Vm.Interp.precompile_method interp)
+      passes
+  in
   Vm.Interp.set_compile_hook interp (fun _ m args ->
       match compile_observer with
       | None -> Jit.Pipeline.compile pipeline m args

@@ -52,6 +52,7 @@ val run :
     after:Observables.t ->
     unit) ->
   ?tweak_options:(Vm.Interp.options -> Vm.Interp.options) ->
+  ?engine:Vm.Interp.engine ->
   ?capture_observables:bool ->
   ?verify_each_pass:bool ->
   ?telemetry:bool ->
@@ -73,7 +74,10 @@ val run :
     before and after — the hook the side-effect-freedom tests use to
     prove object inspection leaves the heap and statics untouched.
     [tweak_options] edits the interpreter options (e.g. the
-    [unguarded_spec_loads] fault-injection knob). [capture_observables]
+    [unguarded_spec_loads] fault-injection knob). [engine] selects the
+    execution engine (default: the interpreter default, [Closure]);
+    applied before [tweak_options], which can still override it.
+    [capture_observables]
     (default [false]) captures a [`Reachable] snapshot at end of run into
     [observables]. [verify_each_pass] (default [false], a debug mode)
     installs {!Analysis.Check.verify} as the pipeline's verifier: the

@@ -138,6 +138,7 @@ let synth_run ?(schema = Report.schema) cells =
             Gate.workload = Printf.sprintf "w%d" i;
             machine = "Pentium4";
             mode = "INTER+INTRA";
+            engine = "closure";
             telemetry = false;
             profile = false;
             seconds;

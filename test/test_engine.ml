@@ -1,0 +1,198 @@
+(* Cross-engine bit-identity tests (DESIGN.md section 10).
+
+   The switch engine (the reference fetch/decode loop) and the closure
+   engine (direct-threaded, pre-compiled) implement one semantics; their
+   contract is bit-identity in every observable — program output, cycle
+   count, the full core stats vector, the interpreted/compiled split, GC
+   activity. The closure engine batches step/cycle commits per basic
+   block and caches the top of stack in a register, so these tests pin
+   exactly the places where such batching could drift: observer
+   specialization, GC compaction in mid-loop, and budget exhaustion
+   (where the batched prologue must fall back to per-instruction
+   accounting to die on precisely the same step). *)
+
+module W = Workloads.Workload
+module H = Workloads.Harness
+
+let all_workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+
+let workload name =
+  match List.find_opt (fun (w : W.t) -> w.name = name) all_workloads with
+  | Some w -> w
+  | None -> Alcotest.failf "no workload named %s" name
+
+let check_same_run ~ctx (sw : H.run_result) (cl : H.run_result) =
+  Alcotest.(check string) (ctx ^ ": output") sw.output cl.output;
+  Alcotest.(check int) (ctx ^ ": cycles") sw.cycles cl.cycles;
+  Alcotest.(check int)
+    (ctx ^ ": interpreted_cycles")
+    sw.interpreted_cycles cl.interpreted_cycles;
+  Alcotest.(check int) (ctx ^ ": compiled_cycles") sw.compiled_cycles
+    cl.compiled_cycles;
+  Alcotest.(check int) (ctx ^ ": gc_count") sw.gc_count cl.gc_count;
+  Alcotest.(check int) (ctx ^ ": methods_compiled") sw.methods_compiled
+    cl.methods_compiled;
+  Alcotest.(check int)
+    (ctx ^ ": faulting_prefetches")
+    sw.faulting_prefetches cl.faulting_prefetches;
+  Alcotest.(check int) (ctx ^ ": spec_guard_trips") sw.spec_guard_trips
+    cl.spec_guard_trips;
+  List.iter2
+    (fun (name_a, a) (name_b, b) ->
+      Alcotest.(check string) (ctx ^ ": stats key order") name_a name_b;
+      Alcotest.(check int) (ctx ^ ": stats " ^ name_a) a b)
+    (Memsim.Stats.core_alist sw.stats)
+    (Memsim.Stats.core_alist cl.stats)
+
+(* Full matrix over two representative workloads (MonteCarlo exercises
+   the JIT + prefetch path heavily, Euler is array/loop dense), both
+   machines, prefetching off and fully on. *)
+let test_bit_identity_matrix () =
+  List.iter
+    (fun name ->
+      let w = workload name in
+      List.iter
+        (fun machine ->
+          List.iter
+            (fun mode ->
+              let run engine = H.run ~engine ~mode ~machine w in
+              let ctx =
+                Printf.sprintf "%s/%s" name machine.Memsim.Config.name
+              in
+              check_same_run ~ctx (run Vm.Interp.Switch)
+                (run Vm.Interp.Closure))
+            [ Strideprefetch.Options.Off; Strideprefetch.Options.Inter_intra ])
+        [ Memsim.Config.pentium4; Memsim.Config.athlon_mp ])
+    [ "MonteCarlo"; "Euler" ]
+
+(* The closure engine specializes its artifact on the observer
+   fingerprint: with telemetry + profiling installed it compiles the
+   instrumented per-instruction variant, without them the batched plain
+   variant. Both must charge identical cycles — observation is free. *)
+let test_observer_specialization_twins () =
+  let w = workload "MonteCarlo" in
+  let machine = Memsim.Config.athlon_mp in
+  let mode = Strideprefetch.Options.Inter_intra in
+  let plain = H.run ~engine:Vm.Interp.Closure ~mode ~machine w in
+  let instrumented =
+    H.run ~engine:Vm.Interp.Closure ~telemetry:true ~profile:true ~mode
+      ~machine w
+  in
+  check_same_run ~ctx:"observer twins" plain instrumented
+
+(* A workload sized to overflow its heap limit repeatedly while the hot
+   loop is executing: compaction rewrites every simulated address (and
+   flushes caches and DTLB) between two iterations of a closure-compiled
+   block. The engines must agree on when collections happen and on every
+   cycle before and after. *)
+let gc_churn =
+  {
+    W.name = "gc_churn";
+    suite = `Specjvm;
+    description = "engine test fixture: compaction under a running loop";
+    paper_note = "";
+    heap_limit_bytes = 24 * 1024;
+    source =
+      {|
+class Node { int v; Node next; Node(int x) { v = x; next = null; } }
+class T {
+  static int churn(int n) {
+    int acc = 0;
+    Node keep = new Node(7);
+    for (int i = 0; i < n; i = i + 1) {
+      Node t = new Node(i);
+      t.next = keep;
+      acc = (acc + t.v + t.next.v) % 9973;
+    }
+    return acc;
+  }
+  static void main() {
+    int acc = 0;
+    for (int r = 0; r < 6; r = r + 1) { acc = (acc + T.churn(800)) % 9973; }
+    print(acc);
+  }
+}
+|};
+  }
+
+let test_gc_compaction_mid_loop () =
+  let machine = Memsim.Config.athlon_mp in
+  let mode = Strideprefetch.Options.Inter_intra in
+  let run engine = H.run ~engine ~mode ~machine gc_churn in
+  let sw = run Vm.Interp.Switch in
+  let cl = run Vm.Interp.Closure in
+  Alcotest.(check bool)
+    "collections actually happened" true (sw.gc_count > 0);
+  check_same_run ~ctx:"gc churn" sw cl
+
+(* Budget exhaustion must be exact: the closure engine pre-commits a
+   whole block's steps at the block head, so a budget that would expire
+   inside the block has to be detected up front and the block re-run
+   through the per-instruction fallback chain — [Budget_exhausted] then
+   fires on precisely the same step as the reference engine. *)
+let budget_source =
+  {|
+class T {
+  static void main() {
+    int acc = 0;
+    for (int i = 0; i > -1; i = i + 1) { acc = (acc + i) % 65536; }
+    print(acc);
+  }
+}
+|}
+
+let run_out_of_budget engine max_steps =
+  let program = Helpers.compile budget_source in
+  let machine = Memsim.Config.pentium4 in
+  let options =
+    { (Vm.Interp.default_options machine) with Vm.Interp.max_steps; engine }
+  in
+  let interp = Vm.Interp.create ~options machine program in
+  match Vm.Interp.run interp with
+  | _ -> Alcotest.fail "expected Budget_exhausted"
+  | exception Vm.Interp.Budget_exhausted budget ->
+      (budget, Vm.Interp.steps interp, Vm.Interp.stats interp)
+
+let test_budget_exhaustion_is_engine_invariant () =
+  (* Several budgets so expiry lands at different offsets inside the
+     loop's basic block. *)
+  List.iter
+    (fun max_steps ->
+      let b_sw, steps_sw, stats_sw =
+        run_out_of_budget Vm.Interp.Switch max_steps
+      in
+      let b_cl, steps_cl, stats_cl =
+        run_out_of_budget Vm.Interp.Closure max_steps
+      in
+      let ctx = Printf.sprintf "max_steps=%d" max_steps in
+      Alcotest.(check int) (ctx ^ ": payload") max_steps b_sw;
+      Alcotest.(check int) (ctx ^ ": payloads agree") b_sw b_cl;
+      Alcotest.(check int) (ctx ^ ": steps at raise") steps_sw steps_cl;
+      Alcotest.(check int)
+        (ctx ^ ": retired at raise")
+        stats_sw.Memsim.Stats.retired_instructions
+        stats_cl.Memsim.Stats.retired_instructions)
+    [ 1000; 1001; 1002; 1003; 1004; 1005; 1006 ]
+
+(* Two closure runs of the same cell from fresh states: the artifact
+   compiler and the simulation must be fully deterministic. *)
+let test_rerun_determinism () =
+  let w = workload "MonteCarlo" in
+  let machine = Memsim.Config.pentium4 in
+  let mode = Strideprefetch.Options.Inter_intra in
+  let a = H.run ~engine:Vm.Interp.Closure ~mode ~machine w in
+  let b = H.run ~engine:Vm.Interp.Closure ~mode ~machine w in
+  check_same_run ~ctx:"rerun" a b
+
+let suite =
+  [
+    Alcotest.test_case "bit-identity: workload x machine x mode" `Slow
+      test_bit_identity_matrix;
+    Alcotest.test_case "observer specialization twins" `Slow
+      test_observer_specialization_twins;
+    Alcotest.test_case "GC compaction mid-loop" `Quick
+      test_gc_compaction_mid_loop;
+    Alcotest.test_case "budget exhaustion is engine-invariant" `Quick
+      test_budget_exhaustion_is_engine_invariant;
+    Alcotest.test_case "re-run determinism" `Quick test_rerun_determinism;
+  ]

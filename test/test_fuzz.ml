@@ -65,7 +65,8 @@ let test_oracle_accepts_clean_programs () =
       Alcotest.failf "unexpected finding at seed %d: %s" f.Fuzz.Driver.seed
         (Fuzz.Oracle.describe f.Fuzz.Driver.failure));
   Alcotest.(check int) "all programs ran" 8 campaign.Fuzz.Driver.programs_run;
-  Alcotest.(check int) "full matrix" 12 campaign.Fuzz.Driver.cells_per_program
+  (* 12 matrix cells + the telemetry/profile pair + the engine pair. *)
+  Alcotest.(check int) "full matrix" 16 campaign.Fuzz.Driver.cells_per_program
 
 let unguarded (o : Vm.Interp.options) =
   { o with Vm.Interp.unguarded_spec_loads = true }

@@ -3,6 +3,7 @@ let () =
     [
       ("memsim", Test_memsim.suite);
       ("vm", Test_vm.suite);
+      ("engine", Test_engine.suite);
       ("jit", Test_jit.suite);
       ("minijava", Test_minijava.suite);
       ("strideprefetch", Test_strideprefetch.suite);
