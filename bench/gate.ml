@@ -29,6 +29,14 @@ type cell_rec = {
           protocol in BENCH_history/README.md *)
   telemetry : bool;
   profile : bool;
+  hw : string;
+      (** hardware prefetch model spec; "stream:8" (the default) when
+          the field is absent — reports written before the RPT
+          co-simulation existed ran the only model there was, and their
+          cells keep matching the default cells of newer reports *)
+  sw_threshold : int option;
+      (** SW inter-stride threshold override of an arbitration-sweep
+          cell; [None] (paper default) for canonical-matrix cells *)
   seconds : float;
   cycles : int;
 }
@@ -40,11 +48,18 @@ type run = {
   cells : cell_rec list;
 }
 
+let default_hw =
+  Memsim.Config.hw_prefetch_to_string Memsim.Config.default_stream
+
 let cell_key c =
-  Printf.sprintf "%s/%s/%s%s%s%s" c.workload c.machine c.mode
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s" c.workload c.machine c.mode
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
     (if c.engine = "closure" then "" else "/" ^ c.engine ^ "-engine")
+    (if c.hw = default_hw then "" else "/hw=" ^ c.hw)
+    (match c.sw_threshold with
+    | None -> ""
+    | Some t -> Printf.sprintf "/thr=%d" t)
 
 (* ------------------------------------------------------------------ *)
 (* Lenient report reader: any schema loads (so a mismatch can be reported
@@ -90,6 +105,8 @@ let cell_of_json ~label i j =
           engine = Option.value ~default:"closure" (mem_str "engine" j);
           telemetry = Option.value ~default:false (mem_bool "telemetry" j);
           profile = Option.value ~default:false (mem_bool "profile" j);
+          hw = Option.value ~default:default_hw (mem_str "hw_prefetch" j);
+          sw_threshold = mem_int "sw_threshold" j;
           seconds;
           cycles;
         }

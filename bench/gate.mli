@@ -24,6 +24,13 @@ type cell_rec = {
           BENCH_history/README.md) *)
   telemetry : bool;
   profile : bool;
+  hw : string;
+      (** hardware prefetch model spec (e.g. ["rpt:64x2@4"]);
+          ["stream:8"] — the default model — when the field is absent,
+          so pre-RPT reports keep matching newer default cells *)
+  sw_threshold : int option;
+      (** SW inter-stride threshold of an arbitration-sweep cell;
+          [None] (paper default, half a line) otherwise *)
   seconds : float;
   cycles : int;
 }
@@ -35,11 +42,17 @@ type run = {
   cells : cell_rec list;
 }
 
+val default_hw : string
+(** Spec string of the default hardware model (["stream:8"]) — the value
+    [hw] takes when a report predates the field. *)
+
 val cell_key : cell_rec -> string
 (** ["workload/machine/mode"] with ["/telemetry"] / ["/profile"] /
-    ["/switch-engine"] suffixes — the identity cells are matched on
-    across reports (it deliberately ignores [seconds], [cycles] and the
-    report's [jobs]). *)
+    ["/switch-engine"] / ["/hw=..."] / ["/thr=N"] suffixes — the
+    identity cells are matched on across reports (it deliberately
+    ignores [seconds], [cycles] and the report's [jobs]). The hw and
+    threshold suffixes appear only on non-default cells, so canonical
+    matrix keys are unchanged from pre-sweep reports. *)
 
 val of_string : label:string -> string -> (run, string) result
 (** Parse a report. Lenient about schema (so {!compare_runs} can name both

@@ -472,8 +472,8 @@ let micro ~smoke () =
             fun () ->
               for i = 0 to 4095 do
                 ignore
-                  (Memsim.Hierarchy.demand_access hier ~addr:(i * 64 * 7)
-                     ~kind:`Load ~now:i)
+                  (Memsim.Hierarchy.demand_access hier ~pc:0
+                     ~addr:(i * 64 * 7) ~kind:`Load ~now:i)
               done));
     ]
   in

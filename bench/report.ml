@@ -151,7 +151,64 @@ let dispatch_json (timed : Runner.timed list) =
       Buffer.add_string buf "    ]\n  },\n";
       Buffer.contents buf
 
-let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
+(* The arbitration lane: the --sweep-arbitration grid (SW inter-stride
+   threshold x hardware prefetch model, cycles summed over the sweep
+   workloads) and the per-machine minimum-cycle pick. Cells of the sweep
+   also appear in "cells" with "hw_prefetch"/"sw_threshold" fields, so
+   the gate matches them under distinct keys. *)
+type arb_point = {
+  arb_machine : string;
+  arb_threshold : int;  (** SW inter-stride threshold in bytes *)
+  arb_hw : string;  (** hardware model spec string, e.g. "rpt:64x2@4" *)
+  arb_cycles : int;  (** summed simulated cycles over the sweep workloads *)
+}
+
+type arbitration = {
+  arb_workloads : string list;
+  arb_grid : arb_point list;
+  arb_picks : arb_point list;  (** one minimum-cycle point per machine *)
+}
+
+let arb_point_json p =
+  Printf.sprintf
+    "{\"machine\": \"%s\", \"sw_threshold\": %d, \"hw_prefetch\": \"%s\", \
+     \"cycles\": %d}"
+    (json_escape p.arb_machine)
+    p.arb_threshold (json_escape p.arb_hw) p.arb_cycles
+
+let arbitration_json a =
+  let points ps = String.concat ", " (List.map arb_point_json ps) in
+  Printf.sprintf
+    "  \"arbitration\": {\n    \"workloads\": [%s],\n    \"picks\": \
+     [%s],\n    \"grid\": [%s]\n  },\n"
+    (String.concat ", "
+       (List.map (fun w -> "\"" ^ json_escape w ^ "\"") a.arb_workloads))
+    (points a.arb_picks) (points a.arb_grid)
+
+(* Sweep-cell provenance in the per-cell record: emitted only when the
+   cell deviates from the defaults, so reports of the canonical matrix
+   stay byte-compatible with pre-sweep baselines (and their gate keys
+   unchanged). *)
+let cell_extras (c : Runner.cell) =
+  let hw =
+    if c.machine.Memsim.Config.hw_prefetch = Memsim.Config.default_stream
+    then ""
+    else
+      Printf.sprintf ", \"hw_prefetch\": \"%s\""
+        (json_escape
+           (Memsim.Config.hw_prefetch_to_string
+              c.machine.Memsim.Config.hw_prefetch))
+  in
+  let threshold =
+    match c.opts with
+    | Some { SP.Options.inter_stride_threshold = Some t; _ } ->
+        Printf.sprintf ", \"sw_threshold\": %d" t
+    | Some _ | None -> ""
+  in
+  hw ^ threshold
+
+let to_json_string ?arbitration ~jobs ~matrix_wall_seconds
+    (timed : Runner.timed list) =
   let total_cell_seconds =
     List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
   in
@@ -166,6 +223,9 @@ let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
   Buffer.add_string buf
     (Printf.sprintf "  \"total_cell_seconds\": %.6f,\n" total_cell_seconds);
   Buffer.add_string buf (dispatch_json timed);
+  (match arbitration with
+  | Some a -> Buffer.add_string buf (arbitration_json a)
+  | None -> ());
   Buffer.add_string buf "  \"cells\": [\n";
   List.iteri
     (fun i (t : Runner.timed) ->
@@ -179,19 +239,21 @@ let to_json_string ~jobs ~matrix_wall_seconds (timed : Runner.timed list) =
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
             \"%s\", \"engine\": \"%s\", \"telemetry\": %b, \"profile\": \
-            %b, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
+            %b%s, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
            (json_escape t.cell.Runner.workload.W.name)
            (json_escape t.cell.Runner.machine.Memsim.Config.name)
            (json_escape (SP.Options.mode_name t.cell.Runner.mode))
            (Vm.Interp.engine_name t.cell.Runner.engine)
-           t.cell.Runner.telemetry t.cell.Runner.profile t.seconds
+           t.cell.Runner.telemetry t.cell.Runner.profile
+           (cell_extras t.cell) t.seconds
            t.result.H.cycles effectiveness
            (if i = List.length timed - 1 then "" else ",")))
     timed;
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-let write_json ~path ~jobs ~matrix_wall_seconds timed =
+let write_json ?arbitration ~path ~jobs ~matrix_wall_seconds timed =
   let oc = open_out path in
-  output_string oc (to_json_string ~jobs ~matrix_wall_seconds timed);
+  output_string oc
+    (to_json_string ?arbitration ~jobs ~matrix_wall_seconds timed);
   close_out oc

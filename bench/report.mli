@@ -27,12 +27,40 @@ val dispatch_geomean : (Runner.timed * Runner.timed) list -> float
 (** Geometric mean of per-pair wall-clock speedups switch/closure
     ([nan] on the empty list). *)
 
+(** {2 The arbitration lane}
+
+    Results of an [spf_bench --sweep-arbitration] run: the
+    (SW inter-stride threshold x hardware prefetch model) grid per
+    machine, cycles summed over the sweep workloads, and the
+    minimum-cycle pick per machine — the empirically chosen SW/HW
+    arbitration point. *)
+
+type arb_point = {
+  arb_machine : string;
+  arb_threshold : int;  (** SW inter-stride threshold in bytes *)
+  arb_hw : string;  (** hardware model spec string, e.g. ["rpt:64x2@4"] *)
+  arb_cycles : int;
+      (** summed simulated cycles over the sweep workloads *)
+}
+
+type arbitration = {
+  arb_workloads : string list;
+  arb_grid : arb_point list;
+  arb_picks : arb_point list;  (** one minimum-cycle point per machine *)
+}
+
 val to_json_string :
+  ?arbitration:arbitration ->
   jobs:int -> matrix_wall_seconds:float -> Runner.timed list -> string
 (** Render a full bench_hotpath/v2 report. Cells appear in list order;
-    cycle counts are exact integers, seconds are host wall-clock. *)
+    cycle counts are exact integers, seconds are host wall-clock. Cells
+    deviating from the default hardware model or SW threshold carry
+    ["hw_prefetch"] / ["sw_threshold"] fields (absent otherwise, keeping
+    canonical-matrix reports byte-compatible with older baselines);
+    [arbitration] adds the sweep lane. *)
 
 val write_json :
+  ?arbitration:arbitration ->
   path:string -> jobs:int -> matrix_wall_seconds:float ->
   Runner.timed list -> unit
 (** {!to_json_string} to a file. *)

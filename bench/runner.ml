@@ -45,7 +45,7 @@ let cell ?opts ?(telemetry = false) ?(profile = false)
   { workload; machine; mode; opts; telemetry; profile; engine }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s%s%s%s" c.workload.W.name
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s" c.workload.W.name
     c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
@@ -54,6 +54,12 @@ let cell_label c =
     (match c.engine with
     | Vm.Interp.Closure -> ""
     | e -> "/" ^ Vm.Interp.engine_name e ^ "-engine")
+    (if c.machine.Memsim.Config.hw_prefetch = Memsim.Config.default_stream
+     then ""
+     else
+       "/hw="
+       ^ Memsim.Config.hw_prefetch_to_string
+           c.machine.Memsim.Config.hw_prefetch)
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in

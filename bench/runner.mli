@@ -51,8 +51,10 @@ val cell_label : cell -> string
 (** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
     overrides the algorithm knobs, a ["/telemetry"] suffix when the
     cell records effectiveness attribution, a ["/profile"] suffix
-    when the cell carries the object-centric profiler, and a
-    ["/switch-engine"] suffix when it runs on a non-default engine. *)
+    when the cell carries the object-centric profiler, a
+    ["/switch-engine"] suffix when it runs on a non-default engine, and
+    a ["/hw=..."] suffix when the machine's hardware prefetcher is not
+    the default stream unit. *)
 
 val run_cell : cell -> timed
 (** Run one cell serially in the calling domain. *)

@@ -30,7 +30,12 @@ module SP = Strideprefetch
 let usage () =
   prerr_endline
     "usage: spf_bench (--record PATH | --compare BASELINE NEW | \
-     --gate-against BASELINE | --smoke) [--jobs N] [--threshold PCT]"
+     --gate-against BASELINE | --sweep-arbitration [PATH] | --smoke) \
+     [--jobs N] [--threshold PCT]\n\
+     --sweep-arbitration sweeps the SW inter-stride threshold against \
+     the hardware prefetch models per machine and auto-picks the \
+     minimum-cycle arbitration point; with --smoke it runs a tiny grid \
+     (Euler x pentium4) as a self-check instead."
 
 let ok_or_die = function
   | Ok v -> v
@@ -91,6 +96,169 @@ let gate_against ?threshold ~jobs baseline_path =
   in
   compare_runs ?threshold a b
 
+(* --sweep-arbitration: the SW/HW arbitration sweep. The paper hands
+   strides shorter than half a cache line to the hardware prefetcher
+   (Section 4.1's "the hardware already covers short strides"); this
+   sweep measures where that handoff point actually sits for each
+   machine's hardware model by gridding the SW inter-stride threshold
+   against the hardware prefetch models and summing simulated cycles
+   over a fixed workload set. The minimum-cycle point per machine is the
+   auto-picked arbitration point, reported in the bench JSON's
+   "arbitration" lane; every grid cell also lands in "cells" under a
+   distinct /hw=... /thr=N gate key.
+
+   The smoke variant runs a 2x2 grid on Euler x pentium4 — small enough
+   for dune runtest — and asserts the lane's structural invariants:
+   picks are grid minima, keys are distinct, the report round-trips. *)
+let sweep_arbitration ~jobs ~smoke path =
+  let module C = Memsim.Config in
+  let all = Workloads.Specjvm.all @ Workloads.Javagrande.all in
+  let find n = List.find (fun (w : W.t) -> w.name = n) all in
+  let workloads, machines, thresholds, hw_models =
+    if smoke then
+      ( [ find "Euler" ],
+        [ C.pentium4 ],
+        [ 16; 32 ],
+        [ C.default_stream; C.default_rpt ] )
+    else
+      ( [ find "db"; find "compress"; find "Euler" ],
+        [ C.pentium4; C.athlon_mp ],
+        [ 0; 16; 32; 64 ],
+        [
+          C.Hw_none;
+          C.default_stream;
+          C.default_rpt;
+          C.Hw_rpt { table_size = 64; degree = 4; distance = 4 };
+          C.Hw_rpt { table_size = 256; degree = 2; distance = 8 };
+        ] )
+  in
+  let opts_for t =
+    { SP.Options.default with SP.Options.inter_stride_threshold = Some t }
+  in
+  let cells =
+    List.concat_map
+      (fun (machine : Memsim.Config.machine) ->
+        List.concat_map
+          (fun hw ->
+            List.concat_map
+              (fun t ->
+                List.map
+                  (fun w ->
+                    Runner.cell ~opts:(opts_for t) w
+                      { machine with C.hw_prefetch = hw }
+                      SP.Options.Inter_intra)
+                  workloads)
+              thresholds)
+          hw_models)
+      machines
+  in
+  Printf.eprintf "[spf_bench] arbitration sweep: %d cells on %d job(s)...\n%!"
+    (List.length cells) jobs;
+  let t0 = Unix.gettimeofday () in
+  let timed =
+    Runner.run_matrix ~jobs
+      ~progress:(fun c ->
+        Printf.eprintf "[spf_bench]   %s\n%!" (Runner.cell_label c))
+      cells
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Sum cycles per (machine, hw, threshold) grid point. *)
+  let grid =
+    List.concat_map
+      (fun (machine : Memsim.Config.machine) ->
+        List.concat_map
+          (fun hw ->
+            List.map
+              (fun t ->
+                let cycles =
+                  List.fold_left
+                    (fun acc (r : Runner.timed) ->
+                      if
+                        r.cell.Runner.machine.C.name = machine.C.name
+                        && r.cell.Runner.machine.C.hw_prefetch = hw
+                        && r.cell.Runner.opts = Some (opts_for t)
+                      then acc + r.result.Workloads.Harness.cycles
+                      else acc)
+                    0 timed
+                in
+                {
+                  Report.arb_machine = machine.C.name;
+                  arb_threshold = t;
+                  arb_hw = C.hw_prefetch_to_string hw;
+                  arb_cycles = cycles;
+                })
+              thresholds)
+          hw_models)
+      machines
+  in
+  let picks =
+    List.map
+      (fun (machine : Memsim.Config.machine) ->
+        let mine =
+          List.filter
+            (fun (p : Report.arb_point) -> p.arb_machine = machine.C.name)
+            grid
+        in
+        List.fold_left
+          (fun (best : Report.arb_point) (p : Report.arb_point) ->
+            if p.Report.arb_cycles < best.Report.arb_cycles then p else best)
+          (List.hd mine) (List.tl mine))
+      machines
+  in
+  let arbitration =
+    {
+      Report.arb_workloads = List.map (fun (w : W.t) -> w.name) workloads;
+      arb_grid = grid;
+      arb_picks = picks;
+    }
+  in
+  List.iter
+    (fun (p : Report.arb_point) ->
+      Printf.printf
+        "arbitration pick [%s]: sw_threshold=%d hw=%s (%d cycles over %s)\n"
+        p.arb_machine p.arb_threshold p.arb_hw p.arb_cycles
+        (String.concat "+" arbitration.Report.arb_workloads))
+    picks;
+  let json =
+    Report.to_json_string ~arbitration ~jobs ~matrix_wall_seconds:wall timed
+  in
+  (match path with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc json);
+      Printf.printf "wrote %s (%d cells, %.1f s wall)\n" path
+        (List.length timed) wall
+  | None -> ());
+  if smoke then begin
+    (* Structural self-checks for the runtest hook. *)
+    let r = ok_or_die (Gate.of_string ~label:"<sweep>" json) in
+    if r.Gate.schema <> Report.schema then begin
+      prerr_endline "sweep smoke FAIL: wrong schema";
+      exit 1
+    end;
+    let keys = List.map Gate.cell_key r.Gate.cells in
+    if List.length (List.sort_uniq compare keys) <> List.length keys
+    then begin
+      prerr_endline "sweep smoke FAIL: sweep cells collide under gate keys";
+      exit 1
+    end;
+    List.iter
+      (fun (p : Report.arb_point) ->
+        let floor_cycles =
+          List.fold_left
+            (fun acc (g : Report.arb_point) ->
+              if g.arb_machine = p.arb_machine then min acc g.arb_cycles
+              else acc)
+            max_int grid
+        in
+        if p.arb_cycles <> floor_cycles then begin
+          prerr_endline
+            "sweep smoke FAIL: pick is not the grid minimum for its machine";
+          exit 1
+        end)
+      picks;
+    print_endline "sweep smoke: OK"
+  end
+
 (* The runtest self-check: everything the gate promises, on one cell. *)
 let smoke () =
   let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all in
@@ -146,6 +314,7 @@ let () =
   let jobs = ref (Runner.default_jobs ()) in
   let threshold = ref None in
   let action = ref None in
+  let smoke_flag = ref false in
   let set_action a =
     match !action with
     | None -> action := Some a
@@ -179,8 +348,19 @@ let () =
     | "--gate-against" :: path :: rest ->
         set_action (`Gate path);
         parse rest
+    | "--sweep-arbitration" :: rest -> (
+        match rest with
+        | path :: rest'
+          when not (String.length path > 0 && path.[0] = '-') ->
+            set_action (`Sweep (Some path));
+            parse rest'
+        | _ ->
+            set_action (`Sweep None);
+            parse rest)
     | "--smoke" :: rest ->
-        set_action `Smoke;
+        (* A flag when it modifies --sweep-arbitration, an action (the
+           gate self-check) when it stands alone. *)
+        smoke_flag := true;
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -195,7 +375,9 @@ let () =
   | Some (`Record path) -> record ~jobs:!jobs path
   | Some (`Compare (a, b)) -> compare_files ?threshold:!threshold a b
   | Some (`Gate path) -> gate_against ?threshold:!threshold ~jobs:!jobs path
-  | Some `Smoke -> smoke ()
+  | Some (`Sweep path) ->
+      sweep_arbitration ~jobs:!jobs ~smoke:!smoke_flag path
+  | None when !smoke_flag -> smoke ()
   | None ->
       usage ();
       exit 2

@@ -63,7 +63,12 @@ let inject_arg =
            caught only by the static lint cell) or $(b,engine-desync) \
            (the closure-compiled engine retires one extra instruction \
            per goto, invisible to program output and cycle counts — \
-           caught only by the engine cross-check's full-stats diff).")
+           caught only by the engine cross-check's full-stats diff) or \
+           $(b,hw-desync) (runs on an RPT-prefetcher machine emit a \
+           spurious output line, simulating a hardware model that leaks \
+           into architectural state — caught only by the hardware \
+           cross-check, which is the sole check that varies the \
+           hardware model).")
 
 let quiet_arg =
   Arg.(
@@ -99,6 +104,11 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
           ( Some
               (fun (o : Vm.Interp.options) ->
                 { o with Vm.Interp.fault_engine_desync = true }),
+            None )
+      | Some "hw-desync" ->
+          ( Some
+              (fun (o : Vm.Interp.options) ->
+                { o with Vm.Interp.fault_hw_desync = true }),
             None )
       | Some other ->
           Printf.eprintf "unknown fault '%s'\n" other;

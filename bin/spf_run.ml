@@ -55,6 +55,35 @@ let machine_arg =
     & info [ "m"; "machine" ] ~docv:"MACHINE"
         ~doc:"Simulated machine (pentium4 or athlonmp).")
 
+let hw_prefetch_conv =
+  let parse s =
+    match Memsim.Config.hw_prefetch_of_string s with
+    | Ok hw -> Ok hw
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf hw =
+    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let hw_prefetch_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some hw_prefetch_conv) None
+    & info [ "hw-prefetch" ] ~docv:"SPEC"
+        ~doc:
+          "Override the machine's hardware prefetcher: $(b,none), \
+           $(b,stream[:STREAMS]) (the default sequential stream unit), or \
+           $(b,rpt[:TABLExDEGREE\\@DISTANCE]) (a Chen/Baer reference \
+           prediction table doing per-PC stride prediction, e.g. \
+           $(b,rpt:64x2\\@4)). The simulated program behaves identically \
+           under every model; only cycles and memory counters move.")
+
+let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
+  match hw with
+  | None -> machine
+  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
+
 let engine_arg =
   Cmdliner.Arg.(
     value
@@ -222,13 +251,14 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine mode verbose interproc phased trace explain profile
-      engine max_steps =
+  let run name machine hw mode verbose interproc phased trace explain
+      profile engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
         exit 1
     | Some w ->
+        let machine = apply_hw_prefetch hw machine in
         let opts = opts_of ~interproc ~phased in
         let result =
           with_budget_exit (fun () ->
@@ -244,9 +274,9 @@ let run_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Cmdliner.Term.(
-      const run $ workload_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg
-      $ engine_arg $ max_steps_arg)
+      const run $ workload_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
+      $ verbose_arg $ interproc_arg $ phased_arg $ trace_arg $ explain_arg
+      $ profile_arg $ engine_arg $ max_steps_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -255,12 +285,13 @@ let compare_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine engine max_steps =
+  let run name machine hw engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
         exit 1
     | Some w ->
+        let machine = apply_hw_prefetch hw machine in
         let one mode =
           with_budget_exit (fun () ->
               Workloads.Harness.run ~engine
@@ -281,7 +312,8 @@ let compare_cmd =
     (Cmdliner.Cmd.info "compare"
        ~doc:"Run BASELINE / INTER / INTER+INTRA and print speedups.")
     Cmdliner.Term.(
-      const run $ workload_arg $ machine_arg $ engine_arg $ max_steps_arg)
+      const run $ workload_arg $ machine_arg $ hw_prefetch_arg $ engine_arg
+      $ max_steps_arg)
 
 let file_cmd =
   let path_arg =
@@ -290,8 +322,9 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
-  let run path machine mode verbose interproc phased trace explain profile
-      engine max_steps =
+  let run path machine hw mode verbose interproc phased trace explain
+      profile engine max_steps =
+    let machine = apply_hw_prefetch hw machine in
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
     | Error e ->
@@ -323,9 +356,9 @@ let file_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
     Cmdliner.Term.(
-      const run $ path_arg $ machine_arg $ mode_arg $ verbose_arg
-      $ interproc_arg $ phased_arg $ trace_arg $ explain_arg $ profile_arg
-      $ engine_arg $ max_steps_arg)
+      const run $ path_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
+      $ verbose_arg $ interproc_arg $ phased_arg $ trace_arg $ explain_arg
+      $ profile_arg $ engine_arg $ max_steps_arg)
 
 let () =
   let info =

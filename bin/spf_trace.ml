@@ -62,6 +62,28 @@ let mode_arg =
     & info [ "p"; "mode" ] ~docv:"MODE"
         ~doc:"Prefetching mode: off, inter, or inter+intra.")
 
+let hw_prefetch_conv =
+  let parse s =
+    match Memsim.Config.hw_prefetch_of_string s with
+    | Ok hw -> Ok hw
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf hw =
+    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let hw_prefetch_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some hw_prefetch_conv) None
+    & info [ "hw-prefetch" ] ~docv:"SPEC"
+        ~doc:
+          "Override the machine's hardware prefetcher: $(b,none), \
+           $(b,stream[:STREAMS]), or $(b,rpt[:TABLExDEGREE\\@DISTANCE]) \
+           — e.g. $(b,rpt:64x2\\@4). The attribution table then splits \
+           redundant SW prefetches into redundant vs redundant-with-hw.")
+
 let trace_arg =
   Cmdliner.Arg.(
     value
@@ -108,12 +130,17 @@ let extra_of ~(w : Workloads.Workload.t) ~machine ~mode =
     ("mode", Telemetry.Json.Str (Strideprefetch.Options.mode_name mode));
   ]
 
-let run name machine mode trace metrics explain phased capacity =
+let run name machine hw mode trace metrics explain phased capacity =
   match find_workload name with
   | None ->
       prerr_endline ("unknown workload: " ^ name);
       exit 1
   | Some w ->
+      let machine =
+        match hw with
+        | None -> machine
+        | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
+      in
       let opts =
         { Strideprefetch.Options.default with enable_phased = phased }
       in
@@ -165,5 +192,6 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.v info
           Cmdliner.Term.(
-            const run $ workload_arg $ machine_arg $ mode_arg $ trace_arg
-            $ metrics_arg $ explain_arg $ phased_arg $ capacity_arg)))
+            const run $ workload_arg $ machine_arg $ hw_prefetch_arg
+            $ mode_arg $ trace_arg $ metrics_arg $ explain_arg $ phased_arg
+            $ capacity_arg)))

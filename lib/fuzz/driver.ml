@@ -64,7 +64,8 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Faulting_prefetch _, Oracle.Faulting_prefetch _
   | Oracle.Lint_violation _, Oracle.Lint_violation _
   | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _
-  | Oracle.Engine_divergence _, Oracle.Engine_divergence _ ->
+  | Oracle.Engine_divergence _, Oracle.Engine_divergence _
+  | Oracle.Hw_divergence _, Oracle.Hw_divergence _ ->
       true
   | _ -> false
 
@@ -96,13 +97,14 @@ let run ?cells ?tweak_options ?tweak_prefetch ?(shrink = true)
     ?shrink_attempts
     ?(progress = fun ~index:_ ~seed:_ -> ()) ~campaign_seed ~count ~max_size
     () =
-  (* Matrix cells plus the two appended cross-check pairs: plain vs
-     telemetry+profile, and switch vs closure engine. *)
+  (* Matrix cells plus the appended cross-checks: the plain-vs-
+     telemetry+profile pair, the switch-vs-closure engine pair, and the
+     hardware-model triple (none / stream / RPT). *)
   let cells_per_program =
     (match cells with
     | Some cs -> List.length cs
     | None -> List.length Oracle.default_cells)
-    + 4
+    + 7
   in
   let findings = ref [] in
   for index = 0 to count - 1 do

@@ -62,6 +62,7 @@ type failure =
   | Lint_violation of { cell : cell; meth : string; message : string }
   | Telemetry_divergence of { cell : cell; message : string }
   | Engine_divergence of { cell : cell; message : string }
+  | Hw_divergence of { cell : cell; hw : string; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -98,6 +99,11 @@ let describe = function
         "[%s] switch and closure engines diverged (bit-identity is their \
          contract): %s"
         (cell_name cell) message
+  | Hw_divergence { cell; hw; message } ->
+      Printf.sprintf
+        "[%s] hw=%s perturbed the architectural state (the hardware \
+         prefetcher may only move cycles and memory counters): %s"
+        (cell_name cell) hw message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
 let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
@@ -252,14 +258,15 @@ let telemetry_crosscheck ~opts ?tweak_options workload =
             | Some eff ->
                 let t = eff.Workloads.Effectiveness.totals in
                 let classified =
-                  t.Memsim.Attribution.cancelled + t.redundant + t.useful
-                  + t.late + t.useless
+                  t.Memsim.Attribution.cancelled + t.redundant
+                  + t.redundant_hw + t.useful + t.late + t.useless
                 in
                 if t.issued <> classified then
                   diverged
                     (Printf.sprintf
                        "attribution books don't balance: issued=%d but \
-                        cancelled+redundant+useful+late+useless=%d"
+                        cancelled+redundant+redundant_hw+useful+late+\
+                        useless=%d"
                        t.issued classified)
                 else begin
                   (* The profiler rode along on the attributed run; its
@@ -367,6 +374,81 @@ let engine_crosscheck ~opts ?tweak_options workload =
                 | _ -> diverged "a run captured no observables"))
       end
 
+(* Hardware-prefetcher cross-check: the headline configuration re-run
+   under each hardware prefetch model (none, stream, RPT). The hardware
+   prefetcher lives entirely below the architectural surface: program
+   output and the statics-reachable heap graph must be identical across
+   the three models — only cycles and memory-system counters may move. A
+   model that changes what the program computes (or crashes it) is a
+   co-simulation bug — the class the [fault_hw_desync] self-test
+   injects, invisible to every same-machine check above because the
+   default matrix never varies the hardware model. *)
+let hw_crosscheck ~opts ?tweak_options workload =
+  let models =
+    [
+      Memsim.Config.Hw_none;
+      Memsim.Config.default_stream;
+      Memsim.Config.default_rpt;
+    ]
+  in
+  let cell_of hw =
+    {
+      mode = O.Inter_intra;
+      standard_passes = true;
+      machine =
+        { Memsim.Config.pentium4 with Memsim.Config.hw_prefetch = hw };
+    }
+  in
+  let run hw =
+    let cell = cell_of hw in
+    match
+      Workloads.Harness.run ~opts ?tweak_options ~capture_observables:true
+        ~mode:cell.mode ~machine:cell.machine workload
+    with
+    | r -> Ok (cell, Memsim.Config.hw_prefetch_to_string hw, r)
+    | exception e -> Error (Crash { cell; message = Printexc.to_string e })
+  in
+  let runs = List.map run models in
+  match List.find_map (function Error f -> Some f | Ok _ -> None) runs with
+  | Some f -> Some f
+  | None -> (
+      match
+        List.filter_map (function Ok x -> Some x | Error _ -> None) runs
+      with
+      | [] | [ _ ] -> None
+      | (_, _, base) :: rest ->
+          let compare_to_base (cell, hw, (r : Workloads.Harness.run_result))
+              =
+            if r.output <> base.Workloads.Harness.output then
+              Some
+                (Hw_divergence
+                   {
+                     cell;
+                     hw;
+                     message = "program output differs from the hw=none run";
+                   })
+            else
+              match (base.observables, r.observables) with
+              | Some a, Some b -> (
+                  match Workloads.Observables.diff a b with
+                  | None -> None
+                  | Some diff ->
+                      Some
+                        (Hw_divergence
+                           {
+                             cell;
+                             hw;
+                             message =
+                               "reachable heap differs from the hw=none \
+                                run: " ^ diff;
+                           }))
+              | _ ->
+                  Some
+                    (Hw_divergence
+                       { cell; hw; message = "a run captured no observables" })
+          in
+          List.find_map compare_to_base rest)
+
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
     ~heap_limit_bytes () =
   match
@@ -460,8 +542,8 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
               let rec loop n = function
                 | [] -> (
                     (* Differential matrix clean: append the telemetry
-                       observer-effect pair, then the switch-vs-closure
-                       engine pair. *)
+                       observer-effect pair, the switch-vs-closure
+                       engine pair, then the hardware-model triple. *)
                     match telemetry_crosscheck ~opts ?tweak_options workload with
                     | Some f -> Fail f
                     | None -> (
@@ -469,7 +551,12 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                           engine_crosscheck ~opts ?tweak_options workload
                         with
                         | Some f -> Fail f
-                        | None -> Pass { cells_run = n + 4 }))
+                        | None -> (
+                            match
+                              hw_crosscheck ~opts ?tweak_options workload
+                            with
+                            | Some f -> Fail f
+                            | None -> Pass { cells_run = n + 7 })))
                 | cell :: cells -> (
                     match run cell with
                     | Error f -> Fail f

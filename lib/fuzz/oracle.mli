@@ -58,6 +58,13 @@ type failure =
           reachable heap, or their crash behaviour. Bit-identity across
           engines is their contract (lib/vm/engine.ml); crashing runs
           are compared on the crash alone, never on post-crash stats *)
+  | Hw_divergence of { cell : cell; hw : string; message : string }
+      (** a hardware-prefetcher model ([hw] is its spec string, e.g.
+          ["rpt:64x2@4"]) perturbed the architectural state: the headline
+          configuration re-run under hw=none, the stream unit and the
+          RPT unit must agree on program output and the
+          statics-reachable heap — the hardware prefetcher may only move
+          cycles and memory-system counters *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -83,8 +90,11 @@ val check :
     configuration on the reference switch engine vs the closure-compiled
     engine and demands bit-identity (output, cycles, every core and
     VM-side counter, the reachable heap; crashes must match exactly and
-    are compared on the crash alone). The two pairs count 4 toward
-    [cells_run]. [tweak_options] edits the
+    are compared on the crash alone). Finally the headline configuration
+    is re-run under each hardware prefetch model (none / stream / RPT)
+    and the three runs must agree on program output and reachable heap —
+    the hardware co-simulation axis. The pairs and the triple count 7
+    toward [cells_run]. [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
     catches them. [tweak_prefetch] likewise edits the prefetch-pass

@@ -15,12 +15,15 @@
      a tracked line proves the eviction) or never touched before a
      flush, so the prefetch moved data nobody read.
 
-   At issue time two further outcomes are recorded directly:
-   {b cancelled} (DTLB-miss cancellation of a hardware-form prefetch)
-   and {b redundant} (the target line was already cached). Every issue
-   lands in exactly one class, so after [flush]:
+   At issue time three further outcomes are recorded directly:
+   {b cancelled} (DTLB-miss cancellation of a hardware-form prefetch),
+   {b redundant} (the target line was already cached) and
+   {b redundant_hw} (the target line was already cached {e because the
+   hardware prefetcher fetched it} — tracked in a second shadow table of
+   hardware fills, the SW/HW arbitration signal). Every issue lands in
+   exactly one class, so after [flush]:
 
-     issued = cancelled + redundant + useful + late + useless
+     issued = cancelled + redundant + redundant_hw + useful + late + useless
 
    which the tests assert. Demand {e memory} misses (fills from DRAM)
    are additionally bucketed by a caller-supplied demand key, giving the
@@ -31,13 +34,23 @@ type site_counters = {
   mutable issued : int;
   mutable cancelled : int;  (** DTLB-miss cancellations *)
   mutable redundant : int;  (** target line already cached at issue *)
+  mutable redundant_hw : int;
+      (** target line already cached at issue, filled by the HW prefetcher *)
   mutable useful : int;  (** demand found the line ready *)
   mutable late : int;  (** demand arrived while the fill was in flight *)
   mutable useless : int;  (** evicted or flushed untouched *)
 }
 
 let zero_counters () =
-  { issued = 0; cancelled = 0; redundant = 0; useful = 0; late = 0; useless = 0 }
+  {
+    issued = 0;
+    cancelled = 0;
+    redundant = 0;
+    redundant_hw = 0;
+    useful = 0;
+    late = 0;
+    useless = 0;
+  }
 
 type entry = { site : int; mutable touched : bool }
 
@@ -46,6 +59,8 @@ type t = {
   mutable n_sites : int;
   l1_lines : (int, entry) Hashtbl.t;  (** L1 line index -> issuing site *)
   l2_lines : (int, entry) Hashtbl.t;  (** L2 line index -> issuing site *)
+  hw_lines : (int, bool ref) Hashtbl.t;
+      (** L2 line index -> touched, for lines the HW prefetcher filled *)
   demand_misses : (int, int ref) Hashtbl.t;  (** demand key -> memory misses *)
 }
 
@@ -55,6 +70,7 @@ let create () =
     n_sites = 0;
     l1_lines = Hashtbl.create 1024;
     l2_lines = Hashtbl.create 1024;
+    hw_lines = Hashtbl.create 1024;
     demand_misses = Hashtbl.create 64;
   }
 
@@ -79,6 +95,7 @@ let site_counters t id =
       issued = c.issued;
       cancelled = c.cancelled;
       redundant = c.redundant;
+      redundant_hw = c.redundant_hw;
       useful = c.useful;
       late = c.late;
       useless = c.useless;
@@ -95,6 +112,32 @@ let note_cancelled t ~site:id =
 let note_redundant t ~site:id =
   let c = site t id in
   c.redundant <- c.redundant + 1
+
+let note_redundant_hw t ~site:id =
+  let c = site t id in
+  c.redundant_hw <- c.redundant_hw + 1
+
+(* ---- hardware-fill shadow table (L2 only: the HW prefetcher fills the
+   L2). The table answers one question at SW-prefetch issue time — "is
+   this line cached because the hardware fetched it?" — and feeds the
+   telemetry-only [hw_prefetch_useful] counter on first demand touch.
+   Hardware fills are not part of the SW conservation law. *)
+
+let note_hw_fill t ~line = Hashtbl.replace t.hw_lines line (ref false)
+let hw_tracked t ~line = Hashtbl.mem t.hw_lines line
+
+(* A demand access found [line] present in the L2: first touch of a
+   HW-filled line reports true (the HW prefetch covered a demand miss). *)
+let hw_demand_resolve t ~line =
+  match Hashtbl.find_opt t.hw_lines line with
+  | Some touched when not !touched ->
+      touched := true;
+      true
+  | Some _ | None -> false
+
+(* A demand access missed [line] in the L2: any HW entry there was
+   evicted. *)
+let hw_demand_evict t ~line = Hashtbl.remove t.hw_lines line
 
 let table t = function `L1 -> t.l1_lines | `L2 -> t.l2_lines
 
@@ -173,7 +216,8 @@ let flush t =
     Hashtbl.reset tbl
   in
   settle t.l1_lines;
-  settle t.l2_lines
+  settle t.l2_lines;
+  Hashtbl.reset t.hw_lines
 
 let tracked_lines t = Hashtbl.length t.l1_lines + Hashtbl.length t.l2_lines
 
@@ -184,6 +228,7 @@ let totals t =
     acc.issued <- acc.issued + c.issued;
     acc.cancelled <- acc.cancelled + c.cancelled;
     acc.redundant <- acc.redundant + c.redundant;
+    acc.redundant_hw <- acc.redundant_hw + c.redundant_hw;
     acc.useful <- acc.useful + c.useful;
     acc.late <- acc.late + c.late;
     acc.useless <- acc.useless + c.useless
@@ -200,15 +245,17 @@ let conservation_error t =
   let check label (c : site_counters) =
     if !err = None then begin
       let classified =
-        c.cancelled + c.redundant + c.useful + c.late + c.useless
+        c.cancelled + c.redundant + c.redundant_hw + c.useful + c.late
+        + c.useless
       in
       if c.issued <> classified then
         err :=
           Some
             (Printf.sprintf
                "%s: issued=%d but \
-                cancelled+redundant+useful+late+useless=%d (law: issued = \
-                cancelled + redundant + useful + late + useless)"
+                cancelled+redundant+redundant_hw+useful+late+useless=%d \
+                (law: issued = cancelled + redundant + redundant_hw + \
+                useful + late + useless)"
                label c.issued classified)
     end
   in

@@ -3,10 +3,10 @@
     Sites are small dense ints; what a site {e means} (method, loop,
     strategy) is recorded outside memsim by the telemetry layer. The
     hierarchy's [_attr] entry points drive this module; each prefetch
-    issue is classified into exactly one of six outcomes, so after
+    issue is classified into exactly one of seven outcomes, so after
     {!flush}:
 
-    {v issued = cancelled + redundant + useful + late + useless v}
+    {v issued = cancelled + redundant + redundant_hw + useful + late + useless v}
 
     Demand {e memory} misses are additionally bucketed under a
     caller-supplied key, providing the coverage denominator. *)
@@ -17,6 +17,10 @@ type site_counters = {
   mutable issued : int;
   mutable cancelled : int;  (** DTLB-miss cancellations *)
   mutable redundant : int;  (** target line already cached at issue *)
+  mutable redundant_hw : int;
+      (** target line already cached at issue, and the hardware prefetcher
+          fetched it — the prefetch the paper's half-line rule tries not
+          to emit *)
   mutable useful : int;  (** demand found the line ready *)
   mutable late : int;  (** demand arrived while the fill was in flight *)
   mutable useless : int;  (** evicted or flushed untouched *)
@@ -38,6 +42,27 @@ val totals : t -> site_counters
 val note_issue : t -> site:int -> unit
 val note_cancelled : t -> site:int -> unit
 val note_redundant : t -> site:int -> unit
+val note_redundant_hw : t -> site:int -> unit
+
+(** {2 Hardware-fill shadow table}
+
+    L2-only (the HW prefetcher fills the L2). Not part of the SW
+    conservation law: the table exists to split [redundant] from
+    [redundant_hw] at issue time and to feed the telemetry-only
+    [hw_prefetch_useful] counter. *)
+
+val note_hw_fill : t -> line:int -> unit
+(** The hardware prefetcher initiated a fill of L2 [line]. *)
+
+val hw_tracked : t -> line:int -> bool
+(** Is [line] cached because the hardware fetched it? *)
+
+val hw_demand_resolve : t -> line:int -> bool
+(** A demand access found [line] present in the L2; [true] on the first
+    touch of a HW-filled line. *)
+
+val hw_demand_evict : t -> line:int -> unit
+(** A demand access missed [line] in the L2: drop any HW entry. *)
 
 val note_fill : t -> level:[ `L1 | `L2 ] -> line:int -> site:int -> unit
 (** A prefetch from [site] initiated a fill of [line] at [level].
@@ -70,7 +95,8 @@ val tracked_lines : t -> int
 
 val conservation_error : t -> string option
 (** Check the outcome conservation law
-    [issued = cancelled + redundant + useful + late + useless] per site
+    [issued = cancelled + redundant + redundant_hw + useful + late +
+    useless] per site
     and over the totals. [None] when the books balance; [Some msg]
     describes the first violated site. Only meaningful after {!flush}
     (before it, in-flight fills are legitimately unclassified). *)

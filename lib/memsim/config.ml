@@ -10,6 +10,11 @@ type tlb_params = { entries : int; page_bytes : int; tlb_miss_penalty : int }
 
 type prefetch_target = To_l2 | To_l1
 
+type hw_prefetch_model =
+  | Hw_none
+  | Hw_stream of { streams : int }
+  | Hw_rpt of { table_size : int; degree : int; distance : int }
+
 type machine = {
   name : string;
   l1 : cache_params;
@@ -20,7 +25,7 @@ type machine = {
   compiled_cost : int;
   prefetch_cost : int;
   guarded_load_cost : int;
-  hw_prefetch_streams : int;
+  hw_prefetch : hw_prefetch_model;
 }
 
 (* Geometry from Table 2 of the paper; timing from DESIGN.md section 5.
@@ -60,7 +65,7 @@ let pentium4 =
     compiled_cost = 1;
     prefetch_cost = 1;
     guarded_load_cost = 3;
-    hw_prefetch_streams = 8;
+    hw_prefetch = Hw_stream { streams = 8 };
   }
 
 let athlon_mp =
@@ -88,7 +93,7 @@ let athlon_mp =
     compiled_cost = 1;
     prefetch_cost = 1;
     guarded_load_cost = 3;
-    hw_prefetch_streams = 8;
+    hw_prefetch = Hw_stream { streams = 8 };
   }
 
 let machines = [ pentium4; athlon_mp ]
@@ -111,10 +116,22 @@ let validate_cache label (c : cache_params) =
     Error (label ^ ": penalties must be non-negative")
   else Ok ()
 
+let validate_hw_prefetch = function
+  | Hw_none -> Ok ()
+  | Hw_stream { streams } ->
+      if streams < 0 then Error "hw_prefetch: streams must be >= 0" else Ok ()
+  | Hw_rpt { table_size; degree; distance } ->
+      if not (is_power_of_two table_size) then
+        Error "hw_prefetch: rpt table size must be a power of two"
+      else if degree < 1 then Error "hw_prefetch: rpt degree must be >= 1"
+      else if distance < 1 then Error "hw_prefetch: rpt distance must be >= 1"
+      else Ok ()
+
 let validate m =
   let ( let* ) = Result.bind in
   let* () = validate_cache "l1" m.l1 in
   let* () = validate_cache "l2" m.l2 in
+  let* () = validate_hw_prefetch m.hw_prefetch in
   if not (is_power_of_two m.dtlb.page_bytes) then
     Error "dtlb: page size must be a power of two"
   else if m.dtlb.entries <= 0 then Error "dtlb: entries must be positive"
@@ -124,11 +141,61 @@ let validate m =
   then Error "instruction costs must be positive"
   else Ok ()
 
+(* Canonical spec string for a model, accepted back by
+   [hw_prefetch_of_string]. Bench cell keys and reports embed it, so it
+   must stay stable: "none", "stream:<streams>", "rpt:<table>x<degree>@
+   <distance>". *)
+let hw_prefetch_to_string = function
+  | Hw_none -> "none"
+  | Hw_stream { streams } -> Printf.sprintf "stream:%d" streams
+  | Hw_rpt { table_size; degree; distance } ->
+      Printf.sprintf "rpt:%dx%d@%d" table_size degree distance
+
+let hw_prefetch_kind = function
+  | Hw_none -> "none"
+  | Hw_stream _ -> "stream"
+  | Hw_rpt _ -> "rpt"
+
+let default_stream = Hw_stream { streams = 8 }
+let default_rpt = Hw_rpt { table_size = 64; degree = 2; distance = 4 }
+
+let hw_prefetch_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "invalid hw-prefetch spec %S (expected none | stream[:streams] | \
+          rpt[:TABLExDEGREE@DISTANCE])"
+         s)
+  in
+  let int_of str = int_of_string_opt (String.trim str) in
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "none" ] -> Ok Hw_none
+  | [ "stream" ] -> Ok default_stream
+  | [ "stream"; n ] -> (
+      match int_of n with
+      | Some streams when streams >= 0 -> Ok (Hw_stream { streams })
+      | _ -> fail ())
+  | [ "rpt" ] -> Ok default_rpt
+  | [ "rpt"; params ] -> (
+      match String.split_on_char 'x' params with
+      | [ table; rest ] -> (
+          match String.split_on_char '@' rest with
+          | [ degree; distance ] -> (
+              match (int_of table, int_of degree, int_of distance) with
+              | Some table_size, Some degree, Some distance ->
+                  let m = Hw_rpt { table_size; degree; distance } in
+                  Result.map (fun () -> m) (validate_hw_prefetch m)
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
 let pp_cache ppf (c : cache_params) =
   Format.fprintf ppf "%dKB/%dB-line/%d-way" (c.size_bytes / 1024) c.line_bytes
     c.assoc
 
 let pp_machine ppf m =
-  Format.fprintf ppf "%s: L1 %a, L2 %a, DTLB %d entries, prefetch->%s" m.name
-    pp_cache m.l1 pp_cache m.l2 m.dtlb.entries
+  Format.fprintf ppf "%s: L1 %a, L2 %a, DTLB %d entries, prefetch->%s, hw=%s"
+    m.name pp_cache m.l1 pp_cache m.l2 m.dtlb.entries
     (match m.prefetch_target with To_l2 -> "L2" | To_l1 -> "L1")
+    (hw_prefetch_to_string m.hw_prefetch)

@@ -22,6 +22,17 @@ type tlb_params = {
     prefetches into the L2 only, the Athlon MP into the L1 (and L2). *)
 type prefetch_target = To_l2 | To_l1
 
+(** The hardware prefetcher model a machine ships (see {!Hw_prefetch}):
+    [Hw_none] disables it; [Hw_stream] is the next-line stream detector
+    of the seed simulator; [Hw_rpt] is a Chen/Baer reference-prediction
+    table (direct-mapped per-PC trackers, power-of-two [table_size],
+    issuing [degree] line targets [distance] strides ahead once a
+    tracker is Steady). *)
+type hw_prefetch_model =
+  | Hw_none
+  | Hw_stream of { streams : int }
+  | Hw_rpt of { table_size : int; degree : int; distance : int }
+
 type machine = {
   name : string;
   l1 : cache_params;
@@ -32,7 +43,7 @@ type machine = {
   compiled_cost : int;  (** cycles to retire one compiled instruction *)
   prefetch_cost : int;  (** cycles to retire a hardware prefetch instruction *)
   guarded_load_cost : int;  (** cycles to retire a guarded (checked) load *)
-  hw_prefetch_streams : int;  (** stream-detector table size; 0 disables *)
+  hw_prefetch : hw_prefetch_model;  (** the HW prefetcher this machine runs *)
 }
 
 val pentium4 : machine
@@ -51,6 +62,30 @@ val validate : machine -> (unit, string) result
 val validate_cache : string -> cache_params -> (unit, string) result
 (** [validate_cache label params] checks one cache level; [label] prefixes
     the error message. *)
+
+val validate_hw_prefetch : hw_prefetch_model -> (unit, string) result
+(** Structural checks for one prefetcher model (power-of-two RPT table,
+    degree/distance >= 1, non-negative stream count). *)
+
+val default_stream : hw_prefetch_model
+(** [Hw_stream {streams = 8}] — what both paper machines ship. *)
+
+val default_rpt : hw_prefetch_model
+(** [Hw_rpt {table_size = 64; degree = 2; distance = 4}] — the default
+    operating point of the RPT model ("rpt" with no parameters). *)
+
+val hw_prefetch_to_string : hw_prefetch_model -> string
+(** Canonical spec string ("none", "stream:8", "rpt:64x2\@4"), stable —
+    bench cell keys embed it. Round-trips through
+    {!hw_prefetch_of_string}. *)
+
+val hw_prefetch_kind : hw_prefetch_model -> string
+(** Just the model family: "none" | "stream" | "rpt". *)
+
+val hw_prefetch_of_string : string -> (hw_prefetch_model, string) result
+(** Parse a spec: "none", "stream", "stream:N", "rpt", or
+    "rpt:TABLExDEGREE\@DISTANCE" (e.g. "rpt:64x2\@4"). Bare "stream"
+    and "rpt" mean {!default_stream} and {!default_rpt}. *)
 
 val pp_machine : Format.formatter -> machine -> unit
 (** One-line rendering of the Table 2 parameters of a machine. *)

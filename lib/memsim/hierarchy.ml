@@ -32,7 +32,7 @@ let create (machine : Config.machine) =
     l2 = Cache.create machine.l2;
     dtlb = Tlb.create machine.dtlb;
     hwpf =
-      Hw_prefetch.create ~streams:machine.hw_prefetch_streams
+      Hw_prefetch.create ~model:machine.hw_prefetch
         ~line_bytes:machine.l2.line_bytes
         ~page_bytes:machine.dtlb.page_bytes;
     stats = Stats.create ();
@@ -60,14 +60,37 @@ let line_bytes t =
 
 let page_bytes t = t.machine.dtlb.page_bytes
 
-let hw_prefetch_on_l2_miss t ~addr ~now =
-  match Hw_prefetch.observe_miss t.hwpf ~addr with
-  | None -> ()
-  | Some target ->
-      if not (Cache.probe t.l2 ~addr:target) then begin
-        t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
-        Cache.fill t.l2 ~addr:target ~ready_at:(now + t.mem_latency)
-      end
+(* Feed one demand L2 miss to the hardware prefetcher and issue its
+   suggested fills, nearest target first. A target already present (or in
+   flight) in the L2 costs nothing and is not counted. *)
+let hw_prefetch_on_l2_miss t ~pc ~addr ~now =
+  match Hw_prefetch.observe_miss t.hwpf ~pc ~addr with
+  | [] -> ()
+  | targets ->
+      List.iter
+        (fun target ->
+          if not (Cache.probe t.l2 ~addr:target) then begin
+            t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
+            Cache.fill t.l2 ~addr:target ~ready_at:(now + t.mem_latency)
+          end)
+        targets
+
+(* Attributed twin: identical cache transitions and seed counters, plus
+   each actual fill is registered in the attribution layer's hardware
+   shadow table (what splits [redundant] from [redundant_hw] at SW issue
+   time). *)
+let hw_prefetch_on_l2_miss_attr t at ~pc ~addr ~now =
+  match Hw_prefetch.observe_miss t.hwpf ~pc ~addr with
+  | [] -> ()
+  | targets ->
+      List.iter
+        (fun target ->
+          if not (Cache.probe t.l2 ~addr:target) then begin
+            t.stats.hw_prefetches <- t.stats.hw_prefetches + 1;
+            Cache.fill t.l2 ~addr:target ~ready_at:(now + t.mem_latency);
+            Attribution.note_hw_fill at ~line:(Cache.line_of t.l2 target)
+          end)
+        targets
 
 let record_l1_miss t kind =
   match kind with
@@ -87,7 +110,7 @@ let record_dtlb_miss t kind =
 (* L1-missed demand access: walk the L2 and memory, fill upwards. Returns
    the stall beyond any TLB penalty. Out of line so the fast path below
    stays small. *)
-let[@inline never] demand_l1_miss t ~addr ~kind ~now =
+let[@inline never] demand_l1_miss t ~pc ~addr ~kind ~now =
   record_l1_miss t kind;
   let stall =
     let r2 = Cache.access_residual t.l2 ~addr ~now in
@@ -99,7 +122,7 @@ let[@inline never] demand_l1_miss t ~addr ~kind ~now =
     else begin
       record_l2_miss t kind;
       let s = t.l1_miss_penalty + t.mem_latency in
-      hw_prefetch_on_l2_miss t ~addr ~now;
+      hw_prefetch_on_l2_miss t ~pc ~addr ~now;
       Cache.fill t.l2 ~addr ~ready_at:now;
       s
     end
@@ -107,7 +130,7 @@ let[@inline never] demand_l1_miss t ~addr ~kind ~now =
   Cache.fill t.l1 ~addr ~ready_at:now;
   stall
 
-let demand_access t ~addr ~kind ~now =
+let demand_access t ~pc ~addr ~kind ~now =
   (match kind with
   | `Load -> t.stats.loads <- t.stats.loads + 1
   | `Store -> t.stats.stores <- t.stats.stores + 1);
@@ -130,7 +153,7 @@ let demand_access t ~addr ~kind ~now =
     t.stats.in_flight_hits <- t.stats.in_flight_hits + 1;
     tlb_stall + r1
   end
-  else tlb_stall + demand_l1_miss t ~addr ~kind ~now
+  else tlb_stall + demand_l1_miss t ~pc ~addr ~kind ~now
 
 (* Cost (as fill completion time, not a stall) of bringing [addr] into the
    L2 for a non-blocking operation issued at [now]. *)
@@ -198,7 +221,7 @@ let reset t =
    a tracked line proves eviction). Demand {e memory} misses are
    bucketed under [dkey] for the coverage denominator. *)
 
-let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
+let[@inline never] demand_l1_miss_attr t at ~pc ~addr ~kind ~now ~dkey =
   record_l1_miss t kind;
   let l2_line = Cache.line_of t.l2 addr in
   (* Every L1-missing access pays the L2 access penalty: L2-bound. *)
@@ -211,6 +234,8 @@ let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
       | Attribution.Useful ->
           t.stats.sw_prefetch_useful <- t.stats.sw_prefetch_useful + 1
       | Attribution.Late | Attribution.Untracked -> ());
+      if Attribution.hw_demand_resolve at ~line:l2_line then
+        t.stats.hw_prefetch_useful <- t.stats.hw_prefetch_useful + 1;
       t.l1_miss_penalty
     end
     else if r2 > 0 then begin
@@ -222,17 +247,20 @@ let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
       | Attribution.Untracked ->
           t.stats.in_flight_demand_hits <- t.stats.in_flight_demand_hits + 1
       | Attribution.Useful -> ());
+      if Attribution.hw_demand_resolve at ~line:l2_line then
+        t.stats.hw_prefetch_useful <- t.stats.hw_prefetch_useful + 1;
       (* Residual of an in-flight fill sourced below the L2: mem-bound. *)
       t.bd_mem <- r2;
       t.l1_miss_penalty + r2
     end
     else begin
       Attribution.demand_evict at ~level:`L2 ~line:l2_line;
+      Attribution.hw_demand_evict at ~line:l2_line;
       Attribution.note_demand_miss at ~key:dkey;
       record_l2_miss t kind;
       t.bd_mem <- t.mem_latency;
       let s = t.l1_miss_penalty + t.mem_latency in
-      hw_prefetch_on_l2_miss t ~addr ~now;
+      hw_prefetch_on_l2_miss_attr t at ~pc ~addr ~now;
       Cache.fill t.l2 ~addr ~ready_at:now;
       s
     end
@@ -240,7 +268,7 @@ let[@inline never] demand_l1_miss_attr t at ~addr ~kind ~now ~dkey =
   Cache.fill t.l1 ~addr ~ready_at:now;
   stall
 
-let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
+let demand_access_attr t ~attrib ~pc ~addr ~kind ~now ~dkey =
   (match kind with
   | `Load -> t.stats.loads <- t.stats.loads + 1
   | `Store -> t.stats.stores <- t.stats.stores + 1);
@@ -285,7 +313,7 @@ let demand_access_attr t ~attrib ~addr ~kind ~now ~dkey =
   end
   else begin
     Attribution.demand_evict attrib ~level:`L1 ~line:l1_line;
-    tlb_stall + demand_l1_miss_attr t attrib ~addr ~kind ~now ~dkey
+    tlb_stall + demand_l1_miss_attr t attrib ~pc ~addr ~kind ~now ~dkey
   end
 
 let last_tlb_stall t = t.bd_tlb
@@ -305,7 +333,17 @@ let sw_prefetch_attr t ~attrib ~addr ~now ~site =
     | Config.To_l2 ->
         if Cache.probe t.l2 ~addr then begin
           t.stats.sw_prefetch_useless <- t.stats.sw_prefetch_useless + 1;
-          Attribution.note_redundant attrib ~site
+          (* The line is cached — but is it cached because the hardware
+             prefetcher fetched it? That refinement is the SW/HW
+             arbitration signal: a [redundant_hw] prefetch is one the
+             paper's half-line rule should have suppressed. *)
+          if Attribution.hw_tracked attrib ~line:(Cache.line_of t.l2 addr)
+          then begin
+            t.stats.sw_prefetch_redundant_hw <-
+              t.stats.sw_prefetch_redundant_hw + 1;
+            Attribution.note_redundant_hw attrib ~site
+          end
+          else Attribution.note_redundant attrib ~site
         end
         else begin
           ignore (l2_fill_ready t ~addr ~now);

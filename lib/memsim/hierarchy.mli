@@ -18,9 +18,13 @@ val create : Config.machine -> t
 val machine : t -> Config.machine
 val stats : t -> Stats.t
 
-val demand_access : t -> addr:int -> kind:[ `Load | `Store ] -> now:int -> int
+val demand_access :
+  t -> pc:int -> addr:int -> kind:[ `Load | `Store ] -> now:int -> int
 (** Perform a demand access; returns the stall cycles to charge, and
-    records miss events in {!stats}. *)
+    records miss events in {!stats}. [pc] is the packed program counter
+    of the accessing instruction (see [Vm.State]); it indexes the RPT
+    hardware prefetcher and must be engine-invariant — the stream model
+    ignores it. *)
 
 val sw_prefetch : t -> addr:int -> now:int -> unit
 (** Execute a hardware prefetch instruction for [addr] (non-blocking). *)
@@ -49,6 +53,7 @@ val reset : t -> unit
 val demand_access_attr :
   t ->
   attrib:Attribution.t ->
+  pc:int ->
   addr:int ->
   kind:[ `Load | `Store ] ->
   now:int ->

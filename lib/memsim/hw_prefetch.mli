@@ -1,23 +1,47 @@
-(** A next-line stream prefetcher of the kind both evaluation machines ship.
+(** The hardware prefetch unit attached to the L2 demand-miss stream.
 
-    The unit observes L2 demand misses. When two misses fall on adjacent
-    lines (in either direction) it establishes a stream and suggests
-    fetching the next line ahead of the second miss; an established stream
-    keeps suggesting the next line every time it advances. The paper's
-    profitability rule "an inter-iteration stride must exceed half a cache
-    line" exists precisely because this hardware already covers short
-    strides (Section 3.3, citing Jouppi). *)
+    Three models, selected by the machine description
+    ({!Config.hw_prefetch_model}):
+
+    - [Hw_none]: disabled.
+    - [Hw_stream]: the next-line stream detector both evaluation machines
+      ship. Two misses on adjacent lines establish a directed stream that
+      suggests the next line each time it advances; a re-miss on a live
+      stream's current line is absorbed (it carries no direction at line
+      granularity). The paper's profitability rule "an inter-iteration
+      stride must exceed half a cache line" exists precisely because this
+      hardware already covers short strides (Section 3.3, citing Jouppi).
+    - [Hw_rpt]: a Chen/Baer reference-prediction table — direct-mapped
+      per-PC trackers with the Initial/Transient/Steady/NoPred state
+      machine, issuing up to [degree] line targets [distance] strides
+      ahead once a PC's stride is Steady.
+
+    All models observe demand L2 misses only, suggest L2 fill targets
+    only, and never cross the page of the triggering miss (hardware
+    prefetchers of this era stop at 4 KiB boundaries). *)
 
 type t
 
-val create : streams:int -> line_bytes:int -> page_bytes:int -> t
-(** [streams = 0] disables the prefetcher. Streams never cross a page
-    boundary (the Pentium 4's hardware prefetcher stops at 4 KiB
-    boundaries; we model both machines that way). *)
+val create :
+  model:Config.hw_prefetch_model -> line_bytes:int -> page_bytes:int -> t
+(** [line_bytes] is the L2 line size (target granularity);
+    [Hw_stream {streams = 0}] is equivalent to [Hw_none]. Raises
+    [Invalid_argument] on non-positive sizes, a non-power-of-two RPT
+    table, or degree/distance < 1. *)
 
-val observe_miss : t -> addr:int -> int option
-(** Feed one L2 demand-miss address; returns the address of a line to
-    prefetch into the L2, if a stream matched or was established. *)
+val observe_miss : t -> pc:int -> addr:int -> int list
+(** Feed one L2 demand miss: the packed program counter of the accessing
+    instruction and the missing address. Returns the line-aligned
+    addresses to prefetch into the L2, nearest first ([[]] most of the
+    time). The stream model ignores [pc]; the RPT is indexed by it. *)
 
 val reset : t -> unit
+(** Forget all trackers (GC compaction rewrites the address space). *)
+
 val active_streams : t -> int
+(** Live stream count ([0] for the other models; tests/debug). *)
+
+val rpt_state_name : t -> pc:int -> string option
+(** The RPT tracker state currently associated with [pc]
+    ("initial"/"transient"/"steady"/"nopred"), [None] when no tracker
+    tags [pc] or the model is not [Hw_rpt]. Tests/debug only. *)

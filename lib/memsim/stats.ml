@@ -23,6 +23,8 @@ type t = {
   mutable in_flight_demand_hits : int;
   mutable sw_prefetch_late : int;
   mutable sw_prefetch_useful : int;
+  mutable sw_prefetch_redundant_hw : int;
+  mutable hw_prefetch_useful : int;
 }
 
 let create () =
@@ -47,6 +49,8 @@ let create () =
     in_flight_demand_hits = 0;
     sw_prefetch_late = 0;
     sw_prefetch_useful = 0;
+    sw_prefetch_redundant_hw = 0;
+    hw_prefetch_useful = 0;
   }
 
 (* The single canonical field list: one (name, getter, setter) triple per
@@ -103,13 +107,25 @@ let fields : (string * (t -> int) * (t -> int -> unit)) list =
     ( "sw_prefetch_useful",
       (fun t -> t.sw_prefetch_useful),
       fun t v -> t.sw_prefetch_useful <- v );
+    ( "sw_prefetch_redundant_hw",
+      (fun t -> t.sw_prefetch_redundant_hw),
+      fun t v -> t.sw_prefetch_redundant_hw <- v );
+    ( "hw_prefetch_useful",
+      (fun t -> t.hw_prefetch_useful),
+      fun t v -> t.hw_prefetch_useful <- v );
   ]
 
 (* Counters that exist only when telemetry is enabled. Comparisons that
    must hold across a telemetry-on/off pair (golden tests, the fuzz
    oracle) compare [core_alist] only. *)
 let telemetry_only =
-  [ "in_flight_demand_hits"; "sw_prefetch_late"; "sw_prefetch_useful" ]
+  [
+    "in_flight_demand_hits";
+    "sw_prefetch_late";
+    "sw_prefetch_useful";
+    "sw_prefetch_redundant_hw";
+    "hw_prefetch_useful";
+  ]
 
 let to_alist t = List.map (fun (name, get, _) -> (name, get t)) fields
 

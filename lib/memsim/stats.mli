@@ -37,6 +37,15 @@ type t = {
   mutable sw_prefetch_useful : int;
       (** telemetry only: demand found an attributed software prefetch's
           line present and ready; zero in a plain run *)
+  mutable sw_prefetch_redundant_hw : int;
+      (** telemetry only: software prefetches whose target line was
+          already cached {e because the hardware prefetcher fetched it} —
+          the [redundant_with_hw] refinement of [sw_prefetch_useless];
+          zero in a plain run *)
+  mutable hw_prefetch_useful : int;
+      (** telemetry only: demand accesses that found a line the hardware
+          prefetcher had fetched (first touch per fill); zero in a plain
+          run *)
 }
 
 val create : unit -> t

@@ -97,8 +97,9 @@ let plan ~(opts : Options.t) ~(machine : Memsim.Config.machine) ~code ~ldg
               | (_ : Stride.pattern) :: _ as phases
                 when List.for_all
                        (fun (p : Stride.pattern) ->
-                         Profitability.inter_stride_ok ~line_bytes:line
-                           p.stride)
+                         Profitability.inter_stride_ok
+                           ?threshold:opts.inter_stride_threshold
+                           ~line_bytes:line p.stride)
                        phases
                      && Profitability.has_dependents code ~pc:anchor_pc ->
                   actions :=
@@ -144,7 +145,9 @@ let plan ~(opts : Options.t) ~(machine : Memsim.Config.machine) ~code ~ldg
                      loads that are far away, not Lx's own line. *)
                   if
                     not
-                      (Profitability.inter_stride_ok ~line_bytes:line p.stride)
+                      (Profitability.inter_stride_ok
+                         ?threshold:opts.inter_stride_threshold
+                         ~line_bytes:line p.stride)
                   then reject anchor_site "stride within half a cache line"
                   else if
                     not (Profitability.has_dependents code ~pc:anchor_pc)

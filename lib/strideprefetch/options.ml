@@ -20,6 +20,13 @@ type t = {
   inspect_iterations : int;  (** iterations of the target loop to observe *)
   majority : float;  (** dominant-stride threshold, 0 < m <= 1 *)
   scheduling_distance : int;  (** c, in iterations *)
+  inter_stride_threshold : int option;
+      (** profitability condition (3): emit an inter-iteration prefetch
+          only when |stride| {e exceeds} this many bytes. [None] means
+          the paper's rule — half the cache line of the level software
+          prefetches fill — which assumes the next-line stream hardware
+          prefetcher; the arbitration sweep retunes it per machine for
+          the other HW models. *)
   small_trip_count : int;
       (** nested loops observed to iterate fewer times than this are
           promoted into their parent *)
@@ -68,6 +75,7 @@ let default =
     inspect_iterations = 20;
     majority = 0.75;
     scheduling_distance = 1;
+    inter_stride_threshold = None;
     small_trip_count = 16;
     min_samples = 4;
     max_inspect_steps = 100_000;
@@ -100,6 +108,9 @@ let validate t =
     Error "majority must be in (0, 1]"
   else if t.scheduling_distance < 1 then
     Error "scheduling_distance must be >= 1"
+  else if
+    match t.inter_stride_threshold with Some b -> b < 0 | None -> false
+  then Error "inter_stride_threshold must be >= 0"
   else if t.min_samples < 2 then Error "min_samples must be >= 2"
   else if t.small_trip_count < 1 then Error "small_trip_count must be >= 1"
   else if t.max_inspect_steps < 100 then

@@ -20,6 +20,13 @@ type t = {
   inspect_iterations : int;  (** iterations of the target loop to observe *)
   majority : float;  (** dominant-stride threshold, 0 < m <= 1 *)
   scheduling_distance : int;  (** c, in iterations *)
+  inter_stride_threshold : int option;
+      (** profitability condition (3): emit an inter-iteration prefetch
+          only when |stride| {e exceeds} this many bytes. [None] = the
+          paper's half-line rule, which assumes the next-line stream
+          hardware prefetcher; the SW/HW arbitration sweep
+          ([spf_bench --sweep-arbitration]) retunes it per machine and
+          HW model. *)
   small_trip_count : int;
       (** nested loops observed to iterate fewer times than this are
           promoted into their parent *)
@@ -44,7 +51,8 @@ type t = {
   check_invariants : bool;
       (** assert the telemetry/profiler conservation laws at the end of
           every harness run (attribution:
-          [issued = cancelled + redundant + useful + late + useless];
+          [issued = cancelled + redundant + redundant_hw + useful + late
+          + useless];
           profiler: binned cycles reconstruct [Stats.cycles] exactly) and
           raise {!Workloads.Harness.Invariant_violation} on a breach.
           Cheap (O(sites + pcs) once per run); off by default. *)

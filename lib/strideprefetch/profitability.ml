@@ -1,4 +1,13 @@
-let inter_stride_ok ~line_bytes stride = abs stride > line_bytes / 2
+(* Condition (3), parameterized: the paper's constant is half a cache
+   line ("the hardware prefetcher already covers shorter strides"); a
+   caller that knows which hardware prefetcher the machine actually
+   ships can override the byte threshold (the arbitration sweep picks it
+   empirically). *)
+let inter_stride_ok ?threshold ~line_bytes stride =
+  let threshold =
+    match threshold with Some b -> b | None -> line_bytes / 2
+  in
+  abs stride > threshold
 
 let has_dependents code ~pc =
   pc + 1 >= Array.length code

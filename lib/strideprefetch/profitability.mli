@@ -6,10 +6,11 @@
     inter-iteration stride exceeds half a cache line (hardware prefetchers
     already cover shorter strides). *)
 
-val inter_stride_ok : line_bytes:int -> int -> bool
-(** Condition (3): |stride| strictly greater than half the line size of
-    the level software prefetches fill. Loop-invariant loads (stride 0)
-    are rejected here too. *)
+val inter_stride_ok : ?threshold:int -> line_bytes:int -> int -> bool
+(** Condition (3): |stride| strictly greater than [threshold] bytes,
+    defaulting to half the line size of the level software prefetches
+    fill (the paper's rule, assuming next-line stream hardware).
+    Loop-invariant loads (stride 0) are rejected here too. *)
 
 val has_dependents : Vm.Bytecode.instr array -> pc:int -> bool
 (** Condition (1), approximated syntactically: the load's result is

@@ -475,7 +475,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         fun frame ->
           let id = as_ref frame (pop frame) in
           let addr = Heap.base_of heap id + offset in
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           push frame (Heap.get_field heap id slot);
@@ -486,13 +486,13 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           let v = pop frame in
           let id = as_ref frame (pop frame) in
           let addr = Heap.base_of heap id + offset in
-          demand_plain t frame ~addr ~kind:`Store;
+          demand_plain t frame ~pc ~addr ~kind:`Store;
           Heap.set_field heap id slot v;
           next frame
     | Getstatic { site; index; name = _; is_ref = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
         fun frame ->
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           push frame t.globals.(index);
@@ -500,15 +500,15 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
     | Putstatic { index; name = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
         fun frame ->
-          demand_plain t frame ~addr ~kind:`Store;
+          demand_plain t frame ~pc ~addr ~kind:`Store;
           t.globals.(index) <- pop frame;
           next frame
     | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
         fun frame ->
           let index = pop_int frame in
           let id = as_ref frame (pop frame) in
-          let addr = array_access_plain t frame ~len_site ~id ~index in
-          demand_plain t frame ~addr ~kind:`Load;
+          let addr = array_access_plain t frame ~pc ~len_site ~id ~index in
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(elem_site) <- frame.site_addr.(elem_site);
           frame.site_addr.(elem_site) <- addr;
           push frame (Heap.get_elem heap id index);
@@ -518,15 +518,15 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           let v = pop frame in
           let index = pop_int frame in
           let id = as_ref frame (pop frame) in
-          let addr = array_access_plain t frame ~len_site ~id ~index in
-          demand_plain t frame ~addr ~kind:`Store;
+          let addr = array_access_plain t frame ~pc ~len_site ~id ~index in
+          demand_plain t frame ~pc ~addr ~kind:`Store;
           Heap.set_elem heap id index v;
           next frame
     | Arraylength { site } ->
         fun frame ->
           let id = as_ref frame (pop frame) in
           let addr = Heap.length_addr heap id in
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           push frame (Value.of_int (Heap.array_length heap id));
@@ -535,7 +535,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let ci = Classfile.class_of_id t.program class_id in
         let alloc () = Heap.alloc_object heap ci in
         fun frame ->
-          let id = allocate t frame alloc in
+          let id = allocate t frame ~pc alloc in
           push frame (Value.Ref id);
           next frame
     | Newarray kind ->
@@ -547,7 +547,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
             | Bytecode.Int_array -> Heap.alloc_int_array heap len
             | Bytecode.Ref_array -> Heap.alloc_ref_array heap len
           in
-          push frame (Value.Ref (allocate t frame alloc));
+          push frame (Value.Ref (allocate t frame ~pc alloc));
           next frame
     | Invoke callee_id ->
         let callee = Classfile.method_of_id t.program callee_id in
@@ -763,7 +763,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         fun frame ->
           let id = as_ref frame (pop frame) in
           let addr = Heap.base_of heap id + offset in
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           nv frame (Heap.get_field heap id slot)
@@ -771,7 +771,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
         let nv = kv kont in
         fun frame ->
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           let v = t.globals.(index) in
@@ -782,8 +782,8 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         fun frame ->
           let index = pop_int frame in
           let id = as_ref frame (pop frame) in
-          let addr = array_access_plain t frame ~len_site ~id ~index in
-          demand_plain t frame ~addr ~kind:`Load;
+          let addr = array_access_plain t frame ~pc ~len_site ~id ~index in
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(elem_site) <- frame.site_addr.(elem_site);
           frame.site_addr.(elem_site) <- addr;
           nv frame (Heap.get_elem heap id index)
@@ -792,7 +792,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         fun frame ->
           let id = as_ref frame (pop frame) in
           let addr = Heap.length_addr heap id in
-          demand_plain t frame ~addr ~kind:`Load;
+          demand_plain t frame ~pc ~addr ~kind:`Load;
           frame.site_prev.(site) <- frame.site_addr.(site);
           frame.site_addr.(site) <- addr;
           nv frame (Value.of_int (Heap.array_length heap id))
@@ -801,7 +801,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let alloc () = Heap.alloc_object heap ci in
         let nv = kv kont in
         fun frame ->
-          let id = allocate t frame alloc in
+          let id = allocate t frame ~pc alloc in
           if frame.sp >= Frame.max_stack then stack_overflow frame;
           nv frame (Value.Ref id)
     | Newarray kind ->
@@ -814,7 +814,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
             | Bytecode.Int_array -> Heap.alloc_int_array heap len
             | Bytecode.Ref_array -> Heap.alloc_ref_array heap len
           in
-          nv frame (Value.Ref (allocate t frame alloc))
+          nv frame (Value.Ref (allocate t frame ~pc alloc))
     | _ -> body ~next:(kh kont) pc instr_
   in
   let body_full kont pc (instr_ : Bytecode.instr) : vhandler option =
@@ -1018,7 +1018,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           (fun frame v ->
             let id = as_ref frame v in
             let addr = Heap.base_of heap id + offset in
-            demand_plain t frame ~addr ~kind:`Load;
+            demand_plain t frame ~pc ~addr ~kind:`Load;
             frame.site_prev.(site) <- frame.site_addr.(site);
             frame.site_addr.(site) <- addr;
             nv frame (Heap.get_field heap id slot))
@@ -1029,7 +1029,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           (fun frame v ->
             let id = as_ref frame (pop frame) in
             let addr = Heap.base_of heap id + offset in
-            demand_plain t frame ~addr ~kind:`Store;
+            demand_plain t frame ~pc ~addr ~kind:`Store;
             Heap.set_field heap id slot v;
             nh frame)
     | Putstatic { index; name = _ } ->
@@ -1037,7 +1037,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let nh = kh kont in
         Some
           (fun frame v ->
-            demand_plain t frame ~addr ~kind:`Store;
+            demand_plain t frame ~pc ~addr ~kind:`Store;
             t.globals.(index) <- v;
             nh frame)
     | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
@@ -1046,8 +1046,8 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           (fun frame v ->
             let index = cached_int frame v in
             let id = as_ref frame (pop frame) in
-            let addr = array_access_plain t frame ~len_site ~id ~index in
-            demand_plain t frame ~addr ~kind:`Load;
+            let addr = array_access_plain t frame ~pc ~len_site ~id ~index in
+            demand_plain t frame ~pc ~addr ~kind:`Load;
             frame.site_prev.(elem_site) <- frame.site_addr.(elem_site);
             frame.site_addr.(elem_site) <- addr;
             nv frame (Heap.get_elem heap id index))
@@ -1057,8 +1057,8 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           (fun frame v ->
             let index = pop_int frame in
             let id = as_ref frame (pop frame) in
-            let addr = array_access_plain t frame ~len_site ~id ~index in
-            demand_plain t frame ~addr ~kind:`Store;
+            let addr = array_access_plain t frame ~pc ~len_site ~id ~index in
+            demand_plain t frame ~pc ~addr ~kind:`Store;
             Heap.set_elem heap id index v;
             nh frame)
     | Arraylength { site } ->
@@ -1067,7 +1067,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           (fun frame v ->
             let id = as_ref frame v in
             let addr = Heap.length_addr heap id in
-            demand_plain t frame ~addr ~kind:`Load;
+            demand_plain t frame ~pc ~addr ~kind:`Load;
             frame.site_prev.(site) <- frame.site_addr.(site);
             frame.site_addr.(site) <- addr;
             nv frame (Value.of_int (Heap.array_length heap id)))
@@ -1082,7 +1082,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
               | Bytecode.Int_array -> Heap.alloc_int_array heap len
               | Bytecode.Ref_array -> Heap.alloc_ref_array heap len
             in
-            nv frame (Value.Ref (allocate t frame alloc)))
+            nv frame (Value.Ref (allocate t frame ~pc alloc)))
     | Invoke callee_id ->
         let callee = Classfile.method_of_id t.program callee_id in
         if callee.arity = 0 then None
@@ -1285,7 +1285,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           pre_i t m frame ~pc ~max_steps ~base_cost ~bin;
           let id = as_ref frame (pop frame) in
           let addr = Heap.base_of heap id + offset in
-          demand_load t frame ~obj:id ~addr ~site;
+          demand_load t frame ~pc ~obj:id ~addr ~site;
           observe_load t frame ~site ~addr;
           push frame (Heap.get_field heap id slot);
           next frame
@@ -1296,14 +1296,14 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           let v = pop frame in
           let id = as_ref frame (pop frame) in
           let addr = Heap.base_of heap id + offset in
-          demand t frame ~obj:id ~addr ~kind:`Store;
+          demand t frame ~pc ~obj:id ~addr ~kind:`Store;
           Heap.set_field heap id slot v;
           next frame
     | Getstatic { site; index; name = _; is_ref = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
         fun frame ->
           pre_i t m frame ~pc ~max_steps ~base_cost ~bin;
-          demand_load t frame ~obj:(-1) ~addr ~site;
+          demand_load t frame ~pc ~obj:(-1) ~addr ~site;
           observe_load t frame ~site ~addr;
           push frame t.globals.(index);
           next frame
@@ -1311,7 +1311,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
         fun frame ->
           pre_i t m frame ~pc ~max_steps ~base_cost ~bin;
-          demand t frame ~obj:(-1) ~addr ~kind:`Store;
+          demand t frame ~pc ~obj:(-1) ~addr ~kind:`Store;
           t.globals.(index) <- pop frame;
           next frame
     | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
@@ -1322,8 +1322,8 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           prof_cycles t ~method_id ~pc ~bin:Prof_retire ~cycles:base_cost;
           let index = pop_int frame in
           let id = as_ref frame (pop frame) in
-          let addr = array_access t frame ~len_site ~id ~index in
-          demand_load t frame ~obj:id ~addr ~site:elem_site;
+          let addr = array_access t frame ~pc ~len_site ~id ~index in
+          demand_load t frame ~pc ~obj:id ~addr ~site:elem_site;
           observe_load t frame ~site:elem_site ~addr;
           push frame (Heap.get_elem heap id index);
           next frame
@@ -1336,8 +1336,8 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           let v = pop frame in
           let index = pop_int frame in
           let id = as_ref frame (pop frame) in
-          let addr = array_access t frame ~len_site ~id ~index in
-          demand t frame ~obj:id ~addr ~kind:`Store;
+          let addr = array_access t frame ~pc ~len_site ~id ~index in
+          demand t frame ~pc ~obj:id ~addr ~kind:`Store;
           Heap.set_elem heap id index v;
           next frame
     | Arraylength { site } ->
@@ -1345,7 +1345,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
           pre_i t m frame ~pc ~max_steps ~base_cost ~bin;
           let id = as_ref frame (pop frame) in
           let addr = Heap.length_addr heap id in
-          demand_load t frame ~obj:id ~addr ~site;
+          demand_load t frame ~pc ~obj:id ~addr ~site;
           observe_load t frame ~site ~addr;
           push frame (Value.of_int (Heap.array_length heap id));
           next frame
@@ -1354,7 +1354,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
         let alloc () = Heap.alloc_object heap ci in
         fun frame ->
           pre_i t m frame ~pc ~max_steps ~base_cost ~bin;
-          let id = allocate t frame alloc in
+          let id = allocate t frame ~pc alloc in
           push frame (Value.Ref id);
           next frame
     | Newarray kind ->
@@ -1367,7 +1367,7 @@ let compile (t : t) (m : Classfile.method_info) : compiled_method =
             | Bytecode.Int_array -> Heap.alloc_int_array heap len
             | Bytecode.Ref_array -> Heap.alloc_ref_array heap len
           in
-          push frame (Value.Ref (allocate t frame alloc));
+          push frame (Value.Ref (allocate t frame ~pc alloc));
           next frame
     | Invoke callee_id ->
         let callee = Classfile.method_of_id t.program callee_id in

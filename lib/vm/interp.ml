@@ -27,6 +27,7 @@ type options = State.options = {
   unguarded_spec_loads : bool;
   engine : engine;
   fault_engine_desync : bool;
+  fault_hw_desync : bool;
 }
 
 let default_options = State.default_options
@@ -200,7 +201,7 @@ let exec_switch (t : t) (frame : Frame.t) =
     | Getfield { site; offset; name = _; is_ref = _ } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in
-        demand_load t frame ~obj:id ~addr ~site;
+        demand_load t frame ~pc:(frame.pc - 1) ~obj:id ~addr ~site;
         observe_load t frame ~site ~addr;
         let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
         Frame.push frame (Heap.get_field t.heap id slot)
@@ -208,17 +209,17 @@ let exec_switch (t : t) (frame : Frame.t) =
         let v = Frame.pop frame in
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.base_of t.heap id + offset in
-        demand t frame ~obj:id ~addr ~kind:`Store;
+        demand t frame ~pc:(frame.pc - 1) ~obj:id ~addr ~kind:`Store;
         let slot = (offset - Classfile.header_bytes) / Classfile.slot_bytes in
         Heap.set_field t.heap id slot v
     | Getstatic { site; index; name = _; is_ref = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
-        demand_load t frame ~obj:(-1) ~addr ~site;
+        demand_load t frame ~pc:(frame.pc - 1) ~obj:(-1) ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame t.globals.(index)
     | Putstatic { index; name = _ } ->
         let addr = Classfile.statics_base + (index * Classfile.slot_bytes) in
-        demand t frame ~obj:(-1) ~addr ~kind:`Store;
+        demand t frame ~pc:(frame.pc - 1) ~obj:(-1) ~addr ~kind:`Store;
         t.globals.(index) <- Frame.pop frame
     | Aaload { len_site; elem_site } | Iaload { len_site; elem_site } ->
         retire t 1;
@@ -227,8 +228,8 @@ let exec_switch (t : t) (frame : Frame.t) =
           ~cycles:base_cost;
         let index = Frame.pop_int frame in
         let id = as_ref frame (Frame.pop frame) in
-        let addr = array_access t frame ~len_site ~id ~index in
-        demand_load t frame ~obj:id ~addr ~site:elem_site;
+        let addr = array_access t frame ~pc:(frame.pc - 1) ~len_site ~id ~index in
+        demand_load t frame ~pc:(frame.pc - 1) ~obj:id ~addr ~site:elem_site;
         observe_load t frame ~site:elem_site ~addr;
         Frame.push frame (Heap.get_elem t.heap id index)
     | Aastore { len_site } | Iastore { len_site } ->
@@ -239,18 +240,18 @@ let exec_switch (t : t) (frame : Frame.t) =
         let v = Frame.pop frame in
         let index = Frame.pop_int frame in
         let id = as_ref frame (Frame.pop frame) in
-        let addr = array_access t frame ~len_site ~id ~index in
-        demand t frame ~obj:id ~addr ~kind:`Store;
+        let addr = array_access t frame ~pc:(frame.pc - 1) ~len_site ~id ~index in
+        demand t frame ~pc:(frame.pc - 1) ~obj:id ~addr ~kind:`Store;
         Heap.set_elem t.heap id index v
     | Arraylength { site } ->
         let id = as_ref frame (Frame.pop frame) in
         let addr = Heap.length_addr t.heap id in
-        demand_load t frame ~obj:id ~addr ~site;
+        demand_load t frame ~pc:(frame.pc - 1) ~obj:id ~addr ~site;
         observe_load t frame ~site ~addr;
         Frame.push frame (Value.Int (Heap.array_length t.heap id))
     | New class_id ->
         let ci = Classfile.class_of_id t.program class_id in
-        let id = allocate t frame (fun () -> Heap.alloc_object t.heap ci) in
+        let id = allocate t frame ~pc:(frame.pc - 1) (fun () -> Heap.alloc_object t.heap ci) in
         Frame.push frame (Value.Ref id)
     | Newarray kind ->
         let len = Frame.pop_int frame in
@@ -260,7 +261,7 @@ let exec_switch (t : t) (frame : Frame.t) =
           | Bytecode.Int_array -> Heap.alloc_int_array t.heap len
           | Bytecode.Ref_array -> Heap.alloc_ref_array t.heap len
         in
-        Frame.push frame (Value.Ref (allocate t frame alloc))
+        Frame.push frame (Value.Ref (allocate t frame ~pc:(frame.pc - 1) alloc))
     | Invoke callee_id ->
         let callee = Classfile.method_of_id t.program callee_id in
         let args = Array.make callee.arity Value.Null in

@@ -54,6 +54,12 @@ type options = {
           executed [Goto], desynchronizing it from the switch reference
           in a way only the full-stats cross-engine diff can see.
           Default [false]. *)
+  fault_hw_desync : bool;
+      (** fault-injection knob for the fuzz oracle's hardware-prefetcher
+          axis: when true, a run on a machine shipping the RPT model
+          appends a sentinel line to program output at end of run — an
+          architectural divergence only the {none,stream,rpt} HW
+          cross-check can see. Default [false]. *)
 }
 
 val default_options : Memsim.Config.machine -> options

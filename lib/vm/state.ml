@@ -41,6 +41,12 @@ type options = {
           executed [Goto] — cycles, output and heap stay identical, so
           only the oracle's full-stats engine diff can catch it. Proves
           the engine cross-check adds real coverage. *)
+  fault_hw_desync : bool;
+      (** fault-injection knob for the fuzz oracle's hardware-prefetcher
+          axis: when true, a run whose machine ships the RPT model
+          appends a sentinel line to program output at end of run — an
+          architectural divergence only the {none,stream,rpt} HW
+          cross-check can catch. Proves that axis adds real coverage. *)
 }
 
 let default_options machine =
@@ -55,6 +61,7 @@ let default_options machine =
     unguarded_spec_loads = false;
     engine = Closure;
     fault_engine_desync = false;
+    fault_hw_desync = false;
   }
 
 (* Telemetry wiring, bundled so the disabled state is a single [None]
@@ -318,14 +325,25 @@ let[@inline] prof_cycles t ~method_id ~pc ~bin ~cycles =
   | Some p -> p.on_cycles ~method_id ~pc ~bin ~cycles
   | None -> ()
 
-let demand t frame ~obj ~addr ~kind =
+(* The packed program counter handed to the hierarchy: method id in the
+   high bits, bytecode pc in the low 16. This is the identity the RPT
+   hardware prefetcher indexes by, so it must be engine-invariant: the
+   switch engine passes [frame.pc - 1] (the executing pc — see
+   [prof_stall] above for the invariant), the closure engine bakes the
+   same compile-time pc into each handler (its uninstrumented variant
+   does not maintain [frame.pc] at run time). *)
+let[@inline] pack_pc (frame : Frame.t) ~pc =
+  (frame.method_info.method_id lsl 16) lor (pc land 0xffff)
+
+let demand t frame ~pc ~obj ~addr ~kind =
+  let pc = pack_pc frame ~pc in
   let stall =
     match t.telem with
-    | None -> Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:(now t)
+    | None -> Memsim.Hierarchy.demand_access t.mem ~pc ~addr ~kind ~now:(now t)
     | Some tl ->
         let stall =
-          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-            ~kind ~now:(now t) ~dkey:(-1)
+          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~pc
+            ~addr ~kind ~now:(now t) ~dkey:(-1)
         in
         (match t.prof with
         | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
@@ -337,19 +355,21 @@ let demand t frame ~obj ~addr ~kind =
 (* A demand load at a numbered load site. Under telemetry its memory
    misses are bucketed by the packed (method, site) key — the coverage
    denominator for prefetches registered against that site. *)
-let demand_load t (frame : Frame.t) ~obj ~addr ~site =
+let demand_load t (frame : Frame.t) ~pc ~obj ~addr ~site =
+  let pc = pack_pc frame ~pc in
   let stall =
     match t.telem with
     | None ->
-        Memsim.Hierarchy.demand_access t.mem ~addr ~kind:`Load ~now:(now t)
+        Memsim.Hierarchy.demand_access t.mem ~pc ~addr ~kind:`Load
+          ~now:(now t)
     | Some tl ->
         let dkey =
           Telemetry.Attrib.demand_key ~method_id:frame.method_info.method_id
             ~site
         in
         let stall =
-          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~addr
-            ~kind:`Load ~now:(now t) ~dkey
+          Memsim.Hierarchy.demand_access_attr t.mem ~attrib:tl.attrib ~pc
+            ~addr ~kind:`Load ~now:(now t) ~dkey
         in
         (match t.prof with
         | Some p when stall > 0 -> prof_stall t p frame ~obj ~stall
@@ -361,9 +381,10 @@ let demand_load t (frame : Frame.t) ~obj ~addr ~site =
 (* Plain-variant demand access: the closure engine's uninstrumented
    handlers go straight to the hierarchy, with no telemetry/profiler
    option tests — byte-for-byte the [None] branch of [demand] above. *)
-let[@inline] demand_plain t (frame : Frame.t) ~addr ~kind =
+let[@inline] demand_plain t (frame : Frame.t) ~pc ~addr ~kind =
   let stall =
-    Memsim.Hierarchy.demand_access t.mem ~addr ~kind ~now:t.stats.cycles
+    Memsim.Hierarchy.demand_access t.mem ~pc:(pack_pc frame ~pc) ~addr ~kind
+      ~now:t.stats.cycles
   in
   if stall > 0 then charge_stall t frame stall
 
@@ -421,7 +442,7 @@ let collect_garbage t =
             ~cycles_begin ~cycles_end:t.stats.cycles ()
       | None -> ())
 
-let allocate t frame alloc =
+let allocate t frame ~pc:alloc_pc alloc =
   let id =
     try alloc ()
     with Heap.Out_of_memory -> (
@@ -440,7 +461,8 @@ let allocate t frame alloc =
       p.on_cycles ~method_id ~pc ~bin:Prof_alloc ~cycles:t.opts.alloc_cycles
   | None -> ());
   (* The header write warms the first line of the new object. *)
-  demand t frame ~obj:id ~addr:(Heap.base_of t.heap id) ~kind:`Store;
+  demand t frame ~pc:alloc_pc ~obj:id ~addr:(Heap.base_of t.heap id)
+    ~kind:`Store;
   id
 
 let as_ref frame v =
@@ -464,9 +486,9 @@ let[@inline] compare_int (c : Bytecode.cmp) a b =
 
 (* Load the array length (bounds-check load), verify the index, and return
    the element address. Charges the length-load access. *)
-let array_access t frame ~len_site ~id ~index =
+let array_access t frame ~pc ~len_site ~id ~index =
   let len_addr = Heap.length_addr t.heap id in
-  demand_load t frame ~obj:id ~addr:len_addr ~site:len_site;
+  demand_load t frame ~pc ~obj:id ~addr:len_addr ~site:len_site;
   observe_load t frame ~site:len_site ~addr:len_addr;
   let len = Heap.array_length t.heap id in
   if index < 0 || index >= len then
@@ -477,10 +499,10 @@ let array_access t frame ~len_site ~id ~index =
 (* Plain-variant twin of [array_access] for the closure engine's
    uninstrumented handlers: direct demand access, inline site-register
    update, no observer dispatch. *)
-let array_access_plain t (frame : Frame.t) ~len_site ~id ~index =
+let array_access_plain t (frame : Frame.t) ~pc ~len_site ~id ~index =
   let base, len = Heap.array_view t.heap id in
   let len_addr = base + Classfile.array_length_offset in
-  demand_plain t frame ~addr:len_addr ~kind:`Load;
+  demand_plain t frame ~pc ~addr:len_addr ~kind:`Load;
   frame.site_prev.(len_site) <- frame.site_addr.(len_site);
   frame.site_addr.(len_site) <- len_addr;
   if index < 0 || index >= len then
@@ -590,4 +612,13 @@ let call t (m : Classfile.method_info) args =
 
 let run t =
   let entry = Classfile.method_of_id t.program t.program.entry in
-  call t entry (Array.make entry.arity Value.Null)
+  let result = call t entry (Array.make entry.arity Value.Null) in
+  (* Fuzz fault injection for the HW-prefetcher oracle axis: an
+     architectural observable (program output) that depends on which
+     hardware prefetcher model the machine ships — exactly the
+     divergence the {none,stream,rpt} cross-check exists to catch. *)
+  (if t.opts.fault_hw_desync then
+     match t.opts.machine.hw_prefetch with
+     | Memsim.Config.Hw_rpt _ -> Buffer.add_string t.out "<hw-desync>\n"
+     | Memsim.Config.Hw_none | Memsim.Config.Hw_stream _ -> ());
+  result

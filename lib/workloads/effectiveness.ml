@@ -36,6 +36,7 @@ type kind_rollup = {
   useless : int;
   cancelled : int;
   redundant : int;
+  redundant_hw : int;
   kind_coverage : float;
   kind_accuracy : float;
 }
@@ -124,6 +125,7 @@ let build ~registry ~attrib =
           useless = sum (fun r -> r.counters.useless);
           cancelled = sum (fun r -> r.counters.cancelled);
           redundant = sum (fun r -> r.counters.redundant);
+          redundant_hw = sum (fun r -> r.counters.redundant_hw);
           kind_coverage = ratio useful (useful + target_misses);
           kind_accuracy = ratio useful issued;
         })
@@ -168,6 +170,7 @@ let pp_table ppf t =
           ("useless", Right);
           ("cancel", Right);
           ("redund", Right);
+          ("red-hw", Right);
           ("misses", Right);
           ("cover", Right);
           ("accur", Right);
@@ -191,6 +194,7 @@ let pp_table ppf t =
           cell_int r.counters.useless;
           cell_int r.counters.cancelled;
           cell_int r.counters.redundant;
+          cell_int r.counters.redundant_hw;
           cell_int r.target_misses;
           cell_pct r.coverage;
           cell_pct r.accuracy;
@@ -201,19 +205,21 @@ let pp_table ppf t =
     (fun k ->
       Format.fprintf ppf
         "kind %-7s: %d site%s, issued=%d useful=%d late=%d useless=%d \
-         cancelled=%d redundant=%d  coverage=%.1f%% accuracy=%.1f%%@,"
+         cancelled=%d redundant=%d redundant_hw=%d  coverage=%.1f%% \
+         accuracy=%.1f%%@,"
         k.kind_name k.sites
         (if k.sites = 1 then "" else "s")
         k.issued k.useful k.late k.useless k.cancelled k.redundant
+        k.redundant_hw
         (100.0 *. k.kind_coverage)
         (100.0 *. k.kind_accuracy))
     t.kinds;
   Format.fprintf ppf
     "total: issued=%d useful=%d late=%d useless=%d cancelled=%d \
-     redundant=%d  coverage=%.1f%% accuracy=%.1f%%  (unattributed \
-     misses=%d)@]"
+     redundant=%d redundant_hw=%d  coverage=%.1f%% accuracy=%.1f%%  \
+     (unattributed misses=%d)@]"
     t.totals.issued t.totals.useful t.totals.late t.totals.useless
-    t.totals.cancelled t.totals.redundant
+    t.totals.cancelled t.totals.redundant t.totals.redundant_hw
     (100.0 *. t.total_coverage)
     (100.0 *. t.total_accuracy)
     t.unattributed_misses
@@ -224,6 +230,7 @@ let json_of_counters (c : Memsim.Attribution.site_counters) =
       ("issued", Telemetry.Json.Int c.issued);
       ("cancelled", Telemetry.Json.Int c.cancelled);
       ("redundant", Telemetry.Json.Int c.redundant);
+      ("redundant_hw", Telemetry.Json.Int c.redundant_hw);
       ("useful", Telemetry.Json.Int c.useful);
       ("late", Telemetry.Json.Int c.late);
       ("useless", Telemetry.Json.Int c.useless);
@@ -268,6 +275,7 @@ let to_json t =
         ("useless", Int k.useless);
         ("cancelled", Int k.cancelled);
         ("redundant", Int k.redundant);
+        ("redundant_hw", Int k.redundant_hw);
         ("coverage", Float k.kind_coverage);
         ("accuracy", Float k.kind_accuracy);
       ]

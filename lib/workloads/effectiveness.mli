@@ -29,6 +29,7 @@ type kind_rollup = {
   useless : int;
   cancelled : int;
   redundant : int;
+  redundant_hw : int;
   kind_coverage : float;
   kind_accuracy : float;
 }

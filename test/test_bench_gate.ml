@@ -141,6 +141,8 @@ let synth_run ?(schema = Report.schema) cells =
             engine = "closure";
             telemetry = false;
             profile = false;
+            hw = Gate.default_hw;
+            sw_threshold = None;
             seconds;
             cycles;
           })

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "strideprefetch"
     [
       ("memsim", Test_memsim.suite);
+      ("hw-prefetch", Test_hw_prefetch.suite);
       ("vm", Test_vm.suite);
       ("engine", Test_engine.suite);
       ("jit", Test_jit.suite);

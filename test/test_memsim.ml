@@ -175,31 +175,52 @@ let test_tlb_probe_no_touch () =
 
 (* --- hardware prefetcher ------------------------------------------------ *)
 
+let stream_hw streams =
+  Hw.create
+    ~model:(Config.Hw_stream { streams })
+    ~line_bytes:64 ~page_bytes:4096
+
 let test_hw_stream () =
-  let hw = Hw.create ~streams:4 ~line_bytes:64 ~page_bytes:4096 in
+  let hw = stream_hw 4 in
   Alcotest.(check bool) "first miss: no prefetch" true
-    (Hw.observe_miss hw ~addr:0 = None);
+    (Hw.observe_miss hw ~pc:0 ~addr:0 = []);
   Alcotest.(check bool) "adjacent miss establishes stream" true
-    (Hw.observe_miss hw ~addr:64 = Some 128);
+    (Hw.observe_miss hw ~pc:0 ~addr:64 = [ 128 ]);
   Alcotest.(check bool) "stream advances" true
-    (Hw.observe_miss hw ~addr:128 = Some 192)
+    (Hw.observe_miss hw ~pc:0 ~addr:128 = [ 192 ])
 
 let test_hw_descending () =
-  let hw = Hw.create ~streams:4 ~line_bytes:64 ~page_bytes:4096 in
-  ignore (Hw.observe_miss hw ~addr:(4096 + 640));
+  let hw = stream_hw 4 in
+  ignore (Hw.observe_miss hw ~pc:0 ~addr:(4096 + 640));
   Alcotest.(check bool) "descending stream" true
-    (Hw.observe_miss hw ~addr:(4096 + 576) = Some (4096 + 512))
+    (Hw.observe_miss hw ~pc:0 ~addr:(4096 + 576) = [ 4096 + 512 ])
 
 let test_hw_page_boundary () =
-  let hw = Hw.create ~streams:4 ~line_bytes:64 ~page_bytes:4096 in
-  ignore (Hw.observe_miss hw ~addr:(4096 - 128));
+  let hw = stream_hw 4 in
+  ignore (Hw.observe_miss hw ~pc:0 ~addr:(4096 - 128));
   Alcotest.(check bool) "stops at page boundary" true
-    (Hw.observe_miss hw ~addr:(4096 - 64) = None)
+    (Hw.observe_miss hw ~pc:0 ~addr:(4096 - 64) = [])
 
 let test_hw_disabled () =
-  let hw = Hw.create ~streams:0 ~line_bytes:64 ~page_bytes:4096 in
-  Alcotest.(check bool) "disabled" true (Hw.observe_miss hw ~addr:0 = None);
-  Alcotest.(check bool) "still disabled" true (Hw.observe_miss hw ~addr:64 = None)
+  let hw = stream_hw 0 in
+  Alcotest.(check bool) "disabled" true (Hw.observe_miss hw ~pc:0 ~addr:0 = []);
+  Alcotest.(check bool) "still disabled" true
+    (Hw.observe_miss hw ~pc:0 ~addr:64 = [])
+
+(* Regression (satellite of the RPT issue): a re-miss on a live stream's
+   current line — the line was evicted and missed again before the
+   stream advanced — must be absorbed by that stream, not treated as an
+   unrelated miss that allocates (and clobbers) a round-robin victim
+   slot. With 2 slots: stream A at line 0, stream B at line 128; B
+   re-misses its own line; A must still be alive and able to advance. *)
+let test_hw_same_line_remiss () =
+  let hw = stream_hw 2 in
+  ignore (Hw.observe_miss hw ~pc:0 ~addr:0);
+  ignore (Hw.observe_miss hw ~pc:0 ~addr:8192);
+  Alcotest.(check bool) "same-line re-miss suggests nothing" true
+    (Hw.observe_miss hw ~pc:0 ~addr:(8192 + 32) = []);
+  Alcotest.(check bool) "unrelated slot not clobbered" true
+    (Hw.observe_miss hw ~pc:0 ~addr:64 = [ 128 ])
 
 (* --- hierarchy ---------------------------------------------------------- *)
 
@@ -209,12 +230,12 @@ let fresh_athlon () = Hier.create Config.athlon_mp
 let test_demand_miss_cost () =
   let h = fresh_p4 () in
   let m = Config.pentium4 in
-  let stall = Hier.demand_access h ~addr:0x200000 ~kind:`Load ~now:0 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x200000 ~kind:`Load ~now:0 in
   (* cold: DTLB walk + L1 miss/L2 miss to memory *)
   Alcotest.(check int) "cold miss stall"
     (m.dtlb.tlb_miss_penalty + m.l1.miss_penalty + m.l2.miss_penalty)
     stall;
-  let stall2 = Hier.demand_access h ~addr:0x200000 ~kind:`Load ~now:100 in
+  let stall2 = Hier.demand_access h ~pc:0 ~addr:0x200000 ~kind:`Load ~now:100 in
   Alcotest.(check int) "then an L1 hit" m.l1.hit_extra stall2;
   let stats = Hier.stats h in
   Alcotest.(check int) "one L1 load miss" 1 stats.Stats.l1_load_misses;
@@ -227,33 +248,33 @@ let test_prefetch_cancelled_on_tlb_miss () =
   let stats = Hier.stats h in
   Alcotest.(check int) "cancelled" 1 stats.Stats.sw_prefetches_cancelled;
   (* the line was NOT fetched *)
-  let stall = Hier.demand_access h ~addr:0x300000 ~kind:`Load ~now:10 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x300000 ~kind:`Load ~now:10 in
   Alcotest.(check bool) "demand still misses fully" true
     (stall >= Config.pentium4.l2.miss_penalty)
 
 let test_prefetch_after_tlb_warm () =
   let h = fresh_p4 () in
   (* warm the page with a demand access to another line *)
-  ignore (Hier.demand_access h ~addr:0x300000 ~kind:`Load ~now:0);
+  ignore (Hier.demand_access h ~pc:0 ~addr:0x300000 ~kind:`Load ~now:0);
   Hier.sw_prefetch h ~addr:0x300400 ~now:1000;
   (* P4 prefetches into the L2 only: after the fill completes, a demand
      access pays the L1-miss penalty but not the memory latency *)
-  let stall = Hier.demand_access h ~addr:0x300400 ~kind:`Load ~now:5000 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x300400 ~kind:`Load ~now:5000 in
   Alcotest.(check int) "L2 hit after prefetch"
     Config.pentium4.l1.miss_penalty stall
 
 let test_athlon_prefetch_fills_l1 () =
   let h = fresh_athlon () in
-  ignore (Hier.demand_access h ~addr:0x300000 ~kind:`Load ~now:0);
+  ignore (Hier.demand_access h ~pc:0 ~addr:0x300000 ~kind:`Load ~now:0);
   Hier.sw_prefetch h ~addr:0x300400 ~now:1000;
-  let stall = Hier.demand_access h ~addr:0x300400 ~kind:`Load ~now:5000 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x300400 ~kind:`Load ~now:5000 in
   Alcotest.(check int) "L1 hit after prefetch"
     Config.athlon_mp.l1.hit_extra stall
 
 let test_guarded_load_primes_tlb () =
   let h = fresh_p4 () in
   Hier.guarded_load h ~addr:0x400000 ~now:0;
-  let stall = Hier.demand_access h ~addr:0x400000 ~kind:`Load ~now:5000 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x400000 ~kind:`Load ~now:5000 in
   (* TLB primed and line in L1: only the L1 hit cost remains *)
   Alcotest.(check int) "hit after guarded load"
     Config.pentium4.l1.hit_extra stall;
@@ -262,10 +283,10 @@ let test_guarded_load_primes_tlb () =
 
 let test_prefetch_too_late_residual () =
   let h = fresh_p4 () in
-  ignore (Hier.demand_access h ~addr:0x500000 ~kind:`Load ~now:0);
+  ignore (Hier.demand_access h ~pc:0 ~addr:0x500000 ~kind:`Load ~now:0);
   Hier.sw_prefetch h ~addr:0x500400 ~now:1000;
   (* demand arrives 20 cycles after issue: most of the fill remains *)
-  let stall = Hier.demand_access h ~addr:0x500400 ~kind:`Load ~now:1020 in
+  let stall = Hier.demand_access h ~pc:0 ~addr:0x500400 ~kind:`Load ~now:1020 in
   let expected =
     Config.pentium4.l1.miss_penalty + (Config.pentium4.l2.miss_penalty - 20)
   in
@@ -318,6 +339,8 @@ let suite =
     ("hw prefetch: descending stream", `Quick, test_hw_descending);
     ("hw prefetch: stops at page boundary", `Quick, test_hw_page_boundary);
     ("hw prefetch: disabled", `Quick, test_hw_disabled);
+    ("hw prefetch: same-line re-miss absorbed", `Quick,
+     test_hw_same_line_remiss);
     ("hierarchy: demand miss cost", `Quick, test_demand_miss_cost);
     ("hierarchy: prefetch cancelled on TLB miss", `Quick,
      test_prefetch_cancelled_on_tlb_miss);

@@ -256,16 +256,18 @@ let test_golden_bit_identical () =
 let check_conservation label (eff : E.t) =
   let t = eff.totals in
   Alcotest.(check int)
-    (label ^ ": issued = cancelled+redundant+useful+late+useless")
+    (label ^ ": issued = cancelled+redundant+redundant_hw+useful+late+useless")
     t.Memsim.Attribution.issued
-    (t.cancelled + t.redundant + t.useful + t.late + t.useless);
+    (t.cancelled + t.redundant + t.redundant_hw + t.useful + t.late
+   + t.useless);
   List.iter
     (fun (r : E.site_row) ->
       let c = r.counters in
       Alcotest.(check int)
         (Format.asprintf "%s: site %a books balance" label A.pp_key r.key)
         c.Memsim.Attribution.issued
-        (c.cancelled + c.redundant + c.useful + c.late + c.useless))
+        (c.cancelled + c.redundant + c.redundant_hw + c.useful + c.late
+       + c.useless))
     eff.rows
 
 let in_unit label v =
