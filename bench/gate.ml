@@ -37,6 +37,9 @@ type cell_rec = {
   sw_threshold : int option;
       (** SW inter-stride threshold override of an arbitration-sweep
           cell; [None] (paper default) for canonical-matrix cells *)
+  prediction : string option;
+      (** prediction tier of a prediction-sweep cell; [None] (the
+          dynamic-inspection default) for canonical-matrix cells *)
   seconds : float;
   cycles : int;
 }
@@ -52,7 +55,7 @@ let default_hw =
   Memsim.Config.hw_prefetch_to_string Memsim.Config.default_stream
 
 let cell_key c =
-  Printf.sprintf "%s/%s/%s%s%s%s%s%s" c.workload c.machine c.mode
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s" c.workload c.machine c.mode
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
     (if c.engine = "closure" then "" else "/" ^ c.engine ^ "-engine")
@@ -60,6 +63,9 @@ let cell_key c =
     (match c.sw_threshold with
     | None -> ""
     | Some t -> Printf.sprintf "/thr=%d" t)
+    (match c.prediction with
+    | None -> ""
+    | Some p -> "/pred=" ^ p)
 
 (* ------------------------------------------------------------------ *)
 (* Lenient report reader: any schema loads (so a mismatch can be reported
@@ -107,6 +113,7 @@ let cell_of_json ~label i j =
           profile = Option.value ~default:false (mem_bool "profile" j);
           hw = Option.value ~default:default_hw (mem_str "hw_prefetch" j);
           sw_threshold = mem_int "sw_threshold" j;
+          prediction = mem_str "prediction" j;
           seconds;
           cycles;
         }

@@ -31,6 +31,10 @@ type cell_rec = {
   sw_threshold : int option;
       (** SW inter-stride threshold of an arbitration-sweep cell;
           [None] (paper default, half a line) otherwise *)
+  prediction : string option;
+      (** prediction tier of a prediction-sweep cell; [None] (the
+          dynamic-inspection default) for canonical-matrix cells and for
+          reports written before the prediction lane existed *)
   seconds : float;
   cycles : int;
 }

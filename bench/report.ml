@@ -185,6 +185,62 @@ let arbitration_json a =
        (List.map (fun w -> "\"" ^ json_escape w ^ "\"") a.arb_workloads))
     (points a.arb_picks) (points a.arb_grid)
 
+(* The prediction lane: the --sweep-prediction grid (workload x machine
+   x prediction tier at the headline mode). Each point carries the
+   JIT-compile-time costs the tiers trade — inspection iterations begun,
+   instructions partially interpreted, prefetch-pass wall-clock — next
+   to the simulated cycle count, which the tiers must not regress. The
+   per-machine summary is the headline: iterations saved by the hybrid
+   skip rule at equal-or-better cycles. *)
+type pred_point = {
+  pred_workload : string;
+  pred_machine : string;
+  pred_tier : string;  (** "inspect" / "hybrid" / "static" *)
+  pred_cycles : int;
+  pred_iterations : int;  (** inspection iterations begun, summed over loops *)
+  pred_steps : int;  (** instructions partially interpreted during inspection *)
+  pred_pass_seconds : float;  (** prefetch-pass host wall-clock *)
+}
+
+type pred_summary = {
+  pred_sum_machine : string;
+  pred_iterations_inspect : int;
+  pred_iterations_hybrid : int;
+  pred_cycles_delta : int;  (** hybrid cycles - inspect cycles, summed *)
+}
+
+type prediction_lane = {
+  pred_points : pred_point list;
+  pred_summaries : pred_summary list;
+}
+
+let pred_point_json p =
+  Printf.sprintf
+    "{\"workload\": \"%s\", \"machine\": \"%s\", \"tier\": \"%s\", \
+     \"cycles\": %d, \"inspection_iterations\": %d, \
+     \"inspection_steps\": %d, \"prefetch_pass_seconds\": %.6f}"
+    (json_escape p.pred_workload)
+    (json_escape p.pred_machine)
+    (json_escape p.pred_tier) p.pred_cycles p.pred_iterations p.pred_steps
+    p.pred_pass_seconds
+
+let pred_summary_json s =
+  Printf.sprintf
+    "{\"machine\": \"%s\", \"iterations_inspect\": %d, \
+     \"iterations_hybrid\": %d, \"iterations_saved\": %d, \
+     \"cycles_delta\": %d}"
+    (json_escape s.pred_sum_machine)
+    s.pred_iterations_inspect s.pred_iterations_hybrid
+    (s.pred_iterations_inspect - s.pred_iterations_hybrid)
+    s.pred_cycles_delta
+
+let prediction_json l =
+  Printf.sprintf
+    "  \"prediction\": {\n    \"summaries\": [%s],\n    \"points\": \
+     [%s]\n  },\n"
+    (String.concat ", " (List.map pred_summary_json l.pred_summaries))
+    (String.concat ", " (List.map pred_point_json l.pred_points))
+
 (* Sweep-cell provenance in the per-cell record: emitted only when the
    cell deviates from the defaults, so reports of the canonical matrix
    stay byte-compatible with pre-sweep baselines (and their gate keys
@@ -205,9 +261,16 @@ let cell_extras (c : Runner.cell) =
         Printf.sprintf ", \"sw_threshold\": %d" t
     | Some _ | None -> ""
   in
-  hw ^ threshold
+  let prediction =
+    match c.opts with
+    | Some o when o.SP.Options.prediction <> SP.Options.Inspect ->
+        Printf.sprintf ", \"prediction\": \"%s\""
+          (SP.Options.prediction_name o.SP.Options.prediction)
+    | Some _ | None -> ""
+  in
+  hw ^ threshold ^ prediction
 
-let to_json_string ?arbitration ~jobs ~matrix_wall_seconds
+let to_json_string ?arbitration ?prediction ~jobs ~matrix_wall_seconds
     (timed : Runner.timed list) =
   let total_cell_seconds =
     List.fold_left (fun acc (t : Runner.timed) -> acc +. t.seconds) 0.0 timed
@@ -225,6 +288,9 @@ let to_json_string ?arbitration ~jobs ~matrix_wall_seconds
   Buffer.add_string buf (dispatch_json timed);
   (match arbitration with
   | Some a -> Buffer.add_string buf (arbitration_json a)
+  | None -> ());
+  (match prediction with
+  | Some l -> Buffer.add_string buf (prediction_json l)
   | None -> ());
   Buffer.add_string buf "  \"cells\": [\n";
   List.iteri
@@ -252,8 +318,10 @@ let to_json_string ?arbitration ~jobs ~matrix_wall_seconds
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-let write_json ?arbitration ~path ~jobs ~matrix_wall_seconds timed =
+let write_json ?arbitration ?prediction ~path ~jobs ~matrix_wall_seconds
+    timed =
   let oc = open_out path in
   output_string oc
-    (to_json_string ?arbitration ~jobs ~matrix_wall_seconds timed);
+    (to_json_string ?arbitration ?prediction ~jobs ~matrix_wall_seconds
+       timed);
   close_out oc

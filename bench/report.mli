@@ -49,18 +49,56 @@ type arbitration = {
   arb_picks : arb_point list;  (** one minimum-cycle point per machine *)
 }
 
+(** {2 The prediction lane}
+
+    Results of an [spf_bench --sweep-prediction] run: per
+    (workload x machine x prediction tier) point at the headline mode,
+    the JIT-compile-time costs the tiers trade — inspection iterations
+    begun, instructions partially interpreted, prefetch-pass wall-clock
+    — next to the simulated cycle count, plus a per-machine summary of
+    iterations saved by the hybrid skip rule. *)
+
+type pred_point = {
+  pred_workload : string;
+  pred_machine : string;
+  pred_tier : string;  (** ["inspect"] / ["hybrid"] / ["static"] *)
+  pred_cycles : int;
+  pred_iterations : int;
+      (** inspection iterations begun, summed over loop reports *)
+  pred_steps : int;
+      (** instructions partially interpreted during inspection *)
+  pred_pass_seconds : float;  (** prefetch-pass host wall-clock *)
+}
+
+type pred_summary = {
+  pred_sum_machine : string;
+  pred_iterations_inspect : int;
+  pred_iterations_hybrid : int;
+  pred_cycles_delta : int;
+      (** hybrid cycles - inspect cycles, summed over the sweep
+          workloads; the acceptance bar is [<= 0] (equal-or-better) *)
+}
+
+type prediction_lane = {
+  pred_points : pred_point list;
+  pred_summaries : pred_summary list;
+}
+
 val to_json_string :
   ?arbitration:arbitration ->
+  ?prediction:prediction_lane ->
   jobs:int -> matrix_wall_seconds:float -> Runner.timed list -> string
 (** Render a full bench_hotpath/v2 report. Cells appear in list order;
     cycle counts are exact integers, seconds are host wall-clock. Cells
-    deviating from the default hardware model or SW threshold carry
-    ["hw_prefetch"] / ["sw_threshold"] fields (absent otherwise, keeping
-    canonical-matrix reports byte-compatible with older baselines);
-    [arbitration] adds the sweep lane. *)
+    deviating from the default hardware model, SW threshold or
+    prediction tier carry ["hw_prefetch"] / ["sw_threshold"] /
+    ["prediction"] fields (absent otherwise, keeping canonical-matrix
+    reports byte-compatible with older baselines); [arbitration] and
+    [prediction] add their sweep lanes. *)
 
 val write_json :
   ?arbitration:arbitration ->
+  ?prediction:prediction_lane ->
   path:string -> jobs:int -> matrix_wall_seconds:float ->
   Runner.timed list -> unit
 (** {!to_json_string} to a file. *)

@@ -45,10 +45,14 @@ let cell ?opts ?(telemetry = false) ?(profile = false)
   { workload; machine; mode; opts; telemetry; profile; engine }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s%s%s%s%s" c.workload.W.name
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s" c.workload.W.name
     c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
+    (match c.opts with
+    | Some o when o.SP.Options.prediction <> SP.Options.Inspect ->
+        "/pred=" ^ SP.Options.prediction_name o.SP.Options.prediction
+    | _ -> "")
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
     (match c.engine with

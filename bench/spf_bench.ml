@@ -30,12 +30,17 @@ module SP = Strideprefetch
 let usage () =
   prerr_endline
     "usage: spf_bench (--record PATH | --compare BASELINE NEW | \
-     --gate-against BASELINE | --sweep-arbitration [PATH] | --smoke) \
-     [--jobs N] [--threshold PCT]\n\
+     --gate-against BASELINE | --sweep-arbitration [PATH] | \
+     --sweep-prediction [PATH] | --smoke) [--jobs N] [--threshold PCT]\n\
      --sweep-arbitration sweeps the SW inter-stride threshold against \
      the hardware prefetch models per machine and auto-picks the \
      minimum-cycle arbitration point; with --smoke it runs a tiny grid \
-     (Euler x pentium4) as a self-check instead."
+     (Euler x pentium4) as a self-check instead.\n\
+     --sweep-prediction runs every workload on both machines \
+     under the inspect and hybrid prediction tiers and reports the \
+     inspection iterations the address-algebra predictor saves at \
+     equal-or-better simulated cycles; with --smoke it runs Euler x \
+     pentium4 as a self-check instead."
 
 let ok_or_die = function
   | Ok v -> v
@@ -259,6 +264,175 @@ let sweep_arbitration ~jobs ~smoke path =
     print_endline "sweep smoke: OK"
   end
 
+(* --sweep-prediction: the JIT-compile-time lane. The hybrid tier's
+   promise is purely compile-side — the address-algebra predictor's
+   Certain verdicts skip the ~20 inspection iterations, Likely shortens
+   them — while the simulated cycle count must stay equal or better
+   (static claims that agree with inspection produce the same plans).
+   This sweep runs each workload under the inspect and hybrid tiers and
+   reports both sides of that trade: inspection iterations begun and
+   instructions partially interpreted (saved work) next to cycles and
+   prefetch-pass wall-clock. Results land in the bench JSON's
+   "prediction" lane; every hybrid cell also lands in "cells" under a
+   distinct /pred=hybrid gate key.
+
+   The smoke variant runs MonteCarlo x pentium4 — small enough for dune
+   runtest — and asserts the lane's contract: the report round-trips,
+   gate keys stay distinct, hybrid begins strictly fewer inspection
+   iterations, and hybrid cycles are equal or better. *)
+let sweep_prediction ~jobs ~smoke path =
+  let module C = Memsim.Config in
+  let all = Workloads.Specjvm.all @ Workloads.Javagrande.all in
+  let workloads, machines =
+    if smoke then
+      ( [ List.find (fun (w : W.t) -> w.name = "MonteCarlo") all ],
+        [ C.pentium4 ] )
+    else (all, [ C.pentium4; C.athlon_mp ])
+  in
+  let tiers = [ SP.Options.Inspect; SP.Options.Hybrid ] in
+  let opts_for tier =
+    { SP.Options.default with SP.Options.prediction = tier }
+  in
+  let cells =
+    List.concat_map
+      (fun (machine : C.machine) ->
+        List.concat_map
+          (fun tier ->
+            List.map
+              (fun w ->
+                (* The inspect cells are the canonical ones (no opts
+                   override), so their gate keys match the default
+                   matrix; hybrid cells carry the override and the
+                   /pred=hybrid key suffix. *)
+                match tier with
+                | SP.Options.Inspect ->
+                    Runner.cell w machine SP.Options.Inter_intra
+                | _ ->
+                    Runner.cell ~opts:(opts_for tier) w machine
+                      SP.Options.Inter_intra)
+              workloads)
+          tiers)
+      machines
+  in
+  Printf.eprintf "[spf_bench] prediction sweep: %d cells on %d job(s)...\n%!"
+    (List.length cells) jobs;
+  let t0 = Unix.gettimeofday () in
+  let timed =
+    Runner.run_matrix ~jobs
+      ~progress:(fun c ->
+        Printf.eprintf "[spf_bench]   %s\n%!" (Runner.cell_label c))
+      cells
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let tier_of (t : Runner.timed) =
+    match t.cell.Runner.opts with
+    | Some o -> SP.Options.prediction_name o.SP.Options.prediction
+    | None -> SP.Options.prediction_name SP.Options.Inspect
+  in
+  let point_of (t : Runner.timed) =
+    let iters, steps =
+      List.fold_left
+        (fun (i, s) (r : SP.Pass.loop_report) ->
+          (i + r.SP.Pass.iterations_observed, s + r.SP.Pass.inspection_steps))
+        (0, 0) t.result.Workloads.Harness.reports
+    in
+    {
+      Report.pred_workload = t.cell.Runner.workload.W.name;
+      pred_machine = t.cell.Runner.machine.C.name;
+      pred_tier = tier_of t;
+      pred_cycles = t.result.Workloads.Harness.cycles;
+      pred_iterations = iters;
+      pred_steps = steps;
+      pred_pass_seconds = t.result.Workloads.Harness.prefetch_pass_seconds;
+    }
+  in
+  let points = List.map point_of timed in
+  let sum_over machine tier f =
+    List.fold_left
+      (fun acc (p : Report.pred_point) ->
+        if p.pred_machine = machine && p.pred_tier = tier then acc + f p
+        else acc)
+      0 points
+  in
+  let summaries =
+    List.map
+      (fun (machine : C.machine) ->
+        let m = machine.C.name in
+        let inspect_i =
+          sum_over m "inspect" (fun p -> p.Report.pred_iterations)
+        and hybrid_i =
+          sum_over m "hybrid" (fun p -> p.Report.pred_iterations)
+        and inspect_c = sum_over m "inspect" (fun p -> p.Report.pred_cycles)
+        and hybrid_c = sum_over m "hybrid" (fun p -> p.Report.pred_cycles) in
+        {
+          Report.pred_sum_machine = m;
+          pred_iterations_inspect = inspect_i;
+          pred_iterations_hybrid = hybrid_i;
+          pred_cycles_delta = hybrid_c - inspect_c;
+        })
+      machines
+  in
+  let prediction =
+    { Report.pred_points = points; pred_summaries = summaries }
+  in
+  Printf.printf "%-11s %-10s %-8s %12s %12s %12s %12s\n" "workload"
+    "machine" "tier" "cycles" "iterations" "insp steps" "pass (ms)";
+  List.iter
+    (fun (p : Report.pred_point) ->
+      Printf.printf "%-11s %-10s %-8s %12d %12d %12d %12.3f\n"
+        p.pred_workload p.pred_machine p.pred_tier p.pred_cycles
+        p.pred_iterations p.pred_steps (1000.0 *. p.pred_pass_seconds))
+    points;
+  List.iter
+    (fun (s : Report.pred_summary) ->
+      Printf.printf
+        "prediction summary [%s]: hybrid begins %d of %d inspection \
+         iterations (%d saved), cycles delta %+d\n"
+        s.Report.pred_sum_machine s.pred_iterations_hybrid
+        s.pred_iterations_inspect
+        (s.pred_iterations_inspect - s.pred_iterations_hybrid)
+        s.pred_cycles_delta)
+    summaries;
+  let json =
+    Report.to_json_string ~prediction ~jobs ~matrix_wall_seconds:wall timed
+  in
+  (match path with
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc json);
+      Printf.printf "wrote %s (%d cells, %.1f s wall)\n" path
+        (List.length timed) wall
+  | None -> ());
+  if smoke then begin
+    let r = ok_or_die (Gate.of_string ~label:"<sweep>" json) in
+    if r.Gate.schema <> Report.schema then begin
+      prerr_endline "prediction smoke FAIL: wrong schema";
+      exit 1
+    end;
+    let keys = List.map Gate.cell_key r.Gate.cells in
+    if List.length (List.sort_uniq compare keys) <> List.length keys
+    then begin
+      prerr_endline
+        "prediction smoke FAIL: sweep cells collide under gate keys";
+      exit 1
+    end;
+    List.iter
+      (fun (s : Report.pred_summary) ->
+        if s.Report.pred_iterations_hybrid >= s.pred_iterations_inspect
+        then begin
+          prerr_endline
+            "prediction smoke FAIL: hybrid did not reduce inspection \
+             iterations";
+          exit 1
+        end;
+        if s.pred_cycles_delta > 0 then begin
+          prerr_endline
+            "prediction smoke FAIL: hybrid regressed simulated cycles";
+          exit 1
+        end)
+      summaries;
+    print_endline "prediction smoke: OK"
+  end
+
 (* The runtest self-check: everything the gate promises, on one cell. *)
 let smoke () =
   let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all in
@@ -357,6 +531,15 @@ let () =
         | _ ->
             set_action (`Sweep None);
             parse rest)
+    | "--sweep-prediction" :: rest -> (
+        match rest with
+        | path :: rest'
+          when not (String.length path > 0 && path.[0] = '-') ->
+            set_action (`Sweep_prediction (Some path));
+            parse rest'
+        | _ ->
+            set_action (`Sweep_prediction None);
+            parse rest)
     | "--smoke" :: rest ->
         (* A flag when it modifies --sweep-arbitration, an action (the
            gate self-check) when it stands alone. *)
@@ -377,6 +560,8 @@ let () =
   | Some (`Gate path) -> gate_against ?threshold:!threshold ~jobs:!jobs path
   | Some (`Sweep path) ->
       sweep_arbitration ~jobs:!jobs ~smoke:!smoke_flag path
+  | Some (`Sweep_prediction path) ->
+      sweep_prediction ~jobs:!jobs ~smoke:!smoke_flag path
   | None when !smoke_flag -> smoke ()
   | None ->
       usage ();

@@ -68,7 +68,11 @@ let inject_arg =
            spurious output line, simulating a hardware model that leaks \
            into architectural state — caught only by the hardware \
            cross-check, which is the sole check that varies the \
-           hardware model).")
+           hardware model) or $(b,prediction-desync) (static/hybrid-tier \
+           compilations prepend an observable instruction pair, shifting \
+           every branch target — invisible to the inspect-tier matrix, \
+           caught only by the prediction cross-check, which is the sole \
+           check that varies the prediction tier).")
 
 let quiet_arg =
   Arg.(
@@ -105,6 +109,14 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
               (fun (o : Vm.Interp.options) ->
                 { o with Vm.Interp.fault_engine_desync = true }),
             None )
+      | Some "prediction-desync" ->
+          ( None,
+            Some
+              (fun (o : Strideprefetch.Options.t) ->
+                {
+                  o with
+                  Strideprefetch.Options.fault_prediction_desync = true;
+                }) )
       | Some "hw-desync" ->
           ( Some
               (fun (o : Vm.Interp.options) ->

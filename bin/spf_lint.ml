@@ -15,6 +15,74 @@ let all_workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
 let all_modes =
   Strideprefetch.Options.[ Off; Inter; Inter_intra ]
 
+let hw_prefetch_conv =
+  let parse s =
+    match Memsim.Config.hw_prefetch_of_string s with
+    | Ok hw -> Ok hw
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf hw =
+    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
+  in
+  Arg.conv (parse, print)
+
+let hw_prefetch_arg =
+  Arg.(
+    value
+    & opt (some hw_prefetch_conv) None
+    & info [ "hw-prefetch" ] ~docv:"SPEC"
+        ~doc:
+          "Lint with a hardware prefetcher attached to every machine: \
+           $(b,none), $(b,stream)[:N[\\@D]] or $(b,rpt)[:SETSxWAYS[\\@D]]. \
+           The lints themselves are hardware-independent; this exercises \
+           the arbitrated configurations end to end.")
+
+let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
+  match hw with
+  | None -> machine
+  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
+
+let prediction_conv =
+  let parse s =
+    match Strideprefetch.Options.prediction_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf p =
+    Format.fprintf ppf "%s" (Strideprefetch.Options.prediction_name p)
+  in
+  Arg.conv (parse, print)
+
+let prediction_arg =
+  Arg.(
+    value
+    & opt prediction_conv Strideprefetch.Options.Inspect
+    & info [ "prediction" ] ~docv:"TIER"
+        ~doc:
+          "Stride-prediction tier for the linted runs: $(b,inspect), \
+           $(b,static) or $(b,hybrid). Plans produced by every tier must \
+           be equally clean.")
+
+let predict_flag =
+  Arg.(
+    value & flag
+    & info [ "predict" ]
+        ~doc:
+          "Agreement mode: run each workload with the address-algebra \
+           predictor alongside full dynamic inspection and score the \
+           static predictions against the inspected strides per LDG \
+           site. Disagreements are reported as pc-level diagnostics; a \
+           per-workload agreement table is printed at the end.")
+
+let min_agreement_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-agreement" ] ~docv:"PCT"
+        ~doc:
+          "With $(b,--predict): exit non-zero if overall agreement \
+           (agreed / decided claims) falls below $(docv) percent.")
+
 let workload_arg =
   Arg.(
     value
@@ -118,7 +186,93 @@ let fuzz_workload ~seed ~max_size index : Workloads.Workload.t =
     heap_limit_bytes = g.Fuzz.Gen.heap_limit_bytes;
   }
 
-let run workload fuzz seed max_size verify_each_pass verbose skip_guard =
+(* Agreement mode: one run per workload x machine with the predictor
+   attached but inspection left at full depth, so every static claim has
+   its dynamically inspected counterpart to be judged against. *)
+let predict_run ~opts ~verbose ~min_agreement ~machines workloads =
+  let min_samples = opts.Strideprefetch.Options.min_samples in
+  let all_rows = ref [] in
+  let scored = ref [] in
+  let disagreements = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let wrows = ref [] in
+      List.iter
+        (fun (machine : Memsim.Config.machine) ->
+          if verbose then (
+            Printf.printf "-- predict %s/%s\n" w.name
+              machine.Memsim.Config.name;
+            flush stdout);
+          let r =
+            Workloads.Harness.run ~opts ~predict:true
+              ~mode:Strideprefetch.Options.Inter_intra ~machine w
+          in
+          let rows =
+            Strideprefetch.Pass.prediction_rows ~workload:w.name r.reports
+          in
+          wrows := !wrows @ rows;
+          List.iter
+            (fun (row : Strideprefetch.Predict.row) ->
+              match Strideprefetch.Predict.classify ~min_samples row with
+              | Strideprefetch.Predict.Disagree ->
+                  incr disagreements;
+                  let d =
+                    Analysis.Diag.warning ~checker:"predict-agreement"
+                      ~pc:row.Strideprefetch.Predict.r_pc
+                      "loop L%d site %d: static analysis predicted %s \
+                       but %d inspected addresses concluded %s"
+                      row.Strideprefetch.Predict.r_loop
+                      row.Strideprefetch.Predict.r_site
+                      (match row.Strideprefetch.Predict.r_static with
+                      | Some s -> Printf.sprintf "stride %d" s
+                      | None -> "no stride")
+                      row.Strideprefetch.Predict.r_observations
+                      (match row.Strideprefetch.Predict.r_inspected with
+                      | Some s -> Printf.sprintf "stride %d" s
+                      | None -> "no dominant stride")
+                  in
+                  let meth =
+                    Array.to_seq r.program.Vm.Classfile.methods
+                    |> Seq.find (fun (m : Vm.Classfile.method_info) ->
+                           m.Vm.Classfile.method_name
+                           = row.Strideprefetch.Predict.r_method)
+                  in
+                  (match meth with
+                  | Some m ->
+                      Printf.printf "[%s/%s] %s\n" w.name
+                        machine.Memsim.Config.name
+                        (Analysis.Diag.render ~meth:m d)
+                  | None ->
+                      Printf.printf "[%s/%s] %s: %s\n" w.name
+                        machine.Memsim.Config.name
+                        row.Strideprefetch.Predict.r_method
+                        (Analysis.Diag.render_plain d))
+              | _ -> ())
+            rows)
+        machines;
+      all_rows := !all_rows @ !wrows;
+      scored :=
+        (w.name, Strideprefetch.Predict.score ~min_samples !wrows)
+        :: !scored)
+    workloads;
+  print_string (Strideprefetch.Predict.render_table (List.rev !scored));
+  print_newline ();
+  let total = Strideprefetch.Predict.score ~min_samples !all_rows in
+  let pct = Strideprefetch.Predict.agreement_pct total in
+  Printf.printf
+    "spf_lint --predict: %d site(s), %d claimed, %d disagreement(s), \
+     agreement %.1f%%\n"
+    total.Strideprefetch.Predict.sites total.Strideprefetch.Predict.claimed
+    !disagreements pct;
+  match min_agreement with
+  | Some floor when pct < floor ->
+      Printf.printf "spf_lint: agreement %.1f%% is below the %.1f%% floor\n"
+        pct floor;
+      1
+  | _ -> 0
+
+let run workload fuzz seed max_size verify_each_pass verbose skip_guard hw
+    prediction predict min_agreement =
   let workloads =
     match workload with
     | None -> all_workloads
@@ -141,8 +295,12 @@ let run workload fuzz seed max_size verify_each_pass verbose skip_guard =
     {
       Strideprefetch.Options.default with
       Strideprefetch.Options.fault_skip_guard_dominance = skip_guard;
+      prediction;
     }
   in
+  let machines = List.map (apply_hw_prefetch hw) Memsim.Config.machines in
+  if predict then
+    exit (predict_run ~opts ~verbose ~min_agreement ~machines workloads);
   let runs = ref 0 and methods = ref 0 and findings = ref 0 in
   List.iter
     (fun w ->
@@ -157,7 +315,7 @@ let run workload fuzz seed max_size verify_each_pass verbose skip_guard =
               methods := !methods + m;
               findings := !findings + f)
             all_modes)
-        Memsim.Config.machines)
+        machines)
     workloads;
   Printf.printf "spf_lint: %d configuration(s), %d method bodies checked: \
                  %d finding(s)\n"
@@ -187,6 +345,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ workload_arg $ fuzz_arg $ seed_arg $ max_size_arg
-      $ verify_each_pass_arg $ verbose_arg $ skip_guard_arg)
+      $ verify_each_pass_arg $ verbose_arg $ skip_guard_arg
+      $ hw_prefetch_arg $ prediction_arg $ predict_flag $ min_agreement_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -58,6 +58,33 @@ let machine_arg =
     & info [ "m"; "machine" ] ~docv:"MACHINE"
         ~doc:"Simulated machine (pentium4 or athlonmp).")
 
+let hw_prefetch_conv =
+  let parse s =
+    match Memsim.Config.hw_prefetch_of_string s with
+    | Ok hw -> Ok hw
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf hw =
+    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let hw_prefetch_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some hw_prefetch_conv) None
+    & info [ "hw-prefetch" ] ~docv:"SPEC"
+        ~doc:
+          "Attach a hardware prefetcher to the simulated machine: \
+           $(b,none), $(b,stream)[:N[\\@D]] or $(b,rpt)[:SETSxWAYS[\\@D]]; \
+           hardware-issued prefetches show up in the cycle accounting \
+           like any other memory traffic.")
+
+let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
+  match hw with
+  | None -> machine
+  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
+
 let mode_arg =
   Cmdliner.Arg.(
     value
@@ -132,8 +159,9 @@ let phased_arg =
     & info [ "phased" ]
         ~doc:"Enable Wu-style phased multiple-stride prefetching.")
 
-let run name machine mode topdown objects loops loop folded json top check
-    phased =
+let run name machine hw mode topdown objects loops loop folded json top
+    check phased =
+  let machine = apply_hw_prefetch hw machine in
   match find_workload name with
   | None ->
       prerr_endline ("unknown workload: " ^ name);
@@ -202,6 +230,6 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.v info
           Cmdliner.Term.(
-            const run $ workload_arg $ machine_arg $ mode_arg $ topdown_arg
-            $ objects_arg $ loops_arg $ loop_arg $ folded_arg $ json_arg
-            $ top_arg $ check_arg $ phased_arg)))
+            const run $ workload_arg $ machine_arg $ hw_prefetch_arg
+            $ mode_arg $ topdown_arg $ objects_arg $ loops_arg $ loop_arg
+            $ folded_arg $ json_arg $ top_arg $ check_arg $ phased_arg)))

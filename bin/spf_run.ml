@@ -176,11 +176,38 @@ let profile_arg =
            top-down cycle accounting (see $(b,spf_prof) for the full \
            table/flamegraph/JSON tooling).")
 
-let opts_of ~interproc ~phased =
+let prediction_conv =
+  let parse s =
+    match Strideprefetch.Options.prediction_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf p =
+    Format.fprintf ppf "%s" (Strideprefetch.Options.prediction_name p)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let prediction_arg =
+  Cmdliner.Arg.(
+    value
+    & opt prediction_conv Strideprefetch.Options.Inspect
+    & info [ "prediction" ] ~docv:"TIER"
+        ~doc:
+          "Stride-prediction source: $(b,inspect) (the paper's dynamic \
+           object inspection; the default), $(b,static) (the \
+           address-algebra abstract interpretation alone), or \
+           $(b,hybrid) (static $(b,certain) verdicts skip the inspection \
+           iterations, $(b,likely) shortens them, $(b,unknown) falls \
+           back to full inspection). Program results are identical under \
+           every tier; only compile-time work and the generated plans \
+           may differ.")
+
+let opts_of ~interproc ~phased ~prediction =
   {
     Strideprefetch.Options.default with
     Strideprefetch.Options.inspect_calls = interproc;
     enable_phased = phased;
+    prediction;
   }
 
 let print_result ~verbose (r : Workloads.Harness.run_result) =
@@ -251,15 +278,15 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
-  let run name machine hw mode verbose interproc phased trace explain
-      profile engine max_steps =
+  let run name machine hw mode verbose interproc phased prediction trace
+      explain profile engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
         exit 1
     | Some w ->
         let machine = apply_hw_prefetch hw machine in
-        let opts = opts_of ~interproc ~phased in
+        let opts = opts_of ~interproc ~phased ~prediction in
         let result =
           with_budget_exit (fun () ->
               Workloads.Harness.run ~opts
@@ -275,8 +302,8 @@ let run_cmd =
     (Cmdliner.Cmd.info "run" ~doc:"Run one workload under one configuration.")
     Cmdliner.Term.(
       const run $ workload_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
-      $ verbose_arg $ interproc_arg $ phased_arg $ trace_arg $ explain_arg
-      $ profile_arg $ engine_arg $ max_steps_arg)
+      $ verbose_arg $ interproc_arg $ phased_arg $ prediction_arg
+      $ trace_arg $ explain_arg $ profile_arg $ engine_arg $ max_steps_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -322,8 +349,8 @@ let file_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
-  let run path machine hw mode verbose interproc phased trace explain
-      profile engine max_steps =
+  let run path machine hw mode verbose interproc phased prediction trace
+      explain profile engine max_steps =
     let machine = apply_hw_prefetch hw machine in
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
@@ -341,7 +368,7 @@ let file_cmd =
             heap_limit_bytes = 64 * 1024 * 1024;
           }
         in
-        let opts = opts_of ~interproc ~phased in
+        let opts = opts_of ~interproc ~phased ~prediction in
         let result =
           with_budget_exit (fun () ->
               Workloads.Harness.run ~opts
@@ -357,8 +384,8 @@ let file_cmd =
     (Cmdliner.Cmd.info "file" ~doc:"Compile and run a MiniJava source file.")
     Cmdliner.Term.(
       const run $ path_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
-      $ verbose_arg $ interproc_arg $ phased_arg $ trace_arg $ explain_arg
-      $ profile_arg $ engine_arg $ max_steps_arg)
+      $ verbose_arg $ interproc_arg $ phased_arg $ prediction_arg
+      $ trace_arg $ explain_arg $ profile_arg $ engine_arg $ max_steps_arg)
 
 let () =
   let info =

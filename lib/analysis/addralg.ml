@@ -1,0 +1,433 @@
+module B = Vm.Bytecode
+module C = Vm.Classfile
+module Predict = Strideprefetch.Predict
+
+module Value = struct
+  (* Canonical affine expression: [const + sum (coeff * sym)], terms
+     sorted by symbol with no zero coefficients, so structural equality
+     is semantic equality. *)
+  type expr = { const : int; terms : (int * int) list }
+
+  type t = Exp of expr | Top
+
+  let top = Top
+  let const c = Exp { const = c; terms = [] }
+  let sym i = Exp { const = 0; terms = [ (i, 1) ] }
+
+  let rec merge_terms a b =
+    match (a, b) with
+    | [], t | t, [] -> t
+    | (sa, ca) :: ra, (sb, cb) :: rb ->
+        if sa < sb then (sa, ca) :: merge_terms ra b
+        else if sb < sa then (sb, cb) :: merge_terms a rb
+        else
+          let c = ca + cb in
+          if c = 0 then merge_terms ra rb else (sa, c) :: merge_terms ra rb
+
+  let add a b =
+    match (a, b) with
+    | Exp ea, Exp eb ->
+        Exp { const = ea.const + eb.const; terms = merge_terms ea.terms eb.terms }
+    | _ -> Top
+
+  let scale k v =
+    match v with
+    | Exp _ when k = 0 -> const 0
+    | Exp e ->
+        Exp
+          {
+            const = k * e.const;
+            terms = List.map (fun (s, c) -> (s, k * c)) e.terms;
+          }
+    | Top -> Top
+
+  let sub a b = add a (scale (-1) b)
+
+  let equal a b =
+    match (a, b) with Exp ea, Exp eb -> ea = eb | Top, Top -> true | _ -> false
+
+  (* Height-two chain per value: distinct affine expressions lose
+     affinity. This is what makes the fixpoint finite. *)
+  let join a b = if equal a b then a else Top
+
+  let is_top v = v = Top
+
+  let pp ppf = function
+    | Top -> Format.fprintf ppf "top"
+    | Exp { const; terms } ->
+        Format.fprintf ppf "%d" const;
+        List.iter (fun (s, c) -> Format.fprintf ppf " + %d*l%d" c s) terms
+end
+
+open Value
+
+type state = { locals : Value.t array; stack : Value.t list }
+
+let equal_state a b =
+  List.length a.stack = List.length b.stack
+  && List.for_all2 Value.equal a.stack b.stack
+  && Array.for_all2 Value.equal a.locals b.locals
+
+let join_state a b =
+  if List.length a.stack <> List.length b.stack then
+    invalid_arg "Addralg: operand-stack depth mismatch at join";
+  {
+    locals = Array.map2 Value.join a.locals b.locals;
+    stack = List.map2 Value.join a.stack b.stack;
+  }
+
+let pop = function
+  | v :: rest -> (v, rest)
+  | [] -> invalid_arg "Addralg: operand-stack underflow"
+
+let popn n stack =
+  let rec go n stack =
+    if n = 0 then stack
+    else
+      let _, rest = pop stack in
+      go (n - 1) rest
+  in
+  go n stack
+
+(* One instruction's abstract effect. [record] is called with every load
+   site's symbolic address as it is computed; [field]/[static] name the
+   abstract value a heap read produces (loop-invariant field symbols
+   when the loop provably never stores to that slot, [Top] otherwise). *)
+let transfer ~program ~record ~field ~static st (instr : B.instr) =
+  let { locals; stack } = st in
+  let push v stack = v :: stack in
+  let binop f =
+    let b, stack = pop stack in
+    let a, stack = pop stack in
+    { st with stack = push (f a b) stack }
+  in
+  match instr with
+  | B.Iconst k -> { st with stack = push (const k) stack }
+  | B.Aconst_null -> { st with stack = push top stack }
+  | B.Iload i | B.Aload i -> { st with stack = push locals.(i) stack }
+  | B.Istore i | B.Astore i ->
+      let v, stack = pop stack in
+      let locals = Array.copy locals in
+      locals.(i) <- v;
+      { locals; stack }
+  | B.Dup ->
+      let v, _ = pop stack in
+      { st with stack = push v stack }
+  | B.Pop ->
+      let _, stack = pop stack in
+      { st with stack }
+  | B.Iadd -> binop Value.add
+  | B.Isub -> binop Value.sub
+  | B.Imul ->
+      binop (fun a b ->
+          match (a, b) with
+          | Exp { const = k; terms = [] }, v | v, Exp { const = k; terms = [] }
+            ->
+              scale k v
+          | _ -> top)
+  | B.Ineg ->
+      let v, stack = pop stack in
+      { st with stack = push (scale (-1) v) stack }
+  | B.Idiv | B.Irem | B.Iand | B.Ior | B.Ixor | B.Ishl | B.Ishr ->
+      binop (fun _ _ -> top)
+  | B.Goto _ -> st
+  | B.If_icmp _ | B.If_acmpeq _ | B.If_acmpne _ ->
+      { st with stack = popn 2 stack }
+  | B.If _ | B.Ifnull _ | B.Ifnonnull _ -> { st with stack = popn 1 stack }
+  | B.Getfield { site; offset; _ } ->
+      let base, stack = pop stack in
+      record site (Value.add base (const offset));
+      { st with stack = push (field ~offset base) stack }
+  | B.Putfield _ -> { st with stack = popn 2 stack }
+  | B.Getstatic { site; index; _ } ->
+      record site (const (C.statics_base + (index * C.slot_bytes)));
+      { st with stack = push (static ~index) stack }
+  | B.Putstatic _ -> { st with stack = popn 1 stack }
+  | B.Aaload { len_site; elem_site } | B.Iaload { len_site; elem_site } ->
+      let idx, stack = pop stack in
+      let base, stack = pop stack in
+      record len_site (Value.add base (const C.array_length_offset));
+      record elem_site
+        (Value.add base
+           (Value.add (const C.array_elems_offset) (scale C.slot_bytes idx)));
+      { st with stack = push top stack }
+  | B.Aastore { len_site } | B.Iastore { len_site } ->
+      let _v, stack = pop stack in
+      let _idx, stack = pop stack in
+      let base, stack = pop stack in
+      record len_site (Value.add base (const C.array_length_offset));
+      { st with stack }
+  | B.Arraylength { site } ->
+      let base, stack = pop stack in
+      record site (Value.add base (const C.array_length_offset));
+      { st with stack = push top stack }
+  | B.New _ -> { st with stack = push top stack }
+  | B.Newarray _ ->
+      let _, stack = pop stack in
+      { st with stack = push top stack }
+  | B.Invoke m ->
+      let callee = C.method_of_id program m in
+      let stack = popn callee.C.arity stack in
+      let stack = if callee.C.returns_value then push top stack else stack in
+      { st with stack }
+  | B.Return -> st
+  | B.Ireturn | B.Areturn | B.Print -> { st with stack = popn 1 stack }
+  | B.Prefetch_inter _ | B.Spec_load _ | B.Prefetch_indirect _
+  | B.Prefetch_dynamic _ ->
+      st
+
+let transfer_block ~program ~record ~field ~static ~cfg st block_index =
+  List.fold_left
+    (fun st (_pc, instr) -> transfer ~program ~record ~field ~static st instr)
+    st
+    (Jit.Cfg.instrs_of_block cfg block_index)
+
+let ignore_record _ _ = ()
+
+let predict ~program ~(meth : C.method_info) ~cfg ~(loop : Jit.Loops.loop)
+    ~candidates =
+  let n_blocks = Jit.Cfg.n_blocks cfg in
+  let in_loop b = Jit.Loops.Int_set.mem b loop.blocks in
+  (* Header-entry locals are the analysis' symbols; the header state is
+     pinned (back edges into the *target* loop are not re-joined — their
+     out-states are harvested separately to read off induction steps).
+     Inner-loop back edges do iterate to fixpoint. *)
+  let init =
+    {
+      locals = Array.init meth.C.max_locals Value.sym;
+      stack = [];
+    }
+  in
+  (* Loop-invariant heap slots get symbols of their own: a getfield whose
+     offset is never the target of a putfield anywhere in the loop (and a
+     getstatic whose index is never stored), in a loop that makes no
+     calls, reads the same value every iteration, so [this.arr[i]]-style
+     walks stay affine. Symbols are keyed by (base expression, slot) —
+     two reads of the same slot off the same base agree — and ids start
+     past the locals so they never collide with the locals' symbols. *)
+  let stored_offsets = Hashtbl.create 8 in
+  let stored_statics = Hashtbl.create 8 in
+  let has_invoke = ref false in
+  Jit.Loops.Int_set.iter
+    (fun b ->
+      List.iter
+        (fun (_pc, instr) ->
+          match instr with
+          | B.Putfield { offset; _ } -> Hashtbl.replace stored_offsets offset ()
+          | B.Putstatic { index; _ } -> Hashtbl.replace stored_statics index ()
+          | B.Invoke _ -> has_invoke := true
+          | _ -> ())
+        (Jit.Cfg.instrs_of_block cfg b))
+    loop.blocks;
+  let next_sym = ref meth.C.max_locals in
+  let field_syms = Hashtbl.create 16 in
+  let sym_base : (int, Value.expr) Hashtbl.t = Hashtbl.create 16 in
+  let slot_sym key (base : Value.expr) =
+    match Hashtbl.find_opt field_syms key with
+    | Some id -> Value.sym id
+    | None ->
+        let id = !next_sym in
+        incr next_sym;
+        Hashtbl.replace field_syms key id;
+        Hashtbl.replace sym_base id base;
+        Value.sym id
+  in
+  let field ~offset base =
+    if !has_invoke || Hashtbl.mem stored_offsets offset then Value.top
+    else
+      match base with
+      | Top -> Value.top
+      | Exp e -> slot_sym (`Field (e, offset)) e
+  in
+  let static ~index =
+    if !has_invoke || Hashtbl.mem stored_statics index then Value.top
+    else slot_sym (`Static index) { const = 0; terms = [] }
+  in
+  let in_state = Array.make n_blocks None in
+  in_state.(loop.header) <- Some init;
+  let back_out = ref None in
+  let queued = Array.make n_blocks false in
+  let queue = Queue.create () in
+  Queue.add loop.header queue;
+  queued.(loop.header) <- true;
+  while not (Queue.is_empty queue) do
+    let b = Queue.pop queue in
+    queued.(b) <- false;
+    match in_state.(b) with
+    | None -> ()
+    | Some st ->
+        let out =
+          transfer_block ~program ~record:ignore_record ~field ~static ~cfg
+            st b
+        in
+        List.iter
+          (fun succ ->
+            if in_loop succ then
+              if succ = loop.header then
+                back_out :=
+                  Some
+                    (match !back_out with
+                    | None -> out
+                    | Some prev -> join_state prev out)
+              else
+                let updated =
+                  match in_state.(succ) with
+                  | None -> Some out
+                  | Some prev ->
+                      let joined = join_state prev out in
+                      if equal_state joined prev then None else Some joined
+                in
+                match updated with
+                | None -> ()
+                | Some st' ->
+                    in_state.(succ) <- Some st';
+                    if not queued.(succ) then begin
+                      queued.(succ) <- true;
+                      Queue.add succ queue
+                    end)
+          (Jit.Cfg.block cfg b).Jit.Cfg.succs
+  done;
+  (* Induction steps: local [j] steps by [d] iff its joined back-edge
+     value is [j + d]. Loop-invariant locals (references included) are
+     the [d = 0] case. *)
+  let rec step j =
+    if j >= meth.C.max_locals then
+      (* A field symbol: invariant (step 0) iff every symbol of its base
+         expression is itself step-0 — the slot was only given a symbol
+         because the loop never stores to it, so the read varies across
+         iterations only if the object it is read from does. Bases only
+         mention earlier-created symbols, so the recursion terminates. *)
+      match Hashtbl.find_opt sym_base j with
+      | None -> None
+      | Some base ->
+          if List.for_all (fun (s, _) -> step s = Some 0) base.terms then
+            Some 0
+          else None
+    else
+      match !back_out with
+      | None -> None
+      | Some st -> (
+          match st.locals.(j) with
+          | Exp { const = d; terms = [ (j', 1) ] } when j' = j -> Some d
+          | _ -> None)
+  in
+  (* Replay each reached block once from its fixpoint in-state, recording
+     every load site's symbolic address. *)
+  let addr_of_site = Hashtbl.create 16 in
+  let pc_of_site = Hashtbl.create 16 in
+  Jit.Loops.Int_set.iter
+    (fun b ->
+      List.iter
+        (fun (pc, instr) ->
+          List.iter
+            (fun site -> Hashtbl.replace pc_of_site site pc)
+            (B.all_sites instr))
+        (Jit.Cfg.instrs_of_block cfg b);
+      match in_state.(b) with
+      | None -> ()
+      | Some st ->
+          ignore
+            (transfer_block ~program
+               ~record:(fun site addr -> Hashtbl.replace addr_of_site site addr)
+               ~field ~static ~cfg st b))
+    loop.blocks;
+  let child_blocks =
+    List.fold_left
+      (fun acc (child : Jit.Loops.loop) ->
+        Jit.Loops.Int_set.union acc child.blocks)
+      Jit.Loops.Int_set.empty loop.children
+  in
+  let back_tails =
+    Jit.Loops.Int_set.elements loop.blocks
+    |> List.filter (fun b ->
+           List.mem loop.header (Jit.Cfg.block cfg b).Jit.Cfg.succs)
+  in
+  let idom = Jit.Dominators.compute cfg in
+  let stride_of_expr (e : Value.expr) =
+    List.fold_left
+      (fun acc (s, coeff) ->
+        match (acc, step s) with
+        | Some total, Some d -> Some (total + (coeff * d))
+        | _ -> None)
+      (Some 0) e.terms
+  in
+  let unknown site reason =
+    let pc = Option.value ~default:(-1) (Hashtbl.find_opt pc_of_site site) in
+    { Predict.site; pc; stride = None; verdict = Predict.Unknown; reason }
+  in
+  let claim site =
+    match Hashtbl.find_opt addr_of_site site with
+    | None | Some Top -> unknown site "address is not affine in loop locals"
+    | Some (Exp e) -> (
+        match stride_of_expr e with
+        | None -> unknown site "an induction step is unknown"
+        | Some stride ->
+            let pc = Hashtbl.find pc_of_site site in
+            let block = cfg.Jit.Cfg.block_of_pc.(pc) in
+            if Jit.Loops.Int_set.mem block child_blocks then
+              if stride = 0 then
+                {
+                  Predict.site;
+                  pc;
+                  stride = Some 0;
+                  verdict = Predict.Likely;
+                  reason = "loop-invariant address inside an inner loop";
+                }
+              else
+                unknown site
+                  "executes a variable number of times per iteration \
+                   (inner loop)"
+            else
+              let every_iteration =
+                back_tails <> []
+                && List.for_all
+                     (fun tail -> Jit.Dominators.dominates ~idom block tail)
+                     back_tails
+              in
+              {
+                Predict.site;
+                pc;
+                stride = Some stride;
+                verdict =
+                  (if every_iteration then Predict.Certain else Predict.Likely);
+                reason =
+                  (if every_iteration then
+                     Printf.sprintf "affine address, step %d per iteration"
+                       stride
+                   else "affine address on a conditional path");
+              })
+  in
+  let predictions = List.map claim candidates in
+  (* Intra-iteration claims: two candidate addresses whose difference is a
+     compile-time constant (the affine terms cancel). *)
+  let expr_of site =
+    match Hashtbl.find_opt addr_of_site site with
+    | Some (Exp e) -> Some e
+    | _ -> None
+  in
+  let intra =
+    List.concat_map
+      (fun anchor ->
+        match expr_of anchor with
+        | None -> []
+        | Some ea ->
+            List.filter_map
+              (fun other ->
+                if other = anchor then None
+                else
+                  match expr_of other with
+                  | Some eb
+                    when Value.merge_terms eb.terms
+                           (List.map (fun (s, c) -> (s, -c)) ea.terms)
+                         = [] ->
+                      Some ((anchor, other), eb.const - ea.const)
+                  | _ -> None)
+              candidates)
+      candidates
+  in
+  { Predict.predictions; intra }
+
+let predictor ~program ~meth ~cfg ~loop ~candidates =
+  try predict ~program ~meth ~cfg ~loop ~candidates
+  with Invalid_argument _ | Failure _ | Not_found | Stack_overflow ->
+    Predict.none

@@ -1,0 +1,56 @@
+(** Address-algebra abstract interpretation: the static access-prediction
+    tier (ROADMAP item 4; OOPredictor-style analysis over our bytecode).
+
+    A forward dataflow over {!Jit.Cfg} whose domain is a symbolic address
+    algebra: every value is either [Top] (unknown) or an affine expression
+    [c + sum_i k_i * sym_i] over the target loop's header-entry locals
+    ([base + k*i + c] once induction steps are known). The join is the
+    proper semilattice [Unknown <= Affine <= Top] on claims — two affine
+    expressions join to themselves only when syntactically equal, so a
+    diamond that assigns different multiples of an induction variable
+    loses affinity ([Affine |_| Affine(different k) = Top]).
+
+    Induction variables are recognized from the loop table: a local [j]
+    whose joined back-edge value is [j + d] steps by [d] every iteration.
+    A load site whose address expression is affine with known steps gets a
+    predicted inter-iteration stride [sum_i k_i * d_i]; the verdict is
+    [Certain] when the load provably executes once per iteration (its
+    block dominates every back-edge source and sits in no inner loop),
+    [Likely] otherwise, and [Unknown] when affinity or a step is lost. *)
+
+(** The abstract value lattice, exposed for the adversarial-CFG tests
+    (join monotonicity / affinity loss). *)
+module Value : sig
+  type t
+
+  val top : t
+  val const : int -> t
+  val sym : int -> t
+  (** The value local [i] holds on entry to the loop header. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : int -> t -> t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val is_top : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+val predict :
+  program:Vm.Classfile.program ->
+  meth:Vm.Classfile.method_info ->
+  cfg:Jit.Cfg.t ->
+  loop:Jit.Loops.loop ->
+  candidates:int list ->
+  Strideprefetch.Predict.t
+(** Analyze one target loop and claim strides for the candidate load
+    sites. The fixpoint runs over the loop's blocks only, with the header
+    state pinned to fresh symbols (inner-loop back edges still iterate to
+    fixpoint). May raise on bytecode that breaks the stack discipline the
+    analysis assumes — use {!predictor} for the total wrapper. *)
+
+val predictor :
+  program:Vm.Classfile.program -> Strideprefetch.Predict.predictor
+(** {!predict}, degrading to {!Strideprefetch.Predict.none} (every site
+    [Unknown], hence full inspection) on any analysis failure. *)

@@ -17,7 +17,7 @@ let reports_for (m : Vm.Classfile.method_info)
 
 let check_method ~(program : Vm.Classfile.program)
     ?(reports = []) ?scheduling_distance ?require_guarded
-    (m : Vm.Classfile.method_info) =
+    ?inter_stride_threshold (m : Vm.Classfile.method_info) =
   match Typestate.check ~program m with
   | _ :: _ as fatal -> fatal
   | [] ->
@@ -31,21 +31,25 @@ let check_method ~(program : Vm.Classfile.program)
         | mine, Some scheduling_distance ->
             Lint.plan_consistency ~code:m.code ~reports:mine
               ~scheduling_distance ?require_guarded ()
+            @ Lint.degenerate_plans ~code:m.code ~reports:mine
+                ?inter_stride_threshold ()
       in
       List.stable_sort Diag.compare_by_pc (safety @ lints @ plan)
 
 let errors_only diags = List.filter Diag.is_error diags
 
 let verify ~program ?reports ?scheduling_distance ?require_guarded
-    (m : Vm.Classfile.method_info) =
+    ?inter_stride_threshold (m : Vm.Classfile.method_info) =
   match
     errors_only
       (check_method ~program ?reports ?scheduling_distance ?require_guarded
-         m)
+         ?inter_stride_threshold m)
   with
   | [] -> Ok ()
   | d :: _ -> Error (Diag.render ~meth:m d)
 
-let pass_verifier ~program ?reports ?scheduling_distance ?require_guarded ()
-    =
- fun m -> verify ~program ?reports ?scheduling_distance ?require_guarded m
+let pass_verifier ~program ?reports ?scheduling_distance ?require_guarded
+    ?inter_stride_threshold () =
+ fun m ->
+  verify ~program ?reports ?scheduling_distance ?require_guarded
+    ?inter_stride_threshold m

@@ -13,11 +13,15 @@ val check_method :
   ?reports:Strideprefetch.Pass.loop_report list ->
   ?scheduling_distance:int ->
   ?require_guarded:bool ->
+  ?inter_stride_threshold:int ->
   Vm.Classfile.method_info ->
   Diag.t list
 (** All findings for one method. [reports] may cover the whole program;
     only those whose [method_name] matches are used. [require_guarded]
-    is the machine's {!Strideprefetch.Options.use_guarded}. *)
+    is the machine's {!Strideprefetch.Options.use_guarded};
+    [inter_stride_threshold] the resolved
+    {!Strideprefetch.Options.resolved_inter_stride_threshold}, enabling
+    the threshold clause of {!Lint.degenerate_plans}. *)
 
 val errors_only : Diag.t list -> Diag.t list
 
@@ -26,6 +30,7 @@ val verify :
   ?reports:Strideprefetch.Pass.loop_report list ->
   ?scheduling_distance:int ->
   ?require_guarded:bool ->
+  ?inter_stride_threshold:int ->
   Vm.Classfile.method_info ->
   (unit, string) result
 (** [Ok ()] when {!check_method} reports no {e errors} (warnings pass);
@@ -37,6 +42,7 @@ val pass_verifier :
   ?reports:Strideprefetch.Pass.loop_report list ->
   ?scheduling_distance:int ->
   ?require_guarded:bool ->
+  ?inter_stride_threshold:int ->
   unit ->
   Vm.Classfile.method_info ->
   (unit, string) result

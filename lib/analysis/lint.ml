@@ -107,6 +107,71 @@ let pc_of_site code site =
     code;
   !found
 
+(* "degenerate-plan": plans the arbitration/profitability machinery should
+   never have let through. Each condition is impossible for correct
+   codegen output (distances are [stride * scheduling_distance] with
+   [scheduling_distance >= 1], zero strides are rejected as invariant, and
+   direct prefetches must clear the inter-stride threshold), so any hit
+   means a pass or a hand-built plan produced garbage. Warnings, not
+   errors: the spliced code is still semantically correct, just useless
+   prefetching. *)
+let degenerate_plans ~code ~(reports : Strideprefetch.Pass.loop_report list)
+    ?inter_stride_threshold () =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun (r : Strideprefetch.Pass.loop_report) ->
+      List.iter
+        (fun (a : Strideprefetch.Codegen.action) ->
+          let anchor = a.anchor_site in
+          let pc =
+            let p = pc_of_site code anchor in
+            if p >= 0 then p else a.anchor_pc
+          in
+          let pattern = List.assoc_opt anchor r.inter_patterns in
+          let distance =
+            match a.kind with
+            | Strideprefetch.Codegen.Prefetch_direct { distance } ->
+                Some distance
+            | Strideprefetch.Codegen.Prefetch_deref { distance; _ } ->
+                Some distance
+            | Strideprefetch.Codegen.Prefetch_phased _ -> None
+          in
+          (match distance with
+          | Some 0 ->
+              emit
+                (Diag.warning ~checker:"degenerate-plan" ~pc
+                   "degenerate plan: prefetch distance 0 for anchor L%d \
+                    re-fetches the address the anchor just loaded"
+                   anchor)
+          | Some d when d < 0 -> (
+              match pattern with
+              | Some (p : Strideprefetch.Stride.pattern) when p.stride < 0 ->
+                  (* a genuine descending walk: negative distance is right *)
+                  ()
+              | _ ->
+                  emit
+                    (Diag.warning ~checker:"degenerate-plan" ~pc
+                       "degenerate plan: negative prefetch distance %+d for \
+                        anchor L%d without a detected negative stride"
+                       d anchor))
+          | _ -> ());
+          match (a.kind, pattern, inter_stride_threshold) with
+          | ( Strideprefetch.Codegen.Prefetch_direct _,
+              Some (p : Strideprefetch.Stride.pattern),
+              Some threshold )
+            when abs p.stride <= threshold ->
+              emit
+                (Diag.warning ~checker:"degenerate-plan" ~pc
+                   "degenerate plan: inter stride %d for anchor L%d is \
+                    within the profitability threshold (%d bytes) yet \
+                    survived into the plan"
+                   p.stride anchor threshold)
+          | _ -> ())
+        r.plan.actions)
+    reports;
+  List.rev !diags
+
 let plan_consistency ~code
     ~(reports : Strideprefetch.Pass.loop_report list) ~scheduling_distance
     ?require_guarded () =

@@ -27,6 +27,20 @@ val bytecode_lints :
   cfg:Jit.Cfg.t -> Vm.Classfile.method_info -> Diag.t list
 (** {!redundant_prefetch} followed by {!dead_spec_regs}. *)
 
+val degenerate_plans :
+  code:Vm.Bytecode.instr array ->
+  reports:Strideprefetch.Pass.loop_report list ->
+  ?inter_stride_threshold:int ->
+  unit ->
+  Diag.t list
+(** ["degenerate-plan"] warnings: plans that should have been rejected —
+    a zero prefetch distance, a negative distance with no detected
+    negative stride behind it, or (when the resolved
+    [inter_stride_threshold] is given) a direct prefetch whose inter
+    stride is within the threshold despite the PR-7 arbitration.
+    Correct codegen output never trips these; a hit means a pass or a
+    hand-built plan produced garbage. *)
+
 val plan_consistency :
   code:Vm.Bytecode.instr array ->
   reports:Strideprefetch.Pass.loop_report list ->

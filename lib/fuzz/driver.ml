@@ -65,7 +65,8 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Lint_violation _, Oracle.Lint_violation _
   | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _
   | Oracle.Engine_divergence _, Oracle.Engine_divergence _
-  | Oracle.Hw_divergence _, Oracle.Hw_divergence _ ->
+  | Oracle.Hw_divergence _, Oracle.Hw_divergence _
+  | Oracle.Prediction_divergence _, Oracle.Prediction_divergence _ ->
       true
   | _ -> false
 
@@ -98,13 +99,14 @@ let run ?cells ?tweak_options ?tweak_prefetch ?(shrink = true)
     ?(progress = fun ~index:_ ~seed:_ -> ()) ~campaign_seed ~count ~max_size
     () =
   (* Matrix cells plus the appended cross-checks: the plain-vs-
-     telemetry+profile pair, the switch-vs-closure engine pair, and the
-     hardware-model triple (none / stream / RPT). *)
+     telemetry+profile pair, the switch-vs-closure engine pair, the
+     hardware-model triple (none / stream / RPT), and the prediction-tier
+     triple (inspect / static / hybrid). *)
   let cells_per_program =
     (match cells with
     | Some cs -> List.length cs
     | None -> List.length Oracle.default_cells)
-    + 7
+    + 10
   in
   let findings = ref [] in
   for index = 0 to count - 1 do

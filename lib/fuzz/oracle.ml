@@ -63,6 +63,7 @@ type failure =
   | Telemetry_divergence of { cell : cell; message : string }
   | Engine_divergence of { cell : cell; message : string }
   | Hw_divergence of { cell : cell; hw : string; message : string }
+  | Prediction_divergence of { cell : cell; tier : string; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -104,6 +105,11 @@ let describe = function
         "[%s] hw=%s perturbed the architectural state (the hardware \
          prefetcher may only move cycles and memory counters): %s"
         (cell_name cell) hw message
+  | Prediction_divergence { cell; tier; message } ->
+      Printf.sprintf
+        "[%s] prediction tier %s diverged from dynamic inspection \
+         (static/hybrid plans must stay observationally equivalent): %s"
+        (cell_name cell) tier message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
 let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
@@ -189,6 +195,8 @@ let lint_failure ~opts (cell : cell) (r : Workloads.Harness.run_result) =
         match
           Analysis.Check.check_method ~program ~reports:r.reports
             ~scheduling_distance:opts.O.scheduling_distance ~require_guarded
+            ~inter_stride_threshold:
+              (O.resolved_inter_stride_threshold opts cell.machine)
             m
         with
         | [] -> ()
@@ -449,6 +457,75 @@ let hw_crosscheck ~opts ?tweak_options workload =
           in
           List.find_map compare_to_base rest)
 
+(* Prediction cross-check: the headline configuration re-run under the
+   static and hybrid prediction tiers, compared to the inspect-tier run.
+   Tiers may only change *when* a stride is discovered (compile time,
+   inspection iterations) — never what the program computes: output and
+   the statics-reachable heap graph must match, and no static claim may
+   turn into a faulting prefetch address. Per-site disagreement between
+   static claims and inspected strides is a scored metric ([spf_lint
+   --predict]), not a failure; divergence here is a crash class — the one
+   the [fault_prediction_desync] self-test injects, invisible to every
+   check above because the default matrix never leaves the inspect
+   tier. *)
+let prediction_crosscheck ~opts ?tweak_options workload =
+  let cell =
+    {
+      mode = O.Inter_intra;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    }
+  in
+  let run tier =
+    let opts = { opts with O.prediction = tier } in
+    match
+      Workloads.Harness.run ~opts ?tweak_options ~capture_observables:true
+        ~mode:cell.mode ~machine:cell.machine workload
+    with
+    | r -> Ok r
+    | exception e ->
+        Error
+          (Crash
+             {
+               cell;
+               message =
+                 Printf.sprintf "under prediction tier %s: %s"
+                   (O.prediction_name tier) (Printexc.to_string e);
+             })
+  in
+  match run O.Inspect with
+  | Error f -> Some f
+  | Ok base ->
+      let check_tier tier =
+        let name = O.prediction_name tier in
+        let diverged message =
+          Some (Prediction_divergence { cell; tier = name; message })
+        in
+        match run tier with
+        | Error f -> Some f
+        | Ok r ->
+            if r.Workloads.Harness.output <> base.Workloads.Harness.output
+            then diverged "program output differs from the inspect-tier run"
+            else if r.faulting_prefetches > 0 then
+              diverged
+                (Printf.sprintf
+                   "%d prefetch op(s) computed a negative address"
+                   r.faulting_prefetches)
+            else (
+              match (base.observables, r.observables) with
+              | Some a, Some b -> (
+                  match Workloads.Observables.diff a b with
+                  | None -> None
+                  | Some diff ->
+                      diverged
+                        ("reachable heap differs from the inspect-tier \
+                          run: " ^ diff))
+              | _ -> diverged "a run captured no observables")
+      in
+      (match check_tier O.Static with
+      | Some f -> Some f
+      | None -> check_tier O.Hybrid)
+
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
     ~heap_limit_bytes () =
   match
@@ -543,7 +620,8 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                 | [] -> (
                     (* Differential matrix clean: append the telemetry
                        observer-effect pair, the switch-vs-closure
-                       engine pair, then the hardware-model triple. *)
+                       engine pair, the hardware-model triple, then the
+                       prediction-tier triple. *)
                     match telemetry_crosscheck ~opts ?tweak_options workload with
                     | Some f -> Fail f
                     | None -> (
@@ -556,7 +634,13 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                               hw_crosscheck ~opts ?tweak_options workload
                             with
                             | Some f -> Fail f
-                            | None -> Pass { cells_run = n + 7 })))
+                            | None -> (
+                                match
+                                  prediction_crosscheck ~opts ?tweak_options
+                                    workload
+                                with
+                                | Some f -> Fail f
+                                | None -> Pass { cells_run = n + 10 }))))
                 | cell :: cells -> (
                     match run cell with
                     | Error f -> Fail f

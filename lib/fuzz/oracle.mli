@@ -65,6 +65,15 @@ type failure =
           RPT unit must agree on program output and the
           statics-reachable heap — the hardware prefetcher may only move
           cycles and memory-system counters *)
+  | Prediction_divergence of { cell : cell; tier : string; message : string }
+      (** a static/hybrid prediction tier changed what the program
+          computes: the headline configuration re-run under
+          [prediction = Static] and [Hybrid] must reproduce the
+          inspect-tier run's output and statics-reachable heap with no
+          faulting prefetch addresses — the tiers may only change when a
+          stride is discovered (compile time, inspection iterations).
+          Per-site static-vs-inspected disagreement is a scored metric
+          ([spf_lint --predict]), never this failure *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -93,8 +102,11 @@ val check :
     are compared on the crash alone). Finally the headline configuration
     is re-run under each hardware prefetch model (none / stream / RPT)
     and the three runs must agree on program output and reachable heap —
-    the hardware co-simulation axis. The pairs and the triple count 7
-    toward [cells_run]. [tweak_options] edits the
+    the hardware co-simulation axis. Last, the headline configuration is
+    re-run under the [Static] and [Hybrid] prediction tiers, which must
+    reproduce the inspect-tier output and reachable heap with no
+    faulting prefetches — the prediction-crosscheck axis. The two pairs
+    and two triples count 10 toward [cells_run]. [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
     catches them. [tweak_prefetch] likewise edits the prefetch-pass

@@ -15,6 +15,13 @@ type mode = Off | Inter | Inter_intra
     prefetch instructions otherwise). *)
 type prefetch_style = Auto | Always_guarded | Always_hardware
 
+(** Where stride predictions come from. [Inspect] is the paper's dynamic
+    object inspection; [Static] trusts the address-algebra abstract
+    interpretation ({!Analysis.Addralg}) alone; [Hybrid] uses static
+    [Certain] verdicts to skip inspection, [Likely] to shorten it, and
+    falls back to full inspection on [Unknown]. *)
+type prediction_tier = Inspect | Static | Hybrid
+
 type t = {
   mode : mode;
   inspect_iterations : int;  (** iterations of the target loop to observe *)
@@ -67,6 +74,15 @@ type t = {
           initial null, so the indirect prefetches are no-ops) but must
           be caught statically by the spec-def-use / guard-dominance
           checkers. Never enable outside lint self-tests. *)
+  prediction : prediction_tier;
+      (** stride-prediction source; [Inspect] (the default) is the paper's
+          configuration and leaves compilation bit-identical to PR 7 *)
+  fault_prediction_desync : bool;
+      (** fault injection for the prediction crosscheck: when a method is
+          rewritten under a non-[Inspect] tier, prepend an observable
+          [Iconst; Print] pair to its body so static/hybrid output diverges
+          from inspect-mode output. Only the oracle's prediction_crosscheck
+          can catch it. Never enable outside fuzz self-tests. *)
 }
 
 let default =
@@ -87,6 +103,8 @@ let default =
     phased_min_fraction = 0.2;
     check_invariants = false;
     fault_skip_guard_dominance = false;
+    prediction = Inspect;
+    fault_prediction_desync = false;
   }
 
 let with_mode mode t = { t with mode }
@@ -95,6 +113,33 @@ let mode_name = function
   | Off -> "BASELINE"
   | Inter -> "INTER"
   | Inter_intra -> "INTER+INTRA"
+
+let prediction_name = function
+  | Inspect -> "inspect"
+  | Static -> "static"
+  | Hybrid -> "hybrid"
+
+let prediction_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "inspect" | "dynamic" -> Ok Inspect
+  | "static" -> Ok Static
+  | "hybrid" -> Ok Hybrid
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown prediction tier %S (expected inspect, static or hybrid)"
+           other)
+
+let resolved_inter_stride_threshold t (machine : Memsim.Config.machine) =
+  match t.inter_stride_threshold with
+  | Some b -> b
+  | None ->
+      let line =
+        match machine.prefetch_target with
+        | Memsim.Config.To_l2 -> machine.l2.line_bytes
+        | Memsim.Config.To_l1 -> machine.l1.line_bytes
+      in
+      line / 2
 
 let use_guarded t (machine : Memsim.Config.machine) =
   match t.style with

@@ -15,6 +15,13 @@ type mode = Off | Inter | Inter_intra
     instructions otherwise). *)
 type prefetch_style = Auto | Always_guarded | Always_hardware
 
+(** Where stride predictions come from. [Inspect] is the paper's dynamic
+    object inspection; [Static] trusts the address-algebra abstract
+    interpretation ({!Analysis.Addralg}) alone; [Hybrid] uses static
+    [Certain] verdicts to skip inspection, [Likely] to shorten it, and
+    falls back to full inspection on [Unknown]. *)
+type prediction_tier = Inspect | Static | Hybrid
+
 type t = {
   mode : mode;
   inspect_iterations : int;  (** iterations of the target loop to observe *)
@@ -61,6 +68,15 @@ type t = {
           [prefetch_indirect]s {e before} their [spec_load] guard — a
           runtime-benign miscompile the spec-def-use / guard-dominance
           checkers must catch. Never enable outside lint self-tests. *)
+  prediction : prediction_tier;
+      (** stride-prediction source; [Inspect] (the default) is the paper's
+          configuration and leaves compilation bit-identical to PR 7 *)
+  fault_prediction_desync : bool;
+      (** fault injection for the prediction crosscheck: when a method is
+          rewritten under a non-[Inspect] tier, prepend an observable
+          [Iconst; Print] pair to its body so static/hybrid output diverges
+          from inspect-mode output. Only the oracle's prediction_crosscheck
+          can catch it. Never enable outside fuzz self-tests. *)
 }
 
 val default : t
@@ -68,6 +84,16 @@ val default : t
 
 val with_mode : mode -> t -> t
 val mode_name : mode -> string
+
+val prediction_name : prediction_tier -> string
+(** "inspect" / "static" / "hybrid" — the CLI and report spelling. *)
+
+val prediction_of_string : string -> (prediction_tier, string) result
+
+val resolved_inter_stride_threshold : t -> Memsim.Config.machine -> int
+(** The effective profitability-condition-(3) threshold on [machine]:
+    [inter_stride_threshold] when set, otherwise the paper's half-line rule
+    for the cache level software prefetches fill. *)
 
 val use_guarded : t -> Memsim.Config.machine -> bool
 (** Whether intra-iteration prefetches on [machine] use the guarded-load

@@ -21,6 +21,9 @@ type loop_report = {
   skipped_low_trip : bool;
   iterations_observed : int;
   inspection_steps : int;
+  predictions : Predict.prediction list;
+  inspection_skipped : bool;
+  inspection_shortened : bool;
 }
 
 module Int_set = Jit.Loops.Int_set
@@ -107,6 +110,8 @@ let explain_instant sink (r : loop_report) =
          ("header_block", Json.Int r.header_block);
          ("promoted", Json.Bool r.promoted);
          ("skipped_low_trip", Json.Bool r.skipped_low_trip);
+         ("inspection_skipped", Json.Bool r.inspection_skipped);
+         ("inspection_shortened", Json.Bool r.inspection_shortened);
          ("iterations", Json.Int r.iterations_observed);
          ("inspection_steps", Json.Int r.inspection_steps);
          ( "candidates",
@@ -120,6 +125,17 @@ let explain_instant sink (r : loop_report) =
                     [ ("site", Json.Int s); ("reason", Json.Str reason) ])
                 r.plan.rejected) );
        ]
+      @ List.map
+          (fun (p : Predict.prediction) ->
+            ( Printf.sprintf "predict_L%d" p.site,
+              Json.Str
+                (Printf.sprintf "%s%s (%s)"
+                   (Predict.verdict_name p.verdict)
+                   (match p.stride with
+                   | Some s -> Printf.sprintf " stride %d" s
+                   | None -> "")
+                   p.reason) ))
+          r.predictions
       @ pattern_args @ evidence_args)
 
 (* Register compile-time provenance for every prefetch instruction the
@@ -164,8 +180,8 @@ let register_plan registry ~(meth : C.method_info) ~loop_id
             targets)
     plan.actions
 
-let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
-    ~rewrite () =
+let process ?registry ?sink ?predictor ~opts ~interp ~(meth : C.method_info)
+    ~args ~rewrite () =
   let program = Vm.Interp.program interp in
   let code = meth.code in
   if Array.length code = 0 then []
@@ -209,21 +225,54 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
             @ child_promoted
             |> List.sort_uniq compare
           in
+          (* Static tier: claim strides before deciding how much dynamic
+             inspection this loop still needs (the hybrid skip rule). *)
+          let predicted =
+            match predictor with
+            | None -> Predict.none
+            | Some (f : Predict.predictor) -> f ~meth ~cfg ~loop ~candidates
+          in
+          let depth = Predict.depth_of ~opts predicted ~loop ~candidates in
           let inspection =
-            let run () =
+            let run_inspection opts () =
               Inspection.inspect ~program ~heap ~globals ~opts ~cfg ~forest
                 ~target:loop ~meth ~args
             in
-            match sink with
-            | None -> run ()
-            | Some s ->
-                Telemetry.Sink.span s ~cat:"inspect"
-                  ~args:
-                    [
-                      ("method", Telemetry.Json.Str meth.method_name);
-                      ("loop", Telemetry.Json.Int loop.loop_id);
-                    ]
-                  "inspect" run
+            let spanned run =
+              match sink with
+              | None -> run ()
+              | Some s ->
+                  Telemetry.Sink.span s ~cat:"inspect"
+                    ~args:
+                      [
+                        ("method", Telemetry.Json.Str meth.method_name);
+                        ("loop", Telemetry.Json.Int loop.loop_id);
+                      ]
+                    "inspect" run
+            in
+            match depth with
+            | Predict.Skipped ->
+                {
+                  Inspection.per_site = [||];
+                  iterations = 0;
+                  natural_exit = false;
+                  steps = 0;
+                }
+            | Predict.Full -> spanned (run_inspection opts)
+            | Predict.Shortened n | Predict.Probed n ->
+                spanned
+                  (run_inspection { opts with Options.inspect_iterations = n })
+          in
+          (* [inspection_skipped] means "the plan is built from the static
+             claims": true for [Skipped] and for [Probed], whose shortened
+             inspection only observes the loop's trip class. *)
+          let inspection_skipped =
+            match depth with
+            | Predict.Skipped | Predict.Probed _ -> true
+            | _ -> false
+          in
+          let inspection_shortened =
+            match depth with Predict.Shortened _ -> true | _ -> false
           in
           let evidence = evidence_of inspection candidates in
           let small_trip =
@@ -246,6 +295,9 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
                 skipped_low_trip = false;
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
+                predictions = predicted.Predict.predictions;
+                inspection_skipped;
+                inspection_shortened;
               }
           end
           else if small_trip then
@@ -263,6 +315,9 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
                 skipped_low_trip = true;
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
+                predictions = predicted.Predict.predictions;
+                inspection_skipped;
+                inspection_shortened;
               }
           else begin
             let ldg = Ldg.build infos ~sites:candidates in
@@ -272,16 +327,25 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
               else []
             in
             let inter_cache = Hashtbl.create 16 in
+            (* With inspection skipped, the plan is driven by synthesized
+               patterns carrying the static claims; otherwise by the
+               observed traces, exactly as before. *)
             let inter site =
-              match Hashtbl.find_opt inter_cache site with
-              | Some p -> p
-              | None ->
-                  let p = Stride.inter ~opts (trace site) in
-                  Hashtbl.add inter_cache site p;
-                  p
+              if inspection_skipped then
+                Predict.static_inter ~opts predicted site
+              else
+                match Hashtbl.find_opt inter_cache site with
+                | Some p -> p
+                | None ->
+                    let p = Stride.inter ~opts (trace site) in
+                    Hashtbl.add inter_cache site p;
+                    p
             in
             let intra anchor succ =
-              Stride.intra ~opts ~anchor:(trace anchor) ~other:(trace succ)
+              if inspection_skipped then
+                Predict.static_intra ~opts predicted anchor succ
+              else
+                Stride.intra ~opts ~anchor:(trace anchor) ~other:(trace succ)
             in
             let phased site = Stride.phased ~opts (trace site) in
             let plan =
@@ -334,6 +398,9 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
                 skipped_low_trip = false;
                 iterations_observed = inspection.iterations;
                 inspection_steps = inspection.steps;
+                predictions = predicted.Predict.predictions;
+                inspection_skipped;
+                inspection_shortened;
               }
           end)
         (Jit.Loops.postorder forest);
@@ -346,38 +413,89 @@ let process ?registry ?sink ~opts ~interp ~(meth : C.method_info) ~args
             !plans;
         meth.n_pref_regs <- !next_reg
       end;
+      if
+        rewrite && opts.fault_prediction_desync
+        && opts.prediction <> Options.Inspect
+      then meth.code <- Predict.inject_desync meth.code;
       List.rev !reports
     end
   end
 
-let run ?registry ?sink ~opts ~interp ~meth ~args () =
+let run ?registry ?sink ?predictor ~opts ~interp ~meth ~args () =
   match opts.Options.mode with
   | Options.Off -> []
   | Options.Inter | Options.Inter_intra ->
-      process ?registry ?sink ~opts ~interp ~meth ~args ~rewrite:true ()
+      process ?registry ?sink ?predictor ~opts ~interp ~meth ~args
+        ~rewrite:true ()
 
-let analyze_only ?registry ?sink ~opts ~interp ~meth ~args () =
+let analyze_only ?registry ?sink ?predictor ~opts ~interp ~meth ~args () =
   match opts.Options.mode with
   | Options.Off -> []
   | Options.Inter | Options.Inter_intra ->
-      process ?registry ?sink ~opts ~interp ~meth ~args ~rewrite:false ()
+      process ?registry ?sink ?predictor ~opts ~interp ~meth ~args
+        ~rewrite:false ()
 
-let make_pass ~opts ~interp ?report_sink ?registry ?sink () =
+let make_pass ~opts ~interp ?report_sink ?registry ?sink ?predictor () =
   {
     Jit.Pipeline.pass_name = "stride-prefetch";
     apply =
       (fun meth args ->
-        let reports = run ?registry ?sink ~opts ~interp ~meth ~args () in
+        let reports =
+          run ?registry ?sink ?predictor ~opts ~interp ~meth ~args ()
+        in
         match report_sink with Some f -> f reports | None -> ());
   }
 
+let prediction_rows ~workload reports =
+  List.concat_map
+    (fun r ->
+      (* Promoted/skipped loops carry no comparable inspection data; their
+         sites resurface in the parent loop's report. *)
+      if r.promoted || r.skipped_low_trip then []
+      else
+        List.map
+          (fun (p : Predict.prediction) ->
+            let observations =
+              match List.find_opt (fun e -> e.site = p.site) r.evidence with
+              | Some e -> e.observations
+              | None -> 0
+            in
+            {
+              Predict.r_workload = workload;
+              r_method = r.method_name;
+              r_loop = r.loop_id;
+              r_site = p.site;
+              r_pc = p.pc;
+              r_verdict = p.verdict;
+              r_static = p.stride;
+              r_inspected =
+                Option.map
+                  (fun (pt : Stride.pattern) -> pt.stride)
+                  (List.assoc_opt p.site r.inter_patterns);
+              r_observations = observations;
+            })
+          r.predictions)
+    reports
+
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v 2>%s loop %d (header B%d)%s%s:@," r.method_name
+  Format.fprintf ppf "@[<v 2>%s loop %d (header B%d)%s%s%s:@," r.method_name
     r.loop_id r.header_block
     (if r.promoted then " [promoted: small trip count]" else "")
-    (if r.skipped_low_trip then " [skipped: low trip count]" else "");
+    (if r.skipped_low_trip then " [skipped: low trip count]" else "")
+    (if r.inspection_skipped then " [inspection skipped: static]"
+     else if r.inspection_shortened then " [inspection shortened]"
+     else "");
   Format.fprintf ppf "iterations observed: %d, inspection steps: %d@,"
     r.iterations_observed r.inspection_steps;
+  List.iter
+    (fun (p : Predict.prediction) ->
+      Format.fprintf ppf "predict L%d: %s%s  ; %s@," p.site
+        (Predict.verdict_name p.verdict)
+        (match p.stride with
+        | Some s -> Printf.sprintf ", stride %d" s
+        | None -> "")
+        p.reason)
+    r.predictions;
   Format.fprintf ppf "candidates: %s@,"
     (String.concat ", "
        (List.map (Printf.sprintf "L%d") r.candidate_sites));

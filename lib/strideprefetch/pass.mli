@@ -30,11 +30,20 @@ type loop_report = {
   skipped_low_trip : bool;  (** outermost loop with a small trip count *)
   iterations_observed : int;
   inspection_steps : int;
+  predictions : Predict.prediction list;
+      (** static claims for the candidate sites (empty without a
+          predictor) *)
+  inspection_skipped : bool;
+      (** the hybrid/static skip rule replaced inspection with the static
+          claims for this loop *)
+  inspection_shortened : bool;
+      (** inspection ran with the reduced [Likely]-tier iteration budget *)
 }
 
 val run :
   ?registry:Telemetry.Attrib.t ->
   ?sink:Telemetry.Sink.t ->
+  ?predictor:Predict.predictor ->
   opts:Options.t ->
   interp:Vm.Interp.t ->
   meth:Vm.Classfile.method_info ->
@@ -58,13 +67,21 @@ val make_pass :
   ?report_sink:(loop_report list -> unit) ->
   ?registry:Telemetry.Attrib.t ->
   ?sink:Telemetry.Sink.t ->
+  ?predictor:Predict.predictor ->
   unit ->
   Jit.Pipeline.pass
-(** Package {!run} as a pipeline pass named ["stride-prefetch"]. *)
+(** Package {!run} as a pipeline pass named ["stride-prefetch"].
+
+    [?predictor] is the static access-prediction tier (in practice
+    {!Analysis.Addralg.predictor}); it is consulted per loop before
+    inspection. With [opts.prediction = Inspect] its claims are recorded
+    in the reports but never change compilation; under [Static]/[Hybrid]
+    they drive the skip/shorten rule of DESIGN.md section 12. *)
 
 val analyze_only :
   ?registry:Telemetry.Attrib.t ->
   ?sink:Telemetry.Sink.t ->
+  ?predictor:Predict.predictor ->
   opts:Options.t ->
   interp:Vm.Interp.t ->
   meth:Vm.Classfile.method_info ->
@@ -73,5 +90,11 @@ val analyze_only :
   loop_report list
 (** Like {!run} but never rewrites the method (used by examples to show
     what would be generated). *)
+
+val prediction_rows : workload:string -> loop_report list -> Predict.row list
+(** Join each loop's static claims against its inspected patterns, one
+    row per claimed site — the agreement scorer's input. Rows come only
+    from loops that were actually inspected in place (promoted and
+    low-trip loops are skipped; their sites resurface in the parent). *)
 
 val pp_report : Format.formatter -> loop_report -> unit

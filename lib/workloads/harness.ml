@@ -28,8 +28,8 @@ exception Invariant_violation of string
 
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     ?engine ?(capture_observables = false) ?(verify_each_pass = false)
-    ?(telemetry = false) ?(profile = false) ?sink_capacity ~mode ~machine
-    (workload : Workload.t) =
+    ?(telemetry = false) ?(profile = false) ?(predict = false) ?sink_capacity
+    ~mode ~machine (workload : Workload.t) =
   let opts =
     let base =
       Option.value ~default:Strideprefetch.Options.default opts
@@ -76,6 +76,14 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     else None
   in
   let reports = ref [] in
+  (* The static tier is consulted only when asked for ([predict], for the
+     agreement scorer) or needed (non-[Inspect] prediction tiers), so the
+     default path stays bit-identical to a predictor-free build. *)
+  let predictor =
+    if predict || opts.Strideprefetch.Options.prediction <> Strideprefetch.Options.Inspect
+    then Some (Analysis.Addralg.predictor ~program)
+    else None
+  in
   let passes =
     (if standard_passes then Jit.Pipeline.standard_passes () else [])
     @
@@ -85,7 +93,7 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
         [
           Strideprefetch.Pass.make_pass ~opts ~interp
             ~report_sink:(fun r -> reports := !reports @ r)
-            ?registry ?sink ();
+            ?registry ?sink ?predictor ();
         ]
   in
   let verifier =
@@ -101,6 +109,9 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
           Analysis.Check.verify ~program ~reports:!reports
             ~scheduling_distance:opts.Strideprefetch.Options.scheduling_distance
             ~require_guarded:(Strideprefetch.Options.use_guarded opts machine)
+            ~inter_stride_threshold:
+              (Strideprefetch.Options.resolved_inter_stride_threshold opts
+                 machine)
             m)
   in
   let span =

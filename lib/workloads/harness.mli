@@ -57,6 +57,7 @@ val run :
   ?verify_each_pass:bool ->
   ?telemetry:bool ->
   ?profile:bool ->
+  ?predict:bool ->
   ?sink_capacity:int ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
@@ -94,6 +95,14 @@ val run :
     never participates: cycles and all core stats counters are
     bit-identical to a [~telemetry:false] run (golden-tested; only the
     [Memsim.Stats.telemetry_only] counters become nonzero).
+
+    [predict] (default [false]) installs the static access-prediction
+    tier ({!Analysis.Addralg.predictor}) so every loop report carries
+    static stride claims alongside the inspection results — the agreement
+    scorer's input. Installed implicitly when [opts.prediction] is
+    [Static] or [Hybrid] (where the claims also drive the skip/shorten
+    rule); under the default [Inspect] tier with [predict:false] no
+    predictor is constructed and compilation is bit-identical to PR 7.
 
     [profile] (default [false]) additionally installs the object-centric
     profiler ({!Profile.Collector} hooks) and fills

@@ -274,6 +274,9 @@ let direct_report ~plan_distance ~stride =
     skipped_low_trip = false;
     iterations_observed = 20;
     inspection_steps = 100;
+    predictions = [];
+    inspection_skipped = false;
+    inspection_shortened = false;
   }
 
 let test_plan_consistency () =
@@ -499,6 +502,303 @@ let test_fuzz_sample_is_lint_clean () =
           (Fuzz.Oracle.describe f)
   done
 
+(* --- the address-algebra prediction tier --------------------------------- *)
+
+let test_addralg_value_lattice () =
+  let module V = A.Addralg.Value in
+  let i = V.sym 1 in
+  Alcotest.(check bool) "join is idempotent" true (V.equal (V.join i i) i);
+  Alcotest.(check bool) "different multiples lose affinity" true
+    (V.is_top (V.join (V.scale 2 i) (V.scale 3 i)));
+  Alcotest.(check bool) "top absorbs on the right" true
+    (V.is_top (V.join i V.top));
+  Alcotest.(check bool) "top absorbs on the left" true
+    (V.is_top (V.join V.top i));
+  Alcotest.(check bool) "different constants lose affinity" true
+    (V.is_top (V.join (V.const 1) (V.const 2)));
+  Alcotest.(check bool) "difference cancels the symbol" true
+    (V.equal (V.sub (V.add i (V.const 4)) i) (V.const 4));
+  Alcotest.(check bool) "scaling distributes over addition" true
+    (V.equal
+       (V.scale 4 (V.add i (V.const 3)))
+       (V.add (V.scale 4 i) (V.const 12)));
+  (* join monotonicity on the height-2 chain: the join of any two values
+     is an upper bound of both — it equals each operand or is top *)
+  let samples =
+    [ V.top; V.const 0; V.const 7; i; V.sym 2; V.add i (V.const 8);
+      V.scale 4 i ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let j = V.join a b in
+          let above x = V.is_top j || V.equal j x in
+          Alcotest.(check bool) "join bounds both operands" true
+            (above a && above b))
+        samples)
+    samples
+
+(* Nested counted loops over the same array: arr[i] in the outer body,
+   arr[j] in the inner loop (its induction variable is inner-loop-carried,
+   reset every outer iteration). *)
+let nested_loops_meth () =
+  meth
+    [
+      B.Iconst 0;
+      B.Istore 1 (* i = 0 *);
+      (* outer header (pc 2) *)
+      B.Iload 1;
+      B.Iconst 100;
+      B.If_icmp (B.Ge, 28) (* exit *);
+      B.Aload 0;
+      B.Iload 1;
+      B.Iaload { len_site = 0; elem_site = 1 } (* arr[i] *);
+      B.Pop;
+      B.Iconst 0;
+      B.Istore 2 (* j = 0 *);
+      (* inner header (pc 11) *)
+      B.Iload 2;
+      B.Iconst 10;
+      B.If_icmp (B.Ge, 23);
+      B.Aload 0;
+      B.Iload 2;
+      B.Iaload { len_site = 2; elem_site = 3 } (* arr[j] *);
+      B.Pop;
+      B.Iload 2;
+      B.Iconst 1;
+      B.Iadd;
+      B.Istore 2;
+      B.Goto 11 (* inner back edge *);
+      (* inner exit (pc 23) *)
+      B.Iload 1;
+      B.Iconst 1;
+      B.Iadd;
+      B.Istore 1;
+      B.Goto 2 (* outer back edge *);
+      B.Return;
+    ]
+
+let loops_of m =
+  let cfg = Jit.Cfg.build m.Vm.Classfile.code in
+  let forest = Jit.Loops.analyze cfg in
+  (cfg, Jit.Loops.postorder forest)
+
+let find_prediction what (t : SP.Predict.t) site =
+  match SP.Predict.find t site with
+  | Some p -> p
+  | None -> Alcotest.failf "%s: no prediction for site %d" what site
+
+let test_addralg_nested_loops () =
+  let m = nested_loops_meth () in
+  let cfg, loops = loops_of m in
+  let inner, outer =
+    match loops with
+    | [ a; b ] -> (a, b) (* postorder: children first *)
+    | l -> Alcotest.failf "expected 2 loops, found %d" (List.length l)
+  in
+  Alcotest.(check bool) "inner has a parent" true (inner.Jit.Loops.parent <> None);
+  Alcotest.(check bool) "outer is outermost" true (outer.Jit.Loops.parent = None);
+  let predict loop candidates =
+    A.Addralg.predict ~program:(program_of m) ~meth:m ~cfg ~loop ~candidates
+  in
+  (* outer target: arr[i] is affine with i stepping 1 -> stride 4, and its
+     block dominates the back edge -> Certain; arr[j] is carried by the
+     inner loop, whose back-edge join destroys affinity -> Unknown *)
+  let t = predict outer [ 1; 3 ] in
+  let p1 = find_prediction "outer arr[i]" t 1 in
+  Alcotest.(check bool) "arr[i] certain" true
+    (p1.SP.Predict.verdict = SP.Predict.Certain);
+  Alcotest.(check (option int)) "arr[i] stride 4" (Some 4) p1.SP.Predict.stride;
+  let p3 = find_prediction "outer arr[j]" t 3 in
+  Alcotest.(check bool) "arr[j] unknown from the outer loop" true
+    (p3.SP.Predict.verdict = SP.Predict.Unknown);
+  (* inner target: j is this loop's own induction variable -> Certain *)
+  let ti = predict inner [ 3 ] in
+  let q3 = find_prediction "inner arr[j]" ti 3 in
+  Alcotest.(check bool) "arr[j] certain in its own loop" true
+    (q3.SP.Predict.verdict = SP.Predict.Certain);
+  Alcotest.(check (option int)) "arr[j] stride 4" (Some 4)
+    q3.SP.Predict.stride;
+  (* the hybrid depth rule on these loops: an all-Certain inner loop is
+     probed (its small-trip promotion must still be observed), never
+     skipped outright; an Unknown candidate forces a full inspection *)
+  let hybrid = { SP.Options.default with SP.Options.prediction = SP.Options.Hybrid } in
+  (match SP.Predict.depth_of ~opts:hybrid ti ~loop:inner ~candidates:[ 3 ] with
+  | SP.Predict.Probed n ->
+      Alcotest.(check int) "probe budget is the small-trip floor"
+        (min hybrid.SP.Options.inspect_iterations
+           hybrid.SP.Options.small_trip_count)
+        n
+  | _ -> Alcotest.fail "all-certain inner loop should be probed");
+  (match SP.Predict.depth_of ~opts:hybrid t ~loop:outer ~candidates:[ 1; 3 ] with
+  | SP.Predict.Full -> ()
+  | _ -> Alcotest.fail "unknown candidate should force full inspection");
+  match SP.Predict.depth_of ~opts:hybrid t ~loop:outer ~candidates:[ 1 ] with
+  | SP.Predict.Skipped -> ()
+  | _ -> Alcotest.fail "all-certain outermost loop should be skipped"
+
+(* A diamond that assigns the index local different affine values on its
+   two arms: the join must lose affinity, not invent a stride. *)
+let test_addralg_diamond_loses_affinity () =
+  let m =
+    meth
+      [
+        B.Iconst 0;
+        B.Istore 1 (* i = 0 *);
+        (* header (pc 2) *)
+        B.Iload 1;
+        B.Iconst 100;
+        B.If_icmp (B.Ge, 22);
+        B.Iload 2;
+        B.If (B.Eq, 9);
+        B.Iload 1;
+        B.Goto 12 (* then arm: p = i *);
+        B.Iload 1;
+        B.Iconst 8;
+        B.Iadd (* else arm: p = i + 8 *);
+        B.Istore 2 (* join (pc 12): p *);
+        B.Aload 0;
+        B.Iload 2;
+        B.Iaload { len_site = 0; elem_site = 1 } (* arr[p] *);
+        B.Pop;
+        B.Iload 1;
+        B.Iconst 1;
+        B.Iadd;
+        B.Istore 1;
+        B.Goto 2;
+        B.Return;
+      ]
+  in
+  let cfg, loops = loops_of m in
+  let loop = List.hd loops in
+  let t =
+    A.Addralg.predict ~program:(program_of m) ~meth:m ~cfg ~loop
+      ~candidates:[ 1 ]
+  in
+  let p = find_prediction "diamond arr[p]" t 1 in
+  Alcotest.(check bool) "joined index is not affine" true
+    (p.SP.Predict.verdict = SP.Predict.Unknown);
+  Alcotest.(check (option int)) "no stride claimed" None p.SP.Predict.stride
+
+(* An irreducible cycle inside a natural loop: the body branches into the
+   middle of a two-block cycle, so the cycle has two entries and no
+   natural header. The fixpoint must still terminate, claim the regular
+   outer site, and refuse the cycle-carried one. *)
+let test_addralg_irreducible_entry () =
+  let m =
+    meth
+      [
+        B.Iconst 0;
+        B.Istore 1 (* i = 0 *);
+        (* outer header (pc 2) *)
+        B.Iload 1;
+        B.Iconst 50;
+        B.If_icmp (B.Ge, 27);
+        B.Aload 0;
+        B.Iload 1;
+        B.Iaload { len_site = 0; elem_site = 1 } (* arr[i] *);
+        B.Pop;
+        B.Iload 2;
+        B.If (B.Eq, 15) (* entry into the middle of the cycle *);
+        (* cycle block B (pc 11) *)
+        B.Iload 3;
+        B.Iconst 1;
+        B.Iadd;
+        B.Istore 3;
+        (* cycle block C (pc 15) — second entry *)
+        B.Aload 0;
+        B.Iload 3;
+        B.Iaload { len_site = 2; elem_site = 3 } (* arr[t] *);
+        B.Pop;
+        B.Iload 3;
+        B.Iconst 10;
+        B.If_icmp (B.Lt, 11) (* retreating edge, not a natural back edge *);
+        B.Iload 1;
+        B.Iconst 1;
+        B.Iadd;
+        B.Istore 1;
+        B.Goto 2 (* outer back edge *);
+        B.Return;
+      ]
+  in
+  let cfg, loops = loops_of m in
+  (* the irreducible cycle is not a natural loop: only the outer counted
+     loop is recognized *)
+  (match loops with
+  | [ l ] -> Alcotest.(check bool) "outermost" true (l.Jit.Loops.parent = None)
+  | l -> Alcotest.failf "expected 1 natural loop, found %d" (List.length l));
+  let loop = List.hd loops in
+  (* termination is the point: the retreating edge iterates inside the
+     fixpoint and must converge on the height-2 domain *)
+  let t =
+    A.Addralg.predict ~program:(program_of m) ~meth:m ~cfg ~loop
+      ~candidates:[ 1; 3 ]
+  in
+  let p1 = find_prediction "regular site" t 1 in
+  Alcotest.(check (option int)) "arr[i] still claimed" (Some 4)
+    p1.SP.Predict.stride;
+  let p3 = find_prediction "cycle-carried site" t 3 in
+  Alcotest.(check bool) "cycle-carried index refused" true
+    (p3.SP.Predict.verdict = SP.Predict.Unknown)
+
+(* --- the degenerate-plan lint -------------------------------------------- *)
+
+let test_degenerate_plan_lint () =
+  let code = [| B.Aload 0; getfield ~site:0; B.Pop; B.Return |] in
+  let warnings reports threshold =
+    A.Lint.degenerate_plans ~code ~reports ?inter_stride_threshold:threshold ()
+  in
+  (* zero prefetch distance re-fetches the anchor's own address *)
+  let zero = warnings [ direct_report ~plan_distance:0 ~stride:16 ] None in
+  expect_checker "zero distance" "degenerate-plan" zero;
+  List.iter
+    (fun (d : A.Diag.t) ->
+      Alcotest.(check bool) "warning, not error" true
+        (d.A.Diag.severity = A.Diag.Warning))
+    zero;
+  (* negative distance against a positive detected stride *)
+  expect_checker "negative distance" "degenerate-plan"
+    (warnings [ direct_report ~plan_distance:(-16) ~stride:16 ] None);
+  (* ...but a genuine descending walk is fine *)
+  Alcotest.(check int) "descending walk accepted" 0
+    (List.length
+       (warnings [ direct_report ~plan_distance:(-16) ~stride:(-16) ] None));
+  (* an inter stride at or below the profitability threshold must not
+     have survived into a direct-prefetch plan *)
+  expect_checker "stride under threshold" "degenerate-plan"
+    (warnings [ direct_report ~plan_distance:16 ~stride:16 ] (Some 16));
+  (* clean plan: sensible distance, stride above the threshold *)
+  Alcotest.(check int) "clean plan" 0
+    (List.length (warnings [ direct_report ~plan_distance:16 ~stride:16 ] (Some 8)));
+  (* the composing driver threads the threshold through *)
+  let m = meth [ B.Aload 0; getfield ~site:0; B.Pop; B.Return ] in
+  expect_checker "via check_method" "degenerate-plan"
+    (A.Check.check_method ~program:(program_of m)
+       ~reports:[ direct_report ~plan_distance:16 ~stride:16 ]
+       ~scheduling_distance:1 ~inter_stride_threshold:16 m)
+
+(* --- the prediction-desync fuzz axis ------------------------------------- *)
+
+let test_prediction_desync_injection () =
+  (* the injected miscompile is visible in program output, but only on
+     rewriting non-inspect tiers — every cell of the ordinary matrix runs
+     at the inspect tier, so only the prediction crosscheck can see it *)
+  let _, verdict =
+    Fuzz.Driver.check_seed
+      ~tweak_prefetch:(fun o ->
+        { o with SP.Options.fault_prediction_desync = true })
+      ~seed:1 ~max_size:8 ()
+  in
+  match verdict with
+  | Fuzz.Oracle.Fail (Fuzz.Oracle.Prediction_divergence { tier; _ }) ->
+      Alcotest.(check bool) "names a non-inspect tier" true
+        (tier = "static" || tier = "hybrid")
+  | Fuzz.Oracle.Fail f ->
+      Alcotest.failf "wrong failure class: %s" (Fuzz.Oracle.describe f)
+  | Fuzz.Oracle.Pass _ ->
+      Alcotest.fail "prediction desync went undetected"
+
 let suite =
   [
     ("typestate: structural errors", `Quick, test_typestate_structural);
@@ -516,6 +816,16 @@ let suite =
     ("lint: dead spec reg", `Quick, test_dead_spec_reg);
     ("lint: plan consistency", `Quick, test_plan_consistency);
     ("lint: guard required", `Quick, test_guard_required);
+    ("lint: degenerate plans", `Quick, test_degenerate_plan_lint);
+    ("addralg: value lattice", `Quick, test_addralg_value_lattice);
+    ("addralg: nested loops", `Quick, test_addralg_nested_loops);
+    ( "addralg: diamond loses affinity",
+      `Quick,
+      test_addralg_diamond_loses_affinity );
+    ("addralg: irreducible entry", `Quick, test_addralg_irreducible_entry);
+    ( "wiring: prediction desync caught by the crosscheck",
+      `Slow,
+      test_prediction_desync_injection );
     ( "check: typestate gates the stack",
       `Quick,
       test_check_method_gates_on_typestate );

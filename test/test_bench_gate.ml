@@ -143,6 +143,7 @@ let synth_run ?(schema = Report.schema) cells =
             profile = false;
             hw = Gate.default_hw;
             sw_threshold = None;
+            prediction = None;
             seconds;
             cycles;
           })

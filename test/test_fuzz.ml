@@ -66,8 +66,8 @@ let test_oracle_accepts_clean_programs () =
         (Fuzz.Oracle.describe f.Fuzz.Driver.failure));
   Alcotest.(check int) "all programs ran" 8 campaign.Fuzz.Driver.programs_run;
   (* 12 matrix cells + the telemetry/profile pair + the engine pair +
-     the hardware-model triple. *)
-  Alcotest.(check int) "full matrix" 19 campaign.Fuzz.Driver.cells_per_program
+     the hardware-model triple + the prediction-tier triple. *)
+  Alcotest.(check int) "full matrix" 22 campaign.Fuzz.Driver.cells_per_program
 
 let unguarded (o : Vm.Interp.options) =
   { o with Vm.Interp.unguarded_spec_loads = true }
