@@ -29,6 +29,10 @@ type cell_rec = {
           protocol in BENCH_history/README.md *)
   telemetry : bool;
   profile : bool;
+  monitor : bool;
+      (** the live windowed monitor was armed; [false] when the field is
+          absent — reports written before the monitor existed have no
+          monitored twins, and their plain cells keep matching *)
   hw : string;
       (** hardware prefetch model spec; "stream:8" (the default) when
           the field is absent — reports written before the RPT
@@ -55,9 +59,10 @@ let default_hw =
   Memsim.Config.hw_prefetch_to_string Memsim.Config.default_stream
 
 let cell_key c =
-  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s" c.workload c.machine c.mode
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s%s" c.workload c.machine c.mode
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
+    (if c.monitor then "/monitor" else "")
     (if c.engine = "closure" then "" else "/" ^ c.engine ^ "-engine")
     (if c.hw = default_hw then "" else "/hw=" ^ c.hw)
     (match c.sw_threshold with
@@ -111,6 +116,7 @@ let cell_of_json ~label i j =
           engine = Option.value ~default:"closure" (mem_str "engine" j);
           telemetry = Option.value ~default:false (mem_bool "telemetry" j);
           profile = Option.value ~default:false (mem_bool "profile" j);
+          monitor = Option.value ~default:false (mem_bool "monitor" j);
           hw = Option.value ~default:default_hw (mem_str "hw_prefetch" j);
           sw_threshold = mem_int "sw_threshold" j;
           prediction = mem_str "prediction" j;
@@ -300,6 +306,7 @@ let dispatch_geomean (r : run) =
           List.find_opt
             (fun c ->
               c.engine = "closure" && (not c.telemetry) && (not c.profile)
+              && (not c.monitor)
               && c.workload = s.workload && c.machine = s.machine
               && c.mode = s.mode)
             r.cells

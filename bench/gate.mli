@@ -24,6 +24,10 @@ type cell_rec = {
           BENCH_history/README.md) *)
   telemetry : bool;
   profile : bool;
+  monitor : bool;
+      (** the live windowed monitor was armed; [false] when the field is
+          absent — pre-monitor reports have no monitored twins, and
+          their plain cells keep matching *)
   hw : string;
       (** hardware prefetch model spec (e.g. ["rpt:64x2@4"]);
           ["stream:8"] — the default model — when the field is absent,

@@ -42,7 +42,7 @@ let subheading title = Printf.printf "\n-- %s --\n" title
    for cells no experiment declared (which would be a bug in [needs]). *)
 
 type key =
-  string * string * SP.Options.mode * SP.Options.t option * bool * bool
+  string * string * SP.Options.mode * SP.Options.t option * bool * bool * bool
 
 let key_of (c : Runner.cell) : key =
   ( c.workload.W.name,
@@ -50,7 +50,8 @@ let key_of (c : Runner.cell) : key =
     c.mode,
     c.opts,
     c.telemetry,
-    c.profile )
+    c.profile,
+    c.monitor )
 
 let cache : (key, Runner.timed) Hashtbl.t = Hashtbl.create 64
 

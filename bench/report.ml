@@ -32,9 +32,16 @@ let default_cells () =
           SP.Options.Inter_intra)
       workloads
   (* ...one profiled twin of the headline db cell, so the report also
-     tracks the object-centric profiler's observer overhead over time... *)
+     tracks the object-centric profiler's observer overhead over time,
+     and one monitored twin of the same cell — the live monitor's
+     observer overhead next to its zero-cost cycle claim (the monitored
+     twin's cycles must equal the plain cell's exactly, which the gate's
+     exact-equality law then pins across history)... *)
   @ [
       Runner.cell ~profile:true
+        (List.find (fun (w : W.t) -> w.name = "db") workloads)
+        Memsim.Config.pentium4 SP.Options.Inter_intra;
+      Runner.cell ~monitor:true
         (List.find (fun (w : W.t) -> w.name = "db") workloads)
         Memsim.Config.pentium4 SP.Options.Inter_intra;
     ]
@@ -98,6 +105,7 @@ let dispatch_pairs (timed : Runner.timed list) =
     && t.cell.Runner.opts = None
     && (not t.cell.Runner.telemetry)
     && (not t.cell.Runner.profile)
+    && (not t.cell.Runner.monitor)
     && t.cell.Runner.workload.W.name = s.cell.Runner.workload.W.name
     && t.cell.Runner.machine.Memsim.Config.name
        = s.cell.Runner.machine.Memsim.Config.name
@@ -268,7 +276,11 @@ let cell_extras (c : Runner.cell) =
           (SP.Options.prediction_name o.SP.Options.prediction)
     | Some _ | None -> ""
   in
-  hw ^ threshold ^ prediction
+  (* "monitor": true only when armed: canonical-matrix reports stay
+     byte-compatible with pre-monitor baselines (and their gate keys
+     unchanged). *)
+  let monitor = if c.monitor then ", \"monitor\": true" else "" in
+  hw ^ threshold ^ prediction ^ monitor
 
 let to_json_string ?arbitration ?prediction ~jobs ~matrix_wall_seconds
     (timed : Runner.timed list) =

@@ -26,6 +26,12 @@ type cell = {
       (** additionally install the object-centric profiler; fills
           [run_result.profile] (implies telemetry) without perturbing
           the simulation *)
+  monitor : bool;
+      (** arm the live windowed monitor at its default window; fills
+          [run_result.monitor] (implies telemetry). The monitored twin's
+          cycle count must equal its plain cell's exactly — monitoring
+          observes only — so the gate's exact-equality law pins the
+          monitor's zero-cost claim over time *)
   engine : Vm.Interp.engine;
       (** which execution engine runs the cell; default [Closure]. The
           simulated cycle count is engine-independent (bit-identity is
@@ -40,12 +46,12 @@ type timed = {
   seconds : float;  (** host wall-clock for this cell *)
 }
 
-let cell ?opts ?(telemetry = false) ?(profile = false)
+let cell ?opts ?(telemetry = false) ?(profile = false) ?(monitor = false)
     ?(engine = Vm.Interp.Closure) workload machine mode =
-  { workload; machine; mode; opts; telemetry; profile; engine }
+  { workload; machine; mode; opts; telemetry; profile; monitor; engine }
 
 let cell_label c =
-  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s" c.workload.W.name
+  Printf.sprintf "%s/%s/%s%s%s%s%s%s%s%s" c.workload.W.name
     c.machine.Memsim.Config.name
     (SP.Options.mode_name c.mode)
     (match c.opts with None -> "" | Some _ -> "/custom-opts")
@@ -55,6 +61,7 @@ let cell_label c =
     | _ -> "")
     (if c.telemetry then "/telemetry" else "")
     (if c.profile then "/profile" else "")
+    (if c.monitor then "/monitor" else "")
     (match c.engine with
     | Vm.Interp.Closure -> ""
     | e -> "/" ^ Vm.Interp.engine_name e ^ "-engine")
@@ -67,13 +74,16 @@ let cell_label c =
 
 let run_cell c =
   let t0 = Unix.gettimeofday () in
+  let monitor =
+    if c.monitor then Some Monitor.Collector.default_window_cycles else None
+  in
   let result =
     match c.opts with
     | None ->
-        H.run ~engine:c.engine ~telemetry:c.telemetry ~profile:c.profile
-          ~mode:c.mode ~machine:c.machine c.workload
+        H.run ?monitor ~engine:c.engine ~telemetry:c.telemetry
+          ~profile:c.profile ~mode:c.mode ~machine:c.machine c.workload
     | Some opts ->
-        H.run ~opts ~engine:c.engine ~telemetry:c.telemetry
+        H.run ~opts ?monitor ~engine:c.engine ~telemetry:c.telemetry
           ~profile:c.profile ~mode:c.mode ~machine:c.machine c.workload
   in
   { cell = c; result; seconds = Unix.gettimeofday () -. t0 }

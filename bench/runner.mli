@@ -22,6 +22,12 @@ type cell = {
       (** additionally install the object-centric profiler, filling
           [run_result.profile] (implies telemetry); like telemetry the
           simulation is bit-identical either way *)
+  monitor : bool;
+      (** arm the live windowed monitor at its default window, filling
+          [run_result.monitor] (implies telemetry); monitoring observes
+          only, so a monitored twin's cycle count must equal its plain
+          cell's exactly — the gate's exact-equality law pins that
+          zero-cost claim over time *)
   engine : Vm.Interp.engine;
       (** which execution engine runs the cell; default [Closure]. Cycle
           counts are engine-independent (the engines' bit-identity
@@ -39,19 +45,21 @@ val cell :
   ?opts:Strideprefetch.Options.t ->
   ?telemetry:bool ->
   ?profile:bool ->
+  ?monitor:bool ->
   ?engine:Vm.Interp.engine ->
   Workloads.Workload.t ->
   Memsim.Config.machine ->
   Strideprefetch.Options.mode ->
   cell
-(** [telemetry] and [profile] default to [false]; [engine] to
-    [Vm.Interp.Closure]. *)
+(** [telemetry], [profile] and [monitor] default to [false]; [engine]
+    to [Vm.Interp.Closure]. *)
 
 val cell_label : cell -> string
 (** ["workload/machine/mode"], with a ["/custom-opts"] suffix when the cell
     overrides the algorithm knobs, a ["/telemetry"] suffix when the
     cell records effectiveness attribution, a ["/profile"] suffix
-    when the cell carries the object-centric profiler, a
+    when the cell carries the object-centric profiler, a ["/monitor"]
+    suffix when it arms the live windowed monitor, a
     ["/switch-engine"] suffix when it runs on a non-default engine, and
     a ["/hw=..."] suffix when the machine's hardware prefetcher is not
     the default stream unit. *)

@@ -72,7 +72,11 @@ let inject_arg =
            compilations prepend an observable instruction pair, shifting \
            every branch target — invisible to the inspect-tier matrix, \
            caught only by the prediction cross-check, which is the sole \
-           check that varies the prediction tier).")
+           check that varies the prediction tier) or \
+           $(b,monitor-desync) (every window-boundary fire charges one \
+           extra simulated cycle, making the monitor an observer that \
+           participates — caught only by the monitor cross-check, the \
+           sole check that arms a monitor).")
 
 let quiet_arg =
   Arg.(
@@ -121,6 +125,11 @@ let run seed count max_size shrink shrink_attempts dump inject quiet =
           ( Some
               (fun (o : Vm.Interp.options) ->
                 { o with Vm.Interp.fault_hw_desync = true }),
+            None )
+      | Some "monitor-desync" ->
+          ( Some
+              (fun (o : Vm.Interp.options) ->
+                { o with Vm.Interp.fault_monitor_desync = true }),
             None )
       | Some other ->
           Printf.eprintf "unknown fault '%s'\n" other;

@@ -1,0 +1,211 @@
+(* The live-monitoring driver: run one workload with the windowed
+   monitor armed, print the terminal dashboard (sparklines, verdict
+   timeline, top degrading loops and sites), export the per-window time
+   series as JSONL and the run's event stream — monitor counter track
+   included — as a Chrome trace.
+
+   For the phase-shifting workloads (which print a marker at their
+   planted shift) the detection latency is measured and, under
+   [--max-latency], gated: exit code 2 when the monitor missed the shift
+   or took too long. *)
+
+let workloads =
+  Workloads.Specjvm.all @ Workloads.Javagrande.all @ Workloads.Phase.all
+
+let find_workload name =
+  List.find_opt
+    (fun (w : Workloads.Workload.t) ->
+      String.lowercase_ascii w.name = String.lowercase_ascii name)
+    workloads
+
+let machine_conv =
+  let parse s =
+    match Memsim.Config.machine_of_name s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
+               (String.concat ", "
+                  (List.map
+                     (fun (m : Memsim.Config.machine) -> m.name)
+                     Memsim.Config.machines))))
+  in
+  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
+  Cmdliner.Arg.conv (parse, print)
+
+let mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
+    | "inter" -> Ok Strideprefetch.Options.Inter
+    | "inter+intra" | "inter_intra" | "interintra" ->
+        Ok Strideprefetch.Options.Inter_intra
+    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
+  in
+  let print ppf m =
+    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let engine_conv =
+  let parse s =
+    match Vm.Interp.engine_of_string (String.lowercase_ascii s) with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected one of: closure, switch")
+  in
+  let print ppf e = Format.fprintf ppf "%s" (Vm.Interp.engine_name e) in
+  Cmdliner.Arg.conv (parse, print)
+
+let workload_arg =
+  Cmdliner.Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:
+          "Workload name (see $(b,spf_run list)); the $(b,PhaseShift) and \
+           $(b,PhaseChurn) workloads carry a planted mid-run shift.")
+
+let machine_arg =
+  Cmdliner.Arg.(
+    value
+    & opt machine_conv Memsim.Config.pentium4
+    & info [ "m"; "machine" ] ~docv:"MACHINE"
+        ~doc:"Simulated machine (pentium4 or athlonmp).")
+
+let mode_arg =
+  Cmdliner.Arg.(
+    value
+    & opt mode_conv Strideprefetch.Options.Inter_intra
+    & info [ "p"; "mode" ] ~docv:"MODE"
+        ~doc:"Prefetching mode: off, inter, or inter+intra.")
+
+let engine_arg =
+  Cmdliner.Arg.(
+    value
+    & opt engine_conv Vm.Interp.Closure
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine (closure or switch). Window boundaries are a \
+           pure function of the simulated cycle stream, so the verdict \
+           timeline is identical under both.")
+
+let window_arg =
+  Cmdliner.Arg.(
+    value
+    & opt int Monitor.Collector.default_window_cycles
+    & info [ "window" ] ~docv:"CYCLES"
+        ~doc:"Window size in simulated cycles (default 262144).")
+
+let jsonl_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "jsonl" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-window time series as JSONL (one object per \
+           window plus a trailing summary line).")
+
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's event stream as Chrome trace_event JSON; the \
+           monitor's per-window samples appear as a counter track \
+           ($(b,monitor.window)).")
+
+let top_arg =
+  Cmdliner.Arg.(
+    value & opt int 5
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Rows in the top-degrading loops/sites tables (default 5).")
+
+let max_latency_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-latency" ] ~docv:"WINDOWS"
+        ~doc:
+          "Gate the detection latency of a phase workload's planted \
+           shift: exit with code 2 when no Degraded verdict lands within \
+           $(docv) windows of the shift. Ignored for workloads without a \
+           marker.")
+
+let latency_gate_exit = 2
+
+let run name machine mode engine window jsonl trace top max_latency =
+  match find_workload name with
+  | None ->
+      prerr_endline ("unknown workload: " ^ name);
+      exit 1
+  | Some w ->
+      if window <= 0 then begin
+        prerr_endline "spf_mon: --window must be positive";
+        exit 1
+      end;
+      let result =
+        Workloads.Harness.run ~engine ~monitor:window ~mode ~machine w
+      in
+      let rep = Option.get result.Workloads.Harness.monitor in
+      Printf.printf "workload: %s  machine: %s  mode: %s  engine: %s\n"
+        result.workload result.machine
+        (Strideprefetch.Options.mode_name result.mode)
+        (Vm.Interp.engine_name engine);
+      Format.printf "%a" (Monitor.Report.pp_dashboard ~top) rep;
+      (match jsonl with
+      | Some path ->
+          Out_channel.with_open_text path (Monitor.Report.write_jsonl rep);
+          Printf.printf "per-window JSONL written to %s (%d windows)\n" path
+            (Array.length rep.Monitor.Report.windows)
+      | None -> ());
+      (match (trace, result.sink) with
+      | Some path, Some sink ->
+          let other =
+            [
+              ("workload", Telemetry.Json.Str result.workload);
+              ("machine", Telemetry.Json.Str result.machine);
+              ( "mode",
+                Telemetry.Json.Str (Strideprefetch.Options.mode_name result.mode)
+              );
+            ]
+          in
+          Telemetry.Trace.write_chrome ~other sink ~path;
+          Printf.printf "chrome trace written to %s\n" path
+      | Some _, None | None, _ -> ());
+      (* Detection latency against the planted shift, when there is one. *)
+      (match Workloads.Phase.marker_offset result.output with
+      | None -> ()
+      | Some off -> (
+          match Monitor.Report.detection_latency rep ~marker_offset:off with
+          | Monitor.Report.No_shift ->
+              print_endline "phase shift: marker past the last window"
+          | Monitor.Report.Undetected shift ->
+              Printf.printf "phase shift at window %d: NOT detected\n" shift;
+              if max_latency <> None then exit latency_gate_exit
+          | Monitor.Report.Detected { shift; degraded; latency } -> (
+              Printf.printf
+                "phase shift at window %d: degraded at window %d (latency %d \
+                 windows)\n"
+                shift degraded latency;
+              match max_latency with
+              | Some gate when latency > gate ->
+                  Printf.printf "latency gate FAILED (> %d windows)\n" gate;
+                  exit latency_gate_exit
+              | _ -> ())))
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "spf_mon" ~version:"1.0"
+      ~doc:
+        "Live windowed monitoring for the stride-prefetching simulator: \
+         phase-aware time-series metrics, degradation detectors, and a \
+         monitoring dashboard."
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.v info
+          Cmdliner.Term.(
+            const run $ workload_arg $ machine_arg $ mode_arg $ engine_arg
+            $ window_arg $ jsonl_arg $ trace_arg $ top_arg $ max_latency_arg)))

@@ -1,7 +1,8 @@
 (* Command-line driver: run workloads or MiniJava source files through the
    mini-JVM with stride prefetching, and compare configurations. *)
 
-let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
+let workloads =
+  Workloads.Specjvm.all @ Workloads.Javagrande.all @ Workloads.Phase.all
 
 let find_workload name =
   List.find_opt
@@ -176,6 +177,18 @@ let profile_arg =
            top-down cycle accounting (see $(b,spf_prof) for the full \
            table/flamegraph/JSON tooling).")
 
+let monitor_arg =
+  Cmdliner.Arg.(
+    value
+    & opt ~vopt:(Some Monitor.Collector.default_window_cycles) (some int) None
+    & info [ "monitor" ] ~docv:"WINDOW"
+        ~doc:
+          "Run with the live windowed monitor armed (implies telemetry) \
+           and print the monitoring dashboard: per-window prefetch \
+           usefulness, stall-bin mix and degradation verdicts. $(docv) is \
+           the window size in simulated cycles (default 262144). See \
+           $(b,spf_mon) for the full time-series tooling.")
+
 let prediction_conv =
   let parse s =
     match Strideprefetch.Options.prediction_of_string s with
@@ -228,8 +241,11 @@ let print_result ~verbose (r : Workloads.Harness.run_result) =
     List.iter
       (fun rep -> Format.printf "%a@." Strideprefetch.Pass.pp_report rep)
       r.reports;
-  match r.profile with
+  (match r.profile with
   | Some rep -> Format.printf "@.%a@." (Profile.Report.pp_topdown ~top:10) rep
+  | None -> ());
+  match r.monitor with
+  | Some rep -> Format.printf "@.%a" (Monitor.Report.pp_dashboard ~top:5) rep
   | None -> ()
 
 (* Telemetry epilogue shared by [run] and [file]: effectiveness table plus
@@ -263,7 +279,8 @@ let list_cmd =
         Printf.printf "%-12s %-10s %s\n" w.name
           (match w.suite with
           | `Specjvm -> "SPECjvm98"
-          | `Javagrande -> "JavaGrande")
+          | `Javagrande -> "JavaGrande"
+          | `Phase -> "Phase")
           w.description)
       workloads
   in
@@ -279,7 +296,7 @@ let run_cmd =
       & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,list)).")
   in
   let run name machine hw mode verbose interproc phased prediction trace
-      explain profile engine max_steps =
+      explain profile monitor engine max_steps =
     match find_workload name with
     | None ->
         prerr_endline ("unknown workload: " ^ name);
@@ -291,7 +308,7 @@ let run_cmd =
           with_budget_exit (fun () ->
               Workloads.Harness.run ~opts
                 ~telemetry:(trace <> None)
-                ~profile ~engine
+                ~profile ?monitor ~engine
                 ~tweak_options:(tweak_max_steps max_steps)
                 ~mode ~machine w)
         in
@@ -303,7 +320,8 @@ let run_cmd =
     Cmdliner.Term.(
       const run $ workload_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
       $ verbose_arg $ interproc_arg $ phased_arg $ prediction_arg
-      $ trace_arg $ explain_arg $ profile_arg $ engine_arg $ max_steps_arg)
+      $ trace_arg $ explain_arg $ profile_arg $ monitor_arg $ engine_arg
+      $ max_steps_arg)
 
 let compare_cmd =
   let workload_arg =
@@ -350,7 +368,7 @@ let file_cmd =
       & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file.")
   in
   let run path machine hw mode verbose interproc phased prediction trace
-      explain profile engine max_steps =
+      explain profile monitor engine max_steps =
     let machine = apply_hw_prefetch hw machine in
     let source = In_channel.with_open_text path In_channel.input_all in
     match Minijava.Compile.program_of_source source with
@@ -373,7 +391,7 @@ let file_cmd =
           with_budget_exit (fun () ->
               Workloads.Harness.run ~opts
                 ~telemetry:(trace <> None)
-                ~profile ~engine
+                ~profile ?monitor ~engine
                 ~tweak_options:(tweak_max_steps max_steps)
                 ~mode ~machine w)
         in
@@ -385,7 +403,8 @@ let file_cmd =
     Cmdliner.Term.(
       const run $ path_arg $ machine_arg $ hw_prefetch_arg $ mode_arg
       $ verbose_arg $ interproc_arg $ phased_arg $ prediction_arg
-      $ trace_arg $ explain_arg $ profile_arg $ engine_arg $ max_steps_arg)
+      $ trace_arg $ explain_arg $ profile_arg $ monitor_arg $ engine_arg
+      $ max_steps_arg)
 
 let () =
   let info =

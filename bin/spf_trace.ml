@@ -178,7 +178,11 @@ let run name machine hw mode trace metrics explain phased capacity =
       (match metrics with
       | Some path ->
           Telemetry.Trace.write_jsonl ~extra:other sink ~path;
-          Printf.printf "JSONL metrics written to %s\n" path
+          Printf.printf
+            "JSONL metrics written to %s (%d events + summary, %d dropped)\n"
+            path
+            (List.length (Telemetry.Sink.events sink))
+            (Telemetry.Sink.dropped sink)
       | None -> ())
 
 let () =

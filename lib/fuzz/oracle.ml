@@ -64,6 +64,7 @@ type failure =
   | Engine_divergence of { cell : cell; message : string }
   | Hw_divergence of { cell : cell; hw : string; message : string }
   | Prediction_divergence of { cell : cell; tier : string; message : string }
+  | Monitor_divergence of { cell : cell; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -110,6 +111,11 @@ let describe = function
         "[%s] prediction tier %s diverged from dynamic inspection \
          (static/hybrid plans must stay observationally equivalent): %s"
         (cell_name cell) tier message
+  | Monitor_divergence { cell; message } ->
+      Printf.sprintf
+        "[%s] the live monitor perturbed the simulation (must be \
+         observe-only) or its window books don't balance: %s"
+        (cell_name cell) message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
 let stats_invariants (cell : cell) (r : Workloads.Harness.run_result) =
@@ -526,6 +532,122 @@ let prediction_crosscheck ~opts ?tweak_options workload =
       | Some f -> Some f
       | None -> check_tier O.Hybrid)
 
+(* Monitor cross-check: the headline configuration re-run with the live
+   windowed monitor armed (4096-cycle windows — small enough that even
+   tiny fuzzed programs close several) against its plain twin. The
+   monitor must observe without participating: program output, cycles
+   and every core counter bit-identical to the unmonitored run — the
+   class of bug the [fault_monitor_desync] self-test injects (a
+   window-boundary fire that charges a cycle), invisible to every check
+   above because the default matrix never arms a monitor. And the
+   monitor's own books must balance: the per-window stats deltas and
+   attribution outcomes must sum back exactly to the end-of-run totals
+   (the tail partial window included), else windowing lost or invented
+   events. *)
+let monitor_crosscheck ~opts ?tweak_options workload =
+  let cell =
+    {
+      mode = O.Inter_intra;
+      standard_passes = true;
+      machine = Memsim.Config.pentium4;
+    }
+  in
+  let run_plain () =
+    Workloads.Harness.run ~opts ?tweak_options ~mode:cell.mode
+      ~machine:cell.machine workload
+  in
+  let run_monitored () =
+    Workloads.Harness.run ~opts ?tweak_options ~monitor:4096 ~mode:cell.mode
+      ~machine:cell.machine workload
+  in
+  match (run_plain (), run_monitored ()) with
+  | exception e -> Some (Crash { cell; message = Printexc.to_string e })
+  | plain, mon -> (
+      let diverged message = Some (Monitor_divergence { cell; message }) in
+      if plain.Workloads.Harness.output <> mon.Workloads.Harness.output then
+        diverged "program output differs"
+      else if plain.cycles <> mon.cycles then
+        diverged
+          (Printf.sprintf "cycles differ: plain=%d monitored=%d" plain.cycles
+             mon.cycles)
+      else if
+        plain.faulting_prefetches <> mon.faulting_prefetches
+        || plain.spec_guard_trips <> mon.spec_guard_trips
+      then diverged "fault/guard counters differ"
+      else
+        match
+          List.find_opt
+            (fun ((k, a), (k', b)) -> k <> k' || a <> b)
+            (List.combine
+               (Memsim.Stats.core_alist plain.stats)
+               (Memsim.Stats.core_alist mon.stats))
+        with
+        | Some ((k, a), (_, b)) ->
+            diverged
+              (Printf.sprintf "core counter %s differs: plain=%d monitored=%d"
+                 k a b)
+        | None -> (
+            match mon.monitor with
+            | None -> diverged "monitored run produced no monitor report"
+            | Some rep -> (
+                let windows = rep.Monitor.Report.windows in
+                let totals = Memsim.Stats.core_alist mon.stats in
+                let sums = Array.make (List.length totals) 0 in
+                Array.iter
+                  (fun (w : Monitor.Window.t) ->
+                    List.iteri
+                      (fun i (_, v) -> sums.(i) <- sums.(i) + v)
+                      (Memsim.Stats.core_alist w.Monitor.Window.stats))
+                  windows;
+                let rec first_mismatch i = function
+                  | [] -> None
+                  | (k, total) :: rest ->
+                      if sums.(i) <> total then Some (k, sums.(i), total)
+                      else first_mismatch (i + 1) rest
+                in
+                match first_mismatch 0 totals with
+                | Some (k, s, total) ->
+                    diverged
+                      (Printf.sprintf
+                         "window deltas for %s sum to %d but the run total \
+                          is %d"
+                         k s total)
+                | None -> (
+                    match mon.effectiveness with
+                    | None ->
+                        diverged "monitored run produced no attribution"
+                    | Some eff -> (
+                        let t = eff.Workloads.Effectiveness.totals in
+                        let sum f =
+                          Array.fold_left (fun a w -> a + f w) 0 windows
+                        in
+                        let books =
+                          [
+                            ( "issued",
+                              sum (fun (w : Monitor.Window.t) -> w.issued),
+                              t.Memsim.Attribution.issued );
+                            ( "useful",
+                              sum (fun (w : Monitor.Window.t) -> w.useful),
+                              t.useful );
+                            ( "late",
+                              sum (fun (w : Monitor.Window.t) -> w.late),
+                              t.late );
+                            ( "useless",
+                              sum (fun (w : Monitor.Window.t) -> w.useless),
+                              t.useless );
+                          ]
+                        in
+                        match
+                          List.find_opt (fun (_, s, tot) -> s <> tot) books
+                        with
+                        | Some (k, s, tot) ->
+                            diverged
+                              (Printf.sprintf
+                                 "window %s deltas sum to %d but the \
+                                  attribution total is %d"
+                                 k s tot)
+                        | None -> None)))))
+
 let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
     ~heap_limit_bytes () =
   match
@@ -620,8 +742,9 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                 | [] -> (
                     (* Differential matrix clean: append the telemetry
                        observer-effect pair, the switch-vs-closure
-                       engine pair, the hardware-model triple, then the
-                       prediction-tier triple. *)
+                       engine pair, the hardware-model triple, the
+                       prediction-tier triple, then the monitored twin
+                       pair. *)
                     match telemetry_crosscheck ~opts ?tweak_options workload with
                     | Some f -> Fail f
                     | None -> (
@@ -640,7 +763,13 @@ let check ?(cells = default_cells) ?tweak_options ?tweak_prefetch ~source
                                     workload
                                 with
                                 | Some f -> Fail f
-                                | None -> Pass { cells_run = n + 10 }))))
+                                | None -> (
+                                    match
+                                      monitor_crosscheck ~opts ?tweak_options
+                                        workload
+                                    with
+                                    | Some f -> Fail f
+                                    | None -> Pass { cells_run = n + 12 })))))
                 | cell :: cells -> (
                     match run cell with
                     | Error f -> Fail f

@@ -74,6 +74,14 @@ type failure =
           stride is discovered (compile time, inspection iterations).
           Per-site static-vs-inspected disagreement is a scored metric
           ([spf_lint --predict]), never this failure *)
+  | Monitor_divergence of { cell : cell; message : string }
+      (** the live windowed monitor perturbed the simulation or kept bad
+          books: the headline configuration re-run with a 4096-cycle
+          monitor armed must be bit-identical to its plain twin (output,
+          cycles, every core counter — the monitor observes only), and
+          the monitor's per-window stats deltas and attribution outcomes
+          must sum back exactly to the end-of-run totals, tail partial
+          window included *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -105,8 +113,12 @@ val check :
     the hardware co-simulation axis. Last, the headline configuration is
     re-run under the [Static] and [Hybrid] prediction tiers, which must
     reproduce the inspect-tier output and reachable heap with no
-    faulting prefetches — the prediction-crosscheck axis. The two pairs
-    and two triples count 10 toward [cells_run]. [tweak_options] edits the
+    faulting prefetches — the prediction-crosscheck axis. Finally the
+    headline configuration is re-run with the live windowed monitor
+    armed (4096-cycle windows) and must be bit-identical to its plain
+    twin, with window books that sum back to the run totals — the
+    monitor-crosscheck axis. The three pairs and two triples count 12
+    toward [cells_run]. [tweak_options] edits the
     interpreter options in every cell — the hook the self-test uses to
     inject faults (e.g. [unguarded_spec_loads]) and prove the oracle
     catches them. [tweak_prefetch] likewise edits the prefetch-pass

@@ -221,8 +221,17 @@ let flush t =
 
 let tracked_lines t = Hashtbl.length t.l1_lines + Hashtbl.length t.l2_lines
 
-let totals t =
-  let acc = zero_counters () in
+(* Allocation-free windowed tap: the monitor samples totals at every
+   window boundary, so the accumulator is caller-owned and overwritten in
+   place. O(n_sites) per call; site counts are small and dense. *)
+let totals_into t ~into:acc =
+  acc.issued <- 0;
+  acc.cancelled <- 0;
+  acc.redundant <- 0;
+  acc.redundant_hw <- 0;
+  acc.useful <- 0;
+  acc.late <- 0;
+  acc.useless <- 0;
   for i = 0 to t.n_sites - 1 do
     let c = t.sites.(i) in
     acc.issued <- acc.issued + c.issued;
@@ -232,7 +241,11 @@ let totals t =
     acc.useful <- acc.useful + c.useful;
     acc.late <- acc.late + c.late;
     acc.useless <- acc.useless + c.useless
-  done;
+  done
+
+let totals t =
+  let acc = zero_counters () in
+  totals_into t ~into:acc;
   acc
 
 (* The conservation law of the outcome taxonomy. Promoted from the test

@@ -39,6 +39,15 @@ val site_counters : t -> int -> site_counters
 val totals : t -> site_counters
 (** Sum over all sites. *)
 
+val totals_into : t -> into:site_counters -> unit
+(** Allocation-free {!totals}: overwrite [into] with the sum over all
+    sites. The live-monitoring layer samples the outcome totals at every
+    window boundary through this, so a window close does not allocate in
+    memsim. *)
+
+val zero_counters : unit -> site_counters
+(** A fresh all-zero counter record (scratch for {!totals_into}). *)
+
 val note_issue : t -> site:int -> unit
 val note_cancelled : t -> site:int -> unit
 val note_redundant : t -> site:int -> unit

@@ -144,6 +144,14 @@ let add a b =
   List.iter (fun (_, get, set) -> set r (get a + get b)) fields;
   r
 
+let delta a b =
+  let r = create () in
+  List.iter (fun (_, get, set) -> set r (get a - get b)) fields;
+  r
+
+let delta_into a b ~into =
+  List.iter (fun (_, get, set) -> set into (get a - get b)) fields
+
 let per_instruction t misses =
   if t.retired_instructions = 0 then 0.0
   else float_of_int misses /. float_of_int t.retired_instructions

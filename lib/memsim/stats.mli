@@ -77,6 +77,18 @@ val copy_into : t -> into:t -> unit
 val add : t -> t -> t
 (** [add a b] is a fresh counter set with the component-wise sum. *)
 
+val delta : t -> t -> t
+(** [delta a b] is a fresh counter set with the component-wise difference
+    [a - b] — the windowed-counter helper: with [b] a snapshot taken at
+    the previous window boundary and [a] the live counters, the result is
+    exactly what happened inside the window. Derived from {!fields}, so a
+    newly added counter participates automatically. *)
+
+val delta_into : t -> t -> into:t -> unit
+(** Allocation-free [delta]: overwrite every counter of [into] with
+    [a - b]. The monitor's per-window sampling uses this so closing a
+    window costs no allocation beyond the retained window record. *)
+
 val l1_load_mpi : t -> float
 val l2_load_mpi : t -> float
 val dtlb_load_mpi : t -> float

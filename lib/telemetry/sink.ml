@@ -13,6 +13,10 @@ type t = {
   mutable cycle_source : unit -> int;
       (** reads the simulated cycle counter; installed by the harness once
           the interpreter exists *)
+  mutable next_drop_mark : int;
+      (** emit the next ["ring.dropped"] counter event once the drop
+          count reaches this (doubles each time, so a wrapping ring costs
+          O(log drops) self-reports instead of flooding itself) *)
 }
 
 let create ?(capacity = 65536) () =
@@ -20,11 +24,37 @@ let create ?(capacity = 65536) () =
     ring = Ring.create ~capacity ~dummy:Event.dummy;
     t0 = Unix.gettimeofday ();
     cycle_source = (fun () -> 0);
+    next_drop_mark = 1;
   }
 
 let set_cycle_source t f = t.cycle_source <- f
 let now_us t = (Unix.gettimeofday () -. t.t0) *. 1e6
 let cycles t = t.cycle_source ()
+
+(* Surface ring overwrites {e mid-run}: once the drop count crosses the
+   next power-of-two mark, record a ["ring.dropped"] counter event so an
+   exported trace shows when (on both clocks) the retained window
+   started losing history — not just the final total. The mark is
+   advanced before adding, so the self-report cannot recurse. *)
+let note_drops t =
+  let d = Ring.dropped t.ring in
+  if d >= t.next_drop_mark then begin
+    t.next_drop_mark <- (if d <= 0 then 1 else d * 2);
+    let ts_us = now_us t in
+    let c = t.cycle_source () in
+    Ring.add t.ring
+      {
+        Event.name = "ring.dropped";
+        cat = "telemetry";
+        phase = Event.Counter;
+        ts_us;
+        dur_us = 0.0;
+        cycles_begin = c;
+        cycles_end = c;
+        args =
+          [ ("dropped", Json.Int d); ("total", Json.Int (Ring.total t.ring)) ];
+      }
+  end
 
 let add_span t ?(cat = "") ?(args = []) ~name ~ts_us ~dur_us ~cycles_begin
     ~cycles_end () =
@@ -38,7 +68,8 @@ let add_span t ?(cat = "") ?(args = []) ~name ~ts_us ~dur_us ~cycles_begin
       cycles_begin;
       cycles_end;
       args;
-    }
+    };
+  note_drops t
 
 let span t ?cat ?args name f =
   let ts_us = now_us t in
@@ -68,7 +99,8 @@ let instant t ?(cat = "") ?(args = []) name =
       cycles_begin = c;
       cycles_end = c;
       args;
-    }
+    };
+  note_drops t
 
 let counter t ?(cat = "") name args =
   let ts_us = now_us t in
@@ -83,7 +115,8 @@ let counter t ?(cat = "") name args =
       cycles_begin = c;
       cycles_end = c;
       args;
-    }
+    };
+  note_drops t
 
 let events t = Ring.to_list t.ring
 let total_events t = Ring.total t.ring

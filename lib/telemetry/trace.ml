@@ -86,8 +86,25 @@ let jsonl_line ?(extra = []) (e : Event.t) =
   in
   Json.to_string (Json.Obj fields)
 
+(* The stream's last line is a summary object (distinguished by its
+   ["summary"] key) carrying the ring accounting: a consumer of a
+   truncated retained window can tell exactly how many events it is
+   missing. *)
+let jsonl_summary ?(extra = []) sink =
+  Json.to_string
+    (Json.Obj
+       (extra
+       @ [
+           ( "summary",
+             Json.Obj
+               [
+                 ("total_events", Json.Int (Sink.total_events sink));
+                 ("dropped_events", Json.Int (Sink.dropped sink));
+               ] );
+         ]))
+
 let jsonl_lines ?extra sink =
-  List.map (jsonl_line ?extra) (Sink.events sink)
+  List.map (jsonl_line ?extra) (Sink.events sink) @ [ jsonl_summary ?extra sink ]
 
 let write_jsonl ?extra sink ~path =
   let oc = open_out path in

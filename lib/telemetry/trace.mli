@@ -13,7 +13,14 @@ val chrome_json : ?other:(string * Json.t) list -> Sink.t -> Json.t
 val write_chrome : ?other:(string * Json.t) list -> Sink.t -> path:string -> unit
 
 val jsonl_line : ?extra:(string * Json.t) list -> Event.t -> string
+
+val jsonl_summary : ?extra:(string * Json.t) list -> Sink.t -> string
+(** The stream's trailing summary object (keyed ["summary"]): total and
+    dropped event counts, so a consumer of a truncated retained window
+    knows what it is missing. *)
+
 val jsonl_lines : ?extra:(string * Json.t) list -> Sink.t -> string list
-(** One JSON object per event; [extra] fields are stamped on every line. *)
+(** One JSON object per event, [extra] fields stamped on every line,
+    ending with {!jsonl_summary}. *)
 
 val write_jsonl : ?extra:(string * Json.t) list -> Sink.t -> path:string -> unit

@@ -28,6 +28,7 @@ type options = State.options = {
   engine : engine;
   fault_engine_desync : bool;
   fault_hw_desync : bool;
+  fault_monitor_desync : bool;
 }
 
 let default_options = State.default_options
@@ -80,8 +81,11 @@ let compiled_cycles (t : t) = t.compiled_cycles
 let faulting_prefetches (t : t) = t.faulting_prefetches
 let spec_guard_trips (t : t) = t.spec_guard_trips
 let steps (t : t) = t.steps
+let output_bytes (t : t) = Buffer.length t.out
 let set_telemetry = State.set_telemetry
 let set_profile = State.set_profile
+let set_monitor = State.set_monitor
+let combine_profile_hooks = State.combine_profile_hooks
 let attribution = State.attribution
 let finalize_telemetry = State.finalize_telemetry
 let call = State.call

@@ -60,6 +60,13 @@ type options = {
           appends a sentinel line to program output at end of run — an
           architectural divergence only the {none,stream,rpt} HW
           cross-check can see. Default [false]. *)
+  fault_monitor_desync : bool;
+      (** fault-injection knob for the fuzz oracle's monitor axis: when
+          true every window-boundary fire charges one extra simulated
+          cycle, making the monitor an observer that participates — the
+          exact defect the monitor observer-effect cross-check (plain vs
+          monitored run at equal cycles) exists to catch. Default
+          [false]. *)
 }
 
 val default_options : Memsim.Config.machine -> options
@@ -84,6 +91,11 @@ val stats : t -> Memsim.Stats.t
 val options : t -> options
 val output : t -> string
 (** Everything the program printed, one value per line. *)
+
+val output_bytes : t -> int
+(** Length of the program output so far, without copying it. The live
+    monitor samples this at window boundaries to locate planted phase
+    markers in the output stream. *)
 
 val global : t -> int -> Value.t
 (** Current value of a static slot (read-only view for object inspection). *)
@@ -169,6 +181,33 @@ val set_profile : t -> profile_hooks -> unit
     ({!set_telemetry}) — the per-access stall breakdown is maintained
     only by the hierarchy's attributed path; raises [Invalid_argument]
     otherwise. *)
+
+val combine_profile_hooks : profile_hooks -> profile_hooks -> profile_hooks
+(** Fan out one charge stream to two observers ([a] fires before [b] on
+    every call). {!set_profile} is single-consumer by design — the
+    disabled state must stay a single [None] test on the hot paths — so
+    a run that wants both the object-centric profiler and the live
+    monitor installs one combined hook set. *)
+
+val set_monitor :
+  t -> window_cycles:int -> on_window:(boundary:int -> unit) -> unit
+(** Arm the windowed-monitoring boundary hook: [on_window] fires the
+    first time the simulated cycle counter reaches or passes each
+    multiple of [window_cycles] (once per crossed boundary — a single
+    long stall or GC bill may fire it several times back to back).
+    [boundary] is the boundary's nominal cycle count.
+
+    The callback runs between instructions on the charging path and must
+    observe only: reading stats, attribution or program counters is
+    fine; executing code or touching simulated state is not. Boundaries
+    are a pure function of the cycle stream, so they land at identical
+    simulated cycles on both execution engines (their bit-identity
+    contract covers the charge sequence). Monitoring joins the observer
+    fingerprint: the closure engine compiles the instrumented handler
+    variant while a monitor is armed, and a monitored run remains
+    bit-identical in every simulated observable to an unmonitored one
+    (golden- and fuzz-checked). Raises [Invalid_argument] when
+    [window_cycles <= 0]. *)
 
 val finalize_telemetry : t -> unit
 (** Settle the attribution books at end of run: still-untouched prefetch

@@ -47,6 +47,13 @@ type options = {
           appends a sentinel line to program output at end of run — an
           architectural divergence only the {none,stream,rpt} HW
           cross-check can catch. Proves that axis adds real coverage. *)
+  fault_monitor_desync : bool;
+      (** fault-injection knob for the fuzz oracle's monitor axis: when
+          true every window-boundary fire charges one extra simulated
+          cycle — the observer participating in the simulation, which is
+          exactly what the monitor observer-effect cross-check (plain vs
+          monitored run) exists to forbid. Proves that axis adds real
+          coverage. *)
 }
 
 let default_options machine =
@@ -62,6 +69,7 @@ let default_options machine =
     engine = Closure;
     fault_engine_desync = false;
     fault_hw_desync = false;
+    fault_monitor_desync = false;
   }
 
 (* Telemetry wiring, bundled so the disabled state is a single [None]
@@ -91,6 +99,22 @@ type profile_hooks = {
     mem:int -> unit;
   on_alloc : obj:int -> method_id:int -> pc:int -> bytes:int -> unit;
   on_gc : cycles:int -> unit;
+}
+
+(* Monitor wiring: fixed simulated-cycle window boundaries, polled on the
+   one chokepoint every instrumented cycle charge flows through
+   ([charge], plus GC's direct add). The callback observes only — it must
+   never touch simulated state. Window boundaries are a pure function of
+   the cycle stream, and the two engines charge identical cycle sequences
+   when instrumented (their bit-identity contract), so boundaries land at
+   identical cycles on both engines by construction. *)
+type monitor = {
+  window_cycles : int;
+  mutable next_boundary : int;
+  on_window : boundary:int -> unit;
+      (** called once per crossed boundary with the boundary's nominal
+          cycle count; a single large charge (a long stall, a GC) may
+          cross several boundaries and fires once for each *)
 }
 
 (* One instruction of a closure-compiled method body. Handlers capture
@@ -158,6 +182,12 @@ type t = {
   mutable prof : profile_hooks option;
       (** [None] (the default) disables profiling: off costs one
           immediate-constant test per charge site *)
+  mutable mon : monitor option;
+      (** [None] (the default) disables windowed monitoring: off costs
+          one immediate-constant test per [charge] — and none at all on
+          the closure engine's uninstrumented fast path, which batches
+          its base costs past [charge] entirely (monitoring is part of
+          the observer fingerprint, so that path never runs monitored) *)
   mutable engine_exec : t -> Frame.t -> Value.t option;
       (** the selected engine's method-body executor; wired by
           [Interp.create], dispatched through by [call] *)
@@ -220,6 +250,7 @@ let make ?options machine program =
     spec_guard_trips = 0;
     telem = None;
     prof = None;
+    mon = None;
     engine_exec =
       (fun _ _ -> invalid_arg "Vm.State: no execution engine wired");
   }
@@ -233,7 +264,7 @@ let make ?options machine program =
    next activation. *)
 let instrumented t =
   match (t.telem, t.prof, t.load_observer) with
-  | None, None, None -> false
+  | None, None, None -> t.mon <> None
   | _ -> true
 
 (* The profiler bin of an instruction's base execution slot. The base
@@ -264,6 +295,32 @@ let set_profile t hooks =
        first; the stall breakdown lives on the attributed hierarchy path)";
   t.prof <- Some hooks
 
+(* Fan-out combinator: [set_profile] is single-consumer by design (the
+   disabled state must stay a single [None] test), so a run that wants
+   both the object-centric profiler and the live monitor listening to the
+   same charge stream installs one combined hook set. [a] fires before
+   [b] on every call; both observe only, so order cannot matter for
+   correctness — it is fixed anyway to keep runs reproducible. *)
+let combine_profile_hooks a b =
+  {
+    on_cycles =
+      (fun ~method_id ~pc ~bin ~cycles ->
+        a.on_cycles ~method_id ~pc ~bin ~cycles;
+        b.on_cycles ~method_id ~pc ~bin ~cycles);
+    on_stall =
+      (fun ~method_id ~pc ~obj ~tlb ~l1 ~l2 ~mem ->
+        a.on_stall ~method_id ~pc ~obj ~tlb ~l1 ~l2 ~mem;
+        b.on_stall ~method_id ~pc ~obj ~tlb ~l1 ~l2 ~mem);
+    on_alloc =
+      (fun ~obj ~method_id ~pc ~bytes ->
+        a.on_alloc ~obj ~method_id ~pc ~bytes;
+        b.on_alloc ~obj ~method_id ~pc ~bytes);
+    on_gc =
+      (fun ~cycles ->
+        a.on_gc ~cycles;
+        b.on_gc ~cycles);
+  }
+
 let attribution t =
   match t.telem with Some tl -> Some tl.attrib | None -> None
 
@@ -281,12 +338,38 @@ let[@inline] audit_prefetch_addr t addr =
 
 let vm_error fmt = Printf.ksprintf (fun msg -> raise (Vm_error msg)) fmt
 
+(* A cycle charge crossed the current window boundary: close every window
+   the charge jumped over (a long stall or a GC bill can span several),
+   firing the callback once per boundary so window indices stay dense.
+   Out of line: the in-line cost of an armed monitor is one compare. *)
+let[@inline never] mon_fire t (m : monitor) =
+  while t.stats.cycles >= m.next_boundary do
+    let boundary = m.next_boundary in
+    m.next_boundary <- boundary + m.window_cycles;
+    if t.opts.fault_monitor_desync then t.stats.cycles <- t.stats.cycles + 1;
+    m.on_window ~boundary
+  done
+
+let[@inline] mon_poll t =
+  match t.mon with
+  | None -> ()
+  | Some m -> if t.stats.cycles >= m.next_boundary then mon_fire t m
+
+let set_monitor t ~window_cycles ~on_window =
+  if window_cycles <= 0 then
+    invalid_arg "Interp.set_monitor: window_cycles must be positive";
+  let next_boundary =
+    ((t.stats.cycles / window_cycles) + 1) * window_cycles
+  in
+  t.mon <- Some { window_cycles; next_boundary; on_window }
+
 let[@inline] charge t (frame : Frame.t) cycles =
   let stats = t.stats in
   stats.cycles <- stats.cycles + cycles;
   if frame.method_info.compiled then
     t.compiled_cycles <- t.compiled_cycles + cycles
-  else t.interpreted_cycles <- t.interpreted_cycles + cycles
+  else t.interpreted_cycles <- t.interpreted_cycles + cycles;
+  mon_poll t
 
 let[@inline] charge_stall t (frame : Frame.t) cycles =
   t.stats.stall_cycles <- t.stats.stall_cycles + cycles;
@@ -415,6 +498,12 @@ let collect_garbage t =
   t.gc_cycles <- t.gc_cycles + cycles;
   t.stats.cycles <- t.stats.cycles + cycles;
   (match t.prof with Some p -> p.on_gc ~cycles | None -> ());
+  (* GC is the one place cycles move without going through [charge]:
+     poll the monitor here too so a window boundary inside a large GC
+     bill closes at the same simulated cycle on both engines. Polled
+     after the [on_gc] hook so a monitor that bins GC cycles has seen
+     the bill by the time the window carrying it closes. *)
+  mon_poll t;
   (* Compaction rewrites the simulated address space: flush the hierarchy
      but keep the accumulated counters. [Stats.copy_into] owns the field
      list, so a newly added counter cannot silently desync here. *)

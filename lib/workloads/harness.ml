@@ -19,6 +19,7 @@ type run_result = {
   sink : Telemetry.Sink.t option;
   effectiveness : Effectiveness.t option;
   profile : Profile.Report.t option;
+  monitor : Monitor.Report.t option;
 }
 
 exception Invariant_violation of string
@@ -29,7 +30,7 @@ exception Invariant_violation of string
 let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     ?engine ?(capture_observables = false) ?(verify_each_pass = false)
     ?(telemetry = false) ?(profile = false) ?(predict = false) ?sink_capacity
-    ~mode ~machine (workload : Workload.t) =
+    ?monitor ?monitor_detect ~mode ~machine (workload : Workload.t) =
   let opts =
     let base =
       Option.value ~default:Strideprefetch.Options.default opts
@@ -57,8 +58,9 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
      hierarchy's [_attr] entry points and leaves the simulation
      bit-identical (asserted by the golden tests). *)
   (* Profiling rides the attributed hierarchy path, so it implies
-     telemetry. *)
-  let telemetry = telemetry || profile in
+     telemetry; so does monitoring (the useful-rate stream is
+     attribution, and the stall-bin stream is the profile hooks). *)
+  let telemetry = telemetry || profile || monitor <> None in
   let sink =
     if telemetry then Some (Telemetry.Sink.create ?capacity:sink_capacity ())
     else None
@@ -67,14 +69,25 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
   (match registry with
   | Some reg -> Vm.Interp.set_telemetry interp ~registry:reg ?sink ()
   | None -> ());
-  let collector =
-    if profile then begin
-      let c = Profile.Collector.create () in
-      Vm.Interp.set_profile interp (Profile.Collector.hooks c);
-      Some c
-    end
-    else None
+  let collector = if profile then Some (Profile.Collector.create ()) else None in
+  let mon =
+    Option.map
+      (fun window_cycles ->
+        Monitor.Collector.create ?detect:monitor_detect ?registry ?sink
+          ~window_cycles interp)
+      monitor
   in
+  (* One [set_profile] call whoever is listening: the disabled state must
+     stay a single [None] test on the hot paths, so two observers share
+     one fanned-out hook set. *)
+  (match (collector, mon) with
+  | Some c, Some m ->
+      Vm.Interp.set_profile interp
+        (Vm.Interp.combine_profile_hooks (Profile.Collector.hooks c)
+           (Monitor.Collector.hooks m))
+  | Some c, None -> Vm.Interp.set_profile interp (Profile.Collector.hooks c)
+  | None, Some m -> Vm.Interp.set_profile interp (Monitor.Collector.hooks m)
+  | None, None -> ());
   let reports = ref [] in
   (* The static tier is consulted only when asked for ([predict], for the
      agreement scorer) or needed (non-[Inspect] prediction tiers), so the
@@ -140,6 +153,9 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
           observe ~meth:m ~before ~after);
   ignore (Vm.Interp.run interp);
   Vm.Interp.finalize_telemetry interp;
+  (* After [finalize_telemetry]: the end-of-run attribution settlement
+     must land in the monitor's tail window. *)
+  Option.iter Monitor.Collector.finalize mon;
   let stats = Memsim.Stats.copy (Vm.Interp.stats interp) in
   let effectiveness =
     match (registry, Vm.Interp.attribution interp) with
@@ -209,6 +225,7 @@ let run ?opts ?(standard_passes = true) ?compile_observer ?tweak_options
     sink;
     effectiveness;
     profile = profile_report;
+    monitor = Option.map Monitor.Collector.report mon;
   }
 
 let speedup ~baseline result =

@@ -34,6 +34,9 @@ type run_result = {
       (** object-centric cycle profile of a [~profile:true] run: per-pc /
           per-loop / per-allocation-site stall attribution, ready for the
           top-down, folded-stack and JSON renderers *)
+  monitor : Monitor.Report.t option;
+      (** windowed time series + verdict timeline of a [~monitor] run,
+          ready for the dashboard / JSONL renderers *)
 }
 
 exception Invariant_violation of string
@@ -59,6 +62,8 @@ val run :
   ?profile:bool ->
   ?predict:bool ->
   ?sink_capacity:int ->
+  ?monitor:int ->
+  ?monitor_detect:Monitor.Detect.config ->
   mode:Strideprefetch.Options.mode ->
   machine:Memsim.Config.machine ->
   Workload.t ->
@@ -108,7 +113,16 @@ val run :
     profiler ({!Profile.Collector} hooks) and fills
     [run_result.profile]. Implies [telemetry]. Like telemetry, profiling
     observes only: cycles, stats and program output stay bit-identical
-    (fuzz-checked across the differential matrix). *)
+    (fuzz-checked across the differential matrix).
+
+    [monitor] (when given) arms the live windowed monitor with that
+    window size in simulated cycles and fills [run_result.monitor].
+    Implies [telemetry]; installs the {!Monitor.Collector} profile hooks
+    (fanned out with the object profiler's when both are on).
+    [monitor_detect] overrides the detector thresholds
+    (default {!Monitor.Detect.default}). Monitoring observes only:
+    cycles, stats and output stay bit-identical to an unmonitored run on
+    both engines (golden-, bench- and fuzz-enforced). *)
 
 val speedup : baseline:run_result -> run_result -> float
 (** [cycles(baseline) / cycles(optimized)]; 1.10 means 10% faster. The two

@@ -1,0 +1,253 @@
+(** Phase-shifting workloads for the live monitor.
+
+    Unlike the SPECjvm / JavaGrande analogues, these are not modelled on
+    paper benchmarks: they exist to {e change behaviour mid-run} so the
+    monitor's degradation detectors have a planted, precisely located
+    shift to find. Each prints {!marker} at the moment of its first
+    shift; the byte offset of that marker in the program output locates
+    the shift window ({!Monitor.Report.detection_latency}).
+
+    Two structural rules keep the planted shift clean:
+
+    - No method is {e first} made hot at the shift. The monitor
+      re-baselines its detectors whenever the JIT swaps a method body in
+      (a code change invalidates the learned baselines), so a
+      compilation landing on the shift window would eat the alarm. All
+      hot methods here go hot — and compile — during the opening phase;
+      the shift only changes data-access behaviour.
+    - Objects carry 18 int fields (~80 bytes), like JavaGrande Euler's
+      state vectors, so the inter-iteration stride clears the prefetch
+      pass's half-cache-line rule and prefetches are actually issued.
+
+    They are deliberately NOT part of [Specjvm.all] / [Javagrande.all]:
+    the bench matrix and its gate keys stay stable. They join only the
+    CLI workload lists and the monitor tests. *)
+
+let marker = 777777
+(** Printed (on its own line, like every [print]) at the first phase
+    shift. *)
+
+let marker_string = string_of_int marker
+
+(* PhaseShift: a walker over a statically co-allocated object array that
+   is driven through three phases — strided, shuffled, strided again.
+
+   Phase A walks the nodes in allocation order: the hot [walk] method is
+   JIT-compiled during this phase, object inspection sees the constant
+   inter-iteration stride, and the inserted prefetches run near-perfectly
+   useful. At the first shift the traversal order is shuffled: the
+   object actually touched next no longer sits one stride ahead, so the
+   same prefetches turn useless/late and the demand stream starts
+   missing to memory — the useful-rate and stall-mix detectors both have
+   something to say. The final phase restores allocation order.
+
+   [shuffle] inlines its LCG (no [Rng.next] calls) and both [shuffle]
+   and [restore] are pre-warmed — invoked and JIT-compiled — during
+   startup, so no method runs or compiles for the first time at the
+   shift. *)
+let phaseshift =
+  {
+    Workload.name = "PhaseShift";
+    suite = `Phase;
+    description = "strided -> shuffled -> strided walk over one object array";
+    paper_note =
+      "not from the paper: a planted mid-run access-pattern shift that \
+       invalidates the strides object inspection found at compile time";
+    heap_limit_bytes = 16 * 1024 * 1024;
+    source =
+      {|
+class PsNode {
+  int a; int b; int c; int d;
+  int e; int f; int g; int h;
+  int p0; int p1; int p2; int p3;
+  int p4; int p5; int p6; int p7;
+  int p8; int p9;
+  PsNode(int s) {
+    a = s; b = s + 1; c = s * 3 % 1024; d = 0;
+    e = s % 7; f = 0; g = 0; h = 0;
+    p0 = 0; p1 = 0; p2 = 0; p3 = 0;
+    p4 = 0; p5 = 0; p6 = 0; p7 = 0;
+    p8 = 0; p9 = 0;
+  }
+}
+
+class Walker {
+  PsNode[] nodes;
+  int[] order;
+  int n;
+  Walker(int count) {
+    nodes = new PsNode[count];
+    order = new int[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      nodes[i] = new PsNode(i);
+      order[i] = i;
+    }
+  }
+
+  void shuffle(int seed) {
+    /* inline LCG (no Rng call): the only methods this touches are
+       shuffle itself and walk, both warm before the shift */
+    int s = seed;
+    for (int i = 0; i < n; i = i + 1) {
+      s = (s * 1103515245 + 12345) % 2147483648;
+      if (s < 0) { s = 0 - s; }
+      int j = s % n;
+      int tmp = order[i];
+      order[i] = order[j];
+      order[j] = tmp;
+    }
+  }
+
+  void restore() {
+    for (int i = 0; i < n; i = i + 1) { order[i] = i; }
+  }
+
+  int walk() {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      PsNode p = nodes[order[i]];
+      acc = (acc + p.a + p.c - p.e) % 1048576;
+      p.d = acc;
+    }
+    return acc;
+  }
+
+  static void main() {
+    /* 6000 nodes x ~80 bytes = ~480 KB: node stride is past the
+       half-cache-line rule so INTER prefetches are emitted, and the
+       array is larger than both L2s so the shuffled phase misses to
+       memory. */
+    Walker w = new Walker(6000);
+    int acc = 0;
+    /* pre-warm: run shuffle/restore twice during startup so both are
+       invoked AND JIT-compiled before the steady phase — the planted
+       shift must carry no code novelty (the monitor re-baselines its
+       detectors whenever code first runs or gets compiled) */
+    w.shuffle(3);
+    w.restore();
+    w.shuffle(5);
+    w.restore();
+    for (int it = 0; it < 30; it = it + 1) {
+      acc = (acc + w.walk()) % 1048576;
+    }
+    print(777777);
+    w.shuffle(7);
+    for (int it = 0; it < 30; it = it + 1) {
+      acc = (acc + w.walk()) % 1048576;
+    }
+    print(777778);
+    w.restore();
+    for (int it = 0; it < 30; it = it + 1) {
+      acc = (acc + w.walk()) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+(* PhaseChurn: a steady strided sweep that mid-run starts allocating
+   transient garbage inside the loop. The heap limit is sized so the
+   garbage phase collects repeatedly: every compaction rewrites the
+   address space, flushes the caches and settles all in-flight prefetch
+   fills as useless — GC churn the stall-mix and useful-rate streams
+   both register.
+
+   One [sweep] method carries both phases behind a [doalloc] flag: it
+   compiles during phase A, so the shift changes only which branch runs
+   — no code swap, and the in-loop allocation site first {e executes}
+   mid-run (alloc-site drift) without any constructor going hot. *)
+let churn =
+  {
+    Workload.name = "PhaseChurn";
+    suite = `Phase;
+    description = "steady sweep that mid-run starts allocating in the loop";
+    paper_note =
+      "not from the paper: planted mid-run compaction churn — repeated \
+       GCs invalidate prefetch state and shift the stall mix";
+    heap_limit_bytes = 12 * 1024 * 1024;
+    source =
+      {|
+class CnCell {
+  int a; int b; int c; int d;
+  int e; int f; int g; int h;
+  int q0; int q1; int q2; int q3;
+  int q4; int q5; int q6; int q7;
+  int q8; int q9;
+  CnCell(int s) {
+    a = s; b = s * 5 % 4096; c = 0; d = 0;
+    e = 0; f = 0; g = 0; h = 0;
+    q0 = 0; q1 = 0; q2 = 0; q3 = 0;
+    q4 = 0; q5 = 0; q6 = 0; q7 = 0;
+    q8 = 0; q9 = 0;
+  }
+}
+
+class Churn {
+  CnCell[] cells;
+  int n;
+  Churn(int count) {
+    cells = new CnCell[count];
+    n = count;
+    for (int i = 0; i < count; i = i + 1) {
+      cells[i] = new CnCell(i);
+    }
+  }
+
+  int sweep(int doalloc) {
+    int acc = 0;
+    for (int i = 0; i + 1 < n; i = i + 1) {
+      CnCell cur = cells[i];
+      CnCell nxt = cells[i + 1];
+      if (doalloc == 1) {
+        /* transient garbage: dead after this iteration; the site first
+           executes mid-run */
+        int[] tmp = new int[64];
+        tmp[0] = cur.a + i;
+        acc = acc + tmp[0];
+      }
+      acc = (acc + cur.a + nxt.b - cur.e) % 1048576;
+      cur.c = acc;
+    }
+    return acc;
+  }
+
+  static void main() {
+    /* 6000 cells x ~80 bytes = ~480 KB sweep working set; cell stride
+       clears the half-cache-line rule so INTER prefetches are
+       emitted. */
+    Churn c = new Churn(6000);
+    int acc = 0;
+    for (int it = 0; it < 36; it = it + 1) {
+      acc = (acc + c.sweep(0)) % 1048576;
+    }
+    print(777777);
+    for (int it = 0; it < 22; it = it + 1) {
+      acc = (acc + c.sweep(1)) % 1048576;
+    }
+    print(acc);
+  }
+}
+|};
+  }
+
+let all = [ phaseshift; churn ]
+
+(** Byte offset of the first {!marker} line in a run's program output,
+    or [None] when it never printed (program output is one value per
+    line). *)
+let marker_offset output =
+  let line = marker_string ^ "\n" in
+  let rec search from =
+    match String.index_from_opt output from '7' with
+    | None -> None
+    | Some i ->
+        if
+          i + String.length line <= String.length output
+          && String.sub output i (String.length line) = line
+          && (i = 0 || output.[i - 1] = '\n')
+        then Some i
+        else search (i + 1)
+  in
+  search 0

@@ -1,0 +1,27 @@
+(** Phase-shifting workloads for the live monitor: synthetic programs
+    that change behaviour mid-run so the degradation detectors have a
+    planted, precisely located shift to find. Not part of the paper's
+    benchmark suites or the bench matrix. *)
+
+val marker : int
+(** Printed on its own line at the first phase shift. *)
+
+val marker_string : string
+
+val phaseshift : Workload.t
+(** Strided -> shuffled -> strided walk over one co-allocated object
+    array: the shuffle invalidates the strides object inspection
+    compiled against, collapsing the useful rate and pushing the demand
+    stream out to memory. *)
+
+val churn : Workload.t
+(** Steady strided sweep that mid-run starts allocating transient
+    garbage in the loop, forcing repeated compactions that flush caches
+    and settle in-flight prefetches useless. *)
+
+val all : Workload.t list
+
+val marker_offset : string -> int option
+(** Byte offset of the first marker line in a run's program output
+    (input to {!Monitor.Report.detection_latency}), or [None] when the
+    program never shifted. *)

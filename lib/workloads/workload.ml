@@ -7,7 +7,7 @@
 
 type t = {
   name : string;
-  suite : [ `Specjvm | `Javagrande ];
+  suite : [ `Specjvm | `Javagrande | `Phase ];
   description : string;  (** Table 3 description analogue *)
   paper_note : string;
       (** what the paper says drives this benchmark's behaviour *)

@@ -7,7 +7,10 @@
 
 type t = {
   name : string;
-  suite : [ `Specjvm | `Javagrande ];
+  suite : [ `Specjvm | `Javagrande | `Phase ];
+      (** [`Phase]: not a paper benchmark — a synthetic phase-shifting
+          family driven by the live monitor (not part of the bench
+          matrix) *)
   description : string;  (** Table 3 description analogue *)
   paper_note : string;
       (** what the paper says drives this benchmark's behaviour *)

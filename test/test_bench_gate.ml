@@ -141,6 +141,7 @@ let synth_run ?(schema = Report.schema) cells =
             engine = "closure";
             telemetry = false;
             profile = false;
+            monitor = false;
             hw = Gate.default_hw;
             sw_threshold = None;
             prediction = None;

@@ -16,4 +16,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("profile", Test_profile.suite);
       ("bench-gate", Test_bench_gate.suite);
+      ("monitor", Test_monitor.suite);
     ]

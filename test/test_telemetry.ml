@@ -93,20 +93,43 @@ let test_json_roundtrip () =
 (* ------------------------------------------------------------------ *)
 (* The event ring: overwrite-on-wrap with a drop count. *)
 
+(* Drops self-report: once the drop count crosses a doubling mark the
+   sink records a ["ring.dropped"] counter event in the ring itself, so
+   truncation is visible mid-run, not only at exit. With capacity 4 and
+   ten instants e0..e9 the add sequence is forced:
+
+     e0 e1 e2 e3          fill, no drops
+     e4  -> d=1 >= mark 1  -> C(d=1), mark 2
+     e5  -> d=3 >= mark 2  -> C(d=3), mark 6
+     e6  -> d=5 <  mark 6
+     e7  -> d=6 >= mark 6  -> C(d=6), mark 12
+     e8 e9                 -> d=9
+
+   13 adds total, 9 dropped, retained window [e7; C; e8; e9]. *)
 let test_ring_wrap () =
   let sink = Telemetry.Sink.create ~capacity:4 () in
   for i = 0 to 9 do
     Telemetry.Sink.instant sink (Printf.sprintf "e%d" i)
   done;
-  Alcotest.(check int) "all events counted" 10
+  Alcotest.(check int) "user events + 3 self-reports counted" 13
     (Telemetry.Sink.total_events sink);
-  Alcotest.(check int) "oldest overwritten" 6 (Telemetry.Sink.dropped sink);
+  Alcotest.(check int) "oldest overwritten" 9 (Telemetry.Sink.dropped sink);
   Alcotest.(check (list string))
     "retained window is the newest events, oldest first"
-    [ "e6"; "e7"; "e8"; "e9" ]
+    [ "e7"; "ring.dropped"; "e8"; "e9" ]
     (List.map
        (fun (e : Telemetry.Event.t) -> e.name)
-       (Telemetry.Sink.events sink))
+       (Telemetry.Sink.events sink));
+  let c =
+    List.find
+      (fun (e : Telemetry.Event.t) -> e.name = "ring.dropped")
+      (Telemetry.Sink.events sink)
+  in
+  Alcotest.(check bool) "self-report is a counter" true
+    (c.phase = Telemetry.Event.Counter);
+  Alcotest.(check bool) "self-report carries the drop count at fire time"
+    true
+    (List.assoc_opt "dropped" c.args = Some (Telemetry.Json.Int 6))
 
 (* ------------------------------------------------------------------ *)
 (* The site registry. *)
@@ -437,10 +460,17 @@ let test_jsonl_well_formed () =
   let lines =
     Telemetry.Trace.jsonl_lines ~extra:[ ("machine", J.Str r.H.machine) ] sink
   in
+  (* Event lines, plus the trailing summary object. *)
   Alcotest.(check int)
-    "one line per retained event"
-    (List.length (Telemetry.Sink.events sink))
+    "one line per retained event plus the summary"
+    (List.length (Telemetry.Sink.events sink) + 1)
     (List.length lines);
+  let rec split_last acc = function
+    | [] -> assert false
+    | [ last ] -> (List.rev acc, last)
+    | l :: rest -> split_last (l :: acc) rest
+  in
+  let event_lines, summary_line = split_last [] lines in
   List.iter
     (fun line ->
       match J.parse line with
@@ -454,7 +484,23 @@ let test_jsonl_well_formed () =
               Alcotest.(check string) "extra stamped on every line"
                 r.H.machine m
           | _ -> Alcotest.fail "extra field missing"))
-    lines
+    event_lines;
+  match J.parse summary_line with
+  | Error e -> Alcotest.failf "summary does not parse: %s" e
+  | Ok v -> (
+      (match J.member "machine" v with
+      | Some (J.Str m) ->
+          Alcotest.(check string) "extra stamped on the summary" r.H.machine m
+      | _ -> Alcotest.fail "summary missing extra field");
+      match J.member "summary" v with
+      | Some (J.Obj fields) ->
+          Alcotest.(check bool) "summary.total_events" true
+            (List.assoc_opt "total_events" fields
+            = Some (J.Int (Telemetry.Sink.total_events sink)));
+          Alcotest.(check bool) "summary.dropped_events" true
+            (List.assoc_opt "dropped_events" fields
+            = Some (J.Int (Telemetry.Sink.dropped sink)))
+      | _ -> Alcotest.fail "last line is not the summary object")
 
 let suite =
   [
