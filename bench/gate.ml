@@ -44,6 +44,11 @@ type cell_rec = {
   prediction : string option;
       (** prediction tier of a prediction-sweep cell; [None] (the
           dynamic-inspection default) for canonical-matrix cells *)
+  blame : J.t option;
+      (** compact per-loop blame payload of a profiled cell (raw JSON,
+          ingested by [Diff.Rundata.of_bench_blame] when the gate needs
+          to explain a cycle regression); [None] for unprofiled cells
+          and for reports written before the blame lane existed *)
   seconds : float;
   cycles : int;
 }
@@ -120,6 +125,7 @@ let cell_of_json ~label i j =
           hw = Option.value ~default:default_hw (mem_str "hw_prefetch" j);
           sw_threshold = mem_int "sw_threshold" j;
           prediction = mem_str "prediction" j;
+          blame = J.member "blame" j;
           seconds;
           cycles;
         }

@@ -39,6 +39,12 @@ type cell_rec = {
       (** prediction tier of a prediction-sweep cell; [None] (the
           dynamic-inspection default) for canonical-matrix cells and for
           reports written before the prediction lane existed *)
+  blame : Telemetry.Json.t option;
+      (** compact per-loop blame payload of a profiled cell, raw — fed
+          to [Diff.Rundata.of_bench_blame] when a failing gate explains
+          its cycle regressions; [None] for unprofiled cells and for
+          pre-blame reports (their cells keep matching: the payload is
+          not part of {!cell_key}) *)
   seconds : float;
   cycles : int;
 }

@@ -282,6 +282,30 @@ let cell_extras (c : Runner.cell) =
   let monitor = if c.monitor then ", \"monitor\": true" else "" in
   hw ^ threshold ^ prediction ^ monitor
 
+(* Per-loop blame payload of a profiled cell: the profiler's loop rows
+   (stall bins + totals, the straight-line remainders included) plus GC
+   cycles — enough for spf_bench to reconstruct a two-sided per-loop
+   cycle-delta report when the gate fails (lib/diff ingests it via
+   Rundata.of_bench_blame). Only profile:true cells carry it, so
+   canonical reports stay byte-compatible with pre-blame baselines. *)
+let blame_json (rep : Profile.Report.t) =
+  let bins b =
+    String.concat ", "
+      (List.map
+         (fun (name, get) -> Printf.sprintf "\"%s\": %d" name (get b))
+         Profile.Report.bin_fields)
+  in
+  let loop (l : Profile.Report.loop_row) =
+    Printf.sprintf
+      "{\"method\": \"%s\", \"loop\": %d, \"depth\": %d, \"actions\": %d, \
+       \"bins\": {%s}, \"total\": %d}"
+      (json_escape l.Profile.Report.l_method)
+      l.l_loop l.l_depth l.l_actions (bins l.l_bins) l.l_total
+  in
+  Printf.sprintf "{\"gc_cycles\": %d, \"loops\": [%s]}"
+    rep.Profile.Report.gc_cycles
+    (String.concat ", " (List.map loop rep.Profile.Report.loops))
+
 let to_json_string ?arbitration ?prediction ~jobs ~matrix_wall_seconds
     (timed : Runner.timed list) =
   let total_cell_seconds =
@@ -313,18 +337,23 @@ let to_json_string ?arbitration ?prediction ~jobs ~matrix_wall_seconds
             Printf.sprintf ", \"effectiveness\": %s" (effectiveness_json eff)
         | None -> ""
       in
+      let blame =
+        match t.result.H.profile with
+        | Some rep -> Printf.sprintf ", \"blame\": %s" (blame_json rep)
+        | None -> ""
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"machine\": \"%s\", \"mode\": \
             \"%s\", \"engine\": \"%s\", \"telemetry\": %b, \"profile\": \
-            %b%s, \"seconds\": %.6f, \"cycles\": %d%s}%s\n"
+            %b%s, \"seconds\": %.6f, \"cycles\": %d%s%s}%s\n"
            (json_escape t.cell.Runner.workload.W.name)
            (json_escape t.cell.Runner.machine.Memsim.Config.name)
            (json_escape (SP.Options.mode_name t.cell.Runner.mode))
            (Vm.Interp.engine_name t.cell.Runner.engine)
            t.cell.Runner.telemetry t.cell.Runner.profile
            (cell_extras t.cell) t.seconds
-           t.result.H.cycles effectiveness
+           t.result.H.cycles effectiveness blame
            (if i = List.length timed - 1 then "" else ",")))
     timed;
   Buffer.add_string buf "  ]\n}\n";

@@ -80,11 +80,102 @@ let record ~jobs path =
       (Report.dispatch_geomean pairs)
       (List.length pairs)
 
-let compare_runs ?threshold a b =
+(* ------------------------------------------------------------------ *)
+(* Blame on failure: when the gate trips on a cycle regression, explain
+   it — per-loop cycle deltas decomposed by stall bin (lib/diff's blame
+   report), so a red gate ships its own diagnosis instead of a bare
+   cycle count.
+
+   Two-sided when both reports embed the profiled cell's blame payload
+   (reports written by the current Report.to_json_string do); when the
+   baseline predates the blame lane, --gate-against falls back to a
+   one-sided fresh profiled re-run of the regressed cell — where the
+   cycles go now, even if the delta can't be split per loop. *)
+
+let blame_config (c : Gate.cell_rec) =
+  {
+    Diff.Rundata.c_workload = c.Gate.workload;
+    c_machine = c.machine;
+    c_mode = c.mode;
+    c_engine = c.engine;
+    c_hw = c.hw;
+    c_prediction = Option.value ~default:"inspect" c.prediction;
+    c_threshold = c.sw_threshold;
+    c_passes = true;
+  }
+
+let rundata_of_cell name (c : Gate.cell_rec) =
+  match c.Gate.blame with
+  | Some payload ->
+      Diff.Rundata.of_bench_blame ~config:(blame_config c)
+        ~cycles:c.Gate.cycles payload
+  | None -> Error (name ^ " carries no blame payload")
+
+(* The one-sided fallback rendering: the fresh run's hottest loops. *)
+let print_one_sided (rd : Diff.Rundata.t) =
+  let loops =
+    List.sort
+      (fun (a : Diff.Rundata.loop) b -> compare b.lr_total a.lr_total)
+      rd.Diff.Rundata.loops
+  in
+  List.iteri
+    (fun i (l : Diff.Rundata.loop) ->
+      if i < 5 then
+        Printf.printf "  %s/%s: %d cycles\n" l.Diff.Rundata.lr_method
+          (if l.lr_loop < 0 then "(straight-line)"
+           else Printf.sprintf "loop%d" l.lr_loop)
+          l.lr_total)
+    loops
+
+let max_explained = 3
+
+let explain_regressions ?rerun (c : Gate.comparison) =
+  let explain (p : Gate.pair) =
+    Printf.printf "\n--- blame: %s ---\n" p.Gate.key;
+    let b_side =
+      match (rundata_of_cell "run B" p.Gate.b, rerun) with
+      | (Ok _ as ok), _ -> ok
+      | Error _, Some fresh -> fresh p
+      | (Error _ as e), None -> e
+    in
+    match (rundata_of_cell "baseline" p.Gate.a, b_side) with
+    | Ok a, Ok b ->
+        let bl = Diff.Blame.build ~a ~b () in
+        print_string (Diff.Blame.render ~top:5 bl)
+    | Error why, Ok b ->
+        Printf.printf
+          "%s; one-sided diagnosis (profiled breakdown of the regressed \
+           run, %+d cycles vs baseline):\n"
+          why
+          (p.Gate.b.Gate.cycles - p.Gate.a.Gate.cycles);
+        print_one_sided b
+    | _, Error why ->
+        Printf.printf
+          "%s; re-record the baseline with the current writer or run \
+           --gate-against for a fresh profiled diagnosis\n"
+          why
+  in
+  match c.Gate.cycle_regressions with
+  | [] -> ()
+  | regressed ->
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      List.iter explain (take max_explained regressed);
+      let dropped = List.length regressed - max_explained in
+      if dropped > 0 then
+        Printf.printf
+          "\n(%d more regressed cell(s) not explained; fix the above \
+           first)\n"
+          dropped
+
+let compare_runs ?threshold ?rerun a b =
   let c = ok_or_die (Gate.compare_runs ?threshold ~a ~b ()) in
   print_string (Gate.render c);
   print_dispatch "A" a;
   print_dispatch "B" b;
+  if not (Gate.passes c) then explain_regressions ?rerun c;
   exit (Gate.gate_exit c)
 
 let compare_files ?threshold path_a path_b =
@@ -99,7 +190,43 @@ let gate_against ?threshold ~jobs baseline_path =
       (Gate.of_string ~label:"<fresh run>"
          (Report.to_json_string ~jobs ~matrix_wall_seconds:wall timed))
   in
-  compare_runs ?threshold a b
+  (* The fresh run is still in memory: a regressed cell whose baseline
+     has no blame payload is re-run with the profiler installed (one
+     cell — cheap next to the matrix) for the one-sided diagnosis. *)
+  let matches (t : Runner.timed) (c : Gate.cell_rec) =
+    t.Runner.cell.Runner.workload.W.name = c.Gate.workload
+    && t.Runner.cell.Runner.machine.Memsim.Config.name = c.Gate.machine
+    && SP.Options.mode_name t.Runner.cell.Runner.mode = c.Gate.mode
+    && Vm.Interp.engine_name t.Runner.cell.Runner.engine = c.Gate.engine
+    && t.Runner.cell.Runner.telemetry = c.Gate.telemetry
+    && t.Runner.cell.Runner.profile = c.Gate.profile
+    && t.Runner.cell.Runner.monitor = c.Gate.monitor
+    && Memsim.Config.hw_prefetch_to_string
+         t.Runner.cell.Runner.machine.Memsim.Config.hw_prefetch
+       = c.Gate.hw
+    && (match t.Runner.cell.Runner.opts with
+       | Some o ->
+           o.SP.Options.inter_stride_threshold = c.Gate.sw_threshold
+           && (if o.SP.Options.prediction <> SP.Options.Inspect then
+                 Some (SP.Options.prediction_name o.SP.Options.prediction)
+               else None)
+              = c.Gate.prediction
+       | None -> c.Gate.sw_threshold = None && c.Gate.prediction = None)
+  in
+  let rerun (p : Gate.pair) =
+    match List.find_opt (fun t -> matches t p.Gate.b) timed with
+    | None -> Error "regressed cell not found in the fresh run"
+    | Some t ->
+        let result =
+          match t.Runner.result.Workloads.Harness.profile with
+          | Some _ -> t.Runner.result
+          | None ->
+              (Runner.run_cell { t.Runner.cell with Runner.profile = true })
+                .Runner.result
+        in
+        Diff.Rundata.of_run ~config:(blame_config p.Gate.b) result
+  in
+  compare_runs ?threshold ~rerun a b
 
 (* --sweep-arbitration: the SW/HW arbitration sweep. The paper hands
    strides shorter than half a cache line to the hardware prefetcher

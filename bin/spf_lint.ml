@@ -15,53 +15,9 @@ let all_workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
 let all_modes =
   Strideprefetch.Options.[ Off; Inter; Inter_intra ]
 
-let hw_prefetch_conv =
-  let parse s =
-    match Memsim.Config.hw_prefetch_of_string s with
-    | Ok hw -> Ok hw
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf hw =
-    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
-  in
-  Arg.conv (parse, print)
-
-let hw_prefetch_arg =
-  Arg.(
-    value
-    & opt (some hw_prefetch_conv) None
-    & info [ "hw-prefetch" ] ~docv:"SPEC"
-        ~doc:
-          "Lint with a hardware prefetcher attached to every machine: \
-           $(b,none), $(b,stream)[:N[\\@D]] or $(b,rpt)[:SETSxWAYS[\\@D]]. \
-           The lints themselves are hardware-independent; this exercises \
-           the arbitrated configurations end to end.")
-
-let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
-  match hw with
-  | None -> machine
-  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
-
-let prediction_conv =
-  let parse s =
-    match Strideprefetch.Options.prediction_of_string s with
-    | Ok p -> Ok p
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf p =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.prediction_name p)
-  in
-  Arg.conv (parse, print)
-
-let prediction_arg =
-  Arg.(
-    value
-    & opt prediction_conv Strideprefetch.Options.Inspect
-    & info [ "prediction" ] ~docv:"TIER"
-        ~doc:
-          "Stride-prediction tier for the linted runs: $(b,inspect), \
-           $(b,static) or $(b,hybrid). Plans produced by every tier must \
-           be equally clean.")
+let hw_prefetch_arg = Cli_common.hw_prefetch_arg
+let apply_hw_prefetch = Cli_common.apply_hw_prefetch
+let prediction_arg = Cli_common.prediction_arg
 
 let predict_flag =
   Arg.(

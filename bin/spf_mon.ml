@@ -9,53 +9,7 @@
    [--max-latency], gated: exit code 2 when the monitor missed the shift
    or took too long. *)
 
-let workloads =
-  Workloads.Specjvm.all @ Workloads.Javagrande.all @ Workloads.Phase.all
-
-let find_workload name =
-  List.find_opt
-    (fun (w : Workloads.Workload.t) ->
-      String.lowercase_ascii w.name = String.lowercase_ascii name)
-    workloads
-
-let machine_conv =
-  let parse s =
-    match Memsim.Config.machine_of_name s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (m : Memsim.Config.machine) -> m.name)
-                     Memsim.Config.machines))))
-  in
-  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
-  Cmdliner.Arg.conv (parse, print)
-
-let mode_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
-    | "inter" -> Ok Strideprefetch.Options.Inter
-    | "inter+intra" | "inter_intra" | "interintra" ->
-        Ok Strideprefetch.Options.Inter_intra
-    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
-  in
-  let print ppf m =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let engine_conv =
-  let parse s =
-    match Vm.Interp.engine_of_string (String.lowercase_ascii s) with
-    | Some e -> Ok e
-    | None -> Error (`Msg "expected one of: closure, switch")
-  in
-  let print ppf e = Format.fprintf ppf "%s" (Vm.Interp.engine_name e) in
-  Cmdliner.Arg.conv (parse, print)
+let find_workload = Cli_common.find_workload
 
 let workload_arg =
   Cmdliner.Arg.(
@@ -66,29 +20,9 @@ let workload_arg =
           "Workload name (see $(b,spf_run list)); the $(b,PhaseShift) and \
            $(b,PhaseChurn) workloads carry a planted mid-run shift.")
 
-let machine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt machine_conv Memsim.Config.pentium4
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Simulated machine (pentium4 or athlonmp).")
-
-let mode_arg =
-  Cmdliner.Arg.(
-    value
-    & opt mode_conv Strideprefetch.Options.Inter_intra
-    & info [ "p"; "mode" ] ~docv:"MODE"
-        ~doc:"Prefetching mode: off, inter, or inter+intra.")
-
-let engine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt engine_conv Vm.Interp.Closure
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:
-          "Execution engine (closure or switch). Window boundaries are a \
-           pure function of the simulated cycle stream, so the verdict \
-           timeline is identical under both.")
+let machine_arg = Cli_common.machine_arg
+let mode_arg = Cli_common.mode_arg
+let engine_arg = Cli_common.engine_arg
 
 let window_arg =
   Cmdliner.Arg.(
@@ -135,7 +69,8 @@ let max_latency_arg =
 
 let latency_gate_exit = 2
 
-let run name machine mode engine window jsonl trace top max_latency =
+let run name machine hw mode engine prediction window jsonl trace top
+    max_latency =
   match find_workload name with
   | None ->
       prerr_endline ("unknown workload: " ^ name);
@@ -145,8 +80,10 @@ let run name machine mode engine window jsonl trace top max_latency =
         prerr_endline "spf_mon: --window must be positive";
         exit 1
       end;
+      let machine = Cli_common.apply_hw_prefetch hw machine in
+      let opts = { Strideprefetch.Options.default with prediction } in
       let result =
-        Workloads.Harness.run ~engine ~monitor:window ~mode ~machine w
+        Workloads.Harness.run ~opts ~engine ~monitor:window ~mode ~machine w
       in
       let rep = Option.get result.Workloads.Harness.monitor in
       Printf.printf "workload: %s  machine: %s  mode: %s  engine: %s\n"
@@ -207,5 +144,6 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.v info
           Cmdliner.Term.(
-            const run $ workload_arg $ machine_arg $ mode_arg $ engine_arg
-            $ window_arg $ jsonl_arg $ trace_arg $ top_arg $ max_latency_arg)))
+            const run $ workload_arg $ machine_arg $ Cli_common.hw_prefetch_arg
+            $ mode_arg $ engine_arg $ Cli_common.prediction_arg $ window_arg
+            $ jsonl_arg $ trace_arg $ top_arg $ max_latency_arg)))

@@ -6,43 +6,7 @@
    invocation, and --check-invariants promotes the check to a hard
    failure inside the harness). *)
 
-let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
-
-let find_workload name =
-  List.find_opt
-    (fun (w : Workloads.Workload.t) ->
-      String.lowercase_ascii w.name = String.lowercase_ascii name)
-    workloads
-
-let machine_conv =
-  let parse s =
-    match Memsim.Config.machine_of_name s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (m : Memsim.Config.machine) -> m.name)
-                     Memsim.Config.machines))))
-  in
-  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
-  Cmdliner.Arg.conv (parse, print)
-
-let mode_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
-    | "inter" -> Ok Strideprefetch.Options.Inter
-    | "inter+intra" | "inter_intra" | "interintra" ->
-        Ok Strideprefetch.Options.Inter_intra
-    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
-  in
-  let print ppf m =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
-  in
-  Cmdliner.Arg.conv (parse, print)
+let find_workload = Cli_common.find_workload
 
 let workload_arg =
   Cmdliner.Arg.(
@@ -51,46 +15,10 @@ let workload_arg =
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
         ~doc:"Workload name (see $(b,spf_run list)).")
 
-let machine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt machine_conv Memsim.Config.pentium4
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Simulated machine (pentium4 or athlonmp).")
-
-let hw_prefetch_conv =
-  let parse s =
-    match Memsim.Config.hw_prefetch_of_string s with
-    | Ok hw -> Ok hw
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf hw =
-    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let hw_prefetch_arg =
-  Cmdliner.Arg.(
-    value
-    & opt (some hw_prefetch_conv) None
-    & info [ "hw-prefetch" ] ~docv:"SPEC"
-        ~doc:
-          "Attach a hardware prefetcher to the simulated machine: \
-           $(b,none), $(b,stream)[:N[\\@D]] or $(b,rpt)[:SETSxWAYS[\\@D]]; \
-           hardware-issued prefetches show up in the cycle accounting \
-           like any other memory traffic.")
-
-let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
-  match hw with
-  | None -> machine
-  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
-
-let mode_arg =
-  Cmdliner.Arg.(
-    value
-    & opt mode_conv Strideprefetch.Options.Inter_intra
-    & info [ "p"; "mode" ] ~docv:"MODE"
-        ~doc:"Prefetching mode: off, inter, or inter+intra.")
+let machine_arg = Cli_common.machine_arg
+let hw_prefetch_arg = Cli_common.hw_prefetch_arg
+let apply_hw_prefetch = Cli_common.apply_hw_prefetch
+let mode_arg = Cli_common.mode_arg
 
 let topdown_arg =
   Cmdliner.Arg.(
@@ -159,8 +87,8 @@ let phased_arg =
     & info [ "phased" ]
         ~doc:"Enable Wu-style phased multiple-stride prefetching.")
 
-let run name machine hw mode topdown objects loops loop folded json top
-    check phased =
+let run name machine hw mode engine prediction topdown objects loops loop
+    folded json top check phased =
   let machine = apply_hw_prefetch hw machine in
   match find_workload name with
   | None ->
@@ -172,10 +100,11 @@ let run name machine hw mode topdown objects loops loop folded json top
           Strideprefetch.Options.default with
           enable_phased = phased;
           check_invariants = check;
+          prediction;
         }
       in
       let result =
-        try Workloads.Harness.run ~opts ~profile:true ~mode ~machine w
+        try Workloads.Harness.run ~opts ~profile:true ~engine ~mode ~machine w
         with Workloads.Harness.Invariant_violation msg ->
           prerr_endline ("invariant violation: " ^ msg);
           exit 2
@@ -231,5 +160,6 @@ let () =
        (Cmdliner.Cmd.v info
           Cmdliner.Term.(
             const run $ workload_arg $ machine_arg $ hw_prefetch_arg
-            $ mode_arg $ topdown_arg $ objects_arg $ loops_arg $ loop_arg
+            $ mode_arg $ Cli_common.engine_arg $ Cli_common.prediction_arg
+            $ topdown_arg $ objects_arg $ loops_arg $ loop_arg
             $ folded_arg $ json_arg $ top_arg $ check_arg $ phased_arg)))

@@ -1,100 +1,14 @@
 (* Command-line driver: run workloads or MiniJava source files through the
    mini-JVM with stride prefetching, and compare configurations. *)
 
-let workloads =
-  Workloads.Specjvm.all @ Workloads.Javagrande.all @ Workloads.Phase.all
-
-let find_workload name =
-  List.find_opt
-    (fun (w : Workloads.Workload.t) ->
-      String.lowercase_ascii w.name = String.lowercase_ascii name)
-    workloads
-
-let machine_conv =
-  let parse s =
-    match Memsim.Config.machine_of_name s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (m : Memsim.Config.machine) -> m.name)
-                     Memsim.Config.machines))))
-  in
-  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
-  Cmdliner.Arg.conv (parse, print)
-
-let mode_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
-    | "inter" -> Ok Strideprefetch.Options.Inter
-    | "inter+intra" | "inter_intra" | "interintra" ->
-        Ok Strideprefetch.Options.Inter_intra
-    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
-  in
-  let print ppf m =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let engine_conv =
-  let parse s =
-    match Vm.Interp.engine_of_string (String.lowercase_ascii s) with
-    | Some e -> Ok e
-    | None -> Error (`Msg "expected one of: closure, switch")
-  in
-  let print ppf e = Format.fprintf ppf "%s" (Vm.Interp.engine_name e) in
-  Cmdliner.Arg.conv (parse, print)
-
-let machine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt machine_conv Memsim.Config.pentium4
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Simulated machine (pentium4 or athlonmp).")
-
-let hw_prefetch_conv =
-  let parse s =
-    match Memsim.Config.hw_prefetch_of_string s with
-    | Ok hw -> Ok hw
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf hw =
-    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let hw_prefetch_arg =
-  Cmdliner.Arg.(
-    value
-    & opt (some hw_prefetch_conv) None
-    & info [ "hw-prefetch" ] ~docv:"SPEC"
-        ~doc:
-          "Override the machine's hardware prefetcher: $(b,none), \
-           $(b,stream[:STREAMS]) (the default sequential stream unit), or \
-           $(b,rpt[:TABLExDEGREE\\@DISTANCE]) (a Chen/Baer reference \
-           prediction table doing per-PC stride prediction, e.g. \
-           $(b,rpt:64x2\\@4)). The simulated program behaves identically \
-           under every model; only cycles and memory counters move.")
-
-let apply_hw_prefetch hw (machine : Memsim.Config.machine) =
-  match hw with
-  | None -> machine
-  | Some hw -> { machine with Memsim.Config.hw_prefetch = hw }
-
-let engine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt engine_conv Vm.Interp.Closure
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:
-          "Execution engine: $(b,closure) (method bodies pre-compiled to \
-           direct-threaded closure arrays; the default) or $(b,switch) \
-           (the reference fetch/decode loop). Simulated results are \
-           bit-identical either way; closure is faster on the host.")
+(* Option axes (workload lookup, machine/mode/engine/hw/prediction
+   converters and args) are shared across all spf_* drivers. *)
+let workloads = Cli_common.workloads
+let find_workload = Cli_common.find_workload
+let machine_arg = Cli_common.machine_arg
+let hw_prefetch_arg = Cli_common.hw_prefetch_arg
+let apply_hw_prefetch = Cli_common.apply_hw_prefetch
+let engine_arg = Cli_common.engine_arg
 
 let max_steps_arg =
   Cmdliner.Arg.(
@@ -121,12 +35,7 @@ let tweak_max_steps max_steps o =
   | Some n -> { o with Vm.Interp.max_steps = n }
   | None -> o
 
-let mode_arg =
-  Cmdliner.Arg.(
-    value
-    & opt mode_conv Strideprefetch.Options.Inter_intra
-    & info [ "p"; "mode" ] ~docv:"MODE"
-        ~doc:"Prefetching mode: off, inter, or inter+intra.")
+let mode_arg = Cli_common.mode_arg
 
 let verbose_arg =
   Cmdliner.Arg.(
@@ -189,31 +98,7 @@ let monitor_arg =
            the window size in simulated cycles (default 262144). See \
            $(b,spf_mon) for the full time-series tooling.")
 
-let prediction_conv =
-  let parse s =
-    match Strideprefetch.Options.prediction_of_string s with
-    | Ok p -> Ok p
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf p =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.prediction_name p)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let prediction_arg =
-  Cmdliner.Arg.(
-    value
-    & opt prediction_conv Strideprefetch.Options.Inspect
-    & info [ "prediction" ] ~docv:"TIER"
-        ~doc:
-          "Stride-prediction source: $(b,inspect) (the paper's dynamic \
-           object inspection; the default), $(b,static) (the \
-           address-algebra abstract interpretation alone), or \
-           $(b,hybrid) (static $(b,certain) verdicts skip the inspection \
-           iterations, $(b,likely) shortens them, $(b,unknown) falls \
-           back to full inspection). Program results are identical under \
-           every tier; only compile-time work and the generated plans \
-           may differ.")
+let prediction_arg = Cli_common.prediction_arg
 
 let opts_of ~interproc ~phased ~prediction =
   {

@@ -3,43 +3,7 @@
    provenance, and the event-span pipeline — then render the per-site
    coverage/accuracy table and export Chrome-trace / JSONL files. *)
 
-let workloads = Workloads.Specjvm.all @ Workloads.Javagrande.all
-
-let find_workload name =
-  List.find_opt
-    (fun (w : Workloads.Workload.t) ->
-      String.lowercase_ascii w.name = String.lowercase_ascii name)
-    workloads
-
-let machine_conv =
-  let parse s =
-    match Memsim.Config.machine_of_name s with
-    | Some m -> Ok m
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine '%s' (expected: %s)" s
-               (String.concat ", "
-                  (List.map
-                     (fun (m : Memsim.Config.machine) -> m.name)
-                     Memsim.Config.machines))))
-  in
-  let print ppf (m : Memsim.Config.machine) = Format.fprintf ppf "%s" m.name in
-  Cmdliner.Arg.conv (parse, print)
-
-let mode_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "off" | "baseline" -> Ok Strideprefetch.Options.Off
-    | "inter" -> Ok Strideprefetch.Options.Inter
-    | "inter+intra" | "inter_intra" | "interintra" ->
-        Ok Strideprefetch.Options.Inter_intra
-    | _ -> Error (`Msg "expected one of: off, inter, inter+intra")
-  in
-  let print ppf m =
-    Format.fprintf ppf "%s" (Strideprefetch.Options.mode_name m)
-  in
-  Cmdliner.Arg.conv (parse, print)
+let find_workload = Cli_common.find_workload
 
 let workload_arg =
   Cmdliner.Arg.(
@@ -48,41 +12,9 @@ let workload_arg =
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
         ~doc:"Workload name (see $(b,spf_run list)).")
 
-let machine_arg =
-  Cmdliner.Arg.(
-    value
-    & opt machine_conv Memsim.Config.pentium4
-    & info [ "m"; "machine" ] ~docv:"MACHINE"
-        ~doc:"Simulated machine (pentium4 or athlonmp).")
-
-let mode_arg =
-  Cmdliner.Arg.(
-    value
-    & opt mode_conv Strideprefetch.Options.Inter_intra
-    & info [ "p"; "mode" ] ~docv:"MODE"
-        ~doc:"Prefetching mode: off, inter, or inter+intra.")
-
-let hw_prefetch_conv =
-  let parse s =
-    match Memsim.Config.hw_prefetch_of_string s with
-    | Ok hw -> Ok hw
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf hw =
-    Format.fprintf ppf "%s" (Memsim.Config.hw_prefetch_to_string hw)
-  in
-  Cmdliner.Arg.conv (parse, print)
-
-let hw_prefetch_arg =
-  Cmdliner.Arg.(
-    value
-    & opt (some hw_prefetch_conv) None
-    & info [ "hw-prefetch" ] ~docv:"SPEC"
-        ~doc:
-          "Override the machine's hardware prefetcher: $(b,none), \
-           $(b,stream[:STREAMS]), or $(b,rpt[:TABLExDEGREE\\@DISTANCE]) \
-           — e.g. $(b,rpt:64x2\\@4). The attribution table then splits \
-           redundant SW prefetches into redundant vs redundant-with-hw.")
+let machine_arg = Cli_common.machine_arg
+let mode_arg = Cli_common.mode_arg
+let hw_prefetch_arg = Cli_common.hw_prefetch_arg
 
 let trace_arg =
   Cmdliner.Arg.(

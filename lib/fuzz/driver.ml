@@ -66,7 +66,9 @@ let same_class (a : Oracle.failure) (b : Oracle.failure) =
   | Oracle.Telemetry_divergence _, Oracle.Telemetry_divergence _
   | Oracle.Engine_divergence _, Oracle.Engine_divergence _
   | Oracle.Hw_divergence _, Oracle.Hw_divergence _
-  | Oracle.Prediction_divergence _, Oracle.Prediction_divergence _ ->
+  | Oracle.Prediction_divergence _, Oracle.Prediction_divergence _
+  | Oracle.Monitor_divergence _, Oracle.Monitor_divergence _
+  | Oracle.Diff_divergence _, Oracle.Diff_divergence _ ->
       true
   | _ -> false
 

@@ -65,6 +65,7 @@ type failure =
   | Hw_divergence of { cell : cell; hw : string; message : string }
   | Prediction_divergence of { cell : cell; tier : string; message : string }
   | Monitor_divergence of { cell : cell; message : string }
+  | Diff_divergence of { cell : cell; message : string }
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 
@@ -115,6 +116,12 @@ let describe = function
       Printf.sprintf
         "[%s] the live monitor perturbed the simulation (must be \
          observe-only) or its window books don't balance: %s"
+        (cell_name cell) message
+  | Diff_divergence { cell; message } ->
+      Printf.sprintf
+        "[%s] the differential-diagnosis join broke its identity law (a \
+         run diffed against itself must blame nothing, conservation \
+         exact): %s"
         (cell_name cell) message
 
 (* Structural invariants any run must satisfy, whatever the program. *)
@@ -292,7 +299,60 @@ let telemetry_crosscheck ~opts ?tweak_options workload =
                       | Some msg ->
                           diverged
                             ("profiler conservation law violated: " ^ msg)
-                      | None -> None)
+                      | None ->
+                          (* The diff engine's identity law, on the same
+                             attributed run: snapshot it and diff it
+                             against itself — the blame must be empty
+                             (zero total delta, zero per-loop deltas)
+                             and the conservation check exact. A breach
+                             is a join bug in lib/diff, invisible to
+                             every cell above. *)
+                          let diff_diverged message =
+                            Some (Diff_divergence { cell; message })
+                          in
+                          let config =
+                            {
+                              Diff.Rundata.c_workload =
+                                workload.Workloads.Workload.name;
+                              c_machine = cell.machine.Memsim.Config.name;
+                              c_mode = O.mode_name cell.mode;
+                              c_engine = "closure";
+                              c_hw =
+                                Memsim.Config.hw_prefetch_to_string
+                                  cell.machine.Memsim.Config.hw_prefetch;
+                              c_prediction =
+                                O.prediction_name opts.O.prediction;
+                              c_threshold = opts.O.inter_stride_threshold;
+                              c_passes = true;
+                            }
+                          in
+                          (match
+                             Diff.Rundata.of_run ~config attributed
+                           with
+                          | Error msg ->
+                              diff_diverged
+                                ("snapshot of a profiled run failed: " ^ msg)
+                          | Ok rd -> (
+                              let bl = Diff.Blame.build ~a:rd ~b:rd () in
+                              if bl.Diff.Blame.total_delta <> 0 then
+                                diff_diverged
+                                  (Printf.sprintf
+                                     "self-diff total delta is %+d, want 0"
+                                     bl.Diff.Blame.total_delta)
+                              else
+                                match Diff.Blame.check bl with
+                                | Some msg -> diff_diverged msg
+                                | None ->
+                                    if
+                                      List.exists
+                                        (fun (d : Diff.Blame.loop_delta) ->
+                                          d.d_delta <> 0)
+                                        bl.Diff.Blame.loops
+                                    then
+                                      diff_diverged
+                                        "self-diff blames a loop for a \
+                                         nonzero delta"
+                                    else None)))
                 end)
       end
 

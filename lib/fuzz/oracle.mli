@@ -82,6 +82,13 @@ type failure =
           the monitor's per-window stats deltas and attribution outcomes
           must sum back exactly to the end-of-run totals, tail partial
           window included *)
+  | Diff_divergence of { cell : cell; message : string }
+      (** the differential-diagnosis join (lib/diff) broke its identity
+          law on the attributed run: a snapshot diffed against itself
+          must produce an empty blame — zero total delta, zero per-loop
+          deltas — with the blame conservation law holding exactly.
+          Checked on every fuzzed program, so a join bug (lost loop key,
+          bad bin order) can't hide behind hand-picked workloads *)
 
 type verdict = Pass of { cells_run : int } | Fail of failure
 

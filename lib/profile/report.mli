@@ -53,6 +53,13 @@ type t = {
   objects : obj_row list;  (** sorted by stall desc, then (method, pc) *)
 }
 
+val bin_fields : (string * (Collector.bins -> int)) list
+(** The stall bins in canonical order — retire, tlb, l1, l2, mem,
+    pf_overhead, guard_overhead, alloc — paired with their accessors.
+    Every renderer here, the ["spf_prof/v1"] JSON writer and the diff
+    engine's per-bin delta decomposition iterate this one list, so the
+    order and spelling agree everywhere. *)
+
 val build :
   program:Vm.Classfile.program ->
   ?reports:Strideprefetch.Pass.loop_report list ->

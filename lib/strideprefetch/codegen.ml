@@ -278,3 +278,18 @@ let apply ?fault_skip_guard ~guarded code plans =
       | Some t -> Jit.Optimize.retarget instr new_pc.(t)
       | None -> instr)
     arr
+
+(* Stable one-line identity of an action, for provenance diffs. Keyed on
+   the anchor *site* (not its pc): splicing renumbers pcs, and the diff
+   engine compares plans across configurations where the rewritten
+   bodies differ. *)
+let action_descriptor { anchor_site; anchor_pc = _; kind } =
+  match kind with
+  | Prefetch_direct { distance } ->
+      Printf.sprintf "direct s%d d=%d" anchor_site distance
+  | Prefetch_deref { distance; reg; targets } ->
+      Printf.sprintf "deref s%d d=%d r%d targets=%d" anchor_site distance reg
+        (List.length targets)
+  | Prefetch_phased { times; phases } ->
+      Printf.sprintf "phased s%d times=%d phases=%d" anchor_site times
+        (List.length phases)

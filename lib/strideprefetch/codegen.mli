@@ -75,3 +75,9 @@ val apply :
     guarded-load form for indirect prefetches (TLB priming on machines
     with small DTLBs, per {!Options.use_guarded});
     [fault_skip_guard] is forwarded to {!splice_of_action}. *)
+
+val action_descriptor : action -> string
+(** A stable one-line identity of an action for provenance diffing, e.g.
+    ["direct s3 d=128"] or ["deref s5 d=64 r0 targets=2"]. Deliberately
+    omits the anchor pc — splicing renumbers pcs, so descriptors stay
+    comparable across configurations that rewrite the body differently. *)

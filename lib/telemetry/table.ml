@@ -33,7 +33,23 @@ let add_row t cells =
 let add_sep t = t.rows <- Sep :: t.rows
 
 let cell_int = string_of_int
-let cell_pct f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let cell_pct f =
+  (* A non-finite ratio has no percentage; render the no-basis marker
+     instead of "nan%" / "inf%". *)
+  if Float.is_nan f || Float.abs f = Float.infinity then "-"
+  else Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let cell_ratio num den =
+  if den <= 0 then "-"
+  else
+    let s = Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den) in
+    (* Keep the boundary renderings exact: only a true 0/den may print
+       0.0%, only a true den/den may print 100.0% — a 99.97% site must
+       not round up to "complete". *)
+    if s = "100.0%" && num < den then "99.9%"
+    else if s = "0.0%" && num > 0 then "0.1%"
+    else s
 
 let widths t =
   let w = Array.map String.length t.headers in

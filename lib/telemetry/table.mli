@@ -26,8 +26,18 @@ val add_sep : t -> unit
 (** Append a horizontal rule spanning all columns. *)
 
 val cell_int : int -> string
+
 val cell_pct : float -> string
-(** [cell_pct 0.5] is ["50.0%"]. *)
+(** [cell_pct 0.5] is ["50.0%"]; a NaN or infinite ratio renders as the
+    no-basis marker ["-"] rather than ["nan%"]. *)
+
+val cell_ratio : int -> int -> string
+(** [cell_ratio num den] renders [num/den] as a percentage with the
+    division guarded: a zero (or negative) denominator — a site that
+    issued nothing, or one with no remaining target misses — renders as
+    ["-"] instead of dividing by zero, and rounding never crosses the
+    boundaries (only [0/den] prints ["0.0%"], only [den/den] prints
+    ["100.0%"]). *)
 
 val pp : Format.formatter -> t -> unit
 (** Render with a two-space column gap and a rule under the header.

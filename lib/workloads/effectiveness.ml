@@ -196,8 +196,12 @@ let pp_table ppf t =
           cell_int r.counters.redundant;
           cell_int r.counters.redundant_hw;
           cell_int r.target_misses;
-          cell_pct r.coverage;
-          cell_pct r.accuracy;
+          (* Guarded rendering: a site with no useful prefetches and no
+             remaining target misses has no coverage basis, and one that
+             issued nothing has no accuracy basis — "-" instead of a
+             misleading "0.0%". *)
+          cell_ratio r.counters.useful (r.counters.useful + r.target_misses);
+          cell_ratio r.counters.useful r.counters.issued;
         ])
     t.rows;
   Format.fprintf ppf "@[<v>%a@,@," pp tbl;

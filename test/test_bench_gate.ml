@@ -145,6 +145,7 @@ let synth_run ?(schema = Report.schema) cells =
             hw = Gate.default_hw;
             sw_threshold = None;
             prediction = None;
+            blame = None;
             seconds;
             cycles;
           })

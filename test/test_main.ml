@@ -17,4 +17,5 @@ let () =
       ("profile", Test_profile.suite);
       ("bench-gate", Test_bench_gate.suite);
       ("monitor", Test_monitor.suite);
+      ("diff", Test_diff.suite);
     ]

@@ -90,6 +90,69 @@ let test_json_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "trailing garbage accepted"
 
+(* Parser and printer edge cases: escape handling, numeric extremes,
+   deep nesting, duplicate keys. *)
+let test_json_edge_cases () =
+  (* \u escapes: ASCII code points become the literal character; the
+     single-byte printer degrades non-ASCII to '?' rather than emitting
+     broken UTF-8. Bad hex is a parse error, not a silent skip. *)
+  (match J.parse "\"\\u0041\"" with
+  | Ok (J.Str "A") -> ()
+  | Ok v -> Alcotest.failf "\\u0041 parsed as %s" (J.to_string v)
+  | Error e -> Alcotest.failf "\\u0041 rejected: %s" e);
+  (match J.parse "\"\\u00e9\"" with
+  | Ok (J.Str "?") -> ()
+  | Ok v -> Alcotest.failf "\\u00e9 parsed as %s" (J.to_string v)
+  | Error e -> Alcotest.failf "\\u00e9 rejected: %s" e);
+  (match J.parse "\"\\uZZZZ\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad \\u hex accepted");
+  (* Control characters survive a print/parse cycle via \u escapes. *)
+  let ctl = J.Str "\x01\x02\x1f" in
+  (match J.parse (J.to_string ctl) with
+  | Ok v -> Alcotest.(check bool) "control chars round trip" true (v = ctl)
+  | Error e -> Alcotest.failf "control-char string rejected: %s" e);
+  (* Integer extremes round-trip as Int, not as a lossy float. *)
+  let ints = J.List [ J.Int max_int; J.Int min_int; J.Int 0 ] in
+  (match J.parse (J.to_string ints) with
+  | Ok v -> Alcotest.(check bool) "max_int/min_int round trip" true (v = ints)
+  | Error e -> Alcotest.failf "integer extremes rejected: %s" e);
+  (* Deep nesting: the parser is not recursion-limited at report depths. *)
+  let deep = String.concat "" (List.init 200 (fun _ -> "[")) ^ "1"
+             ^ String.concat "" (List.init 200 (fun _ -> "]")) in
+  (match J.parse deep with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "200-deep nesting rejected: %s" e);
+  (* Duplicate keys: member returns the first binding; the printer
+     preserves both (it never deduplicates behind the writer's back). *)
+  match J.parse "{\"k\": 1, \"k\": 2}" with
+  | Error e -> Alcotest.failf "duplicate keys rejected: %s" e
+  | Ok dup ->
+      (match J.member "k" dup with
+      | Some (J.Int 1) -> ()
+      | _ -> Alcotest.fail "member does not return the first duplicate");
+      Alcotest.(check string) "printer keeps both bindings"
+        "{\"k\":1,\"k\":2}" (J.to_string dup)
+
+(* Table ratio guards: division by zero renders as absent, and rounding
+   never fabricates an exact 0% or 100% for a boundary-adjacent count. *)
+let test_table_guards () =
+  let check_cell name want got = Alcotest.(check string) name want got in
+  let module T = Telemetry.Table in
+  check_cell "0/0 is absent" "-" (T.cell_ratio 0 0);
+  check_cell "negative denominator is absent" "-" (T.cell_ratio 5 (-1));
+  check_cell "true zero" "0.0%" (T.cell_ratio 0 10);
+  check_cell "tiny nonzero never rounds to 0.0%" "0.1%"
+    (T.cell_ratio 1 100000);
+  check_cell "near-total never rounds to 100.0%" "99.9%"
+    (T.cell_ratio 99999 100000);
+  check_cell "exact total is 100.0%" "100.0%" (T.cell_ratio 10 10);
+  check_cell "plain ratio" "50.0%" (T.cell_ratio 1 2);
+  check_cell "NaN pct is absent" "-" (T.cell_pct Float.nan);
+  check_cell "+inf pct is absent" "-" (T.cell_pct Float.infinity);
+  check_cell "-inf pct is absent" "-" (T.cell_pct Float.neg_infinity);
+  check_cell "plain pct" "12.5%" (T.cell_pct 0.125)
+
 (* ------------------------------------------------------------------ *)
 (* The event ring: overwrite-on-wrap with a drop count. *)
 
@@ -507,6 +570,8 @@ let suite =
     ("stats: canonical field list is complete", `Quick, test_stats_field_count);
     ("stats: alists/copy/add/reset from one list", `Quick, test_stats_alists);
     ("json: print/parse round trip", `Quick, test_json_roundtrip);
+    ("json: parser/printer edge cases", `Quick, test_json_edge_cases);
+    ("table: ratio guards at the boundaries", `Quick, test_table_guards);
     ("sink: ring wraps and counts drops", `Quick, test_ring_wrap);
     ("attrib: dense site registry", `Quick, test_attrib_registry);
     ("golden: telemetry on/off bit-identical", `Slow, test_golden_bit_identical);
